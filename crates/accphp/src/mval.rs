@@ -1,0 +1,190 @@
+//! Multivalues: the program state of a superposed execution (§3.1, §4.3).
+//!
+//! A multivalue holds one value per request ("lane") in the group. When
+//! all lanes are identical the multivalue *collapses* to a univalue —
+//! "this is crucial to deduplication" (§4.3): collapsed values let
+//! subsequent instructions execute once instead of n times.
+
+use orochi_php::Value;
+use std::sync::Arc;
+
+/// A value of the superposed execution: either one value shared by every
+/// lane, or one value per lane.
+#[derive(Debug, Clone)]
+pub enum MVal {
+    /// All lanes hold this value.
+    Uni(Value),
+    /// Per-lane values; the vector length always equals the group's lane
+    /// count ("a collapse is all or nothing", §4.3).
+    Multi(Arc<Vec<Value>>),
+}
+
+impl MVal {
+    /// A univalue.
+    pub fn uni(v: Value) -> Self {
+        MVal::Uni(v)
+    }
+
+    /// Builds from per-lane values, collapsing when they all agree.
+    pub fn from_lanes(lanes: Vec<Value>) -> Self {
+        debug_assert!(!lanes.is_empty(), "groups have at least one lane");
+        if lanes.len() > 1 && lanes.iter().skip(1).all(|v| v.identical(&lanes[0])) {
+            return MVal::Uni(lanes.into_iter().next().expect("non-empty"));
+        }
+        if lanes.len() == 1 {
+            return MVal::Uni(lanes.into_iter().next().expect("non-empty"));
+        }
+        MVal::Multi(Arc::new(lanes))
+    }
+
+    /// True if the value is shared by all lanes.
+    pub fn is_uni(&self) -> bool {
+        matches!(self, MVal::Uni(_))
+    }
+
+    /// The value in lane `l`.
+    pub fn lane(&self, l: usize) -> &Value {
+        match self {
+            MVal::Uni(v) => v,
+            MVal::Multi(vs) => &vs[l],
+        }
+    }
+
+    /// Materializes per-lane values (scalar expansion for univalues).
+    pub fn expand(&self, lanes: usize) -> Vec<Value> {
+        match self {
+            MVal::Uni(v) => vec![v.clone(); lanes],
+            MVal::Multi(vs) => {
+                debug_assert_eq!(vs.len(), lanes, "multivalue lane count");
+                vs.as_ref().clone()
+            }
+        }
+    }
+
+    /// Applies a fallible scalar function lanewise; executes once for
+    /// univalues, per lane otherwise (with collapse).
+    pub fn map1<E>(
+        &self,
+        lanes: usize,
+        mut f: impl FnMut(&Value) -> Result<Value, E>,
+    ) -> Result<MVal, E> {
+        match self {
+            MVal::Uni(v) => Ok(MVal::Uni(f(v)?)),
+            MVal::Multi(vs) => {
+                debug_assert_eq!(vs.len(), lanes, "multivalue lane count");
+                let mut out = Vec::with_capacity(lanes);
+                for v in vs.iter() {
+                    out.push(f(v)?);
+                }
+                Ok(MVal::from_lanes(out))
+            }
+        }
+    }
+
+    /// Applies a fallible scalar binary function componentwise with
+    /// scalar expansion (§4.3 "primitive types").
+    pub fn map2<E>(
+        a: &MVal,
+        b: &MVal,
+        lanes: usize,
+        mut f: impl FnMut(&Value, &Value) -> Result<Value, E>,
+    ) -> Result<MVal, E> {
+        match (a, b) {
+            (MVal::Uni(x), MVal::Uni(y)) => Ok(MVal::Uni(f(x, y)?)),
+            _ => {
+                let mut out = Vec::with_capacity(lanes);
+                for l in 0..lanes {
+                    out.push(f(a.lane(l), b.lane(l))?);
+                }
+                Ok(MVal::from_lanes(out))
+            }
+        }
+    }
+
+    /// Per-lane truthiness; `Ok(b)` when uniform, `Err(())` when the
+    /// lanes disagree (branch divergence).
+    #[allow(clippy::result_unit_err)]
+    pub fn uniform_truthiness(&self, lanes: usize) -> Result<bool, ()> {
+        match self {
+            MVal::Uni(v) => Ok(v.is_truthy()),
+            MVal::Multi(vs) => {
+                debug_assert_eq!(vs.len(), lanes, "multivalue lane count");
+                let first = vs[0].is_truthy();
+                if vs.iter().skip(1).all(|v| v.is_truthy() == first) {
+                    Ok(first)
+                } else {
+                    Err(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_lanes_collapses_identical() {
+        let m = MVal::from_lanes(vec![Value::Int(4), Value::Int(4), Value::Int(4)]);
+        assert!(m.is_uni());
+        let m = MVal::from_lanes(vec![Value::Int(4), Value::Int(5), Value::Int(4)]);
+        assert!(!m.is_uni());
+    }
+
+    #[test]
+    fn collapse_uses_identity_not_loose_equality() {
+        // 4 == "4" loosely, but the lanes are NOT identical; collapsing
+        // them would change later type-sensitive behaviour.
+        let m = MVal::from_lanes(vec![Value::Int(4), Value::str("4")]);
+        assert!(!m.is_uni());
+    }
+
+    #[test]
+    fn single_lane_groups_are_always_uni() {
+        let m = MVal::from_lanes(vec![Value::str("only")]);
+        assert!(m.is_uni());
+    }
+
+    #[test]
+    fn map2_scalar_expansion() {
+        let a = MVal::Uni(Value::Int(10));
+        let b = MVal::from_lanes(vec![Value::Int(1), Value::Int(2)]);
+        let sum = MVal::map2::<()>(&a, &b, 2, |x, y| {
+            Ok(Value::Int(x.to_php_int() + y.to_php_int()))
+        })
+        .unwrap();
+        assert!(sum.lane(0).identical(&Value::Int(11)));
+        assert!(sum.lane(1).identical(&Value::Int(12)));
+    }
+
+    #[test]
+    fn map2_collapses_when_results_agree() {
+        // Like the paper's max($sum, $_GET['z']) example: differing
+        // inputs, equal outputs -> univalue (Fig. 2 / §4.3).
+        let a = MVal::from_lanes(vec![Value::Int(4), Value::Int(6)]);
+        let b = MVal::Uni(Value::Int(10));
+        let max = MVal::map2::<()>(&a, &b, 2, |x, y| {
+            Ok(Value::Int(x.to_php_int().max(y.to_php_int())))
+        })
+        .unwrap();
+        assert!(max.is_uni());
+        assert!(max.lane(0).identical(&Value::Int(10)));
+    }
+
+    #[test]
+    fn uniform_truthiness_detects_divergence() {
+        let ok = MVal::from_lanes(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(ok.uniform_truthiness(2), Ok(true));
+        let div = MVal::from_lanes(vec![Value::Int(1), Value::Int(0)]);
+        assert_eq!(div.uniform_truthiness(2), Err(()));
+    }
+
+    #[test]
+    fn expand_replicates_uni() {
+        let m = MVal::Uni(Value::str("x"));
+        let lanes = m.expand(3);
+        assert_eq!(lanes.len(), 3);
+        assert!(lanes.iter().all(|v| v.identical(&Value::str("x"))));
+    }
+}

@@ -1,0 +1,201 @@
+//! Direct tests of SIMD-on-demand execution, including the paper's own
+//! worked example (§4.3 / Fig. 2).
+
+use orochi_accphp::groupvm::{run_group, GroupRunError};
+use orochi_common::ids::{CtlFlowTag, RequestId};
+use orochi_core::audit::{AuditConfig, AuditContext};
+use orochi_core::reports::Reports;
+use orochi_php::vm::RequestInput;
+use orochi_php::{compile, parse_script};
+use orochi_trace::{Event, HttpRequest, HttpResponse, Trace};
+
+/// Builds a (trace, reports) pair for `lanes` op-less requests with the
+/// given GET parameters, plus the audit context inputs.
+fn fixtures(
+    params: &[Vec<(&str, &str)>],
+) -> (Vec<RequestId>, Vec<RequestInput>, Trace, Reports) {
+    let mut events = Vec::new();
+    let mut rids = Vec::new();
+    let mut inputs = Vec::new();
+    for (l, lane_params) in params.iter().enumerate() {
+        let rid = RequestId(l as u64 + 1);
+        rids.push(rid);
+        events.push(Event::Request(
+            rid,
+            HttpRequest::get("/prog.php", lane_params),
+        ));
+        inputs.push(RequestInput {
+            method: "GET".into(),
+            path: "/prog.php".into(),
+            get: lane_params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            ..Default::default()
+        });
+    }
+    for &rid in &rids {
+        events.push(Event::Response(rid, HttpResponse::ok(rid, "")));
+    }
+    let reports = Reports {
+        groupings: vec![(CtlFlowTag(1), rids.clone())],
+        op_logs: Default::default(),
+        op_counts: rids.iter().map(|r| (*r, 0)).collect(),
+        nondet: Default::default(),
+    };
+    (rids, inputs, Trace { events }, reports)
+}
+
+/// The paper's §4.3 example:
+///
+/// ```php
+/// $sum = $_GET['x'] + $_GET['y'];
+/// $larger = max($sum, $_GET['z']);
+/// $odd = ($larger % 2) ? "True" : "False";
+/// echo $odd;
+/// ```
+///
+/// r1: x=1&y=3&z=10, r2: x=2&y=4&z=10. `$sum` is the multivalue [4, 6];
+/// `max` collapses it against z=10 to the univalue 10, so "lines 3 and 4
+/// execute once, rather than once for each request".
+#[test]
+fn paper_section_43_example_collapses() {
+    let src = r#"<?php
+        $sum = intval($_GET['x']) + intval($_GET['y']);
+        $larger = max($sum, intval($_GET['z']));
+        $odd = ($larger % 2) ? 'True' : 'False';
+        echo $odd;
+    "#;
+    let script = compile("/prog.php", &parse_script(src).unwrap()).unwrap();
+    let (rids, inputs, trace, reports) = fixtures(&[
+        vec![("x", "1"), ("y", "3"), ("z", "10")],
+        vec![("x", "2"), ("y", "4"), ("z", "10")],
+    ]);
+    let config = AuditConfig::new();
+    let mut ctx = AuditContext::prepare(&trace, &reports, &config).unwrap();
+    let outcome = run_group(&script, &rids, &inputs, &mut ctx).unwrap();
+    // Both lanes print "False" (10 % 2 == 0).
+    assert_eq!(outcome.outputs[0].body, "False");
+    assert_eq!(outcome.outputs[1].body, "False");
+    // The additions are multivalent, but max() collapsed: the modulo,
+    // ternary branch, and echo ran univalently. The multivalent share
+    // is a handful of instructions out of dozens.
+    assert!(
+        outcome.univalent > outcome.multivalent,
+        "univalent {} multivalent {}",
+        outcome.univalent,
+        outcome.multivalent
+    );
+}
+
+#[test]
+fn branch_divergence_detected() {
+    let src = r#"<?php
+        if (intval($_GET['x']) > 5) { echo 'big'; } else { echo 'small'; }
+    "#;
+    let script = compile("/prog.php", &parse_script(src).unwrap()).unwrap();
+    let (rids, inputs, trace, reports) =
+        fixtures(&[vec![("x", "10")], vec![("x", "1")]]);
+    let config = AuditConfig::new();
+    let mut ctx = AuditContext::prepare(&trace, &reports, &config).unwrap();
+    match run_group(&script, &rids, &inputs, &mut ctx) {
+        Err(GroupRunError::Diverged(_)) => {}
+        other => panic!("expected divergence, got {other:?}"),
+    }
+}
+
+#[test]
+fn uniform_branches_do_not_diverge() {
+    let src = r#"<?php
+        if (intval($_GET['x']) > 5) { echo 'big:' . $_GET['x']; } else { echo 'small'; }
+    "#;
+    let script = compile("/prog.php", &parse_script(src).unwrap()).unwrap();
+    // Different values, same truthiness: no divergence; outputs differ
+    // per lane (multivalent echo).
+    let (rids, inputs, trace, reports) =
+        fixtures(&[vec![("x", "10")], vec![("x", "20")]]);
+    let config = AuditConfig::new();
+    let mut ctx = AuditContext::prepare(&trace, &reports, &config).unwrap();
+    let outcome = run_group(&script, &rids, &inputs, &mut ctx).unwrap();
+    assert_eq!(outcome.outputs[0].body, "big:10");
+    assert_eq!(outcome.outputs[1].body, "big:20");
+}
+
+#[test]
+fn iteration_length_divergence_detected() {
+    let src = r#"<?php
+        $parts = explode(',', $_GET['csv']);
+        foreach ($parts as $p) { echo $p; }
+    "#;
+    let script = compile("/prog.php", &parse_script(src).unwrap()).unwrap();
+    let (rids, inputs, trace, reports) =
+        fixtures(&[vec![("csv", "a,b")], vec![("csv", "a,b,c")]]);
+    let config = AuditConfig::new();
+    let mut ctx = AuditContext::prepare(&trace, &reports, &config).unwrap();
+    match run_group(&script, &rids, &inputs, &mut ctx) {
+        Err(GroupRunError::Diverged(_)) => {}
+        other => panic!("expected divergence, got {other:?}"),
+    }
+}
+
+#[test]
+fn same_length_iterations_run_multivalently() {
+    let src = r#"<?php
+        $parts = explode(',', $_GET['csv']);
+        $out = '';
+        foreach ($parts as $p) { $out .= strtoupper($p); }
+        echo $out;
+    "#;
+    let script = compile("/prog.php", &parse_script(src).unwrap()).unwrap();
+    let (rids, inputs, trace, reports) =
+        fixtures(&[vec![("csv", "a,b,c")], vec![("csv", "x,y,z")]]);
+    let config = AuditConfig::new();
+    let mut ctx = AuditContext::prepare(&trace, &reports, &config).unwrap();
+    let outcome = run_group(&script, &rids, &inputs, &mut ctx).unwrap();
+    assert_eq!(outcome.outputs[0].body, "ABC");
+    assert_eq!(outcome.outputs[1].body, "XYZ");
+}
+
+#[test]
+fn uniform_fatal_yields_identical_500s() {
+    let src = "<?php echo 1 % intval($_GET['zero']);";
+    let script = compile("/prog.php", &parse_script(src).unwrap()).unwrap();
+    let (rids, inputs, trace, reports) =
+        fixtures(&[vec![("zero", "0")], vec![("zero", "0")]]);
+    let config = AuditConfig::new();
+    let mut ctx = AuditContext::prepare(&trace, &reports, &config).unwrap();
+    let outcome = run_group(&script, &rids, &inputs, &mut ctx).unwrap();
+    for out in &outcome.outputs {
+        assert_eq!(out.status, 500);
+        assert!(out.body.contains("modulo by zero"));
+    }
+}
+
+#[test]
+fn per_lane_builtin_split_matches_scalar() {
+    // sprintf over multivalues: split execution must equal running the
+    // scalar builtin per request.
+    let src = r#"<?php
+        echo sprintf('%05d:%s', intval($_GET['n']), $_GET['s']);
+    "#;
+    let script = compile("/prog.php", &parse_script(src).unwrap()).unwrap();
+    let (rids, inputs, trace, reports) =
+        fixtures(&[vec![("n", "42"), ("s", "a")], vec![("n", "7"), ("s", "b")]]);
+    let config = AuditConfig::new();
+    let mut ctx = AuditContext::prepare(&trace, &reports, &config).unwrap();
+    let outcome = run_group(&script, &rids, &inputs, &mut ctx).unwrap();
+    assert_eq!(outcome.outputs[0].body, "00042:a");
+    assert_eq!(outcome.outputs[1].body, "00007:b");
+}
+
+#[test]
+fn single_lane_group_is_fully_univalent() {
+    let src = "<?php echo intval($_GET['x']) * 3;";
+    let script = compile("/prog.php", &parse_script(src).unwrap()).unwrap();
+    let (rids, inputs, trace, reports) = fixtures(&[vec![("x", "5")]]);
+    let config = AuditConfig::new();
+    let mut ctx = AuditContext::prepare(&trace, &reports, &config).unwrap();
+    let outcome = run_group(&script, &rids, &inputs, &mut ctx).unwrap();
+    assert_eq!(outcome.outputs[0].body, "15");
+    assert_eq!(outcome.multivalent, 0);
+}

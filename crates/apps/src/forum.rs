@@ -1,0 +1,168 @@
+//! The forum application (phpBB stand-in).
+//!
+//! Mirrors the paper's phpBB workload shape (§5): a popular topic page
+//! viewed by a mix of guests and logged-in users (1:40 registered:guest
+//! ratio in the workload), replies from registered users, and a topic
+//! index. View counters are bumped only for logged-in viewers — the
+//! analogue of the paper's modification that "reduces the frequency of
+//! updates to page view counters" (§5.4).
+
+use crate::helpers::with_prelude;
+use crate::AppDefinition;
+
+/// `/forum.php` — topic index.
+fn index() -> String {
+    with_prelude(
+        "orochi-forum",
+        r#"
+$user = '';
+if (isset($_COOKIE['sess'])) {
+    session_start();
+    if (isset($_SESSION['user'])) {
+        $user = $_SESSION['user'];
+    }
+}
+echo $CHROME;
+echo '<h1>Forum</h1>';
+if ($user != '') {
+    echo '<p>hello ' . htmlspecialchars($user) . '</p>';
+}
+$topics = db_query('SELECT id, title, views, replies FROM topics ORDER BY id LIMIT 50');
+echo '<table>';
+foreach ($topics as $t) {
+    echo '<tr><td><a href="/topic.php?id=' . $t['id'] . '">'
+        . htmlspecialchars($t['title']) . '</a></td><td>'
+        . $t['views'] . ' views</td><td>' . $t['replies'] . ' replies</td></tr>';
+}
+echo '</table>';
+echo $FOOTER;
+"#,
+    )
+}
+
+/// `/topic.php?id=N` — view a topic and its posts.
+fn topic() -> String {
+    with_prelude(
+        "orochi-forum",
+        r#"
+$id = intval($_GET['id']);
+$user = '';
+if (isset($_COOKIE['sess'])) {
+    session_start();
+    if (isset($_SESSION['user'])) {
+        $user = $_SESSION['user'];
+    }
+}
+$topics = db_query('SELECT id, title, views FROM topics WHERE id = ' . $id);
+if (count($topics) == 0) {
+    http_response_code(404);
+    echo 'no such topic';
+    exit();
+}
+$topic = $topics[0];
+if ($user != '') {
+    if (mt_rand(1, 10) == 1) {
+        db_query('UPDATE topics SET views = views + 10 WHERE id = ' . $id);
+    }
+}
+echo $CHROME;
+echo '<h1>' . htmlspecialchars($topic['title']) . '</h1>';
+$posts = db_query('SELECT id, author, body, ts FROM posts WHERE topic_id = '
+    . $id . ' ORDER BY id');
+foreach ($posts as $p) {
+    echo '<div class="post"><b>' . htmlspecialchars($p['author']) . '</b> at '
+        . $p['ts'] . '<br/>' . nl2br(htmlspecialchars($p['body'])) . '</div>';
+}
+echo '<p>' . count($posts) . ' posts</p>';
+if ($user != '') {
+    echo '<form action="/reply.php">reply as ' . htmlspecialchars($user) . '</form>';
+}
+echo $FOOTER;
+"#,
+    )
+}
+
+/// `/reply.php` — post a reply (POST id, body); registered users only.
+fn reply() -> String {
+    with_prelude(
+        "orochi-forum",
+        r#"
+session_start();
+$user = isset($_SESSION['user']) ? $_SESSION['user'] : '';
+if ($user == '') {
+    http_response_code(403);
+    echo 'login required';
+    exit();
+}
+$id = intval($_POST['id']);
+$body = $_POST['body'];
+$now = time();
+db_begin();
+$topics = db_query('SELECT id FROM topics WHERE id = ' . $id);
+if (count($topics) == 0) {
+    db_rollback();
+    http_response_code(404);
+    echo 'no such topic';
+    exit();
+}
+db_query('INSERT INTO posts (topic_id, author, body, ts) VALUES ('
+    . $id . ', ' . db_quote($user) . ', ' . db_quote($body) . ', ' . $now . ')');
+db_query('UPDATE topics SET replies = replies + 1 WHERE id = ' . $id);
+$ok = db_commit();
+echo $CHROME;
+if ($ok) {
+    $_SESSION['posts'] = intval($_SESSION['posts']) + 1;
+    echo 'post ' . db_insert_id() . ' saved';
+} else {
+    echo 'save failed';
+}
+echo $FOOTER;
+"#,
+    )
+}
+
+/// `/login.php` — look up (or create) the user and bind the session.
+fn login() -> String {
+    with_prelude(
+        "orochi-forum",
+        r#"
+session_start();
+$name = $_POST['user'];
+$rows = db_query('SELECT id FROM users WHERE name = ' . db_quote($name));
+if (count($rows) == 0) {
+    db_query('INSERT INTO users (name, joined) VALUES ('
+        . db_quote($name) . ', ' . time() . ')');
+    $uid = db_insert_id();
+} else {
+    $uid = $rows[0]['id'];
+}
+$_SESSION['user'] = $name;
+$_SESSION['uid'] = $uid;
+$_SESSION['posts'] = isset($_SESSION['posts']) ? $_SESSION['posts'] : 0;
+echo $CHROME;
+echo 'welcome ' . htmlspecialchars($name) . ' (#' . $uid . ')';
+echo $FOOTER;
+"#,
+    )
+}
+
+/// The forum application definition.
+pub fn app() -> AppDefinition {
+    AppDefinition {
+        name: "forum",
+        scripts: vec![
+            ("/forum.php".to_string(), index()),
+            ("/topic.php".to_string(), topic()),
+            ("/reply.php".to_string(), reply()),
+            ("/login.php".to_string(), login()),
+        ],
+        schema: vec![
+            "CREATE TABLE topics (id INT PRIMARY KEY AUTO_INCREMENT, title TEXT, \
+             views INT, replies INT)",
+            "CREATE TABLE posts (id INT PRIMARY KEY AUTO_INCREMENT, topic_id INT, \
+             author TEXT, body TEXT, ts INT, INDEX(topic_id))",
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, \
+             joined INT, INDEX(name))",
+        ],
+    }
+}

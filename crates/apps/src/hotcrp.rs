@@ -1,0 +1,200 @@
+//! The conference-review application (HotCRP stand-in).
+//!
+//! Matches the paper's HotCRP workload shape (§5): authors submit and
+//! repeatedly update papers, reviewers submit versioned reviews, and
+//! everyone views paper pages. Submissions and reviews run
+//! multi-statement transactions; the paper list page is the read-heavy
+//! component. Scripts share the framework prelude ([`crate::helpers`]).
+
+use crate::helpers::with_prelude;
+use crate::AppDefinition;
+
+/// `/paper.php?id=N` — a paper page with its reviews.
+fn paper() -> String {
+    with_prelude(
+        "orochi-crp",
+        r#"
+$id = intval($_GET['id']);
+$me = '';
+if (isset($_COOKIE['sess'])) {
+    session_start();
+    if (isset($_SESSION['who'])) {
+        $me = $_SESSION['who'];
+    }
+}
+$papers = db_query('SELECT id, title, abstract, author, updated FROM papers WHERE id = ' . $id);
+if (count($papers) == 0) {
+    http_response_code(404);
+    echo 'no such paper';
+    exit();
+}
+$p = $papers[0];
+echo $CHROME;
+echo '<h1>#' . $p['id'] . ': ' . htmlspecialchars($p['title']) . '</h1>';
+echo '<p class="abstract">' . htmlspecialchars($p['abstract']) . '</p>';
+$reviews = db_query('SELECT reviewer, score, body, version FROM reviews WHERE paper_id = '
+    . $id . ' ORDER BY id');
+$total = 0;
+foreach ($reviews as $r) {
+    $total = $total + $r['score'];
+    $who = $me == $r['reviewer'] ? 'you' : 'reviewer';
+    $excerpt = substr($r['body'], 0, 160);
+    echo '<div class="review"><b>' . $who . '</b> score ' . $r['score']
+        . ' (v' . $r['version'] . ')<br/>'
+        . nl2br(htmlspecialchars($excerpt)) . '</div>';
+}
+if (count($reviews) > 0) {
+    echo '<p>average ' . number_format($total / count($reviews), 2) . '</p>';
+}
+echo $FOOTER;
+"#,
+    )
+}
+
+/// `/list.php` — the paper list.
+fn list_page() -> String {
+    with_prelude(
+        "orochi-crp",
+        r#"
+$papers = db_query('SELECT id, title FROM papers ORDER BY id LIMIT 300');
+echo $CHROME;
+echo '<h1>Submissions</h1><ol>';
+foreach ($papers as $p) {
+    echo '<li><a href="/paper.php?id=' . $p['id'] . '">'
+        . htmlspecialchars($p['title']) . '</a></li>';
+}
+echo '</ol><p>' . count($papers) . ' papers</p>';
+echo $FOOTER;
+"#,
+    )
+}
+
+/// `/submit.php` — submit or update a paper (POST title, abstract).
+fn submit() -> String {
+    with_prelude(
+        "orochi-crp",
+        r#"
+session_start();
+$me = isset($_SESSION['who']) ? $_SESSION['who'] : '';
+if ($me == '') {
+    http_response_code(403);
+    echo 'login required';
+    exit();
+}
+$title = $_POST['title'];
+$abstract = $_POST['abstract'];
+$now = time();
+db_begin();
+$rows = db_query('SELECT id FROM papers WHERE author = ' . db_quote($me)
+    . ' AND title = ' . db_quote($title));
+if (count($rows) == 0) {
+    db_query('INSERT INTO papers (title, abstract, author, updated) VALUES ('
+        . db_quote($title) . ', ' . db_quote($abstract) . ', '
+        . db_quote($me) . ', ' . $now . ')');
+    $pid = db_insert_id();
+    $verb = 'submitted';
+} else {
+    $pid = $rows[0]['id'];
+    db_query('UPDATE papers SET abstract = ' . db_quote($abstract)
+        . ', updated = ' . $now . ' WHERE id = ' . $pid);
+    $verb = 'updated';
+}
+$ok = db_commit();
+echo $CHROME;
+if ($ok) {
+    echo 'paper #' . $pid . ' ' . $verb;
+} else {
+    echo 'submission failed';
+}
+echo $FOOTER;
+"#,
+    )
+}
+
+/// `/review.php` — submit a (versioned) review (POST id, score, body).
+fn review() -> String {
+    with_prelude(
+        "orochi-crp",
+        r#"
+session_start();
+$me = isset($_SESSION['who']) ? $_SESSION['who'] : '';
+if ($me == '') {
+    http_response_code(403);
+    echo 'login required';
+    exit();
+}
+$pid = intval($_POST['id']);
+$score = intval($_POST['score']);
+if ($score < 1 || $score > 5) {
+    http_response_code(400);
+    echo 'score out of range';
+    exit();
+}
+$body = $_POST['body'];
+db_begin();
+$papers = db_query('SELECT id FROM papers WHERE id = ' . $pid);
+if (count($papers) == 0) {
+    db_rollback();
+    http_response_code(404);
+    echo 'no such paper';
+    exit();
+}
+$mine = db_query('SELECT id, version FROM reviews WHERE paper_id = ' . $pid
+    . ' AND reviewer = ' . db_quote($me));
+if (count($mine) == 0) {
+    db_query('INSERT INTO reviews (paper_id, reviewer, score, body, version) VALUES ('
+        . $pid . ', ' . db_quote($me) . ', ' . $score . ', '
+        . db_quote($body) . ', 1)');
+    $version = 1;
+} else {
+    $version = $mine[0]['version'] + 1;
+    db_query('UPDATE reviews SET score = ' . $score . ', body = ' . db_quote($body)
+        . ', version = ' . $version . ' WHERE id = ' . $mine[0]['id']);
+}
+$ok = db_commit();
+echo $CHROME;
+if ($ok) {
+    $_SESSION['reviews'] = intval($_SESSION['reviews']) + 1;
+    echo 'review v' . $version . ' for #' . $pid . ' recorded';
+} else {
+    echo 'review failed';
+}
+echo $FOOTER;
+"#,
+    )
+}
+
+/// `/login.php` — bind the session to an identity (POST who).
+fn login() -> String {
+    with_prelude(
+        "orochi-crp",
+        r#"
+session_start();
+$_SESSION['who'] = $_POST['who'];
+$_SESSION['reviews'] = isset($_SESSION['reviews']) ? $_SESSION['reviews'] : 0;
+echo $CHROME;
+echo 'hello ' . htmlspecialchars($_POST['who']);
+echo $FOOTER;
+"#,
+    )
+}
+
+/// The conference-review application definition.
+pub fn app() -> AppDefinition {
+    AppDefinition {
+        name: "hotcrp",
+        scripts: vec![
+            ("/paper.php".to_string(), paper()),
+            ("/list.php".to_string(), list_page()),
+            ("/submit.php".to_string(), submit()),
+            ("/review.php".to_string(), review()),
+            ("/login.php".to_string(), login()),
+        ],
+        schema: vec![
+            "CREATE TABLE papers (id INT PRIMARY KEY AUTO_INCREMENT, title TEXT, \
+             abstract TEXT, author TEXT, updated INT, INDEX(author))",
+            "CREATE TABLE reviews (id INT PRIMARY KEY AUTO_INCREMENT, paper_id INT, \
+             reviewer TEXT, score INT, body TEXT, version INT, INDEX(paper_id))",
+        ],
+    }
+}

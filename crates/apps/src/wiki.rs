@@ -1,0 +1,134 @@
+//! The wiki application (MediaWiki stand-in).
+//!
+//! Read-dominated: page views check the APC cache first and fall back to
+//! the database, caching the rendered body (the commonality that makes
+//! the MediaWiki workload dedup so well, §5.2). Edits run a transaction
+//! that updates the page and appends a revision, then invalidate the
+//! cache entry. Every script starts with the framework prelude
+//! ([`crate::helpers`]), whose instructions are request-independent and
+//! re-execute univalently.
+
+use crate::helpers::with_prelude;
+use crate::AppDefinition;
+
+/// `/wiki.php?title=X` — view a page.
+fn view() -> String {
+    with_prelude(
+        "orochi-wiki",
+        r#"
+$title = isset($_GET['title']) ? $_GET['title'] : 'Main_Page';
+$user = '';
+if (isset($_COOKIE['sess'])) {
+    session_start();
+    if (isset($_SESSION['user'])) {
+        $user = $_SESSION['user'];
+    }
+}
+echo $CHROME;
+echo '<h1>' . htmlspecialchars($title) . '</h1>';
+if ($user != '') {
+    echo '<p class="login">Logged in as ' . htmlspecialchars($user) . '</p>';
+}
+$cached = apc_fetch('page:' . $title);
+if ($cached === false) {
+    $rows = db_query('SELECT id, body, views FROM pages WHERE title = '
+        . db_quote($title));
+    if (count($rows) == 0) {
+        http_response_code(404);
+        echo '<p>This page does not exist yet.</p>';
+        echo $FOOTER;
+        exit();
+    }
+    $body = $rows[0]['body'];
+    $html = '<div class="body">' . nl2br(htmlspecialchars($body)) . '</div>';
+    apc_store('page:' . $title, $html);
+    $cached = $html;
+}
+echo $cached;
+$revs = db_query('SELECT id, ts FROM revisions WHERE title = ' . db_quote($title)
+    . ' ORDER BY id DESC LIMIT 5');
+echo '<ul class="history">';
+foreach ($revs as $r) {
+    echo '<li>rev ' . $r['id'] . ' at ' . $r['ts'] . '</li>';
+}
+echo '</ul>';
+echo $FOOTER;
+"#,
+    )
+}
+
+/// `/edit.php` — create or update a page (POST title, body).
+fn edit() -> String {
+    with_prelude(
+        "orochi-wiki",
+        r#"
+session_start();
+$user = isset($_SESSION['user']) ? $_SESSION['user'] : '';
+if ($user == '') {
+    http_response_code(403);
+    echo 'login required';
+    exit();
+}
+$title = $_POST['title'];
+$body = $_POST['body'];
+$now = time();
+db_begin();
+$rows = db_query('SELECT id FROM pages WHERE title = ' . db_quote($title));
+if (count($rows) == 0) {
+    db_query('INSERT INTO pages (title, body, views) VALUES ('
+        . db_quote($title) . ', ' . db_quote($body) . ', 0)');
+} else {
+    db_query('UPDATE pages SET body = ' . db_quote($body)
+        . ' WHERE id = ' . $rows[0]['id']);
+}
+db_query('INSERT INTO revisions (title, author, body, ts) VALUES ('
+    . db_quote($title) . ', ' . db_quote($user) . ', '
+    . db_quote($body) . ', ' . $now . ')');
+$ok = db_commit();
+apc_delete('page:' . $title);
+echo $CHROME;
+echo '<h1>Saved: ' . htmlspecialchars($title) . '</h1>';
+if ($ok) {
+    echo '<p>Revision ' . db_insert_id() . ' saved by '
+        . htmlspecialchars($user) . '.</p>';
+} else {
+    echo '<p>Save failed.</p>';
+}
+echo $FOOTER;
+"#,
+    )
+}
+
+/// `/login.php` — establish the session (POST user).
+fn login() -> String {
+    with_prelude(
+        "orochi-wiki",
+        r#"
+session_start();
+$user = $_POST['user'];
+$_SESSION['user'] = $user;
+$_SESSION['since'] = time();
+echo $CHROME;
+echo 'welcome ' . htmlspecialchars($user);
+echo $FOOTER;
+"#,
+    )
+}
+
+/// The wiki application definition.
+pub fn app() -> AppDefinition {
+    AppDefinition {
+        name: "wiki",
+        scripts: vec![
+            ("/wiki.php".to_string(), view()),
+            ("/edit.php".to_string(), edit()),
+            ("/login.php".to_string(), login()),
+        ],
+        schema: vec![
+            "CREATE TABLE pages (id INT PRIMARY KEY AUTO_INCREMENT, title TEXT, \
+             body TEXT, views INT, INDEX(title))",
+            "CREATE TABLE revisions (id INT PRIMARY KEY AUTO_INCREMENT, title TEXT, \
+             author TEXT, body TEXT, ts INT, INDEX(title))",
+        ],
+    }
+}

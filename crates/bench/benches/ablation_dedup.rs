@@ -1,0 +1,31 @@
+//! Bench E7 (§5.2): sources of acceleration — {SIMD-on-demand on/off} ×
+//! {read-query dedup on/off} on the wiki workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orochi_harness::{run_audit, serve, AppWorkload, ServeOptions};
+use orochi_workload::wiki;
+
+fn bench_ablation(c: &mut Criterion) {
+    let work = AppWorkload {
+        app: orochi_apps::wiki::app(),
+        workload: wiki::generate(&wiki::Params::scaled(0.01), 2),
+        seed_sql: Vec::new(),
+    };
+    let served = serve(&work, &ServeOptions::default());
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (label, grouped, dedup) in [
+        ("grouped+dedup", true, true),
+        ("grouped", true, false),
+        ("scalar+dedup", false, true),
+        ("scalar", false, false),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| run_audit(&served.bundle, &work, grouped, dedup).expect("accepts"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

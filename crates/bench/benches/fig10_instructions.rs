@@ -1,0 +1,35 @@
+//! Bench E4 (Fig. 10): per-instruction-category cost on the unmodified
+//! scalar runtime vs acc-PHP univalent vs multivalent execution. The
+//! `fig10_instructions` binary derives the fixed/marginal multivalent
+//! costs from two lane counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orochi_bench::{fig10_script, run_fig10_scalar, Fig10Group, FIG10_CATEGORIES};
+
+const ITERS: usize = 2_000;
+
+fn bench_fig10(c: &mut Criterion) {
+    for (name, body) in FIG10_CATEGORIES {
+        let nondet = if *name == "Microtime" { ITERS } else { 0 };
+        let script = fig10_script(body, ITERS);
+        let mut group = c.benchmark_group(format!("fig10/{name}"));
+        group.sample_size(10);
+        group.bench_function("unmodified_php", |b| {
+            // The scalar arm draws nondeterminism from the null backend,
+            // like unmodified PHP draws from the OS.
+            b.iter(|| run_fig10_scalar(&script, "7", "9"));
+        });
+        let uni = Fig10Group::new(4, true, nondet);
+        group.bench_function("accphp_univalent_4lanes", |b| {
+            b.iter(|| uni.run(&script));
+        });
+        let multi = Fig10Group::new(4, false, nondet);
+        group.bench_function("accphp_multivalent_4lanes", |b| {
+            b.iter(|| multi.run(&script));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench E1 (Fig. 8 left): OROCHI audit vs simple re-execution on the
+//! wiki workload. The `fig8_table` binary prints the full table for all
+//! three applications; this bench measures the two audit arms so the
+//! speedup ratio is tracked over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orochi_harness::{run_audit, serve, AppWorkload, ServeOptions};
+use orochi_workload::wiki;
+
+fn bench_fig8(c: &mut Criterion) {
+    let work = AppWorkload {
+        app: orochi_apps::wiki::app(),
+        workload: wiki::generate(&wiki::Params::scaled(0.01), 1),
+        seed_sql: Vec::new(),
+    };
+    let served = serve(&work, &ServeOptions::default());
+    let mut group = c.benchmark_group("fig8_audit");
+    group.sample_size(10);
+    group.bench_function("orochi_grouped_dedup", |b| {
+        b.iter(|| run_audit(&served.bundle, &work, true, true).expect("accepts"))
+    });
+    group.bench_function("baseline_simple_reexecution", |b| {
+        b.iter(|| run_audit(&served.bundle, &work, false, false).expect("accepts"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench E3 (Fig. 9): the audit phases measured separately — the
+//! prologue (ProcessOpReports + DB redo) vs the full audit. The
+//! `fig9_decomposition` binary prints the per-phase table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orochi_core::audit::{AuditContext, AuditConfig};
+use orochi_harness::{run_audit, serve, AppWorkload, ServeOptions};
+use orochi_workload::forum;
+
+fn bench_fig9(c: &mut Criterion) {
+    let params = forum::Params::scaled(0.01);
+    let work = AppWorkload {
+        app: orochi_apps::forum::app(),
+        workload: forum::generate(&params, 1),
+        seed_sql: forum::seed_sql(&params),
+    };
+    let served = serve(&work, &ServeOptions::default());
+    let config: AuditConfig = work.audit_config();
+    let mut group = c.benchmark_group("fig9_phases");
+    group.sample_size(10);
+    group.bench_function("prologue_procopreports_and_redo", |b| {
+        b.iter(|| {
+            AuditContext::prepare(&served.bundle.trace, &served.bundle.reports, &config)
+                .expect("prologue succeeds")
+        })
+    });
+    group.bench_function("full_audit", |b| {
+        b.iter(|| run_audit(&served.bundle, &work, true, true).expect("accepts"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench E6 (§3.5, Fig. 6): the streaming frontier algorithm for
+//! materializing the time-precedence partial order vs the dense
+//! (quadratic) reference construction, across request counts and
+//! concurrency widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orochi_bench::epoch_trace;
+use orochi_core::precedence::{create_time_precedence_graph, dense_time_precedence};
+
+fn bench_timeprec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeprec");
+    group.sample_size(10);
+    for &(epochs, width) in &[(100usize, 4usize), (500, 4), (100, 16), (25, 64)] {
+        let trace = epoch_trace(epochs, width);
+        let balanced = trace.ensure_balanced().unwrap();
+        let x = epochs * width;
+        group.bench_with_input(
+            BenchmarkId::new("frontier", format!("X{x}_P{width}")),
+            &balanced,
+            |b, t| b.iter(|| create_time_precedence_graph(t)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense_naive", format!("X{x}_P{width}")),
+            &balanced,
+            |b, t| b.iter(|| dense_time_precedence(t)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timeprec);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates the §5.2 sources-of-acceleration ablation:
+//! {SIMD-on-demand on/off} × {read-query dedup on/off}.
+//!
+//! Usage: `cargo run --release -p orochi-bench --bin ablation`
+
+use orochi_harness::experiments::{ablation, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Ablation: sources of acceleration (wiki, scale {scale}) ==");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10}",
+        "arm", "wall(s)", "deduped", "issued"
+    );
+    for arm in ablation(scale, 42) {
+        println!(
+            "{:<16} {:>10.3} {:>10} {:>10}",
+            arm.label,
+            arm.wall.as_secs_f64(),
+            arm.deduped,
+            arm.issued
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates the Fig. 11 control-flow group characteristics for the
+//! wiki workload.
+//!
+//! Usage: `cargo run --release -p orochi-bench --bin fig11_groups`
+
+use orochi_harness::experiments::{fig11_groups, print_fig11, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Fig. 11: control-flow groups, wiki workload (scale {scale}) ==");
+    let summary = fig11_groups(scale, 42);
+    print_fig11(&summary);
+}

@@ -1,0 +1,13 @@
+//! Regenerates the Fig. 8 (left) main-results table.
+//!
+//! Usage: `cargo run --release -p orochi-bench --bin fig8_table`
+//! (`OROCHI_FULL=1` for the paper's full request counts).
+
+use orochi_harness::experiments::{fig8_table, print_fig8, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Fig. 8 (left): main results (scale {scale}) ==");
+    let rows = fig8_table(scale, 42);
+    print_fig8(&rows);
+}

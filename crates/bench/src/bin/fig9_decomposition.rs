@@ -1,0 +1,13 @@
+//! Regenerates the Fig. 9 audit-time CPU decomposition for all three
+//! applications.
+//!
+//! Usage: `cargo run --release -p orochi-bench --bin fig9_decomposition`
+
+use orochi_harness::experiments::{fig9_decomposition, print_fig9, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Fig. 9: audit-time CPU decomposition (scale {scale}) ==");
+    let rows = fig9_decomposition(scale, 42);
+    print_fig9(&rows);
+}

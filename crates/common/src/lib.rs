@@ -1,0 +1,20 @@
+//! Shared foundations for the orochi-rs workspace.
+//!
+//! This crate holds the small pieces every other crate needs: identifier
+//! newtypes for requests, operations and shared objects; the hand-rolled
+//! wire codec used to serialize traces and reports; phase timers used by
+//! the evaluation harness; and a tiny deterministic RNG used where the
+//! `rand` crate would be too heavy a dependency.
+//!
+//! Nothing in this crate is specific to the audit algorithm; see
+//! `orochi-core` for SSCO itself.
+
+pub mod codec;
+pub mod ids;
+pub mod metrics;
+pub mod rng;
+
+pub use codec::{Decoder, Encoder, Wire, WireError};
+pub use ids::{CtlFlowTag, ObjectId, OpNum, RequestId, SeqNum};
+pub use metrics::{percentile, PhaseTimer, Stopwatch};
+pub use rng::SplitMix64;

@@ -1,0 +1,197 @@
+//! Timing and measurement helpers for the evaluation harness.
+//!
+//! The paper decomposes audit-time CPU cost into phases (Fig. 9: "PHP",
+//! "DB query", "ProcOpRep", "DB redo", "Other") and reports latency
+//! percentiles (Fig. 8 right). [`PhaseTimer`] accumulates named phase
+//! durations; [`percentile`] computes the order statistics.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A simple start/stop stopwatch accumulating busy time.
+///
+/// # Examples
+///
+/// ```
+/// use orochi_common::metrics::Stopwatch;
+///
+/// let mut sw = Stopwatch::new();
+/// sw.start();
+/// let _work: u64 = (0..1000).sum();
+/// sw.stop();
+/// assert!(sw.elapsed().as_nanos() > 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Stopwatch {
+    total: Duration,
+    started: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Creates a stopped stopwatch with zero accumulated time.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begins (or restarts) timing. Calling `start` twice keeps the first
+    /// start point.
+    pub fn start(&mut self) {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    /// Stops timing and adds the elapsed interval to the total.
+    pub fn stop(&mut self) {
+        if let Some(t0) = self.started.take() {
+            self.total += t0.elapsed();
+        }
+    }
+
+    /// Total accumulated busy time (not counting a currently running
+    /// interval).
+    pub fn elapsed(&self) -> Duration {
+        self.total
+    }
+}
+
+/// Accumulates named phase durations, in the style of Fig. 9.
+///
+/// # Examples
+///
+/// ```
+/// use orochi_common::metrics::PhaseTimer;
+///
+/// let mut timer = PhaseTimer::new();
+/// timer.time("redo", || { let _ = 1 + 1; });
+/// assert!(timer.get("redo").as_nanos() > 0);
+/// assert_eq!(timer.get("absent").as_nanos(), 0);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct PhaseTimer {
+    phases: BTreeMap<&'static str, Duration>,
+}
+
+impl PhaseTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, charging its wall time to `phase`.
+    pub fn time<T>(&mut self, phase: &'static str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(phase, t0.elapsed());
+        out
+    }
+
+    /// Adds an externally measured duration to `phase`.
+    pub fn add(&mut self, phase: &'static str, d: Duration) {
+        *self.phases.entry(phase).or_default() += d;
+    }
+
+    /// Accumulated time for `phase` (zero if never recorded).
+    pub fn get(&self, phase: &str) -> Duration {
+        self.phases.get(phase).copied().unwrap_or_default()
+    }
+
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.phases.values().sum()
+    }
+
+    /// Iterates phases in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Duration)> + '_ {
+        self.phases.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges another timer's phases into this one.
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        for (phase, d) in other.iter() {
+            self.add(phase, d);
+        }
+    }
+}
+
+/// Returns the `p`-th percentile (0.0–100.0) of `samples` using
+/// nearest-rank on a sorted copy.
+///
+/// Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use orochi_common::metrics::percentile;
+///
+/// let xs = vec![10.0, 20.0, 30.0, 40.0];
+/// assert_eq!(percentile(&xs, 50.0), Some(20.0));
+/// assert_eq!(percentile(&xs, 100.0), Some(40.0));
+/// assert_eq!(percentile(&[], 50.0), None);
+/// ```
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    let idx = rank.max(1) - 1;
+    Some(sorted[idx.min(sorted.len() - 1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_accumulates_across_intervals() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        sw.stop();
+        let first = sw.elapsed();
+        sw.start();
+        sw.stop();
+        assert!(sw.elapsed() >= first);
+    }
+
+    #[test]
+    fn stopwatch_double_start_is_idempotent() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        sw.start();
+        sw.stop();
+        sw.stop(); // Second stop is a no-op.
+        let t = sw.elapsed();
+        assert!(t.as_nanos() > 0);
+    }
+
+    #[test]
+    fn phase_timer_merges() {
+        let mut a = PhaseTimer::new();
+        a.add("x", Duration::from_millis(5));
+        let mut b = PhaseTimer::new();
+        b.add("x", Duration::from_millis(3));
+        b.add("y", Duration::from_millis(2));
+        a.merge(&b);
+        assert_eq!(a.get("x"), Duration::from_millis(8));
+        assert_eq!(a.get("y"), Duration::from_millis(2));
+        assert_eq!(a.total(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), Some(50.0));
+        assert_eq!(percentile(&xs, 90.0), Some(90.0));
+        assert_eq!(percentile(&xs, 99.0), Some(99.0));
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        assert_eq!(percentile(&[7.0], 1.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+    }
+}

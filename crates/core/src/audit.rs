@@ -1,0 +1,961 @@
+//! `SSCO_AUDIT2` (Fig. 12): the audit driver and the simulate-and-check
+//! context.
+//!
+//! The audit proceeds in phases:
+//!
+//! 1. **Balance** — validate the trace (§3).
+//! 2. **ProcessOpReports** — consistent-ordering verification and OpMap
+//!    construction ([`crate::graph`]), plus the §4.6 nondeterminism
+//!    sanity checks.
+//! 3. **DB redo** — build the versioned stores: `kv.Build(OL)` happens
+//!    lazily per object; every log containing database operations gets a
+//!    full versioned redo pass (§4.5).
+//! 4. **Re-execution** — each control-flow group is handed to the
+//!    [`GroupExecutor`]; every state operation flows through
+//!    [`AuditContext`], which implements `CheckOp` (the produced operands
+//!    must match the log entry the OpMap names) and `SimOp` (reads are
+//!    fed from the logs/versioned stores). Read-query deduplication
+//!    (§4.5) lives here too.
+//! 5. **Output comparison** — the produced outputs must be exactly the
+//!    responses in the trace.
+//!
+//! Any failed check rejects with a precise [`Rejection`] reason.
+
+use crate::exec::{DbQueryResult, DbTxnHandle, GroupExecutor, SimResult};
+use crate::graph::{process_op_reports, GraphRejection, OpMap};
+use crate::nondet::NondetValue;
+use crate::reports::Reports;
+use orochi_common::ids::{CtlFlowTag, OpNum, RequestId, SeqNum};
+use orochi_common::metrics::PhaseTimer;
+use orochi_sqldb::{Database, ExecOutcome, RedoError, RedoStats, VersionedDb, MAXQ};
+use orochi_state::object::{ObjectName, OpContents, OpType};
+use orochi_state::oplog::OpLogs;
+use orochi_state::versioned_kv::VersionedKv;
+use orochi_trace::record::{BalanceError, Trace};
+use orochi_trace::HttpResponse;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Why the audit rejected. Each variant corresponds to a failed check in
+/// Figs. 5/12 or one of OROCHI's additional report validations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rejection {
+    /// The trace is not balanced (§3).
+    Unbalanced(BalanceError),
+    /// Report processing failed (Fig. 5), including cycle detection.
+    Graph(GraphRejection),
+    /// The nondeterminism report violates the §4.6 sanity conditions.
+    NondetInvalid(RequestId),
+    /// The database redo pass failed (§4.5).
+    Redo(RedoError),
+    /// Re-execution issued an operation the OpMap does not contain
+    /// (CheckOp line 11).
+    OpNotInOpMap {
+        /// The issuing request.
+        rid: RequestId,
+        /// The operation number.
+        opnum: OpNum,
+    },
+    /// The operation targeted a different object than the log claims
+    /// (CheckOp line 14, `i != î`).
+    ObjectMismatch {
+        /// The issuing request.
+        rid: RequestId,
+        /// The operation number.
+        opnum: OpNum,
+    },
+    /// The produced operands differ from the logged opcontents
+    /// (CheckOp line 14).
+    OpContentsMismatch {
+        /// The issuing request.
+        rid: RequestId,
+        /// The operation number.
+        opnum: OpNum,
+    },
+    /// A database query's SQL text differs from the logged statement
+    /// (§A.7 per-query check).
+    DbQueryMismatch {
+        /// The issuing request.
+        rid: RequestId,
+        /// The transaction's operation number.
+        opnum: OpNum,
+        /// 1-based query position.
+        query: u64,
+    },
+    /// Re-execution issued more queries in a transaction than were
+    /// logged.
+    DbTooManyQueries {
+        /// The issuing request.
+        rid: RequestId,
+        /// The transaction's operation number.
+        opnum: OpNum,
+    },
+    /// Re-execution finished a transaction with fewer queries than
+    /// logged.
+    DbQueryCountMismatch {
+        /// The issuing request.
+        rid: RequestId,
+        /// The transaction's operation number.
+        opnum: OpNum,
+    },
+    /// The program's commit/rollback disagrees with the logged
+    /// `succeeded` flag.
+    DbCommitMismatch {
+        /// The issuing request.
+        rid: RequestId,
+        /// The transaction's operation number.
+        opnum: OpNum,
+    },
+    /// An aborted transaction's read has no captured result — the log is
+    /// internally inconsistent.
+    DbAbortedReadMissing {
+        /// The issuing request.
+        rid: RequestId,
+        /// The transaction's operation number.
+        opnum: OpNum,
+    },
+    /// A state operation was issued while a database transaction was
+    /// open (the SSCO model forbids nesting, §4.4).
+    StateOpDuringTxn {
+        /// The issuing request.
+        rid: RequestId,
+    },
+    /// Re-execution consumed more nondeterministic values than recorded.
+    NondetExhausted {
+        /// The issuing request.
+        rid: RequestId,
+    },
+    /// A recorded nondeterministic value has the wrong kind for the call
+    /// site.
+    NondetKindMismatch {
+        /// The issuing request.
+        rid: RequestId,
+    },
+    /// Recorded nondeterministic values were left unconsumed.
+    NondetLeftover {
+        /// The issuing request.
+        rid: RequestId,
+    },
+    /// A request finished with an operation count different from
+    /// `M(rid)` (Fig. 12 line 51).
+    OpCountMismatch {
+        /// The finishing request.
+        rid: RequestId,
+    },
+    /// A control-flow group names a request absent from the trace.
+    GroupUnknownRequest {
+        /// The unknown request.
+        rid: RequestId,
+    },
+    /// Requests in one control-flow group diverged during grouped
+    /// re-execution (Fig. 12 line 39).
+    Divergence {
+        /// The group's tag.
+        tag: CtlFlowTag,
+    },
+    /// The re-executed program failed outright (runtime error where the
+    /// trace shows a normal response).
+    ExecFailure(String),
+    /// The executor returned outputs violating the driver protocol
+    /// (unknown or duplicate request).
+    ExecutorProtocol(String),
+    /// A produced output differs from the response in the trace
+    /// (Fig. 12 line 55).
+    OutputMismatch {
+        /// The mismatching request.
+        rid: RequestId,
+    },
+    /// No output was produced for a request in the trace.
+    MissingOutput {
+        /// The uncovered request.
+        rid: RequestId,
+    },
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejection::Unbalanced(e) => write!(f, "trace not balanced: {e}"),
+            Rejection::Graph(e) => write!(f, "report processing: {e}"),
+            Rejection::NondetInvalid(rid) => {
+                write!(f, "nondeterminism report invalid for {rid}")
+            }
+            Rejection::Redo(e) => write!(f, "versioned redo: {e}"),
+            Rejection::OpNotInOpMap { rid, opnum } => {
+                write!(f, "operation ({rid},{opnum}) not in OpMap")
+            }
+            Rejection::ObjectMismatch { rid, opnum } => {
+                write!(f, "operation ({rid},{opnum}) targets a different object")
+            }
+            Rejection::OpContentsMismatch { rid, opnum } => {
+                write!(f, "operation ({rid},{opnum}) operands differ from log")
+            }
+            Rejection::DbQueryMismatch { rid, opnum, query } => {
+                write!(f, "({rid},{opnum}) query {query} differs from log")
+            }
+            Rejection::DbTooManyQueries { rid, opnum } => {
+                write!(f, "({rid},{opnum}) issued more queries than logged")
+            }
+            Rejection::DbQueryCountMismatch { rid, opnum } => {
+                write!(f, "({rid},{opnum}) finished with fewer queries than logged")
+            }
+            Rejection::DbCommitMismatch { rid, opnum } => {
+                write!(f, "({rid},{opnum}) commit/rollback disagrees with log")
+            }
+            Rejection::DbAbortedReadMissing { rid, opnum } => {
+                write!(f, "({rid},{opnum}) aborted-transaction read not captured")
+            }
+            Rejection::StateOpDuringTxn { rid } => {
+                write!(f, "{rid} issued a state op inside a transaction")
+            }
+            Rejection::NondetExhausted { rid } => {
+                write!(f, "{rid} consumed more nondet values than recorded")
+            }
+            Rejection::NondetKindMismatch { rid } => {
+                write!(f, "{rid} nondet value kind mismatch")
+            }
+            Rejection::NondetLeftover { rid } => {
+                write!(f, "{rid} left recorded nondet values unconsumed")
+            }
+            Rejection::OpCountMismatch { rid } => {
+                write!(f, "{rid} finished with an op count different from M")
+            }
+            Rejection::GroupUnknownRequest { rid } => {
+                write!(f, "control-flow group names unknown request {rid}")
+            }
+            Rejection::Divergence { tag } => {
+                write!(f, "control-flow group {tag} diverged")
+            }
+            Rejection::ExecFailure(m) => write!(f, "re-execution failed: {m}"),
+            Rejection::ExecutorProtocol(m) => write!(f, "executor protocol: {m}"),
+            Rejection::OutputMismatch { rid } => {
+                write!(f, "produced output for {rid} differs from the trace")
+            }
+            Rejection::MissingOutput { rid } => {
+                write!(f, "no output produced for {rid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+impl From<GraphRejection> for Rejection {
+    fn from(e: GraphRejection) -> Self {
+        Rejection::Graph(e)
+    }
+}
+
+impl From<RedoError> for Rejection {
+    fn from(e: RedoError) -> Self {
+        Rejection::Redo(e)
+    }
+}
+
+/// Initial state and switches for an audit.
+#[derive(Default)]
+pub struct AuditConfig {
+    /// Initial database contents per object name (the verifier's copy of
+    /// the server's persistent state, §4.1).
+    pub initial_dbs: HashMap<String, Database>,
+    /// Initial register values per object name.
+    pub initial_registers: HashMap<String, Vec<u8>>,
+    /// Initial key-value contents per object name.
+    pub initial_kv: HashMap<String, HashMap<String, Vec<u8>>>,
+    /// Enables read-query deduplication (§4.5); on by default, off for
+    /// the ablation bench.
+    pub query_dedup: bool,
+}
+
+impl AuditConfig {
+    /// Default configuration: empty initial state, deduplication on.
+    pub fn new() -> Self {
+        Self {
+            query_dedup: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters and phase timings collected during an audit.
+#[derive(Debug, Default, Clone)]
+pub struct AuditStats {
+    /// Control-flow groups re-executed.
+    pub groups_executed: usize,
+    /// Requests re-executed (after duplicate filtering).
+    pub requests_reexecuted: usize,
+    /// Register operations checked/simulated.
+    pub register_ops: u64,
+    /// Key-value operations checked/simulated.
+    pub kv_ops: u64,
+    /// Database transactions re-executed.
+    pub db_txns: u64,
+    /// Database queries checked.
+    pub db_queries: u64,
+    /// SELECTs answered from the dedup cache (§4.5).
+    pub db_queries_deduped: u64,
+    /// SELECTs actually issued to the versioned store.
+    pub db_queries_issued: u64,
+    /// Aggregate redo statistics across database objects.
+    pub redo: RedoStats,
+    /// Bytes held by the audit-time versioned database(s) (Fig. 8
+    /// "temp" DB overhead numerator).
+    pub db_versioned_bytes: usize,
+    /// Bytes of the latest (migrated) database snapshot (the
+    /// denominator; also what the verifier keeps after the audit).
+    pub db_final_bytes: usize,
+    /// Wall time per phase ("ProcOpRep", "DB redo", "ReExec", "DB query",
+    /// "Output"), in the style of Fig. 9.
+    pub phases: PhaseTimer,
+}
+
+/// A successful audit.
+#[derive(Debug)]
+pub struct AuditOutcome {
+    /// Statistics for the evaluation harness.
+    pub stats: AuditStats,
+}
+
+/// The simulate-and-check context handed to the [`GroupExecutor`].
+///
+/// Tracks per-request operation numbers, performs `CheckOp` against the
+/// OpMap and logs, and feeds reads from the versioned stores.
+pub struct AuditContext<'a> {
+    op_logs: &'a OpLogs,
+    reports: &'a Reports,
+    opmap: OpMap,
+    config: &'a AuditConfig,
+    /// Next unconsumed opnum per request (starts at 1).
+    opnum_next: HashMap<RequestId, u32>,
+    /// Requests with an open database transaction.
+    in_txn: HashSet<RequestId>,
+    /// Lazily built per-log register prev-write indexes: for entry index
+    /// `j`, the index of the latest `RegisterWrite` strictly before `j`.
+    reg_prev_write: HashMap<usize, Vec<Option<usize>>>,
+    /// Lazily built versioned key-value views per log.
+    versioned_kv: HashMap<usize, VersionedKv>,
+    /// Versioned databases per log index (built by the redo phase).
+    versioned_dbs: HashMap<usize, VersionedDb>,
+    /// Read-query dedup cache: (log, sql, table epochs) -> result.
+    dedup_cache: HashMap<(usize, String, Vec<(String, u64)>), ExecOutcome>,
+    /// Memoized sql -> touched tables (queries repeat heavily; parsing
+    /// each occurrence would eat the dedup gain).
+    touched_tables: HashMap<String, Vec<String>>,
+    /// Nondeterminism cursors per request.
+    nondet_cursor: HashMap<RequestId, usize>,
+    /// Accumulated statistics.
+    stats: AuditStats,
+    /// Time spent answering database queries (the Fig. 9 "DB query" row).
+    db_query_time: Duration,
+}
+
+impl<'a> AuditContext<'a> {
+    /// Runs the audit prologue standalone: balance check, report
+    /// processing (Fig. 5), nondeterminism validation, and the versioned
+    /// redo pass — yielding a context ready for re-execution. `audit()`
+    /// uses this internally; benchmarks and executor tests use it to
+    /// drive a [`GroupExecutor`] directly.
+    pub fn prepare(
+        trace: &Trace,
+        reports: &'a Reports,
+        config: &'a AuditConfig,
+    ) -> Result<AuditContext<'a>, Rejection> {
+        let balanced = trace.ensure_balanced().map_err(Rejection::Unbalanced)?;
+        let (_graph, opmap) = process_op_reports(&balanced, reports)?;
+        reports.nondet.validate().map_err(Rejection::NondetInvalid)?;
+        let versioned_dbs = build_versioned_dbs(reports, config)?;
+        Ok(AuditContext::new(reports, opmap, config, versioned_dbs))
+    }
+
+    fn new(
+        reports: &'a Reports,
+        opmap: OpMap,
+        config: &'a AuditConfig,
+        versioned_dbs: HashMap<usize, VersionedDb>,
+    ) -> Self {
+        AuditContext {
+            op_logs: &reports.op_logs,
+            reports,
+            opmap,
+            config,
+            opnum_next: HashMap::new(),
+            in_txn: HashSet::new(),
+            reg_prev_write: HashMap::new(),
+            versioned_kv: HashMap::new(),
+            versioned_dbs,
+            dedup_cache: HashMap::new(),
+            touched_tables: HashMap::new(),
+            nondet_cursor: HashMap::new(),
+            stats: AuditStats::default(),
+            db_query_time: Duration::ZERO,
+        }
+    }
+
+    fn peek_opnum(&self, rid: RequestId) -> OpNum {
+        OpNum(*self.opnum_next.get(&rid).unwrap_or(&1))
+    }
+
+    fn consume_opnum(&mut self, rid: RequestId) {
+        *self.opnum_next.entry(rid).or_insert(1) += 1;
+    }
+
+    /// `CheckOp` (Fig. 12 lines 10–15) for non-database operations: the
+    /// operation's target object and full operands must match the log
+    /// entry the OpMap names.
+    fn check_op(
+        &mut self,
+        rid: RequestId,
+        object: &ObjectName,
+        expect: &OpContents,
+    ) -> Result<(usize, SeqNum), Rejection> {
+        if self.in_txn.contains(&rid) {
+            return Err(Rejection::StateOpDuringTxn { rid });
+        }
+        let opnum = self.peek_opnum(rid);
+        let (i, s) = self
+            .opmap
+            .get(rid, opnum)
+            .ok_or(Rejection::OpNotInOpMap { rid, opnum })?;
+        let name = self.op_logs.name(i).expect("OpMap indexes valid logs");
+        if name != object {
+            return Err(Rejection::ObjectMismatch { rid, opnum });
+        }
+        let entry = self
+            .op_logs
+            .log(i)
+            .and_then(|l| l.get(s))
+            .expect("OpMap points into logs");
+        if entry.contents != *expect {
+            return Err(Rejection::OpContentsMismatch { rid, opnum });
+        }
+        Ok((i, s))
+    }
+
+    /// Register read: checked, then fed from the latest preceding write
+    /// in the log (Fig. 12 lines 19–23), falling back to the initial
+    /// state the verifier carries (§4.1).
+    pub fn register_read(
+        &mut self,
+        rid: RequestId,
+        object: &ObjectName,
+    ) -> Result<SimResult, Rejection> {
+        let (i, s) = self.check_op(rid, object, &OpContents::RegisterRead)?;
+        let prev = self.reg_prev_index(i);
+        let value = match prev[(s.0 - 1) as usize] {
+            Some(widx) => {
+                let log = self.op_logs.log(i).expect("checked index");
+                match &log.entries()[widx].contents {
+                    OpContents::RegisterWrite { value } => Some(value.clone()),
+                    _ => unreachable!("prev-write index only records writes"),
+                }
+            }
+            None => self.config.initial_registers.get(object.as_str()).cloned(),
+        };
+        self.consume_opnum(rid);
+        self.stats.register_ops += 1;
+        Ok(SimResult::Register(value))
+    }
+
+    /// Register write: checked only (the check validates the logged
+    /// value, which earlier reads may already have consumed —
+    /// "opportunistic" checking, §3.3).
+    pub fn register_write(
+        &mut self,
+        rid: RequestId,
+        object: &ObjectName,
+        value: Vec<u8>,
+    ) -> Result<SimResult, Rejection> {
+        self.check_op(rid, object, &OpContents::RegisterWrite { value })?;
+        self.consume_opnum(rid);
+        self.stats.register_ops += 1;
+        Ok(SimResult::None)
+    }
+
+    /// Key-value get: checked, then fed from the versioned view
+    /// (`kv.Build` + `kv.get(k, s)`, Fig. 12 line 25).
+    pub fn kv_get(
+        &mut self,
+        rid: RequestId,
+        object: &ObjectName,
+        key: &str,
+    ) -> Result<SimResult, Rejection> {
+        let (i, s) = self.check_op(
+            rid,
+            object,
+            &OpContents::KvGet {
+                key: key.to_string(),
+            },
+        )?;
+        let kv = self
+            .versioned_kv
+            .entry(i)
+            .or_insert_with(|| VersionedKv::build(self.op_logs.log(i).expect("checked index")));
+        let value = if kv.has_write_before(key, s) {
+            kv.get(key, s)
+        } else {
+            self.config
+                .initial_kv
+                .get(object.as_str())
+                .and_then(|m| m.get(key).cloned())
+        };
+        self.consume_opnum(rid);
+        self.stats.kv_ops += 1;
+        Ok(SimResult::Kv(value))
+    }
+
+    /// Key-value set: checked only.
+    pub fn kv_set(
+        &mut self,
+        rid: RequestId,
+        object: &ObjectName,
+        key: &str,
+        value: Option<Vec<u8>>,
+    ) -> Result<SimResult, Rejection> {
+        self.check_op(
+            rid,
+            object,
+            &OpContents::KvSet {
+                key: key.to_string(),
+                value,
+            },
+        )?;
+        self.consume_opnum(rid);
+        self.stats.kv_ops += 1;
+        Ok(SimResult::None)
+    }
+
+    /// Opens a database transaction: resolves the OpMap entry that this
+    /// operation will consume and validates object and optype. Queries
+    /// are then checked one at a time (§A.7).
+    pub fn db_begin(
+        &mut self,
+        rid: RequestId,
+        object: &ObjectName,
+    ) -> Result<DbTxnHandle, Rejection> {
+        if self.in_txn.contains(&rid) {
+            return Err(Rejection::StateOpDuringTxn { rid });
+        }
+        let opnum = self.peek_opnum(rid);
+        let (i, s) = self
+            .opmap
+            .get(rid, opnum)
+            .ok_or(Rejection::OpNotInOpMap { rid, opnum })?;
+        let name = self.op_logs.name(i).expect("OpMap indexes valid logs");
+        if name != object {
+            return Err(Rejection::ObjectMismatch { rid, opnum });
+        }
+        let entry = self
+            .op_logs
+            .log(i)
+            .and_then(|l| l.get(s))
+            .expect("OpMap points into logs");
+        let (total, succeeded) = match &entry.contents {
+            OpContents::DbOp {
+                queries, succeeded, ..
+            } => (queries.len() as u64, *succeeded),
+            _ => return Err(Rejection::OpContentsMismatch { rid, opnum }),
+        };
+        self.in_txn.insert(rid);
+        self.stats.db_txns += 1;
+        Ok(DbTxnHandle {
+            rid,
+            opnum,
+            obj_index: i,
+            seq: s,
+            queries_done: 0,
+            total_queries: total,
+            logged_succeeded: succeeded,
+            failed: false,
+        })
+    }
+
+    /// Checks one query of an open transaction against the log and
+    /// simulates its result (reads from the versioned store with
+    /// deduplication; writes from the redo-verified logged outcome).
+    pub fn db_query(
+        &mut self,
+        handle: &mut DbTxnHandle,
+        sql: &str,
+    ) -> Result<DbQueryResult, Rejection> {
+        let rid = handle.rid;
+        let opnum = handle.opnum;
+        if handle.failed {
+            // Online, queries past the failure point fail without being
+            // logged; mirror that exactly.
+            return Ok(DbQueryResult::Failed);
+        }
+        let q = handle.queries_done + 1;
+        if q > handle.total_queries {
+            return Err(Rejection::DbTooManyQueries { rid, opnum });
+        }
+        let entry = self
+            .op_logs
+            .log(handle.obj_index)
+            .and_then(|l| l.get(handle.seq))
+            .expect("handle indexes a validated entry");
+        let (queries, write_results) = match &entry.contents {
+            OpContents::DbOp {
+                queries,
+                write_results,
+                ..
+            } => (queries, write_results),
+            _ => unreachable!("db_begin validated the optype"),
+        };
+        if queries[(q - 1) as usize] != sql {
+            return Err(Rejection::DbQueryMismatch { rid, opnum, query: q });
+        }
+        if write_results.len() != queries.len() {
+            // Malformed entry; redo rejects this too, but a hostile log
+            // for an object with no DbOp entries can reach here.
+            return Err(Rejection::OpContentsMismatch { rid, opnum });
+        }
+        let logged_write = write_results[(q - 1) as usize];
+        handle.queries_done = q;
+        self.stats.db_queries += 1;
+
+        let vdb = self
+            .versioned_dbs
+            .get(&handle.obj_index)
+            .ok_or(Rejection::ObjectMismatch { rid, opnum })?;
+        let seq = handle.seq.0;
+        if handle.logged_succeeded {
+            match logged_write {
+                Some(w) => Ok(DbQueryResult::Ok(ExecOutcome::Write(
+                    orochi_sqldb::engine::WriteOutcome {
+                        affected: w.affected,
+                        last_insert_id: w.last_insert_id,
+                    },
+                ))),
+                None => {
+                    let ts = seq * MAXQ + q;
+                    let t0 = Instant::now();
+                    let result = self.dedup_query(handle.obj_index, sql, ts, rid, opnum)?;
+                    self.db_query_time += t0.elapsed();
+                    Ok(DbQueryResult::Ok(result))
+                }
+            }
+        } else {
+            match logged_write {
+                Some(w) => Ok(DbQueryResult::Ok(ExecOutcome::Write(
+                    orochi_sqldb::engine::WriteOutcome {
+                        affected: w.affected,
+                        last_insert_id: w.last_insert_id,
+                    },
+                ))),
+                None => {
+                    if let Some(rows) = vdb.aborted_read(seq, q) {
+                        Ok(DbQueryResult::Ok(rows.clone()))
+                    } else if q == handle.total_queries && vdb.aborted_failed_at_last(seq) {
+                        handle.failed = true;
+                        Ok(DbQueryResult::Failed)
+                    } else {
+                        Err(Rejection::DbAbortedReadMissing { rid, opnum })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Answers a committed SELECT at `ts`, deduplicating by (sql, table
+    /// modification epochs) when enabled (§4.5).
+    fn dedup_query(
+        &mut self,
+        obj_index: usize,
+        sql: &str,
+        ts: u64,
+        rid: RequestId,
+        opnum: OpNum,
+    ) -> Result<ExecOutcome, Rejection> {
+        let vdb = self
+            .versioned_dbs
+            .get(&obj_index)
+            .ok_or(Rejection::ObjectMismatch { rid, opnum })?;
+        if !self.config.query_dedup {
+            self.stats.db_queries_issued += 1;
+            return vdb
+                .query_at(sql, ts)
+                .map_err(|e| Rejection::ExecFailure(format!("query_at: {e}")));
+        }
+        let tables = self
+            .touched_tables
+            .entry(sql.to_string())
+            .or_insert_with(|| VersionedDb::touched_tables(sql))
+            .clone();
+        let vdb = self
+            .versioned_dbs
+            .get(&obj_index)
+            .expect("checked above");
+        let epochs: Vec<(String, u64)> = tables
+            .into_iter()
+            .map(|t| {
+                let e = vdb.mod_epoch(&t, ts);
+                (t, e)
+            })
+            .collect();
+        let key = (obj_index, sql.to_string(), epochs);
+        if let Some(cached) = self.dedup_cache.get(&key) {
+            self.stats.db_queries_deduped += 1;
+            return Ok(cached.clone());
+        }
+        self.stats.db_queries_issued += 1;
+        let result = vdb
+            .query_at(sql, ts)
+            .map_err(|e| Rejection::ExecFailure(format!("query_at: {e}")))?;
+        self.dedup_cache.insert(key, result.clone());
+        Ok(result)
+    }
+
+    /// Finishes a transaction. `committed` reflects what the re-executed
+    /// program did (`db_commit` vs `db_rollback`); the result is the
+    /// value `db_commit` returns to the program.
+    pub fn db_finish(
+        &mut self,
+        handle: DbTxnHandle,
+        committed: bool,
+    ) -> Result<bool, Rejection> {
+        let rid = handle.rid;
+        let opnum = handle.opnum;
+        if handle.queries_done != handle.total_queries {
+            return Err(Rejection::DbQueryCountMismatch { rid, opnum });
+        }
+        let vdb = self
+            .versioned_dbs
+            .get(&handle.obj_index)
+            .ok_or(Rejection::ObjectMismatch { rid, opnum })?;
+        let failed = vdb.aborted_failed_at_last(handle.seq.0);
+        let result = if committed {
+            if handle.logged_succeeded {
+                true
+            } else if failed {
+                // The program committed, but a statement had failed; the
+                // online commit reported failure.
+                false
+            } else {
+                // Log claims a voluntary rollback, but the program
+                // committed: inconsistent.
+                return Err(Rejection::DbCommitMismatch { rid, opnum });
+            }
+        } else {
+            if handle.logged_succeeded {
+                return Err(Rejection::DbCommitMismatch { rid, opnum });
+            }
+            false
+        };
+        self.in_txn.remove(&rid);
+        self.consume_opnum(rid);
+        Ok(result)
+    }
+
+    /// Feeds the next recorded nondeterministic value for `rid`,
+    /// checking its kind matches the call site (§4.6).
+    pub fn nondet(&mut self, rid: RequestId, kind: &str) -> Result<NondetValue, Rejection> {
+        let recorded = self.reports.nondet.for_request(rid);
+        let cursor = self.nondet_cursor.entry(rid).or_insert(0);
+        let value = recorded
+            .get(*cursor)
+            .ok_or(Rejection::NondetExhausted { rid })?;
+        if value.kind() != kind {
+            return Err(Rejection::NondetKindMismatch { rid });
+        }
+        *cursor += 1;
+        Ok(value.clone())
+    }
+
+    /// Driver-side end-of-request checks: the request must have consumed
+    /// exactly `M(rid)` operations (Fig. 12 line 51) and all recorded
+    /// nondeterminism.
+    fn finish_request(&mut self, rid: RequestId) -> Result<(), Rejection> {
+        if self.in_txn.contains(&rid) {
+            return Err(Rejection::StateOpDuringTxn { rid });
+        }
+        let next = self.peek_opnum(rid).0;
+        if next != self.reports.op_count(rid) + 1 {
+            return Err(Rejection::OpCountMismatch { rid });
+        }
+        let consumed = *self.nondet_cursor.get(&rid).unwrap_or(&0);
+        if consumed != self.reports.nondet.for_request(rid).len() {
+            return Err(Rejection::NondetLeftover { rid });
+        }
+        Ok(())
+    }
+
+    fn reg_prev_index(&mut self, i: usize) -> &Vec<Option<usize>> {
+        let op_logs = self.op_logs;
+        self.reg_prev_write.entry(i).or_insert_with(|| {
+            let log = op_logs.log(i).expect("valid log index");
+            let mut out = Vec::with_capacity(log.len());
+            let mut last: Option<usize> = None;
+            for (j, entry) in log.entries().iter().enumerate() {
+                out.push(last);
+                if entry.op_type() == OpType::RegisterWrite {
+                    last = Some(j);
+                }
+            }
+            out
+        })
+    }
+
+    /// Statistics accumulated so far (dedup hits, op counts, ...).
+    pub fn stats(&self) -> &AuditStats {
+        &self.stats
+    }
+
+    /// Resets per-request progress for `rids` so they can be re-executed
+    /// from scratch. Used by the grouped executor when a group diverges
+    /// and falls back to per-request scalar re-execution (acc-PHP's
+    /// retry, §4.3): checks are deterministic and side-effect-free on
+    /// the audit state, so a retry re-runs them identically.
+    pub fn reset_requests(&mut self, rids: &[RequestId]) {
+        for rid in rids {
+            self.opnum_next.remove(rid);
+            self.in_txn.remove(rid);
+            self.nondet_cursor.remove(rid);
+        }
+    }
+}
+
+/// Runs the full audit (`SSCO_AUDIT2`, Fig. 12).
+///
+/// Returns statistics on acceptance; rejects with a precise reason
+/// otherwise.
+pub fn audit(
+    trace: &Trace,
+    reports: &Reports,
+    executor: &mut dyn GroupExecutor,
+    config: &AuditConfig,
+) -> Result<AuditOutcome, Rejection> {
+    let mut phases = PhaseTimer::new();
+
+    // Phase 1: balanced-trace validation (§3).
+    let balanced = phases
+        .time("Balance", || trace.ensure_balanced())
+        .map_err(Rejection::Unbalanced)?;
+
+    // Phase 2: ProcessOpReports (Fig. 5) + nondeterminism sanity (§4.6).
+    let (_graph, opmap) = phases.time("ProcOpRep", || process_op_reports(&balanced, reports))?;
+    reports.nondet.validate().map_err(Rejection::NondetInvalid)?;
+
+    // Phase 3: versioned redo for every log containing DbOps (§4.5).
+    let versioned_dbs = phases.time("DB redo", || build_versioned_dbs(reports, config))?;
+
+    // Phase 4: grouped re-execution with simulate-and-check.
+    let mut ctx = AuditContext::new(reports, opmap, config, versioned_dbs);
+    let mut produced: HashMap<RequestId, HttpResponse> = HashMap::new();
+    let mut executed: HashSet<RequestId> = HashSet::new();
+    let reexec_t0 = Instant::now();
+    for (tag, rids) in &reports.groupings {
+        let mut group_requests = Vec::new();
+        let mut seen_in_group = HashSet::new();
+        for rid in rids {
+            if executed.contains(rid) || !seen_in_group.insert(*rid) {
+                // Duplicate groupings are filtered; re-execution is
+                // idempotent so this is an optimization, not a check (§3.1).
+                continue;
+            }
+            if !balanced.contains(*rid) {
+                return Err(Rejection::GroupUnknownRequest { rid: *rid });
+            }
+            group_requests.push((*rid, balanced.request(*rid).clone()));
+        }
+        if group_requests.is_empty() {
+            continue;
+        }
+        let outputs = executor.execute_group(&group_requests, &mut ctx)?;
+        let group_set: HashSet<RequestId> = group_requests.iter().map(|(r, _)| *r).collect();
+        for (rid, resp) in outputs {
+            if !group_set.contains(&rid) {
+                return Err(Rejection::ExecutorProtocol(format!(
+                    "output for {rid} not in group {tag}"
+                )));
+            }
+            if produced.insert(rid, resp).is_some() {
+                return Err(Rejection::ExecutorProtocol(format!(
+                    "duplicate output for {rid}"
+                )));
+            }
+        }
+        for (rid, _) in &group_requests {
+            ctx.finish_request(*rid)?;
+            executed.insert(*rid);
+        }
+        ctx.stats.groups_executed += 1;
+        ctx.stats.requests_reexecuted += group_requests.len();
+    }
+    let reexec_total = reexec_t0.elapsed();
+    phases.add("DB query", ctx.db_query_time);
+    phases.add("ReExec", reexec_total.saturating_sub(ctx.db_query_time));
+
+    // Phase 5: produced outputs must be exactly the responses in the
+    // trace (Fig. 12 line 55).
+    let output_check = Instant::now();
+    for rid in balanced.request_ids() {
+        match produced.get(&rid) {
+            None => return Err(Rejection::MissingOutput { rid }),
+            Some(resp) => {
+                if resp != balanced.response(rid) {
+                    return Err(Rejection::OutputMismatch { rid });
+                }
+            }
+        }
+    }
+    phases.add("Output", output_check.elapsed());
+
+    let mut stats = ctx.stats;
+    stats.phases = phases;
+    for vdb in ctx.versioned_dbs.values() {
+        let s = vdb.stats();
+        stats.redo.transactions += s.transactions;
+        stats.redo.queries += s.queries;
+        stats.redo.versions_created += s.versions_created;
+        stats.redo.aborted += s.aborted;
+        stats.db_versioned_bytes += vdb.estimated_bytes();
+        stats.db_final_bytes += vdb.latest_snapshot().estimated_bytes();
+    }
+    Ok(AuditOutcome { stats })
+}
+
+/// Builds a [`VersionedDb`] for every log that contains database
+/// operations, replaying each `DbOp` at its log position.
+fn build_versioned_dbs(
+    reports: &Reports,
+    config: &AuditConfig,
+) -> Result<HashMap<usize, VersionedDb>, Rejection> {
+    let mut out = HashMap::new();
+    for (i, name, log) in reports.op_logs.iter() {
+        let has_db_ops = log
+            .entries()
+            .iter()
+            .any(|e| e.op_type() == OpType::DbOp);
+        if !has_db_ops {
+            continue;
+        }
+        let empty = Database::new();
+        let initial = config
+            .initial_dbs
+            .get(name.as_str())
+            .unwrap_or(&empty);
+        let mut vdb = VersionedDb::from_snapshot(initial);
+        for (seq, entry) in log.iter() {
+            if let OpContents::DbOp {
+                queries,
+                succeeded,
+                write_results,
+            } = &entry.contents
+            {
+                let logged: Vec<Option<orochi_sqldb::engine::WriteOutcome>> = write_results
+                    .iter()
+                    .map(|w| {
+                        w.map(|w| orochi_sqldb::engine::WriteOutcome {
+                            affected: w.affected,
+                            last_insert_id: w.last_insert_id,
+                        })
+                    })
+                    .collect();
+                vdb.redo_transaction(seq.0, queries, *succeeded, &logged)?;
+            }
+        }
+        out.insert(i, vdb);
+    }
+    Ok(out)
+}

@@ -1,0 +1,689 @@
+//! `ProcessOpReports` (Fig. 5): consistent-ordering verification.
+//!
+//! The verifier builds a directed graph `G` with a node for every event —
+//! for each request `rid`, nodes `(rid, 0)` (arrival) and `(rid, ∞)`
+//! (response departure), plus one node per alleged operation
+//! `(rid, 1..M(rid))`. Edges come from three sources:
+//!
+//! * **time precedence** — the split edges of the Fig. 6 graph:
+//!   `(r1, ∞) -> (r2, 0)` whenever `r1 <Tr r2`;
+//! * **program order** — `(rid, k-1) -> (rid, k)` and
+//!   `(rid, M(rid)) -> (rid, ∞)`;
+//! * **log order** — an edge between adjacent log entries of different
+//!   requests; same-request adjacency instead *checks* that the opnum
+//!   increases.
+//!
+//! `CheckLogs` simultaneously builds the **OpMap**: the index from
+//! `(rid, opnum)` to `(object index, log sequence number)` that
+//! re-execution's `CheckOp` consults. If the graph has a cycle, the
+//! events cannot be consistently ordered and the audit rejects (§3.4's
+//! examples show why each edge source is necessary).
+//!
+//! The construction runs in `O(X + Y + Z)` time and space (Lemma 11).
+
+use crate::precedence::create_time_precedence_graph;
+use crate::reports::Reports;
+use orochi_common::ids::{OpNum, RequestId, SeqNum};
+use orochi_trace::record::BalancedTrace;
+use std::collections::HashMap;
+
+/// Why report processing rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphRejection {
+    /// A log entry names a request absent from the trace.
+    LogEntryUnknownRequest {
+        /// The offending request.
+        rid: RequestId,
+    },
+    /// A log entry's opnum is 0 or exceeds `M(rid)`.
+    LogEntryBadOpnum {
+        /// The offending request.
+        rid: RequestId,
+        /// The bad opnum.
+        opnum: OpNum,
+    },
+    /// Two log entries claim the same `(rid, opnum)`.
+    DuplicateOperation {
+        /// The offending request.
+        rid: RequestId,
+        /// The duplicated opnum.
+        opnum: OpNum,
+    },
+    /// `M(rid)` promises an operation no log contains.
+    MissingOperation {
+        /// The offending request.
+        rid: RequestId,
+        /// The missing opnum.
+        opnum: OpNum,
+    },
+    /// Adjacent same-request log entries with non-increasing opnums.
+    LogOrderViolation {
+        /// The offending request.
+        rid: RequestId,
+    },
+    /// Two operation logs share an object name.
+    DuplicateObjectName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The event graph has a cycle: no consistent ordering exists.
+    CycleDetected,
+}
+
+impl std::fmt::Display for GraphRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphRejection::LogEntryUnknownRequest { rid } => {
+                write!(f, "log entry names {rid} which is not in the trace")
+            }
+            GraphRejection::LogEntryBadOpnum { rid, opnum } => {
+                write!(f, "log entry ({rid},{opnum}) outside 1..=M")
+            }
+            GraphRejection::DuplicateOperation { rid, opnum } => {
+                write!(f, "operation ({rid},{opnum}) appears in two log positions")
+            }
+            GraphRejection::MissingOperation { rid, opnum } => {
+                write!(f, "operation ({rid},{opnum}) promised by M but not logged")
+            }
+            GraphRejection::LogOrderViolation { rid } => {
+                write!(f, "log entries of {rid} are out of program order")
+            }
+            GraphRejection::DuplicateObjectName { name } => {
+                write!(f, "two operation logs claim object {name}")
+            }
+            GraphRejection::CycleDetected => {
+                write!(f, "event graph has a cycle: no consistent order exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphRejection {}
+
+/// The OpMap: `(rid, opnum) -> (object index, log sequence number)`.
+#[derive(Debug, Clone, Default)]
+pub struct OpMap {
+    map: HashMap<(RequestId, OpNum), (usize, SeqNum)>,
+}
+
+impl OpMap {
+    /// Looks up an operation.
+    pub fn get(&self, rid: RequestId, opnum: OpNum) -> Option<(usize, SeqNum)> {
+        self.map.get(&(rid, opnum)).copied()
+    }
+
+    /// Number of indexed operations.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no operations are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The audit graph `G` over dense node ids.
+///
+/// Node numbering per request `rid` (with `m = M(rid)`): slot 0 is
+/// `(rid, 0)`, slots `1..=m` are the operations, slot `m + 1` is
+/// `(rid, ∞)`.
+#[derive(Debug)]
+pub struct AuditGraph {
+    /// Requests in a fixed order.
+    rids: Vec<RequestId>,
+    rid_index: HashMap<RequestId, usize>,
+    /// Prefix offsets into the dense node id space.
+    base: Vec<u32>,
+    /// `M(rid)` per rid (same order as `rids`).
+    op_counts: Vec<u32>,
+    /// Adjacency list.
+    adj: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl AuditGraph {
+    fn new(trace: &BalancedTrace, reports: &Reports) -> Self {
+        let mut rids: Vec<RequestId> = trace.request_ids().collect();
+        rids.sort();
+        let rid_index: HashMap<RequestId, usize> =
+            rids.iter().enumerate().map(|(i, r)| (*r, i)).collect();
+        let op_counts: Vec<u32> = rids.iter().map(|r| reports.op_count(*r)).collect();
+        let mut base = Vec::with_capacity(rids.len() + 1);
+        let mut acc: u32 = 0;
+        for m in &op_counts {
+            base.push(acc);
+            acc += m + 2;
+        }
+        base.push(acc);
+        AuditGraph {
+            rids,
+            rid_index,
+            base,
+            op_counts,
+            adj: vec![Vec::new(); acc as usize],
+            edge_count: 0,
+        }
+    }
+
+    /// Total nodes (`2X + Y`).
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Total edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_count
+    }
+
+    fn node(&self, rid: RequestId, opnum: OpNum) -> u32 {
+        let idx = self.rid_index[&rid];
+        let m = self.op_counts[idx];
+        let slot = if opnum.is_infinity() {
+            m + 1
+        } else {
+            debug_assert!(opnum.0 <= m, "opnum within M");
+            opnum.0
+        };
+        self.base[idx] + slot
+    }
+
+    fn add_edge(&mut self, from: u32, to: u32) {
+        self.adj[from as usize].push(to);
+        self.edge_count += 1;
+    }
+
+    /// Kahn's algorithm: true if the graph is acyclic.
+    fn is_acyclic(&self) -> bool {
+        let n = self.adj.len();
+        let mut indegree = vec![0u32; n];
+        for outs in &self.adj {
+            for &to in outs {
+                indegree[to as usize] += 1;
+            }
+        }
+        let mut queue: Vec<u32> = (0..n as u32)
+            .filter(|&i| indegree[i as usize] == 0)
+            .collect();
+        let mut visited = 0usize;
+        while let Some(cur) = queue.pop() {
+            visited += 1;
+            for &to in &self.adj[cur as usize] {
+                indegree[to as usize] -= 1;
+                if indegree[to as usize] == 0 {
+                    queue.push(to);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// A topological order of the nodes as `(rid, opnum)` pairs, if the
+    /// graph is acyclic. Used by the out-of-order audit oracle (§A.4).
+    pub fn topological_order(&self) -> Option<Vec<(RequestId, OpNum)>> {
+        let n = self.adj.len();
+        let mut indegree = vec![0u32; n];
+        for outs in &self.adj {
+            for &to in outs {
+                indegree[to as usize] += 1;
+            }
+        }
+        let mut queue: Vec<u32> = (0..n as u32)
+            .filter(|&i| indegree[i as usize] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(cur) = queue.pop() {
+            order.push(cur);
+            for &to in &self.adj[cur as usize] {
+                indegree[to as usize] -= 1;
+                if indegree[to as usize] == 0 {
+                    queue.push(to);
+                }
+            }
+        }
+        if order.len() != n {
+            return None;
+        }
+        Some(order.into_iter().map(|id| self.label(id)).collect())
+    }
+
+    fn label(&self, node: u32) -> (RequestId, OpNum) {
+        // Binary search the base offsets for the owning request.
+        let idx = match self.base.binary_search(&node) {
+            Ok(mut i) => {
+                // `node` may equal several bases when a request has no
+                // nodes; pick the slot whose range contains it.
+                while i + 1 < self.base.len() && self.base[i + 1] == node {
+                    i += 1;
+                }
+                i.min(self.rids.len() - 1)
+            }
+            Err(i) => i - 1,
+        };
+        let slot = node - self.base[idx];
+        let m = self.op_counts[idx];
+        let opnum = if slot == m + 1 {
+            OpNum::INFINITY
+        } else {
+            OpNum(slot)
+        };
+        (self.rids[idx], opnum)
+    }
+}
+
+/// `ProcessOpReports` (Fig. 5): validates the logs against `M` and the
+/// trace, constructs the OpMap, builds `G`, and checks acyclicity.
+pub fn process_op_reports(
+    trace: &BalancedTrace,
+    reports: &Reports,
+) -> Result<(AuditGraph, OpMap), GraphRejection> {
+    // Reject aliased logs up front: one log per object name.
+    {
+        let mut seen = std::collections::HashSet::new();
+        for (_, name, _) in reports.op_logs.iter() {
+            if !seen.insert(name.as_str().to_string()) {
+                return Err(GraphRejection::DuplicateObjectName {
+                    name: name.as_str().to_string(),
+                });
+            }
+        }
+    }
+
+    let mut graph = AuditGraph::new(trace, reports);
+
+    // SplitNodes: time-precedence edges (r1, ∞) -> (r2, 0).
+    let gtr = create_time_precedence_graph(trace);
+    for (r1, r2) in &gtr.edges {
+        let from = graph.node(*r1, OpNum::INFINITY);
+        let to = graph.node(*r2, OpNum(0));
+        graph.add_edge(from, to);
+    }
+
+    // AddProgramEdges: (rid, k-1) -> (rid, k), then (rid, M) -> (rid, ∞).
+    for (idx, rid) in graph.rids.clone().into_iter().enumerate() {
+        let m = graph.op_counts[idx];
+        for opnum in 1..=m {
+            let from = graph.node(rid, OpNum(opnum - 1));
+            let to = graph.node(rid, OpNum(opnum));
+            graph.add_edge(from, to);
+        }
+        let from = graph.node(rid, OpNum(m));
+        let to = graph.node(rid, OpNum::INFINITY);
+        graph.add_edge(from, to);
+    }
+
+    // CheckLogs: validate entries and build the OpMap.
+    let mut opmap = OpMap::default();
+    for (i, _, log) in reports.op_logs.iter() {
+        for (seq, entry) in log.iter() {
+            if !trace.contains(entry.rid) {
+                return Err(GraphRejection::LogEntryUnknownRequest { rid: entry.rid });
+            }
+            let m = reports.op_count(entry.rid);
+            if entry.opnum.0 == 0 || entry.opnum.is_infinity() || entry.opnum.0 > m {
+                return Err(GraphRejection::LogEntryBadOpnum {
+                    rid: entry.rid,
+                    opnum: entry.opnum,
+                });
+            }
+            if opmap
+                .map
+                .insert((entry.rid, entry.opnum), (i, seq))
+                .is_some()
+            {
+                return Err(GraphRejection::DuplicateOperation {
+                    rid: entry.rid,
+                    opnum: entry.opnum,
+                });
+            }
+        }
+    }
+    for (idx, rid) in graph.rids.iter().enumerate() {
+        let m = graph.op_counts[idx];
+        for opnum in 1..=m {
+            if opmap.get(*rid, OpNum(opnum)).is_none() {
+                return Err(GraphRejection::MissingOperation {
+                    rid: *rid,
+                    opnum: OpNum(opnum),
+                });
+            }
+        }
+    }
+
+    // AddStateEdges: adjacent log entries from different requests get an
+    // edge; same-request adjacency must have increasing opnums.
+    for (_, _, log) in reports.op_logs.iter() {
+        let entries = log.entries();
+        for pair in entries.windows(2) {
+            let (prev, curr) = (&pair[0], &pair[1]);
+            if prev.rid != curr.rid {
+                let from = graph.node(prev.rid, prev.opnum);
+                let to = graph.node(curr.rid, curr.opnum);
+                graph.add_edge(from, to);
+            } else if prev.opnum >= curr.opnum {
+                return Err(GraphRejection::LogOrderViolation { rid: curr.rid });
+            }
+        }
+    }
+
+    // CycleDetect.
+    if !graph.is_acyclic() {
+        return Err(GraphRejection::CycleDetected);
+    }
+    Ok((graph, opmap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orochi_common::ids::CtlFlowTag;
+    use orochi_state::object::{ObjectName, OpContents};
+    use orochi_state::oplog::{OpLog, OpLogEntry, OpLogs};
+    use orochi_trace::{Event, HttpRequest, HttpResponse, Trace};
+
+    fn req(rid: u64) -> Event {
+        Event::Request(RequestId(rid), HttpRequest::get("/x", &[]))
+    }
+
+    fn resp(rid: u64) -> Event {
+        Event::Response(RequestId(rid), HttpResponse::ok(RequestId(rid), "ok"))
+    }
+
+    fn entry(rid: u64, opnum: u32, contents: OpContents) -> OpLogEntry {
+        OpLogEntry {
+            rid: RequestId(rid),
+            opnum: OpNum(opnum),
+            contents,
+        }
+    }
+
+    fn write(rid: u64, opnum: u32) -> OpLogEntry {
+        entry(
+            rid,
+            opnum,
+            OpContents::RegisterWrite { value: vec![1] },
+        )
+    }
+
+    fn read(rid: u64, opnum: u32) -> OpLogEntry {
+        entry(rid, opnum, OpContents::RegisterRead)
+    }
+
+    fn reports_with(
+        logs: Vec<(ObjectName, Vec<OpLogEntry>)>,
+        counts: &[(u64, u32)],
+    ) -> Reports {
+        Reports {
+            groupings: vec![(
+                CtlFlowTag(1),
+                counts.iter().map(|(r, _)| RequestId(*r)).collect(),
+            )],
+            op_logs: OpLogs::from_pairs(
+                logs.into_iter()
+                    .map(|(n, es)| (n, OpLog::from_entries(es)))
+                    .collect(),
+            ),
+            op_counts: counts
+                .iter()
+                .map(|(r, m)| (RequestId(*r), *m))
+                .collect(),
+            nondet: Default::default(),
+        }
+    }
+
+    /// The Fig. 4 example programs f and g touch registers A and B. The
+    /// three scenarios differ in trace timing, responses, and logs; here
+    /// we check only the graph layer (full audit-level versions live in
+    /// the integration tests).
+    #[test]
+    fn figure4_example_a_graph_is_cyclic_free_but_detected_by_time_edges() {
+        // Example a: r1 completes before r2 arrives, yet the logs put
+        // r2's operations before r1's. Log order says r2's write to B
+        // precedes r1's read of B... combined with time edges
+        // (r1, ∞) -> (r2, 0) this forms a cycle.
+        let trace = Trace {
+            events: vec![req(1), resp(1), req(2), resp(2)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        // f (r1): write A (op1), read B (op2). g (r2): write B (op1),
+        // read A (op2).
+        // Logs claim r2's ops interleave before r1's — e.g., OL_A:
+        // [r2 read A, r1 write A]; OL_B: [r2 write B, r1 read B].
+        let reports = reports_with(
+            vec![
+                (
+                    ObjectName(String::from("reg:A")),
+                    vec![read(2, 2), write(1, 1)],
+                ),
+                (
+                    ObjectName(String::from("reg:B")),
+                    vec![write(2, 1), read(1, 2)],
+                ),
+            ],
+            &[(1, 2), (2, 2)],
+        );
+        let err = process_op_reports(&trace, &reports).unwrap_err();
+        assert_eq!(err, GraphRejection::CycleDetected);
+    }
+
+    #[test]
+    fn figure4_example_b_cycle_from_logs_alone() {
+        // Example b: r1 and r2 concurrent; the delivered (0,0) responses
+        // require each read to precede the other's write — the log edges
+        // plus program edges form a cycle.
+        let trace = Trace {
+            events: vec![req(1), req(2), resp(1), resp(2)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        let reports = reports_with(
+            vec![
+                (
+                    ObjectName(String::from("reg:A")),
+                    vec![read(2, 2), write(1, 1)],
+                ),
+                (
+                    ObjectName(String::from("reg:B")),
+                    vec![read(1, 2), write(2, 1)],
+                ),
+            ],
+            &[(1, 2), (2, 2)],
+        );
+        let err = process_op_reports(&trace, &reports).unwrap_err();
+        assert_eq!(err, GraphRejection::CycleDetected);
+    }
+
+    #[test]
+    fn figure4_example_c_accepted() {
+        // Example c: both writes before both reads — consistent.
+        let trace = Trace {
+            events: vec![req(1), req(2), resp(1), resp(2)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        let reports = reports_with(
+            vec![
+                (
+                    ObjectName(String::from("reg:A")),
+                    vec![write(1, 1), read(2, 2)],
+                ),
+                (
+                    ObjectName(String::from("reg:B")),
+                    vec![write(2, 1), read(1, 2)],
+                ),
+            ],
+            &[(1, 2), (2, 2)],
+        );
+        let (graph, opmap) = process_op_reports(&trace, &reports).unwrap();
+        assert_eq!(opmap.len(), 4);
+        // Nodes: 2 requests × (2 ops + 2 endpoints).
+        assert_eq!(graph.num_nodes(), 8);
+        assert!(graph.topological_order().is_some());
+    }
+
+    #[test]
+    fn rejects_unknown_request_in_log() {
+        let trace = Trace {
+            events: vec![req(1), resp(1)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        let reports = reports_with(
+            vec![(ObjectName(String::from("reg:A")), vec![write(99, 1)])],
+            &[(1, 0)],
+        );
+        assert!(matches!(
+            process_op_reports(&trace, &reports).unwrap_err(),
+            GraphRejection::LogEntryUnknownRequest { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_opnum_beyond_m() {
+        let trace = Trace {
+            events: vec![req(1), resp(1)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        let reports = reports_with(
+            vec![(ObjectName(String::from("reg:A")), vec![write(1, 3)])],
+            &[(1, 2)],
+        );
+        assert!(matches!(
+            process_op_reports(&trace, &reports).unwrap_err(),
+            GraphRejection::LogEntryBadOpnum { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_operation() {
+        let trace = Trace {
+            events: vec![req(1), resp(1)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        let reports = reports_with(
+            vec![(
+                ObjectName(String::from("reg:A")),
+                vec![write(1, 1), write(1, 1)],
+            )],
+            &[(1, 1)],
+        );
+        // The same (rid, opnum) in two log slots — caught either as a
+        // duplicate or as a log-order violation depending on adjacency;
+        // here it is a duplicate in CheckLogs.
+        assert!(matches!(
+            process_op_reports(&trace, &reports).unwrap_err(),
+            GraphRejection::DuplicateOperation { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_promised_operation() {
+        let trace = Trace {
+            events: vec![req(1), resp(1)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        let reports = reports_with(
+            vec![(ObjectName(String::from("reg:A")), vec![write(1, 1)])],
+            &[(1, 2)],
+        );
+        assert!(matches!(
+            process_op_reports(&trace, &reports).unwrap_err(),
+            GraphRejection::MissingOperation { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_same_request_out_of_order_in_log() {
+        let trace = Trace {
+            events: vec![req(1), resp(1)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        let reports = reports_with(
+            vec![(
+                ObjectName(String::from("reg:A")),
+                vec![write(1, 2), write(1, 1)],
+            )],
+            &[(1, 2)],
+        );
+        assert!(matches!(
+            process_op_reports(&trace, &reports).unwrap_err(),
+            GraphRejection::LogOrderViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_object_names() {
+        let trace = Trace {
+            events: vec![req(1), resp(1)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        let reports = reports_with(
+            vec![
+                (ObjectName(String::from("reg:A")), vec![]),
+                (ObjectName(String::from("reg:A")), vec![]),
+            ],
+            &[(1, 0)],
+        );
+        assert!(matches!(
+            process_op_reports(&trace, &reports).unwrap_err(),
+            GraphRejection::DuplicateObjectName { .. }
+        ));
+    }
+
+    #[test]
+    fn accepts_empty_reports_for_oplesss_trace() {
+        let trace = Trace {
+            events: vec![req(1), resp(1), req(2), resp(2)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        let reports = reports_with(vec![], &[(1, 0), (2, 0)]);
+        let (graph, opmap) = process_op_reports(&trace, &reports).unwrap();
+        assert!(opmap.is_empty());
+        assert_eq!(graph.num_nodes(), 4);
+        let order = graph.topological_order().unwrap();
+        // (r1, ∞) must come before (r2, 0) in any topological order.
+        let pos_r1_inf = order
+            .iter()
+            .position(|(r, o)| *r == RequestId(1) && o.is_infinity())
+            .unwrap();
+        let pos_r2_0 = order
+            .iter()
+            .position(|(r, o)| *r == RequestId(2) && *o == OpNum(0))
+            .unwrap();
+        assert!(pos_r1_inf < pos_r2_0);
+    }
+
+    #[test]
+    fn topological_order_respects_log_edges() {
+        let trace = Trace {
+            events: vec![req(1), req(2), resp(1), resp(2)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        let reports = reports_with(
+            vec![(
+                ObjectName(String::from("reg:A")),
+                vec![write(1, 1), read(2, 1)],
+            )],
+            &[(1, 1), (2, 1)],
+        );
+        let (graph, _) = process_op_reports(&trace, &reports).unwrap();
+        let order = graph.topological_order().unwrap();
+        let pos = |rid: u64, op: OpNum| {
+            order
+                .iter()
+                .position(|(r, o)| *r == RequestId(rid) && *o == op)
+                .unwrap()
+        };
+        assert!(pos(1, OpNum(1)) < pos(2, OpNum(1)));
+        assert!(pos(1, OpNum(0)) < pos(1, OpNum(1)));
+        assert!(pos(2, OpNum(1)) < pos(2, OpNum::INFINITY));
+    }
+}

@@ -1,0 +1,42 @@
+//! **SSCO** — the audit algorithm of *The Efficient Server Audit Problem*
+//! (SOSP 2017).
+//!
+//! Given an accurate trace of requests and responses and a set of
+//! *untrusted* reports from the executor, the verifier decides whether the
+//! responses are consistent with really having executed the program,
+//! using far less work than re-executing every request. The algorithm
+//! combines three techniques:
+//!
+//! * **Consistent-ordering verification** (§3.5, [`precedence`] and
+//!   [`graph`]): build a directed graph over every event — request
+//!   arrival, response departure, and every alleged operation — with
+//!   edges from trace time-precedence (via the streaming frontier
+//!   algorithm of Fig. 6), program order, and log order; reject if it has
+//!   a cycle.
+//! * **Simulate-and-check** (§3.3, [`mod@audit`]): during re-execution, reads
+//!   of shared objects are *fed* from the logs (registers by backward
+//!   walk, key-value stores and databases from versioned stores built at
+//!   audit start), while logged writes are *checked* opportunistically
+//!   against what re-execution produces.
+//! * **SIMD-on-demand re-execution** (§3.1): requests are re-executed in
+//!   control-flow groups. The grouped executor itself lives in
+//!   `orochi-accphp`; this crate defines the [`exec::GroupExecutor`]
+//!   interface and drives it.
+//!
+//! The appendix's out-of-order audit variant (`OOOAudit`, Fig. 13) is
+//! implemented in [`ooo`] and used as a differential-testing oracle.
+
+pub mod audit;
+pub mod exec;
+pub mod graph;
+pub mod nondet;
+pub mod ooo;
+pub mod precedence;
+pub mod reports;
+
+pub use audit::{audit, AuditConfig, AuditContext, AuditOutcome, AuditStats, Rejection};
+pub use exec::{DbTxnHandle, GroupExecutor, SimResult};
+pub use graph::{process_op_reports, AuditGraph, OpMap};
+pub use nondet::{NondetLog, NondetValue};
+pub use precedence::{create_time_precedence_graph, dense_time_precedence, TimePrecedenceGraph};
+pub use reports::Reports;

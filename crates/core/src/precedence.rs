@@ -1,0 +1,284 @@
+//! Time-precedence graph construction (§3.5, Fig. 6, §A.8).
+//!
+//! The verifier must materialize the trace's time-precedence partial
+//! order `<Tr` (request `r1` precedes `r2` iff `r1`'s response departed
+//! before `r2`'s request arrived) as graph edges. The paper contributes a
+//! streaming algorithm that runs in `O(X + Z)` time — `X` requests, `Z`
+//! the *minimum* number of edges needed — improving on Anderson et al.'s
+//! `O(X·log X + Z)` offline algorithm. The algorithm tracks a *frontier*:
+//! the set of latest, mutually concurrent requests; every new arrival
+//! descends from all frontier members, and a departing request evicts its
+//! parents from the frontier.
+//!
+//! [`dense_time_precedence`] is the quadratic reference implementation
+//! used as a property-test oracle and as the naive baseline in the
+//! `timeprec` ablation bench.
+
+use orochi_common::ids::RequestId;
+use orochi_trace::record::{BalancedTrace, Event};
+use std::collections::{HashMap, HashSet};
+
+/// Explicit materialization of `<Tr`: `r1 <Tr r2` iff the graph has a
+/// directed path from `r1` to `r2` (Lemma 2), with the minimum number of
+/// edges (Lemma 12).
+#[derive(Debug, Clone, Default)]
+pub struct TimePrecedenceGraph {
+    /// All requestIDs, in arrival order.
+    pub nodes: Vec<RequestId>,
+    /// Edges `(from, to)`; `from`'s response departed before `to`'s
+    /// request arrived.
+    pub edges: Vec<(RequestId, RequestId)>,
+}
+
+impl TimePrecedenceGraph {
+    /// Out-neighbour adjacency for traversals.
+    pub fn adjacency(&self) -> HashMap<RequestId, Vec<RequestId>> {
+        let mut adj: HashMap<RequestId, Vec<RequestId>> = HashMap::new();
+        for rid in &self.nodes {
+            adj.entry(*rid).or_default();
+        }
+        for (from, to) in &self.edges {
+            adj.entry(*from).or_default().push(*to);
+        }
+        adj
+    }
+
+    /// True if a directed path exists from `from` to `to` (BFS; used by
+    /// tests — the audit itself never needs reachability queries).
+    pub fn has_path(&self, from: RequestId, to: RequestId) -> bool {
+        let adj = self.adjacency();
+        let mut seen = HashSet::new();
+        let mut queue = vec![from];
+        while let Some(cur) = queue.pop() {
+            if cur == to {
+                return true;
+            }
+            if !seen.insert(cur) {
+                continue;
+            }
+            if let Some(next) = adj.get(&cur) {
+                queue.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+}
+
+/// `CreateTimePrecedenceGraph` (Fig. 6): streaming construction of the
+/// time-precedence graph in `O(X + Z)`.
+///
+/// # Examples
+///
+/// ```
+/// use orochi_common::ids::RequestId;
+/// use orochi_trace::{Event, HttpRequest, HttpResponse, Trace};
+/// use orochi_core::precedence::create_time_precedence_graph;
+///
+/// // r1 completes before r2 arrives: r1 <Tr r2.
+/// let (r1, r2) = (RequestId(1), RequestId(2));
+/// let trace = Trace { events: vec![
+///     Event::Request(r1, HttpRequest::get("/a", &[])),
+///     Event::Response(r1, HttpResponse::ok(r1, "x")),
+///     Event::Request(r2, HttpRequest::get("/b", &[])),
+///     Event::Response(r2, HttpResponse::ok(r2, "y")),
+/// ]};
+/// let g = create_time_precedence_graph(&trace.ensure_balanced().unwrap());
+/// assert_eq!(g.edges, vec![(r1, r2)]);
+/// ```
+pub fn create_time_precedence_graph(trace: &BalancedTrace) -> TimePrecedenceGraph {
+    let mut graph = TimePrecedenceGraph::default();
+    // "Latest" requests; "parent(s)" of any new request.
+    let mut frontier: HashSet<RequestId> = HashSet::new();
+    let mut parents: HashMap<RequestId, Vec<RequestId>> = HashMap::new();
+    for event in trace.events() {
+        match event {
+            Event::Request(rid, _) => {
+                graph.nodes.push(*rid);
+                let mut my_parents = Vec::with_capacity(frontier.len());
+                for r in &frontier {
+                    graph.edges.push((*r, *rid));
+                    my_parents.push(*r);
+                }
+                parents.insert(*rid, my_parents);
+            }
+            Event::Response(rid, _) => {
+                // rid enters the frontier, evicting its parents.
+                if let Some(my_parents) = parents.get(rid) {
+                    for p in my_parents {
+                        frontier.remove(p);
+                    }
+                }
+                frontier.insert(*rid);
+            }
+        }
+    }
+    graph
+}
+
+/// Quadratic reference construction: one edge for **every** pair with
+/// `r1 <Tr r2` (no transitive reduction). Same reachability as the
+/// frontier algorithm; `O(X²)` time and edges. This plays the role of
+/// the naive baseline in the `timeprec` bench and the oracle in property
+/// tests.
+pub fn dense_time_precedence(trace: &BalancedTrace) -> TimePrecedenceGraph {
+    let mut graph = TimePrecedenceGraph::default();
+    let rids: Vec<RequestId> = trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::Request(rid, _) => Some(*rid),
+            Event::Response(..) => None,
+        })
+        .collect();
+    graph.nodes = rids.clone();
+    for r1 in &rids {
+        for r2 in &rids {
+            if trace.precedes(*r1, *r2) {
+                graph.edges.push((*r1, *r2));
+            }
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orochi_trace::{HttpRequest, HttpResponse, Trace};
+
+    fn req(rid: u64) -> Event {
+        Event::Request(RequestId(rid), HttpRequest::get("/x", &[]))
+    }
+
+    fn resp(rid: u64) -> Event {
+        Event::Response(RequestId(rid), HttpResponse::ok(RequestId(rid), "ok"))
+    }
+
+    fn balanced(events: Vec<Event>) -> BalancedTrace {
+        Trace { events }.ensure_balanced().unwrap()
+    }
+
+    #[test]
+    fn sequential_chain_uses_transitive_reduction() {
+        // r1 < r2 < r3; the frontier algorithm emits only the two
+        // covering edges, not (r1, r3).
+        let t = balanced(vec![req(1), resp(1), req(2), resp(2), req(3), resp(3)]);
+        let g = create_time_precedence_graph(&t);
+        assert_eq!(
+            g.edges,
+            vec![
+                (RequestId(1), RequestId(2)),
+                (RequestId(2), RequestId(3))
+            ]
+        );
+        // Reachability still holds transitively.
+        assert!(g.has_path(RequestId(1), RequestId(3)));
+    }
+
+    #[test]
+    fn concurrent_requests_have_no_edges() {
+        let t = balanced(vec![req(1), req(2), resp(2), resp(1)]);
+        let g = create_time_precedence_graph(&t);
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn epoch_pattern_forms_bipartite_links() {
+        // Two epochs of two concurrent requests each.
+        let t = balanced(vec![
+            req(1),
+            req(2),
+            resp(1),
+            resp(2),
+            req(3),
+            req(4),
+            resp(3),
+            resp(4),
+        ]);
+        let g = create_time_precedence_graph(&t);
+        let mut edges = g.edges.clone();
+        edges.sort();
+        assert_eq!(
+            edges,
+            vec![
+                (RequestId(1), RequestId(3)),
+                (RequestId(1), RequestId(4)),
+                (RequestId(2), RequestId(3)),
+                (RequestId(2), RequestId(4)),
+            ]
+        );
+    }
+
+    #[test]
+    fn eviction_keeps_frontier_minimal() {
+        // r1 finishes; r2 (arrived after r1 finished) finishes; then r3
+        // arrives: r3 descends only from r2 (r1 was evicted), and r1's
+        // precedence is implied transitively.
+        let t = balanced(vec![req(1), resp(1), req(2), resp(2), req(3), resp(3)]);
+        let g = create_time_precedence_graph(&t);
+        let from_r1: Vec<_> = g.edges.iter().filter(|(f, _)| *f == RequestId(1)).collect();
+        assert_eq!(from_r1.len(), 1);
+    }
+
+    #[test]
+    fn matches_dense_oracle_reachability() {
+        // A mixed pattern: overlapping and nested requests.
+        let t = balanced(vec![
+            req(1),
+            req(2),
+            resp(1),
+            req(3),
+            resp(3),
+            resp(2),
+            req(4),
+            resp(4),
+        ]);
+        let fast = create_time_precedence_graph(&t);
+        let dense = dense_time_precedence(&t);
+        for r1 in &dense.nodes {
+            for r2 in &dense.nodes {
+                if r1 == r2 {
+                    continue;
+                }
+                assert_eq!(
+                    fast.has_path(*r1, *r2),
+                    t.precedes(*r1, *r2),
+                    "path({r1},{r2})"
+                );
+                assert_eq!(
+                    dense.has_path(*r1, *r2),
+                    t.precedes(*r1, *r2),
+                    "dense({r1},{r2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_is_minimal_for_epochs() {
+        // P concurrent requests per epoch, E epochs: the minimum edge set
+        // is the complete bipartite graph between adjacent epochs,
+        // P*P*(E-1) edges (§A.8's intuition for Z).
+        let (p, e) = (4u64, 3u64);
+        let mut events = Vec::new();
+        for epoch in 0..e {
+            for i in 0..p {
+                events.push(req(epoch * p + i + 1));
+            }
+            for i in 0..p {
+                events.push(resp(epoch * p + i + 1));
+            }
+        }
+        let t = balanced(events);
+        let g = create_time_precedence_graph(&t);
+        assert_eq!(g.edges.len() as u64, p * p * (e - 1));
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_graph() {
+        let t = balanced(vec![]);
+        let g = create_time_precedence_graph(&t);
+        assert!(g.nodes.is_empty());
+        assert!(g.edges.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! The untrusted reports the executor hands the verifier (§3, §4.6).
+//!
+//! Four report types:
+//!
+//! 1. **Control-flow groupings** `C`: an opaque tag per request;
+//!    same-tag requests are supposed to share a control-flow path.
+//! 2. **Operation logs** `OL_i`: one ordered log per shared object.
+//! 3. **Operation counts** `M`: the number of object operations each
+//!    request issued.
+//! 4. **Nondeterminism** (OROCHI's addition): recorded return values of
+//!    nondeterministic builtins.
+//!
+//! All of it is untrusted; the audit validates it as a whole.
+
+use crate::nondet::NondetLog;
+use orochi_common::codec::{Decoder, Encoder, Wire, WireError};
+use orochi_common::ids::{CtlFlowTag, RequestId};
+use orochi_state::oplog::OpLogs;
+use std::collections::HashMap;
+
+/// The full report bundle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Reports {
+    /// `C`: control-flow tag -> requestIDs (§3.1).
+    pub groupings: Vec<(CtlFlowTag, Vec<RequestId>)>,
+    /// `OL_1..OL_n`: per-object operation logs (§3.3).
+    pub op_logs: OpLogs,
+    /// `M`: requestID -> total object-operation count (§3.3).
+    pub op_counts: HashMap<RequestId, u32>,
+    /// Recorded nondeterministic builtin results (§4.6).
+    pub nondet: NondetLog,
+}
+
+impl Reports {
+    /// Creates an empty report bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `M(rid)`: the claimed operation count, defaulting to 0 for
+    /// requests the executor did not mention.
+    pub fn op_count(&self, rid: RequestId) -> u32 {
+        self.op_counts.get(&rid).copied().unwrap_or(0)
+    }
+
+    /// Total operations across all logs (the paper's `Y`).
+    pub fn total_ops(&self) -> usize {
+        self.op_logs.total_ops()
+    }
+
+    /// Total encoded size in bytes (the Fig. 8 "reports" column).
+    pub fn wire_size(&self) -> usize {
+        self.to_wire_bytes().len()
+    }
+
+    /// Encoded size of the nondeterminism report alone — the paper's
+    /// stand-in for what a baseline record-replay system would ship
+    /// (§5.1: "we capture the baseline's report size with OROCHI's
+    /// non-deterministic reports").
+    pub fn nondet_wire_size(&self) -> usize {
+        self.nondet.to_wire_bytes().len()
+    }
+}
+
+impl Wire for Reports {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u64(self.groupings.len() as u64);
+        for (tag, rids) in &self.groupings {
+            tag.encode(enc);
+            rids.encode(enc);
+        }
+        self.op_logs.encode(enc);
+        let mut counts: Vec<(&RequestId, &u32)> = self.op_counts.iter().collect();
+        counts.sort();
+        enc.u64(counts.len() as u64);
+        for (rid, count) in counts {
+            rid.encode(enc);
+            enc.u64(*count as u64);
+        }
+        self.nondet.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let n = dec.u64()? as usize;
+        if n > dec.remaining() {
+            return Err(WireError::Malformed("grouping count exceeds buffer"));
+        }
+        let mut groupings = Vec::with_capacity(n);
+        for _ in 0..n {
+            groupings.push((CtlFlowTag::decode(dec)?, Vec::<RequestId>::decode(dec)?));
+        }
+        let op_logs = OpLogs::decode(dec)?;
+        let m = dec.u64()? as usize;
+        if m > dec.remaining() {
+            return Err(WireError::Malformed("count entries exceed buffer"));
+        }
+        let mut op_counts = HashMap::with_capacity(m);
+        for _ in 0..m {
+            let rid = RequestId::decode(dec)?;
+            let count = dec.u64()?;
+            if count > u32::MAX as u64 {
+                return Err(WireError::Malformed("op count out of range"));
+            }
+            if op_counts.insert(rid, count as u32).is_some() {
+                return Err(WireError::Malformed("duplicate rid in op counts"));
+            }
+        }
+        let nondet = NondetLog::decode(dec)?;
+        Ok(Self {
+            groupings,
+            op_logs,
+            op_counts,
+            nondet,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nondet::NondetValue;
+    use orochi_common::ids::OpNum;
+    use orochi_state::object::{ObjectName, OpContents};
+    use orochi_state::oplog::{OpLog, OpLogEntry};
+
+    fn sample() -> Reports {
+        let mut log = OpLog::new();
+        log.push(OpLogEntry {
+            rid: RequestId(1),
+            opnum: OpNum(1),
+            contents: OpContents::KvGet { key: "k".into() },
+        });
+        let mut nondet = NondetLog::new();
+        nondet.push(RequestId(1), NondetValue::Time(99));
+        Reports {
+            groupings: vec![(CtlFlowTag(0xabc), vec![RequestId(1), RequestId(2)])],
+            op_logs: OpLogs::from_pairs(vec![(ObjectName::kv("apc"), log)]),
+            op_counts: [(RequestId(1), 1), (RequestId(2), 0)].into_iter().collect(),
+            nondet,
+        }
+    }
+
+    #[test]
+    fn op_count_defaults_to_zero() {
+        let r = sample();
+        assert_eq!(r.op_count(RequestId(1)), 1);
+        assert_eq!(r.op_count(RequestId(999)), 0);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let r = sample();
+        let bytes = r.to_wire_bytes();
+        assert_eq!(Reports::from_wire_bytes(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn sizes_are_positive_and_ordered() {
+        let r = sample();
+        assert!(r.wire_size() > r.nondet_wire_size());
+        assert_eq!(r.total_ops(), 1);
+    }
+}

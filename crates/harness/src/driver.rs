@@ -1,0 +1,273 @@
+//! Serving and auditing drivers shared by every experiment.
+
+use orochi_accphp::executor::ExecutorStats;
+use orochi_accphp::AccPhpExecutor;
+use orochi_apps::AppDefinition;
+use orochi_core::audit::{audit, AuditConfig, AuditOutcome, Rejection};
+use orochi_server::server::AuditBundle;
+use orochi_server::{Server, ServerConfig};
+use orochi_trace::HttpRequest;
+use orochi_workload::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An application together with its workload and database seed.
+pub struct AppWorkload {
+    /// The application.
+    pub app: AppDefinition,
+    /// The request stream.
+    pub workload: Workload,
+    /// SQL to seed the initial database (also applied at the verifier).
+    pub seed_sql: Vec<String>,
+}
+
+impl AppWorkload {
+    /// The initial database both sides start from.
+    pub fn initial_db(&self) -> orochi_sqldb::Database {
+        let mut db = self.app.initial_db();
+        for sql in &self.seed_sql {
+            db.execute_autocommit(sql)
+                .0
+                .unwrap_or_else(|e| panic!("seed statement failed: {e}"));
+        }
+        db
+    }
+
+    /// The audit configuration with the matching initial state.
+    pub fn audit_config(&self) -> AuditConfig {
+        let mut config = AuditConfig::new();
+        config
+            .initial_dbs
+            .insert("db:main".to_string(), self.initial_db());
+        config
+    }
+}
+
+/// Serving options.
+pub struct ServeOptions {
+    /// Closed-loop client threads for the measured phase.
+    pub threads: usize,
+    /// Record reports (OROCHI) or run the baseline server.
+    pub recording: bool,
+    /// Server randomness seed.
+    pub seed: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            threads: 4,
+            recording: true,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of serving a workload.
+pub struct ServeResult {
+    /// Trace, reports, and final state.
+    pub bundle: AuditBundle,
+    /// Wall time of the measured phase.
+    pub wall: Duration,
+    /// Server busy time (CPU-cost proxy).
+    pub busy: Duration,
+    /// Requests served.
+    pub requests: u64,
+}
+
+/// Serves a workload: the setup phase runs sequentially (logins and
+/// seeding), the measured phase fans out over `threads` closed-loop
+/// client threads.
+pub fn serve(work: &AppWorkload, opts: &ServeOptions) -> ServeResult {
+    let scripts = work.app.compile().expect("application compiles");
+    let server = Arc::new(Server::new(ServerConfig {
+        scripts,
+        initial_db: work.initial_db(),
+        recording: opts.recording,
+        seed: opts.seed,
+    }));
+    for req in &work.workload.setup {
+        server.handle(req.clone());
+    }
+    let measured: Arc<Vec<HttpRequest>> = Arc::new(work.workload.requests.clone());
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..opts.threads.max(1) {
+        let server = Arc::clone(&server);
+        let measured = Arc::clone(&measured);
+        let cursor = Arc::clone(&cursor);
+        handles.push(std::thread::spawn(move || loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= measured.len() {
+                break;
+            }
+            server.handle(measured[i].clone());
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let wall = t0.elapsed();
+    let server = Arc::try_unwrap(server).ok().expect("clients joined");
+    let busy = server.busy();
+    let requests = server.requests_handled();
+    ServeResult {
+        bundle: server.into_bundle(),
+        wall,
+        busy,
+        requests,
+    }
+}
+
+/// Serves with an open-loop Poisson arrival schedule (Fig. 8 right):
+/// a dispatcher hands requests to a pool at their scheduled arrival
+/// times; returns per-request latencies (queueing included).
+pub fn serve_open_loop(
+    work: &AppWorkload,
+    rate_per_sec: f64,
+    pool: usize,
+    recording: bool,
+    seed: u64,
+) -> (Vec<f64>, ServeResult) {
+    use crossbeam::channel;
+    let scripts = work.app.compile().expect("application compiles");
+    let server = Arc::new(Server::new(ServerConfig {
+        scripts,
+        initial_db: work.initial_db(),
+        recording,
+        seed,
+    }));
+    for req in &work.workload.setup {
+        server.handle(req.clone());
+    }
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let arrivals =
+        orochi_workload::poisson_arrivals(rate_per_sec, work.workload.requests.len(), &mut rng);
+    let (tx, rx) = channel::unbounded::<(HttpRequest, Instant)>();
+    let latencies = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut workers = Vec::new();
+    for _ in 0..pool.max(1) {
+        let server = Arc::clone(&server);
+        let rx = rx.clone();
+        let latencies = Arc::clone(&latencies);
+        workers.push(std::thread::spawn(move || {
+            while let Ok((req, scheduled)) = rx.recv() {
+                server.handle(req);
+                let latency = scheduled.elapsed().as_secs_f64() * 1000.0;
+                latencies.lock().push(latency);
+            }
+        }));
+    }
+    let t0 = Instant::now();
+    for (req, offset) in work.workload.requests.iter().zip(&arrivals) {
+        let target = t0 + *offset;
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        tx.send((req.clone(), target)).expect("workers alive");
+    }
+    drop(tx);
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    let wall = t0.elapsed();
+    let server = Arc::try_unwrap(server).ok().expect("workers joined");
+    let busy = server.busy();
+    let requests = server.requests_handled();
+    let lat = std::mem::take(&mut *latencies.lock());
+    (
+        lat,
+        ServeResult {
+            bundle: server.into_bundle(),
+            wall,
+            busy,
+            requests,
+        },
+    )
+}
+
+/// One audit run's measurements.
+pub struct AuditRun {
+    /// Audit statistics (phase timings, dedup counters, redo stats).
+    pub outcome: AuditOutcome,
+    /// Executor statistics (groups, fallbacks, Fig. 11 triples).
+    pub exec_stats: ExecutorStats,
+    /// Total audit wall time.
+    pub wall: Duration,
+}
+
+/// Audits a bundle. `grouped` selects SIMD-on-demand vs the scalar
+/// baseline; `dedup` toggles read-query deduplication (§4.5).
+pub fn run_audit(
+    bundle: &AuditBundle,
+    work: &AppWorkload,
+    grouped: bool,
+    dedup: bool,
+) -> Result<AuditRun, Rejection> {
+    let scripts = work.app.compile().expect("application compiles");
+    let mut config = work.audit_config();
+    config.query_dedup = dedup;
+    let mut executor = AccPhpExecutor::new(scripts);
+    executor.force_scalar = !grouped;
+    let t0 = Instant::now();
+    let outcome = audit(&bundle.trace, &bundle.reports, &mut executor, &config)?;
+    let wall = t0.elapsed();
+    Ok(AuditRun {
+        outcome,
+        exec_stats: executor.stats,
+        wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orochi_workload::wiki;
+
+    fn tiny_wiki() -> AppWorkload {
+        AppWorkload {
+            app: orochi_apps::wiki::app(),
+            workload: wiki::generate(&wiki::Params::scaled(0.01), 1),
+            seed_sql: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn serve_then_audit_roundtrip() {
+        let work = tiny_wiki();
+        let served = serve(&work, &ServeOptions::default());
+        assert_eq!(served.requests as usize, work.workload.len());
+        let run = run_audit(&served.bundle, &work, true, true)
+            .unwrap_or_else(|r| panic!("audit rejected: {r}"));
+        assert!(run.outcome.stats.requests_reexecuted > 0);
+        // Grouped mode must engage on a Zipf wiki workload.
+        assert!(run.exec_stats.grouped > 0);
+    }
+
+    #[test]
+    fn scalar_baseline_also_accepts_and_is_slower_conceptually() {
+        let work = tiny_wiki();
+        let served = serve(&work, &ServeOptions::default());
+        let grouped = run_audit(&served.bundle, &work, true, true).unwrap();
+        let scalar = run_audit(&served.bundle, &work, false, false).unwrap();
+        assert_eq!(
+            grouped.outcome.stats.requests_reexecuted,
+            scalar.outcome.stats.requests_reexecuted
+        );
+        assert_eq!(scalar.exec_stats.grouped, 0);
+    }
+
+    #[test]
+    fn open_loop_latencies_collected() {
+        let mut work = tiny_wiki();
+        work.workload.requests.truncate(60);
+        let (latencies, served) = serve_open_loop(&work, 300.0, 4, true, 3);
+        assert_eq!(latencies.len(), 60);
+        assert!(latencies.iter().all(|&l| l >= 0.0));
+        run_audit(&served.bundle, &work, true, true)
+            .unwrap_or_else(|r| panic!("open-loop audit rejected: {r}"));
+    }
+}

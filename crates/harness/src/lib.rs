@@ -1,0 +1,19 @@
+//! End-to-end experiment drivers: everything needed to regenerate the
+//! paper's tables and figures (§5).
+//!
+//! * [`driver`] — serve a workload on the online executor (with a
+//!   configurable client-thread count or an open-loop Poisson schedule)
+//!   and run audits over the resulting bundle.
+//! * [`experiments`] — one function per table/figure: Fig. 8 (main
+//!   results + latency/throughput), Fig. 9 (audit CPU decomposition),
+//!   Fig. 11 (control-flow group characteristics), and the §5.2
+//!   sources-of-acceleration ablation.
+//!
+//! Workload sizes default to a CI-friendly scale; set `OROCHI_FULL=1`
+//! for the paper's full request counts.
+
+pub mod driver;
+pub mod experiments;
+
+pub use driver::{run_audit, serve, serve_open_loop, AppWorkload, AuditRun, ServeOptions, ServeResult};
+pub use experiments::scale_from_env;

@@ -1,0 +1,231 @@
+//! Abstract syntax for the PHP subset.
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+    /// `%=`
+    Mod,
+    /// `.=`
+    Concat,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `.`
+    Concat,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `===`
+    Identical,
+    /// `!==`
+    NotIdentical,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit; compiled to jumps)
+    And,
+    /// `||` (short-circuit; compiled to jumps)
+    Or,
+}
+
+/// An assignable place: a variable plus an optional index path.
+/// `path` elements are `None` for the append form `$a[...][] = v`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LValue {
+    /// Variable name (without `$`).
+    pub var: String,
+    /// Index path; `None` means append (`[]`).
+    pub path: Vec<Option<Expr>>,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Bool literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `$name`.
+    Var(String),
+    /// `expr[index]` (rvalue read).
+    Index {
+        /// The indexed expression.
+        base: Box<Expr>,
+        /// The index.
+        index: Box<Expr>,
+    },
+    /// `array(...)` / `[...]` literal; pairs of optional key and value.
+    ArrayLit(Vec<(Option<Expr>, Expr)>),
+    /// Assignment (also compound assignment), which is an expression in
+    /// PHP.
+    Assign {
+        /// The assigned place.
+        target: LValue,
+        /// Plain or compound operator.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `!expr`.
+    Not(Box<Expr>),
+    /// `-expr`.
+    Neg(Box<Expr>),
+    /// `++$x`, `$x++`, `--$x`, `$x--`.
+    IncDec {
+        /// The mutated place.
+        target: LValue,
+        /// Increment (true) or decrement.
+        inc: bool,
+        /// Prefix (true) or postfix.
+        pre: bool,
+    },
+    /// `cond ? then : else` (with `then` absent for `?:`).
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true; `None` encodes the Elvis form.
+        then: Option<Box<Expr>>,
+        /// Value when false.
+        otherwise: Box<Expr>,
+    },
+    /// Function call (user function or builtin).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `isset($lv)` (language construct, not a function).
+    Isset(LValue),
+    /// `empty(expr)`.
+    Empty(Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `echo e1, e2, ...;`
+    Echo(Vec<Expr>),
+    /// `if / elseif / else` chain.
+    If {
+        /// `(condition, body)` arms in order.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// The `else` body.
+        otherwise: Vec<Stmt>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Initializers.
+        init: Vec<Expr>,
+        /// Condition (absent = true).
+        cond: Option<Expr>,
+        /// Step expressions.
+        step: Vec<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `foreach (arr as [$k =>] $v) body`.
+    Foreach {
+        /// The iterated expression.
+        array: Expr,
+        /// Key variable, if the `$k =>` form is used.
+        key_var: Option<String>,
+        /// Value variable.
+        value_var: String,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `switch (subject) { case ...: ... default: ... }`.
+    Switch {
+        /// The switched expression.
+        subject: Expr,
+        /// `(match value, body)` cases in order.
+        cases: Vec<(Expr, Vec<Stmt>)>,
+        /// The `default` body and its position among the cases (PHP
+        /// allows default anywhere; we record index into fallthrough
+        /// order).
+        default: Option<(usize, Vec<Stmt>)>,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `global $a, $b;`
+    Global(Vec<String>),
+    /// `unset($lv);`
+    Unset(LValue),
+    /// Expression statement.
+    Expr(Expr),
+}
+
+/// A user function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    /// Function name (case-insensitive in PHP; stored lowercased).
+    pub name: String,
+    /// Parameters with optional default literals.
+    pub params: Vec<(String, Option<Expr>)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed script: function declarations plus top-level statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    /// Declared functions.
+    pub functions: Vec<FunctionDecl>,
+    /// Top-level statements (the "main" body).
+    pub body: Vec<Stmt>,
+}

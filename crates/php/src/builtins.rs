@@ -1,0 +1,1303 @@
+//! Builtin functions.
+//!
+//! Pure builtins (strings, arrays, math) are implemented directly and
+//! shared verbatim by the scalar and multivalue VMs — this is what makes
+//! acc-PHP's per-lane "split execution" of builtins (§4.3) trivially
+//! consistent with the server. Impure builtins (output, state,
+//! nondeterminism) go through the [`Host`] trait, which each VM
+//! implements.
+//!
+//! By-reference builtins (`array_push`, `sort`, ...) use a dedicated
+//! calling convention: the compiler passes the target array as the first
+//! argument and stores the returned array back into the variable (see
+//! `dispatch_byref`).
+
+use crate::backend::{DbResult, DbScalar};
+use crate::value::{format_php_float, ArrayKey, PhpArray, Value};
+use crate::vm::VmError;
+use std::sync::Arc;
+
+/// VM services impure builtins need.
+pub trait Host {
+    /// Appends to the output buffer (`print`).
+    fn echo(&mut self, s: &str);
+    /// Adds a response header.
+    fn add_header(&mut self, name: String, value: String);
+    /// Sets the response status code.
+    fn set_status(&mut self, code: u16);
+    /// Starts the session: loads `$_SESSION` from the session register.
+    fn session_start(&mut self) -> Result<(), VmError>;
+    /// APC fetch (false on miss).
+    fn kv_get(&mut self, key: &str) -> Result<Value, VmError>;
+    /// APC store/delete.
+    fn kv_set(&mut self, key: &str, value: Option<&Value>) -> Result<(), VmError>;
+    /// Opens a database transaction.
+    fn db_begin(&mut self) -> Result<(), VmError>;
+    /// Runs one SQL statement; returns rows, true, or false.
+    fn db_query(&mut self, sql: &str) -> Result<Value, VmError>;
+    /// Commits; false if the transaction failed.
+    fn db_commit(&mut self) -> Result<bool, VmError>;
+    /// Rolls back.
+    fn db_rollback(&mut self) -> Result<(), VmError>;
+    /// Last INSERT auto-increment id.
+    fn db_insert_id(&mut self) -> i64;
+    /// Rows affected by the last write.
+    fn db_affected_rows(&mut self) -> i64;
+    /// `time()`.
+    fn nd_time(&mut self) -> Result<i64, VmError>;
+    /// `microtime(true)`.
+    fn nd_microtime(&mut self) -> Result<f64, VmError>;
+    /// `getpid()`.
+    fn nd_getpid(&mut self) -> Result<i64, VmError>;
+    /// Raw random draw for `mt_rand`/`rand`.
+    fn nd_rand_raw(&mut self) -> Result<i64, VmError>;
+    /// `uniqid()`.
+    fn nd_uniqid(&mut self) -> Result<String, VmError>;
+}
+
+/// All builtin names, value-returning first, by-reference at the end.
+pub const NAMES: &[&str] = &[
+    // Strings.
+    "strlen", "substr", "strpos", "str_replace", "strtolower", "strtoupper", "ucfirst", "trim",
+    "ltrim", "rtrim", "explode", "implode", "join", "str_repeat", "sprintf", "number_format",
+    "htmlspecialchars", "strcmp", "str_pad", "nl2br", "md5", "urlencode", "substr_count",
+    // Arrays (value).
+    "count", "sizeof", "array_keys", "array_values", "array_merge", "array_slice",
+    "array_reverse", "in_array", "array_key_exists", "array_search", "array_sum", "range",
+    "array_unique", "array_flip", "array_fill",
+    // Math / types.
+    "abs", "max", "min", "floor", "ceil", "round", "intdiv", "pow", "sqrt", "intval", "floatval",
+    "strval", "boolval", "gettype", "is_int", "is_integer", "is_string", "is_array", "is_null",
+    "is_numeric", "is_bool", "is_float",
+    // Encoding.
+    "json_encode",
+    // Output / control.
+    "print", "exit", "die", "header", "http_response_code", "setcookie",
+    // State.
+    "session_start", "apc_fetch", "apc_store", "apc_delete", "db_query", "db_begin", "db_commit",
+    "db_rollback", "db_insert_id", "db_affected_rows",
+    // Nondeterminism.
+    "time", "microtime", "getpid", "mt_rand", "rand", "uniqid", "mt_getrandmax",
+    // By-reference (must stay last; see BYREF_START).
+    "array_push", "array_pop", "array_shift", "array_unshift", "sort", "rsort", "ksort", "asort",
+    "arsort",
+];
+
+/// Index of the first by-reference builtin in [`NAMES`].
+const BYREF_START: u16 = (NAMES.len() - 9) as u16;
+
+/// Resolves a builtin name to its index.
+pub fn lookup(name: &str) -> Option<u16> {
+    NAMES.iter().position(|n| *n == name).map(|i| i as u16)
+}
+
+/// True if the builtin mutates its first argument in place.
+pub fn is_byref(id: u16) -> bool {
+    id >= BYREF_START
+}
+
+fn arg(args: &[Value], i: usize) -> Value {
+    args.get(i).cloned().unwrap_or(Value::Null)
+}
+
+fn arg_str(args: &[Value], i: usize) -> String {
+    arg(args, i).to_php_string()
+}
+
+fn arg_int(args: &[Value], i: usize) -> i64 {
+    arg(args, i).to_php_int()
+}
+
+fn arg_array(args: &[Value], i: usize, name: &str) -> Result<Arc<PhpArray>, VmError> {
+    match arg(args, i) {
+        Value::Array(a) => Ok(a),
+        other => Err(VmError::Fatal(format!(
+            "{name}() expects an array, {} given",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Converts a backend database result into the PHP-visible value and
+/// updates the insert-id/affected bookkeeping.
+pub fn db_result_to_value(result: DbResult, last_id: &mut i64, last_aff: &mut i64) -> Value {
+    match result {
+        DbResult::Rows(rows) => {
+            let mut out = PhpArray::new();
+            for row in rows {
+                let mut assoc = PhpArray::new();
+                for (col, cell) in row {
+                    let v = match cell {
+                        DbScalar::Null => Value::Null,
+                        DbScalar::Int(i) => Value::Int(i),
+                        DbScalar::Float(f) => Value::Float(f),
+                        DbScalar::Text(s) => Value::str(s),
+                    };
+                    assoc.set(ArrayKey::Str(col), v);
+                }
+                out.push(Value::array(assoc));
+            }
+            Value::array(out)
+        }
+        DbResult::Write {
+            affected,
+            insert_id,
+        } => {
+            *last_aff = affected as i64;
+            if let Some(id) = insert_id {
+                *last_id = id;
+            }
+            Value::Bool(true)
+        }
+        DbResult::Failed => Value::Bool(false),
+    }
+}
+
+/// Calls a value builtin.
+pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value, VmError> {
+    let name = NAMES[id as usize];
+    Ok(match name {
+        // ------------------------------------------------ strings
+        "strlen" => Value::Int(arg_str(&args, 0).len() as i64),
+        "substr" => {
+            let s = arg_str(&args, 0);
+            let chars: Vec<char> = s.chars().collect();
+            let n = chars.len() as i64;
+            let mut start = arg_int(&args, 1);
+            if start < 0 {
+                start = (n + start).max(0);
+            }
+            let start = start.min(n) as usize;
+            let len = match args.get(2) {
+                None | Some(Value::Null) => n as usize - start,
+                Some(v) => {
+                    let l = v.to_php_int();
+                    if l < 0 {
+                        let end = (n + l).max(start as i64) as usize;
+                        end - start
+                    } else {
+                        (l as usize).min(n as usize - start)
+                    }
+                }
+            };
+            Value::str(chars[start..start + len].iter().collect::<String>())
+        }
+        "strpos" => {
+            let hay = arg_str(&args, 0);
+            let needle = arg_str(&args, 1);
+            let offset = arg_int(&args, 2).max(0) as usize;
+            if needle.is_empty() || offset > hay.len() {
+                Value::Bool(false)
+            } else {
+                match hay[offset..].find(&needle) {
+                    Some(pos) => Value::Int((offset + pos) as i64),
+                    None => Value::Bool(false),
+                }
+            }
+        }
+        "str_replace" => {
+            let subject = arg_str(&args, 2);
+            let result = match (arg(&args, 0), arg(&args, 1)) {
+                (Value::Array(searches), Value::Array(replaces)) => {
+                    let reps: Vec<Value> = replaces.iter().map(|(_, v)| v.clone()).collect();
+                    let mut s = subject;
+                    for (i, (_, search)) in searches.iter().enumerate() {
+                        let rep = reps
+                            .get(i)
+                            .map(|v| v.to_php_string())
+                            .unwrap_or_default();
+                        s = s.replace(&search.to_php_string(), &rep);
+                    }
+                    s
+                }
+                (Value::Array(searches), rep) => {
+                    let rep = rep.to_php_string();
+                    let mut s = subject;
+                    for (_, search) in searches.iter() {
+                        s = s.replace(&search.to_php_string(), &rep);
+                    }
+                    s
+                }
+                (search, rep) => {
+                    subject.replace(&search.to_php_string(), &rep.to_php_string())
+                }
+            };
+            Value::str(result)
+        }
+        "strtolower" => Value::str(arg_str(&args, 0).to_lowercase()),
+        "strtoupper" => Value::str(arg_str(&args, 0).to_uppercase()),
+        "ucfirst" => {
+            let s = arg_str(&args, 0);
+            let mut chars = s.chars();
+            Value::str(match chars.next() {
+                Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+                None => s,
+            })
+        }
+        "trim" => Value::str(arg_str(&args, 0).trim().to_string()),
+        "ltrim" => Value::str(arg_str(&args, 0).trim_start().to_string()),
+        "rtrim" => Value::str(arg_str(&args, 0).trim_end().to_string()),
+        "explode" => {
+            let delim = arg_str(&args, 0);
+            if delim.is_empty() {
+                return Err(VmError::Fatal("explode(): empty delimiter".into()));
+            }
+            let s = arg_str(&args, 1);
+            Value::array(PhpArray::from_values(
+                s.split(&delim).map(Value::str).collect(),
+            ))
+        }
+        "implode" | "join" => {
+            // Both implode(glue, arr) and implode(arr).
+            let (glue, arr) = match (arg(&args, 0), arg(&args, 1)) {
+                (Value::Array(a), _) => (String::new(), a),
+                (g, Value::Array(a)) => (g.to_php_string(), a),
+                _ => return Err(VmError::Fatal("implode(): no array given".into())),
+            };
+            let joined = arr
+                .iter()
+                .map(|(_, v)| v.to_php_string())
+                .collect::<Vec<_>>()
+                .join(&glue);
+            Value::str(joined)
+        }
+        "str_repeat" => {
+            let s = arg_str(&args, 0);
+            let n = arg_int(&args, 1).max(0) as usize;
+            if s.len().saturating_mul(n) > 16 << 20 {
+                return Err(VmError::Fatal("str_repeat(): result too large".into()));
+            }
+            Value::str(s.repeat(n))
+        }
+        "sprintf" => Value::str(sprintf(&arg_str(&args, 0), &args[1..])?),
+        "number_format" => {
+            let n = arg(&args, 0).to_php_float();
+            let decimals = if args.len() > 1 {
+                arg_int(&args, 1).clamp(0, 12) as usize
+            } else {
+                0
+            };
+            Value::str(number_format(n, decimals))
+        }
+        "htmlspecialchars" => {
+            let s = arg_str(&args, 0);
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '&' => out.push_str("&amp;"),
+                    '<' => out.push_str("&lt;"),
+                    '>' => out.push_str("&gt;"),
+                    '"' => out.push_str("&quot;"),
+                    '\'' => out.push_str("&#039;"),
+                    other => out.push(other),
+                }
+            }
+            Value::str(out)
+        }
+        "strcmp" => {
+            let (a, b) = (arg_str(&args, 0), arg_str(&args, 1));
+            Value::Int(match a.cmp(&b) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            })
+        }
+        "str_pad" => {
+            let s = arg_str(&args, 0);
+            let len = arg_int(&args, 1).max(0) as usize;
+            let pad = if args.len() > 2 {
+                arg_str(&args, 2)
+            } else {
+                " ".to_string()
+            };
+            if s.len() >= len || pad.is_empty() {
+                Value::str(s)
+            } else {
+                let mut out = s.clone();
+                let mut pad_iter = pad.chars().cycle();
+                while out.len() < len {
+                    out.push(pad_iter.next().expect("cycle never ends"));
+                }
+                Value::str(out)
+            }
+        }
+        "nl2br" => Value::str(arg_str(&args, 0).replace('\n', "<br />\n")),
+        "md5" => {
+            // Deterministic stand-in, NOT cryptographic: two FNV-1a
+            // passes rendered as 32 hex digits (documented in DESIGN.md).
+            let s = arg_str(&args, 0);
+            let h1 = crate::vm::fnv1a(s.as_bytes());
+            let mut salted = s.into_bytes();
+            salted.push(0x5c);
+            let h2 = crate::vm::fnv1a(&salted);
+            Value::str(format!("{h1:016x}{h2:016x}"))
+        }
+        "urlencode" => {
+            let s = arg_str(&args, 0);
+            let mut out = String::new();
+            for b in s.bytes() {
+                match b {
+                    b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' => {
+                        out.push(b as char)
+                    }
+                    b' ' => out.push('+'),
+                    other => out.push_str(&format!("%{other:02X}")),
+                }
+            }
+            Value::str(out)
+        }
+        "substr_count" => {
+            let hay = arg_str(&args, 0);
+            let needle = arg_str(&args, 1);
+            if needle.is_empty() {
+                return Err(VmError::Fatal("substr_count(): empty needle".into()));
+            }
+            Value::Int(hay.matches(&needle).count() as i64)
+        }
+        // ------------------------------------------------ arrays
+        "count" | "sizeof" => match arg(&args, 0) {
+            Value::Array(a) => Value::Int(a.len() as i64),
+            Value::Null => Value::Int(0),
+            _ => Value::Int(1),
+        },
+        "array_keys" => {
+            let a = arg_array(&args, 0, "array_keys")?;
+            Value::array(PhpArray::from_values(
+                a.iter().map(|(k, _)| k.to_value()).collect(),
+            ))
+        }
+        "array_values" => {
+            let a = arg_array(&args, 0, "array_values")?;
+            Value::array(PhpArray::from_values(
+                a.iter().map(|(_, v)| v.clone()).collect(),
+            ))
+        }
+        "array_merge" => {
+            let mut out = PhpArray::new();
+            for v in &args {
+                match v {
+                    Value::Array(a) => {
+                        for (k, v) in a.iter() {
+                            match k {
+                                ArrayKey::Int(_) => {
+                                    out.push(v.clone());
+                                }
+                                ArrayKey::Str(_) => out.set(k.clone(), v.clone()),
+                            }
+                        }
+                    }
+                    _ => return Err(VmError::Fatal("array_merge(): non-array".into())),
+                }
+            }
+            Value::array(out)
+        }
+        "array_slice" => {
+            let a = arg_array(&args, 0, "array_slice")?;
+            let pairs = a.to_pairs();
+            let n = pairs.len() as i64;
+            let mut offset = arg_int(&args, 1);
+            if offset < 0 {
+                offset = (n + offset).max(0);
+            }
+            let offset = offset.min(n) as usize;
+            let len = match args.get(2) {
+                None | Some(Value::Null) => n as usize - offset,
+                Some(v) => {
+                    let l = v.to_php_int();
+                    if l < 0 {
+                        ((n + l) as usize).saturating_sub(offset)
+                    } else {
+                        (l as usize).min(n as usize - offset)
+                    }
+                }
+            };
+            let mut out = PhpArray::new();
+            for (k, v) in pairs.into_iter().skip(offset).take(len) {
+                match k {
+                    ArrayKey::Int(_) => {
+                        out.push(v);
+                    }
+                    ArrayKey::Str(_) => out.set(k, v),
+                }
+            }
+            Value::array(out)
+        }
+        "array_reverse" => {
+            let a = arg_array(&args, 0, "array_reverse")?;
+            let mut pairs = a.to_pairs();
+            pairs.reverse();
+            let mut out = PhpArray::new();
+            for (k, v) in pairs {
+                match k {
+                    ArrayKey::Int(_) => {
+                        out.push(v);
+                    }
+                    ArrayKey::Str(_) => out.set(k, v),
+                }
+            }
+            Value::array(out)
+        }
+        "in_array" => {
+            let needle = arg(&args, 0);
+            let hay = arg_array(&args, 1, "in_array")?;
+            let strict = arg(&args, 2).is_truthy();
+            let found = hay.iter().any(|(_, v)| {
+                if strict {
+                    needle.identical(v)
+                } else {
+                    needle.loose_eq(v)
+                }
+            });
+            Value::Bool(found)
+        }
+        "array_key_exists" => {
+            let key = ArrayKey::from_value(&arg(&args, 0));
+            let a = arg_array(&args, 1, "array_key_exists")?;
+            Value::Bool(a.has_key(&key))
+        }
+        "array_search" => {
+            let needle = arg(&args, 0);
+            let hay = arg_array(&args, 1, "array_search")?;
+            let found = hay
+                .iter()
+                .find(|(_, v)| needle.loose_eq(v))
+                .map(|(k, _)| k.to_value());
+            found.unwrap_or(Value::Bool(false))
+        }
+        "array_sum" => {
+            let a = arg_array(&args, 0, "array_sum")?;
+            let mut int_sum = 0i64;
+            let mut float_sum = 0f64;
+            let mut is_float = false;
+            for (_, v) in a.iter() {
+                match v {
+                    Value::Float(f) => {
+                        is_float = true;
+                        float_sum += f;
+                    }
+                    other => match int_sum.checked_add(other.to_php_int()) {
+                        Some(s) => int_sum = s,
+                        None => {
+                            is_float = true;
+                            float_sum += other.to_php_float();
+                        }
+                    },
+                }
+            }
+            if is_float {
+                Value::Float(float_sum + int_sum as f64)
+            } else {
+                Value::Int(int_sum)
+            }
+        }
+        "range" => {
+            let (a, b) = (arg_int(&args, 0), arg_int(&args, 1));
+            let step = if args.len() > 2 {
+                arg_int(&args, 2).abs().max(1)
+            } else {
+                1
+            };
+            let mut vals = Vec::new();
+            if a <= b {
+                let mut x = a;
+                while x <= b {
+                    vals.push(Value::Int(x));
+                    x += step;
+                }
+            } else {
+                let mut x = a;
+                while x >= b {
+                    vals.push(Value::Int(x));
+                    x -= step;
+                }
+            }
+            if vals.len() > 1 << 22 {
+                return Err(VmError::Fatal("range(): result too large".into()));
+            }
+            Value::array(PhpArray::from_values(vals))
+        }
+        "array_unique" => {
+            let a = arg_array(&args, 0, "array_unique")?;
+            let mut seen = std::collections::HashSet::new();
+            let mut out = PhpArray::new();
+            for (k, v) in a.iter() {
+                if seen.insert(v.to_php_string()) {
+                    out.set(k.clone(), v.clone());
+                }
+            }
+            Value::array(out)
+        }
+        "array_flip" => {
+            let a = arg_array(&args, 0, "array_flip")?;
+            let mut out = PhpArray::new();
+            for (k, v) in a.iter() {
+                match v {
+                    Value::Int(_) | Value::Str(_) => {
+                        out.set(ArrayKey::from_value(v), k.to_value());
+                    }
+                    // PHP warns and skips other types.
+                    _ => {}
+                }
+            }
+            Value::array(out)
+        }
+        "array_fill" => {
+            let start = arg_int(&args, 0);
+            let num = arg_int(&args, 1).max(0);
+            if num > 1 << 22 {
+                return Err(VmError::Fatal("array_fill(): result too large".into()));
+            }
+            let v = arg(&args, 2);
+            let mut out = PhpArray::new();
+            for i in 0..num {
+                out.set(ArrayKey::Int(start + i), v.clone());
+            }
+            Value::array(out)
+        }
+        // ------------------------------------------------ math / types
+        "abs" => match arg(&args, 0) {
+            Value::Int(i) => Value::Int(i.wrapping_abs()),
+            other => Value::Float(other.to_php_float().abs()),
+        },
+        "max" | "min" => {
+            let want_max = name == "max";
+            let candidates: Vec<Value> = match (args.len(), arg(&args, 0)) {
+                (1, Value::Array(a)) => a.iter().map(|(_, v)| v.clone()).collect(),
+                _ => args.clone(),
+            };
+            let mut best: Option<Value> = None;
+            for c in candidates {
+                best = Some(match best {
+                    None => c,
+                    Some(b) => {
+                        let take = match c.loose_cmp(&b) {
+                            Some(std::cmp::Ordering::Greater) => want_max,
+                            Some(std::cmp::Ordering::Less) => !want_max,
+                            _ => false,
+                        };
+                        if take {
+                            c
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best.unwrap_or(Value::Bool(false))
+        }
+        "floor" => Value::Float(arg(&args, 0).to_php_float().floor()),
+        "ceil" => Value::Float(arg(&args, 0).to_php_float().ceil()),
+        "round" => {
+            let n = arg(&args, 0).to_php_float();
+            let p = if args.len() > 1 {
+                arg_int(&args, 1).clamp(-12, 12)
+            } else {
+                0
+            };
+            let mult = 10f64.powi(p as i32);
+            Value::Float((n * mult).round() / mult)
+        }
+        "intdiv" => {
+            let (a, b) = (arg_int(&args, 0), arg_int(&args, 1));
+            if b == 0 {
+                return Err(VmError::Fatal("intdiv(): division by zero".into()));
+            }
+            Value::Int(a / b)
+        }
+        "pow" => {
+            let (a, b) = (arg(&args, 0), arg(&args, 1));
+            match (&a, &b) {
+                (Value::Int(x), Value::Int(y)) if *y >= 0 && *y < 63 => {
+                    match x.checked_pow(*y as u32) {
+                        Some(v) => Value::Int(v),
+                        None => Value::Float((*x as f64).powf(*y as f64)),
+                    }
+                }
+                _ => Value::Float(a.to_php_float().powf(b.to_php_float())),
+            }
+        }
+        "sqrt" => Value::Float(arg(&args, 0).to_php_float().sqrt()),
+        "intval" => Value::Int(arg(&args, 0).to_php_int()),
+        "floatval" => Value::Float(arg(&args, 0).to_php_float()),
+        "strval" => Value::str(arg_str(&args, 0)),
+        "boolval" => Value::Bool(arg(&args, 0).is_truthy()),
+        "gettype" => Value::str(match arg(&args, 0) {
+            Value::Null => "NULL",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "double",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+        }),
+        "is_int" | "is_integer" => Value::Bool(matches!(arg(&args, 0), Value::Int(_))),
+        "is_string" => Value::Bool(matches!(arg(&args, 0), Value::Str(_))),
+        "is_array" => Value::Bool(matches!(arg(&args, 0), Value::Array(_))),
+        "is_null" => Value::Bool(matches!(arg(&args, 0), Value::Null)),
+        "is_numeric" => Value::Bool(arg(&args, 0).is_numeric()),
+        "is_bool" => Value::Bool(matches!(arg(&args, 0), Value::Bool(_))),
+        "is_float" => Value::Bool(matches!(arg(&args, 0), Value::Float(_))),
+        // ------------------------------------------------ encoding
+        "json_encode" => Value::str(json_encode(&arg(&args, 0))),
+        // ------------------------------------------------ output
+        "print" => {
+            host.echo(&arg_str(&args, 0));
+            Value::Int(1)
+        }
+        "exit" | "die" => {
+            if let Some(v) = args.first() {
+                if matches!(v, Value::Str(_)) {
+                    host.echo(&v.to_php_string());
+                }
+            }
+            return Err(VmError::Exit);
+        }
+        "header" => {
+            let h = arg_str(&args, 0);
+            match h.split_once(':') {
+                Some((name, value)) => {
+                    host.add_header(name.trim().to_string(), value.trim().to_string())
+                }
+                None => return Err(VmError::Fatal("header(): malformed header".into())),
+            }
+            Value::Null
+        }
+        "http_response_code" => {
+            let code = arg_int(&args, 0);
+            if !(100..=599).contains(&code) {
+                return Err(VmError::Fatal("http_response_code(): bad code".into()));
+            }
+            host.set_status(code as u16);
+            Value::Bool(true)
+        }
+        "setcookie" => {
+            let (name, value) = (arg_str(&args, 0), arg_str(&args, 1));
+            host.add_header("Set-Cookie".to_string(), format!("{name}={value}"));
+            Value::Bool(true)
+        }
+        // ------------------------------------------------ state
+        "session_start" => {
+            host.session_start()?;
+            Value::Bool(true)
+        }
+        "apc_fetch" => host.kv_get(&arg_str(&args, 0))?,
+        "apc_store" => {
+            let key = arg_str(&args, 0);
+            let value = arg(&args, 1);
+            host.kv_set(&key, Some(&value))?;
+            Value::Bool(true)
+        }
+        "apc_delete" => {
+            host.kv_set(&arg_str(&args, 0), None)?;
+            Value::Bool(true)
+        }
+        "db_query" => host.db_query(&arg_str(&args, 0))?,
+        "db_begin" => {
+            host.db_begin()?;
+            Value::Bool(true)
+        }
+        "db_commit" => Value::Bool(host.db_commit()?),
+        "db_rollback" => {
+            host.db_rollback()?;
+            Value::Bool(true)
+        }
+        "db_insert_id" => Value::Int(host.db_insert_id()),
+        "db_affected_rows" => Value::Int(host.db_affected_rows()),
+        // ------------------------------------------------ nondeterminism
+        "time" => Value::Int(host.nd_time()?),
+        "microtime" => Value::Float(host.nd_microtime()?),
+        "getpid" => Value::Int(host.nd_getpid()?),
+        "mt_rand" | "rand" => {
+            let raw = host.nd_rand_raw()?;
+            mt_rand_reduce(raw, &args)?
+        }
+        "uniqid" => Value::str(host.nd_uniqid()?),
+        "mt_getrandmax" => Value::Int(MT_MAX),
+        other => {
+            return Err(VmError::Fatal(format!(
+                "builtin {other}() dispatched through the wrong convention"
+            )))
+        }
+    })
+}
+
+const MT_MAX: i64 = 2147483647;
+
+/// Range-reduces a raw random draw per `mt_rand`'s argument forms; the
+/// scalar and multivalue VMs share this so replays agree bit-for-bit.
+pub fn mt_rand_reduce(raw: i64, args: &[Value]) -> Result<Value, VmError> {
+    if args.len() >= 2 {
+        let (lo, hi) = (arg_int(args, 0), arg_int(args, 1));
+        if hi < lo {
+            return Err(VmError::Fatal("mt_rand(): max below min".into()));
+        }
+        let span = (hi - lo).wrapping_add(1);
+        Ok(Value::Int(lo + raw.rem_euclid(span.max(1))))
+    } else {
+        Ok(Value::Int(raw.rem_euclid(MT_MAX + 1)))
+    }
+}
+
+/// Calls a by-reference builtin: returns `(new_target, php_return)`.
+pub fn dispatch_byref(id: u16, mut args: Vec<Value>) -> Result<(Value, Value), VmError> {
+    let name = NAMES[id as usize];
+    let target = if args.is_empty() {
+        Value::Null
+    } else {
+        args.remove(0)
+    };
+    let arr = match target {
+        Value::Array(a) => a,
+        Value::Null => Arc::new(PhpArray::new()),
+        other => {
+            return Err(VmError::Fatal(format!(
+                "{name}() expects an array, {} given",
+                other.type_name()
+            )))
+        }
+    };
+    Ok(match name {
+        "array_push" => {
+            let mut arr = arr;
+            let a = Arc::make_mut(&mut arr);
+            for v in args {
+                a.push(v);
+            }
+            let count = a.len() as i64;
+            (Value::Array(arr), Value::Int(count))
+        }
+        "array_pop" => {
+            let mut arr = arr;
+            let popped = Arc::make_mut(&mut arr)
+                .pop_last()
+                .map(|(_, v)| v)
+                .unwrap_or(Value::Null);
+            (Value::Array(arr), popped)
+        }
+        "array_shift" => {
+            let mut arr = arr;
+            let a = Arc::make_mut(&mut arr);
+            let shifted = a.shift_first().map(|(_, v)| v).unwrap_or(Value::Null);
+            // PHP renumbers integer keys after a shift.
+            let renumbered = renumber_int_keys(a);
+            (Value::array(renumbered), shifted)
+        }
+        "array_unshift" => {
+            let mut pairs: Vec<(ArrayKey, Value)> =
+                args.into_iter().map(|v| (ArrayKey::Int(0), v)).collect();
+            pairs.extend(arr.to_pairs());
+            let mut out = PhpArray::new();
+            for (k, v) in pairs {
+                match k {
+                    ArrayKey::Int(_) => {
+                        out.push(v);
+                    }
+                    ArrayKey::Str(_) => out.set(k, v),
+                }
+            }
+            let count = out.len() as i64;
+            (Value::array(out), Value::Int(count))
+        }
+        "sort" | "rsort" => {
+            let mut values: Vec<Value> = arr.iter().map(|(_, v)| v.clone()).collect();
+            values.sort_by(|a, b| {
+                a.loose_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            if name == "rsort" {
+                values.reverse();
+            }
+            (
+                Value::array(PhpArray::from_values(values)),
+                Value::Bool(true),
+            )
+        }
+        "ksort" => {
+            let mut pairs = arr.to_pairs();
+            pairs.sort_by(|a, b| key_cmp(&a.0, &b.0));
+            (Value::array(PhpArray::from_pairs(pairs)), Value::Bool(true))
+        }
+        "asort" | "arsort" => {
+            let mut pairs = arr.to_pairs();
+            pairs.sort_by(|a, b| a.1.loose_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            if name == "arsort" {
+                pairs.reverse();
+            }
+            (Value::array(PhpArray::from_pairs(pairs)), Value::Bool(true))
+        }
+        other => {
+            return Err(VmError::Fatal(format!(
+                "builtin {other}() dispatched through the wrong convention"
+            )))
+        }
+    })
+}
+
+fn renumber_int_keys(a: &PhpArray) -> PhpArray {
+    let mut out = PhpArray::new();
+    for (k, v) in a.iter() {
+        match k {
+            ArrayKey::Int(_) => {
+                out.push(v.clone());
+            }
+            ArrayKey::Str(_) => out.set(k.clone(), v.clone()),
+        }
+    }
+    out
+}
+
+/// Key comparison for `ksort`: numeric keys before and among themselves
+/// numerically, string keys bytewise.
+fn key_cmp(a: &ArrayKey, b: &ArrayKey) -> std::cmp::Ordering {
+    match (a, b) {
+        (ArrayKey::Int(x), ArrayKey::Int(y)) => x.cmp(y),
+        (ArrayKey::Str(x), ArrayKey::Str(y)) => x.cmp(y),
+        (ArrayKey::Int(_), ArrayKey::Str(_)) => std::cmp::Ordering::Less,
+        (ArrayKey::Str(_), ArrayKey::Int(_)) => std::cmp::Ordering::Greater,
+    }
+}
+
+/// A `sprintf` subset: `%s %d %f %x %%` with `%[0][width][.prec]`.
+fn sprintf(fmt: &str, args: &[Value]) -> Result<String, VmError> {
+    let mut out = String::with_capacity(fmt.len());
+    let mut chars = fmt.chars().peekable();
+    let mut next_arg = 0usize;
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        if chars.peek() == Some(&'%') {
+            chars.next();
+            out.push('%');
+            continue;
+        }
+        let mut zero_pad = false;
+        if chars.peek() == Some(&'0') {
+            zero_pad = true;
+            chars.next();
+        }
+        let mut width = 0usize;
+        while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+            width = width * 10 + chars.next().expect("digit peeked") as usize - '0' as usize;
+        }
+        let mut precision: Option<usize> = None;
+        if chars.peek() == Some(&'.') {
+            chars.next();
+            let mut p = 0usize;
+            while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                p = p * 10 + chars.next().expect("digit peeked") as usize - '0' as usize;
+            }
+            precision = Some(p);
+        }
+        let spec = chars
+            .next()
+            .ok_or_else(|| VmError::Fatal("sprintf(): dangling %".into()))?;
+        let v = args.get(next_arg).cloned().unwrap_or(Value::Null);
+        next_arg += 1;
+        let rendered = match spec {
+            's' => {
+                let mut s = v.to_php_string();
+                if let Some(p) = precision {
+                    s.truncate(p);
+                }
+                s
+            }
+            'd' => v.to_php_int().to_string(),
+            'f' => format!("{:.*}", precision.unwrap_or(6), v.to_php_float()),
+            'x' => format!("{:x}", v.to_php_int()),
+            'X' => format!("{:X}", v.to_php_int()),
+            other => {
+                return Err(VmError::Fatal(format!(
+                    "sprintf(): unsupported conversion %{other}"
+                )))
+            }
+        };
+        if rendered.len() < width {
+            let pad = if zero_pad && matches!(spec, 'd' | 'f' | 'x' | 'X') {
+                '0'
+            } else {
+                ' '
+            };
+            for _ in 0..width - rendered.len() {
+                out.push(pad);
+            }
+        }
+        out.push_str(&rendered);
+    }
+    Ok(out)
+}
+
+fn number_format(n: f64, decimals: usize) -> String {
+    let negative = n < 0.0;
+    let n = n.abs();
+    let formatted = format!("{n:.decimals$}");
+    let (int_part, frac_part) = match formatted.split_once('.') {
+        Some((i, f)) => (i.to_string(), Some(f.to_string())),
+        None => (formatted, None),
+    };
+    let mut grouped = String::new();
+    let digits: Vec<char> = int_part.chars().collect();
+    for (i, d) in digits.iter().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            grouped.push(',');
+        }
+        grouped.push(*d);
+    }
+    let mut out = String::new();
+    if negative {
+        out.push('-');
+    }
+    out.push_str(&grouped);
+    if let Some(f) = frac_part {
+        out.push('.');
+        out.push_str(&f);
+    }
+    out
+}
+
+fn json_encode(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(true) => "true".to_string(),
+        Value::Bool(false) => "false".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format_php_float(*f),
+        Value::Str(s) => json_string(s),
+        Value::Array(a) => {
+            // A "list" (keys exactly 0..n-1 in order) renders as a JSON
+            // array; anything else as an object.
+            let is_list = a
+                .iter()
+                .enumerate()
+                .all(|(i, (k, _))| matches!(k, ArrayKey::Int(x) if *x == i as i64));
+            if is_list {
+                let items: Vec<String> = a.iter().map(|(_, v)| json_encode(v)).collect();
+                format!("[{}]", items.join(","))
+            } else {
+                let items: Vec<String> = a
+                    .iter()
+                    .map(|(k, v)| {
+                        let key = match k {
+                            ArrayKey::Int(i) => json_string(&i.to_string()),
+                            ArrayKey::Str(s) => json_string(s),
+                        };
+                        format!("{key}:{}", json_encode(v))
+                    })
+                    .collect();
+                format!("{{{}}}", items.join(","))
+            }
+        }
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            // PHP escapes '/' by default; match that.
+            '/' => out.push_str("\\/"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A host that records output; state calls are fatal.
+    #[derive(Default)]
+    struct TestHost {
+        out: String,
+    }
+
+    impl Host for TestHost {
+        fn echo(&mut self, s: &str) {
+            self.out.push_str(s);
+        }
+        fn add_header(&mut self, _n: String, _v: String) {}
+        fn set_status(&mut self, _c: u16) {}
+        fn session_start(&mut self) -> Result<(), VmError> {
+            Ok(())
+        }
+        fn kv_get(&mut self, _k: &str) -> Result<Value, VmError> {
+            Ok(Value::Bool(false))
+        }
+        fn kv_set(&mut self, _k: &str, _v: Option<&Value>) -> Result<(), VmError> {
+            Ok(())
+        }
+        fn db_begin(&mut self) -> Result<(), VmError> {
+            Ok(())
+        }
+        fn db_query(&mut self, _sql: &str) -> Result<Value, VmError> {
+            Ok(Value::Bool(true))
+        }
+        fn db_commit(&mut self) -> Result<bool, VmError> {
+            Ok(true)
+        }
+        fn db_rollback(&mut self) -> Result<(), VmError> {
+            Ok(())
+        }
+        fn db_insert_id(&mut self) -> i64 {
+            0
+        }
+        fn db_affected_rows(&mut self) -> i64 {
+            0
+        }
+        fn nd_time(&mut self) -> Result<i64, VmError> {
+            Ok(1000)
+        }
+        fn nd_microtime(&mut self) -> Result<f64, VmError> {
+            Ok(1000.5)
+        }
+        fn nd_getpid(&mut self) -> Result<i64, VmError> {
+            Ok(7)
+        }
+        fn nd_rand_raw(&mut self) -> Result<i64, VmError> {
+            Ok(123456)
+        }
+        fn nd_uniqid(&mut self) -> Result<String, VmError> {
+            Ok("uid1".into())
+        }
+    }
+
+    fn call(name: &str, args: Vec<Value>) -> Value {
+        let mut host = TestHost::default();
+        dispatch(lookup(name).unwrap(), args, &mut host).unwrap()
+    }
+
+    fn s(v: &str) -> Value {
+        Value::str(v)
+    }
+
+    #[test]
+    fn string_builtins() {
+        assert!(call("strlen", vec![s("héllo")]).identical(&Value::Int(6))); // Bytes.
+        assert!(call("substr", vec![s("abcdef"), Value::Int(1), Value::Int(3)])
+            .identical(&s("bcd")));
+        assert!(call("substr", vec![s("abcdef"), Value::Int(-2)]).identical(&s("ef")));
+        assert!(call("strpos", vec![s("hello"), s("ll")]).identical(&Value::Int(2)));
+        assert!(call("strpos", vec![s("hello"), s("x")]).identical(&Value::Bool(false)));
+        assert!(
+            call("str_replace", vec![s("a"), s("b"), s("banana")]).identical(&s("bbnbnb"))
+        );
+        assert!(call("ucfirst", vec![s("wiki")]).identical(&s("Wiki")));
+        assert!(call("str_repeat", vec![s("ab"), Value::Int(3)]).identical(&s("ababab")));
+        assert!(call("nl2br", vec![s("a\nb")]).identical(&s("a<br />\nb")));
+    }
+
+    #[test]
+    fn explode_implode_roundtrip() {
+        let parts = call("explode", vec![s(","), s("a,b,c")]);
+        assert!(call("implode", vec![s("-"), parts]).identical(&s("a-b-c")));
+    }
+
+    #[test]
+    fn sprintf_subset() {
+        assert!(call(
+            "sprintf",
+            vec![s("%s has %d points (%.2f%%)"), s("dana"), Value::Int(9), Value::Float(12.5)]
+        )
+        .identical(&s("dana has 9 points (12.50%)")));
+        assert!(call("sprintf", vec![s("%05d"), Value::Int(42)]).identical(&s("00042")));
+        assert!(call("sprintf", vec![s("%x"), Value::Int(255)]).identical(&s("ff")));
+    }
+
+    #[test]
+    fn htmlspecialchars_escapes() {
+        assert!(call("htmlspecialchars", vec![s("<a href=\"x\">&'</a>")])
+            .identical(&s("&lt;a href=&quot;x&quot;&gt;&amp;&#039;&lt;/a&gt;")));
+    }
+
+    #[test]
+    fn number_format_grouping() {
+        assert!(call("number_format", vec![Value::Int(1234567)]).identical(&s("1,234,567")));
+        assert!(
+            call("number_format", vec![Value::Float(1234.5678), Value::Int(2)])
+                .identical(&s("1,234.57"))
+        );
+    }
+
+    #[test]
+    fn array_builtins() {
+        let mut a = PhpArray::new();
+        a.set(ArrayKey::Str("x".into()), Value::Int(1));
+        a.set(ArrayKey::Str("y".into()), Value::Int(2));
+        let arr = Value::array(a);
+        assert!(call("count", vec![arr.clone()]).identical(&Value::Int(2)));
+        assert!(call("array_sum", vec![arr.clone()]).identical(&Value::Int(3)));
+        assert!(call("in_array", vec![Value::Int(2), arr.clone()]).identical(&Value::Bool(true)));
+        assert!(call("array_key_exists", vec![s("x"), arr.clone()])
+            .identical(&Value::Bool(true)));
+        assert!(call("array_search", vec![Value::Int(2), arr.clone()]).identical(&s("y")));
+        let keys = call("array_keys", vec![arr]);
+        assert!(call("implode", vec![s(","), keys]).identical(&s("x,y")));
+    }
+
+    #[test]
+    fn in_array_strict_mode() {
+        let arr = Value::array(PhpArray::from_values(vec![Value::Int(1)]));
+        assert!(call("in_array", vec![s("1"), arr.clone()]).identical(&Value::Bool(true)));
+        assert!(call("in_array", vec![s("1"), arr, Value::Bool(true)])
+            .identical(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn array_merge_renumbers_int_keys() {
+        let a = Value::array(PhpArray::from_values(vec![Value::Int(1), Value::Int(2)]));
+        let b = Value::array(PhpArray::from_values(vec![Value::Int(3)]));
+        let merged = call("array_merge", vec![a, b]);
+        match merged {
+            Value::Array(m) => {
+                let keys: Vec<_> = m.iter().map(|(k, _)| k.clone()).collect();
+                assert_eq!(
+                    keys,
+                    vec![ArrayKey::Int(0), ArrayKey::Int(1), ArrayKey::Int(2)]
+                );
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn byref_builtins() {
+        let arr = Value::array(PhpArray::from_values(vec![Value::Int(3), Value::Int(1)]));
+        let (sorted, ok) = dispatch_byref(lookup("sort").unwrap(), vec![arr]).unwrap();
+        assert!(ok.identical(&Value::Bool(true)));
+        match &sorted {
+            Value::Array(a) => {
+                let vals: Vec<i64> = a.iter().map(|(_, v)| v.to_php_int()).collect();
+                assert_eq!(vals, vec![1, 3]);
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        let (after_push, count) =
+            dispatch_byref(lookup("array_push").unwrap(), vec![sorted, Value::Int(9)]).unwrap();
+        assert!(count.identical(&Value::Int(3)));
+        let (after_pop, popped) =
+            dispatch_byref(lookup("array_pop").unwrap(), vec![after_push]).unwrap();
+        assert!(popped.identical(&Value::Int(9)));
+        let (_, shifted) = dispatch_byref(lookup("array_shift").unwrap(), vec![after_pop]).unwrap();
+        assert!(shifted.identical(&Value::Int(1)));
+    }
+
+    #[test]
+    fn ksort_and_asort() {
+        let mut a = PhpArray::new();
+        a.set(ArrayKey::Str("b".into()), Value::Int(2));
+        a.set(ArrayKey::Str("a".into()), Value::Int(3));
+        a.set(ArrayKey::Int(5), Value::Int(1));
+        let (ksorted, _) =
+            dispatch_byref(lookup("ksort").unwrap(), vec![Value::array(a.clone())]).unwrap();
+        match &ksorted {
+            Value::Array(m) => {
+                let keys: Vec<_> = m.iter().map(|(k, _)| k.clone()).collect();
+                assert_eq!(
+                    keys,
+                    vec![
+                        ArrayKey::Int(5),
+                        ArrayKey::Str("a".into()),
+                        ArrayKey::Str("b".into())
+                    ]
+                );
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        let (asorted, _) =
+            dispatch_byref(lookup("asort").unwrap(), vec![Value::array(a)]).unwrap();
+        match &asorted {
+            Value::Array(m) => {
+                let vals: Vec<i64> = m.iter().map(|(_, v)| v.to_php_int()).collect();
+                assert_eq!(vals, vec![1, 2, 3]);
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn math_builtins() {
+        assert!(call("abs", vec![Value::Int(-5)]).identical(&Value::Int(5)));
+        assert!(call("max", vec![Value::Int(1), Value::Int(9), Value::Int(3)])
+            .identical(&Value::Int(9)));
+        let arr = Value::array(PhpArray::from_values(vec![Value::Int(4), Value::Int(2)]));
+        assert!(call("min", vec![arr]).identical(&Value::Int(2)));
+        assert!(call("intdiv", vec![Value::Int(7), Value::Int(2)]).identical(&Value::Int(3)));
+        assert!(call("round", vec![Value::Float(2.567), Value::Int(2)])
+            .identical(&Value::Float(2.57)));
+        assert!(call("pow", vec![Value::Int(2), Value::Int(10)]).identical(&Value::Int(1024)));
+    }
+
+    #[test]
+    fn json_encode_shapes() {
+        let list = Value::array(PhpArray::from_values(vec![
+            Value::Int(1),
+            Value::str("a\"b"),
+            Value::Null,
+        ]));
+        assert!(call("json_encode", vec![list]).identical(&s("[1,\"a\\\"b\",null]")));
+        let mut obj = PhpArray::new();
+        obj.set(ArrayKey::Str("k".into()), Value::Bool(true));
+        obj.set(ArrayKey::Int(7), Value::Float(1.5));
+        assert!(
+            call("json_encode", vec![Value::array(obj)]).identical(&s("{\"k\":true,\"7\":1.5}"))
+        );
+    }
+
+    #[test]
+    fn nondet_through_host() {
+        assert!(call("time", vec![]).identical(&Value::Int(1000)));
+        assert!(call("getpid", vec![]).identical(&Value::Int(7)));
+        // mt_rand(1, 10) reduces the raw draw into range.
+        let v = call("mt_rand", vec![Value::Int(1), Value::Int(10)]);
+        let i = v.to_php_int();
+        assert!((1..=10).contains(&i));
+    }
+
+    #[test]
+    fn md5_is_stable_and_hex() {
+        let a = call("md5", vec![s("hello")]);
+        let b = call("md5", vec![s("hello")]);
+        assert!(a.identical(&b));
+        let text = a.to_php_string();
+        assert_eq!(text.len(), 32);
+        assert!(text.chars().all(|c| c.is_ascii_hexdigit()));
+        assert!(!call("md5", vec![s("hellp")]).identical(&a));
+    }
+
+    #[test]
+    fn urlencode_rules() {
+        assert!(call("urlencode", vec![s("a b&c=d")]).identical(&s("a+b%26c%3Dd")));
+    }
+
+    #[test]
+    fn range_builtin() {
+        let up = call("range", vec![Value::Int(1), Value::Int(4)]);
+        assert!(call("implode", vec![s(","), up]).identical(&s("1,2,3,4")));
+        let down = call("range", vec![Value::Int(3), Value::Int(1)]);
+        assert!(call("implode", vec![s(","), down]).identical(&s("3,2,1")));
+    }
+
+    #[test]
+    fn exit_is_not_an_error() {
+        let mut host = TestHost::default();
+        let r = dispatch(lookup("die").unwrap(), vec![s("bye")], &mut host);
+        assert_eq!(r.unwrap_err(), VmError::Exit);
+        assert_eq!(host.out, "bye");
+    }
+
+    #[test]
+    fn byref_start_invariant() {
+        assert!(is_byref(lookup("sort").unwrap()));
+        assert!(is_byref(lookup("array_push").unwrap()));
+        assert!(!is_byref(lookup("count").unwrap()));
+        assert!(!is_byref(lookup("time").unwrap()));
+    }
+}

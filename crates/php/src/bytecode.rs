@@ -1,0 +1,194 @@
+//! The bytecode the VM executes.
+//!
+//! A stack machine close in spirit to HHVM's (§4.2: "the PHP runtime
+//! translates each program line to byte code"). The opcode set includes
+//! the instruction categories Fig. 10 measures: `Mul` (Multiply),
+//! `Concat`, `IssetPath*` (Isset), conditional jumps (Jump), `Load*`
+//! (GetVal), `SetPath*` (ArraySet), `IterNext*` (Iteration),
+//! `CallBuiltin` (Microtime et al.), `*Inc`/`*Dec` (Increment), and
+//! `NewArray`.
+
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// One VM instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Push constant `consts[i]`.
+    Const(u16),
+    /// Push the value of local slot `i`.
+    LoadLocal(u16),
+    /// Pop into local slot `i`.
+    StoreLocal(u16),
+    /// Push the value of global slot `i`.
+    LoadGlobal(u16),
+    /// Pop into global slot `i`.
+    StoreGlobal(u16),
+    /// Pop and discard.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Swap the top two stack values (used by by-reference builtins).
+    Swap,
+    /// `+` with PHP numeric semantics.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/` (float division; integral results stay int when exact).
+    Div,
+    /// `%` (integer modulo).
+    Mod,
+    /// `.` string concatenation.
+    Concat,
+    /// `==` loose equality.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `===`.
+    Identical,
+    /// `!==`.
+    NotIdentical,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `!`.
+    Not,
+    /// Unary `-`.
+    Neg,
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump when falsy. Updates the control-flow digest.
+    JumpIfFalse(u32),
+    /// Pop; jump when truthy. Updates the control-flow digest.
+    JumpIfTrue(u32),
+    /// Push an empty array.
+    NewArray,
+    /// `[arr, v] -> [arr']`: append with the next integer key.
+    AppendStack,
+    /// `[arr, k, v] -> [arr']`: set a key.
+    InsertStack,
+    /// `[base, k] -> [v]`: index read (array or string; null when
+    /// missing).
+    IndexGet,
+    /// `[v, k1..kn] -> [v]`: set `local[slot][k1]..[kn] = v`.
+    SetPathLocal(u16, u8),
+    /// `[v, k1..kn] -> [v]`: set through a global slot.
+    SetPathGlobal(u16, u8),
+    /// `[v, k1..k(n-1)] -> [v]`: append at the end of the path
+    /// (`$a[k1]..[] = v`); `n = 1` is the plain `$a[] = v`.
+    AppendPathLocal(u16, u8),
+    /// Append through a global slot.
+    AppendPathGlobal(u16, u8),
+    /// `[k1..kn] -> []`: unset `local[slot][k1]..[kn]`; `n = 0` clears
+    /// the variable itself.
+    UnsetPathLocal(u16, u8),
+    /// Unset through a global slot.
+    UnsetPathGlobal(u16, u8),
+    /// `[k1..kn] -> [bool]`: isset on a local path; `n = 0` tests the
+    /// variable.
+    IssetPathLocal(u16, u8),
+    /// Isset through a global slot.
+    IssetPathGlobal(u16, u8),
+    /// `++$local` (push new value).
+    PreIncLocal(u16),
+    /// `$local++` (push old value).
+    PostIncLocal(u16),
+    /// `--$local`.
+    PreDecLocal(u16),
+    /// `$local--`.
+    PostDecLocal(u16),
+    /// `++$global`.
+    PreIncGlobal(u16),
+    /// `$global++`.
+    PostIncGlobal(u16),
+    /// `--$global`.
+    PreDecGlobal(u16),
+    /// `$global--`.
+    PostDecGlobal(u16),
+    /// Call user function `i` with `argc` stack arguments.
+    Call(u16, u8),
+    /// Call builtin `i` with `argc` stack arguments.
+    CallBuiltin(u16, u8),
+    /// Return the top of stack to the caller.
+    Return,
+    /// Return null.
+    ReturnNull,
+    /// Pop and append to the output buffer.
+    Echo,
+    /// `[arr] -> []`: push a fresh iterator over the array snapshot.
+    IterInit,
+    /// Advance the top iterator: push the next value, or jump to the
+    /// target when exhausted. Updates the control-flow digest.
+    IterNext(u32),
+    /// Advance pushing key then value, or jump when exhausted.
+    IterNextKV(u32),
+    /// Pop the top iterator.
+    IterPop,
+}
+
+/// A compiled function body.
+#[derive(Debug, Clone)]
+pub struct CompiledFunction {
+    /// Function name (lowercased; `"{main}"` for the script body).
+    pub name: String,
+    /// Number of declared parameters.
+    pub num_params: u16,
+    /// Constant-pool indices of parameter defaults (`None` = required).
+    pub defaults: Vec<Option<u16>>,
+    /// Total local slots (params first).
+    pub num_locals: u16,
+    /// The code.
+    pub code: Vec<Op>,
+}
+
+/// A compiled script: the unit the server routes requests to.
+#[derive(Debug, Clone)]
+pub struct CompiledScript {
+    /// Script path (e.g. `/wiki.php`), mixed into the control-flow
+    /// digest seed.
+    pub path: String,
+    /// Constant pool.
+    pub consts: Vec<Value>,
+    /// The script body.
+    pub main: CompiledFunction,
+    /// User functions, indexed by [`Op::Call`].
+    pub functions: Vec<CompiledFunction>,
+    /// Global slot names (superglobals first).
+    pub global_names: Vec<String>,
+}
+
+/// Superglobal slot assignments, fixed across every script.
+pub const SUPERGLOBALS: &[&str] = &["_GET", "_POST", "_COOKIE", "_SESSION", "_SERVER"];
+
+/// Returns the fixed global slot of a superglobal, if `name` is one.
+pub fn superglobal_slot(name: &str) -> Option<u16> {
+    SUPERGLOBALS
+        .iter()
+        .position(|s| *s == name)
+        .map(|i| i as u16)
+}
+
+impl CompiledScript {
+    /// Map from function name to index (for diagnostics and tests).
+    pub fn function_index(&self) -> HashMap<&str, u16> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.as_str(), i as u16))
+            .collect()
+    }
+
+    /// Total instruction count across main and functions (the `ℓ_c`
+    /// statistic of Fig. 11 counts *executed* instructions; this is the
+    /// static size).
+    pub fn code_size(&self) -> usize {
+        self.main.code.len() + self.functions.iter().map(|f| f.code.len()).sum::<usize>()
+    }
+}

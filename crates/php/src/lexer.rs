@@ -1,0 +1,371 @@
+//! Tokenizer for the PHP subset.
+//!
+//! Input is plain PHP code (an optional leading `<?php` marker is
+//! skipped; HTML interleaving is out of scope — applications `echo`
+//! their markup). Double-quoted strings support escape sequences but not
+//! variable interpolation (DESIGN.md documents the scope).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// `$name`.
+    Var(String),
+    /// Bare identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (already unescaped).
+    Str(String),
+    /// Operator or punctuation.
+    Sym(&'static str),
+}
+
+impl Tok {
+    /// True if this is the given keyword (PHP keywords are
+    /// case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Var(n) => write!(f, "${n}"),
+            Tok::Ident(n) => write!(f, "{n}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Lexer error with line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhpLexError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PhpLexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PhpLexError {}
+
+/// A token plus its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Multi-character operators, longest first.
+const SYMBOLS: &[&str] = &[
+    "===", "!==", "<=>", "**=", "<<=", ">>=", "??=", "?->", "==", "!=", "<>", "<=", ">=", "&&",
+    "||", "++", "--", "+=", "-=", "*=", "/=", ".=", "%=", "=>", "->", "::", "??", "<<", ">>",
+    "(", ")", "{", "}", "[", "]", ",", ";", "+", "-", "*", "/", "%", ".", "=", "<", ">", "!",
+    "?", ":", "&", "|", "^", "~", "@",
+];
+
+/// Tokenizes PHP source.
+///
+/// # Examples
+///
+/// ```
+/// use orochi_php::lexer::{tokenize, Tok};
+///
+/// let toks = tokenize("<?php $x = 1 + 2;").unwrap();
+/// assert_eq!(toks[0].tok, Tok::Var("x".into()));
+/// assert_eq!(toks[1].tok, Tok::Sym("="));
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>, PhpLexError> {
+    let src = src.trim_start();
+    let src = src.strip_prefix("<?php").unwrap_or(src);
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(PhpLexError {
+                            line,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'$' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if i == start {
+                    return Err(PhpLexError {
+                        line,
+                        message: "expected variable name after '$'".into(),
+                    });
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Var(src[start..i].to_string()),
+                    line,
+                });
+            }
+            b'\'' | b'"' => {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(PhpLexError {
+                                line,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some(&b) if b == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes.get(i + 1).copied().ok_or_else(|| PhpLexError {
+                                line,
+                                message: "dangling escape".into(),
+                            })?;
+                            // Single-quoted strings only unescape \' and
+                            // \\; double-quoted support the usual set.
+                            let (ch, consumed): (Option<char>, usize) = if quote == b'\'' {
+                                match esc {
+                                    b'\'' => (Some('\''), 2),
+                                    b'\\' => (Some('\\'), 2),
+                                    _ => (None, 1),
+                                }
+                            } else {
+                                match esc {
+                                    b'n' => (Some('\n'), 2),
+                                    b't' => (Some('\t'), 2),
+                                    b'r' => (Some('\r'), 2),
+                                    b'"' => (Some('"'), 2),
+                                    b'\\' => (Some('\\'), 2),
+                                    b'$' => (Some('$'), 2),
+                                    b'0' => (Some('\0'), 2),
+                                    _ => (None, 1),
+                                }
+                            };
+                            match ch {
+                                Some(ch) => {
+                                    s.push(ch);
+                                    i += consumed;
+                                }
+                                None => {
+                                    s.push('\\');
+                                    i += 1;
+                                }
+                            }
+                        }
+                        Some(_) => {
+                            let rest = &src[i..];
+                            let ch = rest.chars().next().expect("non-empty");
+                            if ch == '\n' {
+                                line += 1;
+                            }
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| PhpLexError {
+                        line,
+                        message: format!("bad float {text}"),
+                    })?)
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => Tok::Int(v),
+                        // PHP promotes overflowing int literals to float.
+                        Err(_) => Tok::Float(text.parse().map_err(|_| PhpLexError {
+                            line,
+                            message: format!("bad number {text}"),
+                        })?),
+                    }
+                };
+                out.push(SpannedTok { tok, line });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                for sym in SYMBOLS {
+                    if src[i..].starts_with(sym) {
+                        // `<>` is an alias of `!=`.
+                        let canonical = if *sym == "<>" { "!=" } else { sym };
+                        out.push(SpannedTok {
+                            tok: Tok::Sym(canonical),
+                            line,
+                        });
+                        i += sym.len();
+                        continue 'outer;
+                    }
+                }
+                return Err(PhpLexError {
+                    line,
+                    message: format!("unexpected character {:?}", src[i..].chars().next()),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn variables_and_ops() {
+        assert_eq!(
+            toks("$a = $b . 'x';"),
+            vec![
+                Tok::Var("a".into()),
+                Tok::Sym("="),
+                Tok::Var("b".into()),
+                Tok::Sym("."),
+                Tok::Str("x".into()),
+                Tok::Sym(";")
+            ]
+        );
+    }
+
+    #[test]
+    fn php_tag_stripped() {
+        assert_eq!(toks("<?php $x;"), toks("$x;"));
+    }
+
+    #[test]
+    fn multi_char_operators_longest_match() {
+        assert_eq!(
+            toks("a === b !== c <= d .= e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Sym("==="),
+                Tok::Ident("b".into()),
+                Tok::Sym("!=="),
+                Tok::Ident("c".into()),
+                Tok::Sym("<="),
+                Tok::Ident("d".into()),
+                Tok::Sym(".="),
+                Tok::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""a\nb""#), vec![Tok::Str("a\nb".into())]);
+        assert_eq!(toks(r#"'a\nb'"#), vec![Tok::Str("a\\nb".into())]);
+        assert_eq!(toks(r#"'it\'s'"#), vec![Tok::Str("it's".into())]);
+        assert_eq!(toks(r#""\$var""#), vec![Tok::Str("$var".into())]);
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_counted() {
+        let spanned = tokenize("// one\n# two\n/* three\nfour */\n$x").unwrap();
+        assert_eq!(spanned.len(), 1);
+        assert_eq!(spanned[0].line, 5);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 3.5"), vec![Tok::Int(42), Tok::Float(3.5)]);
+        // Overflowing literal becomes float.
+        assert!(matches!(
+            toks("99999999999999999999")[0],
+            Tok::Float(_)
+        ));
+    }
+
+    #[test]
+    fn ne_alias() {
+        assert_eq!(toks("a <> b")[1], Tok::Sym("!="));
+    }
+
+    #[test]
+    fn error_on_bad_char() {
+        assert!(tokenize("$x = `bad`;").is_err());
+    }
+}

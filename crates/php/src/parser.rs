@@ -1,0 +1,918 @@
+//! Recursive-descent parser for the PHP subset.
+
+use crate::ast::{AssignOp, BinOp, Expr, FunctionDecl, LValue, Script, Stmt};
+use crate::lexer::{tokenize, PhpLexError, SpannedTok, Tok};
+use std::fmt;
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhpParseError {
+    /// Tokenizer failure.
+    Lex(PhpLexError),
+    /// Grammar failure.
+    Syntax {
+        /// 1-based source line.
+        line: u32,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for PhpParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhpParseError::Lex(e) => write!(f, "{e}"),
+            PhpParseError::Syntax { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PhpParseError {}
+
+impl From<PhpLexError> for PhpParseError {
+    fn from(e: PhpLexError) -> Self {
+        PhpParseError::Lex(e)
+    }
+}
+
+/// Parses a PHP script.
+///
+/// # Examples
+///
+/// ```
+/// use orochi_php::parse_script;
+///
+/// let script = parse_script("<?php function f($x) { return $x + 1; } echo f(1);").unwrap();
+/// assert_eq!(script.functions.len(), 1);
+/// assert_eq!(script.body.len(), 1);
+/// ```
+pub fn parse_script(src: &str) -> Result<Script, PhpParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut script = Script::default();
+    while !p.done() {
+        if p.peek_kw("function") {
+            script.functions.push(p.function_decl()?);
+        } else {
+            script.body.push(p.statement()?);
+        }
+    }
+    Ok(script)
+}
+
+struct Parser {
+    tokens: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn done(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> PhpParseError {
+        PhpParseError::Syntax {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn peek_sym(&self, sym: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Sym(s)) if *s == sym)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if self.peek_sym(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), PhpParseError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected '{sym}', found {}",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "eof".into())
+            )))
+        }
+    }
+
+    fn expect_var(&mut self) -> Result<String, PhpParseError> {
+        match self.peek() {
+            Some(Tok::Var(n)) => {
+                let n = n.clone();
+                self.pos += 1;
+                Ok(n)
+            }
+            _ => Err(self.err("expected variable")),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, PhpParseError> {
+        match self.peek() {
+            Some(Tok::Ident(n)) => {
+                let n = n.clone();
+                self.pos += 1;
+                Ok(n)
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn function_decl(&mut self) -> Result<FunctionDecl, PhpParseError> {
+        self.eat_kw("function");
+        let name = self.expect_ident()?.to_ascii_lowercase();
+        self.expect_sym("(")?;
+        let mut params = Vec::new();
+        if !self.peek_sym(")") {
+            loop {
+                let pname = self.expect_var()?;
+                let default = if self.eat_sym("=") {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                params.push((pname, default));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_sym(")")?;
+        let body = self.block()?;
+        Ok(FunctionDecl { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, PhpParseError> {
+        self.expect_sym("{")?;
+        let mut out = Vec::new();
+        while !self.peek_sym("}") {
+            if self.done() {
+                return Err(self.err("unterminated block"));
+            }
+            out.push(self.statement()?);
+        }
+        self.expect_sym("}")?;
+        Ok(out)
+    }
+
+    /// A single statement, or a brace block flattened to its statements.
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, PhpParseError> {
+        if self.peek_sym("{") {
+            self.block()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, PhpParseError> {
+        if self.peek_kw("echo") {
+            self.pos += 1;
+            let mut exprs = vec![self.expr()?];
+            while self.eat_sym(",") {
+                exprs.push(self.expr()?);
+            }
+            self.expect_sym(";")?;
+            return Ok(Stmt::Echo(exprs));
+        }
+        if self.peek_kw("if") {
+            self.pos += 1;
+            return self.if_tail();
+        }
+        if self.peek_kw("while") {
+            self.pos += 1;
+            self.expect_sym("(")?;
+            let cond = self.expr()?;
+            self.expect_sym(")")?;
+            let body = self.stmt_or_block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.peek_kw("for") {
+            self.pos += 1;
+            self.expect_sym("(")?;
+            let mut init = Vec::new();
+            if !self.peek_sym(";") {
+                init.push(self.expr()?);
+                while self.eat_sym(",") {
+                    init.push(self.expr()?);
+                }
+            }
+            self.expect_sym(";")?;
+            let cond = if self.peek_sym(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_sym(";")?;
+            let mut step = Vec::new();
+            if !self.peek_sym(")") {
+                step.push(self.expr()?);
+                while self.eat_sym(",") {
+                    step.push(self.expr()?);
+                }
+            }
+            self.expect_sym(")")?;
+            let body = self.stmt_or_block()?;
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            });
+        }
+        if self.peek_kw("foreach") {
+            self.pos += 1;
+            self.expect_sym("(")?;
+            let array = self.expr()?;
+            if !self.eat_kw("as") {
+                return Err(self.err("expected 'as' in foreach"));
+            }
+            let first = self.expect_var()?;
+            let (key_var, value_var) = if self.eat_sym("=>") {
+                (Some(first), self.expect_var()?)
+            } else {
+                (None, first)
+            };
+            self.expect_sym(")")?;
+            let body = self.stmt_or_block()?;
+            return Ok(Stmt::Foreach {
+                array,
+                key_var,
+                value_var,
+                body,
+            });
+        }
+        if self.peek_kw("switch") {
+            self.pos += 1;
+            self.expect_sym("(")?;
+            let subject = self.expr()?;
+            self.expect_sym(")")?;
+            self.expect_sym("{")?;
+            let mut cases = Vec::new();
+            let mut default = None;
+            while !self.peek_sym("}") {
+                if self.eat_kw("case") {
+                    let val = self.expr()?;
+                    self.expect_sym(":")?;
+                    let body = self.case_body()?;
+                    cases.push((val, body));
+                } else if self.eat_kw("default") {
+                    self.expect_sym(":")?;
+                    let body = self.case_body()?;
+                    if default.is_some() {
+                        return Err(self.err("duplicate default"));
+                    }
+                    default = Some((cases.len(), body));
+                } else {
+                    return Err(self.err("expected case/default"));
+                }
+            }
+            self.expect_sym("}")?;
+            return Ok(Stmt::Switch {
+                subject,
+                cases,
+                default,
+            });
+        }
+        if self.peek_kw("break") {
+            self.pos += 1;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.peek_kw("continue") {
+            self.pos += 1;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.peek_kw("return") {
+            self.pos += 1;
+            let value = if self.peek_sym(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_sym(";")?;
+            return Ok(Stmt::Return(value));
+        }
+        if self.peek_kw("global") {
+            self.pos += 1;
+            let mut names = vec![self.expect_var()?];
+            while self.eat_sym(",") {
+                names.push(self.expect_var()?);
+            }
+            self.expect_sym(";")?;
+            return Ok(Stmt::Global(names));
+        }
+        if self.peek_kw("unset") {
+            self.pos += 1;
+            self.expect_sym("(")?;
+            let lv = self.lvalue()?;
+            self.expect_sym(")")?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Unset(lv));
+        }
+        if self.peek_sym("{") {
+            // Bare block: flatten (we have no block scoping).
+            let body = self.block()?;
+            return Ok(Stmt::If {
+                arms: vec![(Expr::Bool(true), body)],
+                otherwise: vec![],
+            });
+        }
+        let e = self.expr()?;
+        self.expect_sym(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn if_tail(&mut self) -> Result<Stmt, PhpParseError> {
+        self.expect_sym("(")?;
+        let cond = self.expr()?;
+        self.expect_sym(")")?;
+        let body = self.stmt_or_block()?;
+        let mut arms = vec![(cond, body)];
+        let mut otherwise = Vec::new();
+        loop {
+            if self.peek_kw("elseif") {
+                self.pos += 1;
+                self.expect_sym("(")?;
+                let c = self.expr()?;
+                self.expect_sym(")")?;
+                let b = self.stmt_or_block()?;
+                arms.push((c, b));
+            } else if self.peek_kw("else") {
+                if self.peek2().is_some_and(|t| t.is_kw("if")) {
+                    self.pos += 2;
+                    self.expect_sym("(")?;
+                    let c = self.expr()?;
+                    self.expect_sym(")")?;
+                    let b = self.stmt_or_block()?;
+                    arms.push((c, b));
+                } else {
+                    self.pos += 1;
+                    otherwise = self.stmt_or_block()?;
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(Stmt::If { arms, otherwise })
+    }
+
+    fn case_body(&mut self) -> Result<Vec<Stmt>, PhpParseError> {
+        let mut out = Vec::new();
+        while !self.peek_sym("}") && !self.peek_kw("case") && !self.peek_kw("default") {
+            if self.done() {
+                return Err(self.err("unterminated switch"));
+            }
+            out.push(self.statement()?);
+        }
+        Ok(out)
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, PhpParseError> {
+        let var = self.expect_var()?;
+        let mut path = Vec::new();
+        while self.peek_sym("[") {
+            self.pos += 1;
+            if self.eat_sym("]") {
+                path.push(None);
+            } else {
+                let idx = self.expr()?;
+                self.expect_sym("]")?;
+                path.push(Some(idx));
+            }
+        }
+        Ok(LValue { var, path })
+    }
+
+    // Expression precedence, loosest first:
+    //   assignment > ternary > or > and > equality/relational >
+    //   additive(+ - .) > multiplicative > unary > postfix > atom
+    fn expr(&mut self) -> Result<Expr, PhpParseError> {
+        self.assignment()
+    }
+
+    /// Checks whether an lvalue-shaped assignment starts here; PHP
+    /// assignment is right-associative and an expression.
+    fn assignment(&mut self) -> Result<Expr, PhpParseError> {
+        if let Some(Tok::Var(_)) = self.peek() {
+            // Look ahead for `$x ... op=`: try to parse an lvalue and an
+            // assignment operator; backtrack otherwise.
+            let save = self.pos;
+            if let Ok(lv) = self.lvalue() {
+                let op = match self.peek() {
+                    Some(Tok::Sym("=")) => Some(AssignOp::Set),
+                    Some(Tok::Sym("+=")) => Some(AssignOp::Add),
+                    Some(Tok::Sym("-=")) => Some(AssignOp::Sub),
+                    Some(Tok::Sym("*=")) => Some(AssignOp::Mul),
+                    Some(Tok::Sym("/=")) => Some(AssignOp::Div),
+                    Some(Tok::Sym("%=")) => Some(AssignOp::Mod),
+                    Some(Tok::Sym(".=")) => Some(AssignOp::Concat),
+                    _ => None,
+                };
+                if let Some(op) = op {
+                    self.pos += 1;
+                    let value = self.assignment()?;
+                    return Ok(Expr::Assign {
+                        target: lv,
+                        op,
+                        value: Box::new(value),
+                    });
+                }
+            }
+            self.pos = save;
+        }
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, PhpParseError> {
+        let cond = self.or_expr()?;
+        if self.eat_sym("?") {
+            if self.eat_sym(":") {
+                let otherwise = self.ternary()?;
+                return Ok(Expr::Ternary {
+                    cond: Box::new(cond),
+                    then: None,
+                    otherwise: Box::new(otherwise),
+                });
+            }
+            let then = self.expr()?;
+            self.expect_sym(":")?;
+            let otherwise = self.ternary()?;
+            return Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then: Some(Box::new(then)),
+                otherwise: Box::new(otherwise),
+            });
+        }
+        Ok(cond)
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, PhpParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_sym("||") || self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, PhpParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_sym("&&") || self.eat_kw("and") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, PhpParseError> {
+        let lhs = self.add_expr()?;
+        for (sym, op) in [
+            ("===", BinOp::Identical),
+            ("!==", BinOp::NotIdentical),
+            ("==", BinOp::Eq),
+            ("!=", BinOp::Ne),
+            ("<=", BinOp::Le),
+            (">=", BinOp::Ge),
+            ("<", BinOp::Lt),
+            (">", BinOp::Gt),
+        ] {
+            if self.eat_sym(sym) {
+                let rhs = self.add_expr()?;
+                return Ok(Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                });
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, PhpParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = if self.eat_sym("+") {
+                BinOp::Add
+            } else if self.eat_sym("-") {
+                BinOp::Sub
+            } else if self.eat_sym(".") {
+                BinOp::Concat
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, PhpParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = if self.eat_sym("*") {
+                BinOp::Mul
+            } else if self.eat_sym("/") {
+                BinOp::Div
+            } else if self.eat_sym("%") {
+                BinOp::Mod
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, PhpParseError> {
+        if self.eat_sym("!") {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        if self.eat_sym("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat_sym("+") {
+            return self.unary();
+        }
+        if self.eat_sym("++") {
+            let lv = self.lvalue()?;
+            return Ok(Expr::IncDec {
+                target: lv,
+                inc: true,
+                pre: true,
+            });
+        }
+        if self.eat_sym("--") {
+            let lv = self.lvalue()?;
+            return Ok(Expr::IncDec {
+                target: lv,
+                inc: false,
+                pre: true,
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, PhpParseError> {
+        // Postfix ++/-- only apply to lvalues; detect them first.
+        if let Some(Tok::Var(_)) = self.peek() {
+            let save = self.pos;
+            if let Ok(lv) = self.lvalue() {
+                if self.eat_sym("++") {
+                    return Ok(Expr::IncDec {
+                        target: lv,
+                        inc: true,
+                        pre: false,
+                    });
+                }
+                if self.eat_sym("--") {
+                    return Ok(Expr::IncDec {
+                        target: lv,
+                        inc: false,
+                        pre: false,
+                    });
+                }
+            }
+            self.pos = save;
+        }
+        let mut expr = self.atom()?;
+        while self.peek_sym("[") {
+            self.pos += 1;
+            let idx = self.expr()?;
+            self.expect_sym("]")?;
+            expr = Expr::Index {
+                base: Box::new(expr),
+                index: Box::new(idx),
+            };
+        }
+        Ok(expr)
+    }
+
+    fn atom(&mut self) -> Result<Expr, PhpParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Int(i))
+            }
+            Some(Tok::Float(x)) => {
+                self.pos += 1;
+                Ok(Expr::Float(x))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Str(s))
+            }
+            Some(Tok::Var(n)) => {
+                self.pos += 1;
+                Ok(Expr::Var(n))
+            }
+            Some(Tok::Sym("(")) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Sym("[")) => {
+                self.pos += 1;
+                let pairs = self.array_pairs("]")?;
+                Ok(Expr::ArrayLit(pairs))
+            }
+            Some(Tok::Ident(name)) => {
+                let lname = name.to_ascii_lowercase();
+                self.pos += 1;
+                match lname.as_str() {
+                    "true" => Ok(Expr::Bool(true)),
+                    "false" => Ok(Expr::Bool(false)),
+                    "null" => Ok(Expr::Null),
+                    "array" => {
+                        self.expect_sym("(")?;
+                        let pairs = self.array_pairs(")")?;
+                        Ok(Expr::ArrayLit(pairs))
+                    }
+                    "isset" => {
+                        self.expect_sym("(")?;
+                        let lv = self.lvalue()?;
+                        self.expect_sym(")")?;
+                        Ok(Expr::Isset(lv))
+                    }
+                    "empty" => {
+                        self.expect_sym("(")?;
+                        let e = self.expr()?;
+                        self.expect_sym(")")?;
+                        Ok(Expr::Empty(Box::new(e)))
+                    }
+                    "list" => Err(self.err("list() is not supported")),
+                    _ => {
+                        self.expect_sym("(")?;
+                        let mut args = Vec::new();
+                        if !self.peek_sym(")") {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat_sym(",") {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect_sym(")")?;
+                        Ok(Expr::Call { name: lname, args })
+                    }
+                }
+            }
+            other => Err(self.err(format!(
+                "expected expression, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "eof".into())
+            ))),
+        }
+    }
+
+    fn array_pairs(
+        &mut self,
+        close: &str,
+    ) -> Result<Vec<(Option<Expr>, Expr)>, PhpParseError> {
+        let mut pairs = Vec::new();
+        while !self.peek_sym(close) {
+            let first = self.expr()?;
+            if self.eat_sym("=>") {
+                let value = self.expr()?;
+                pairs.push((Some(first), value));
+            } else {
+                pairs.push((None, first));
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(close)?;
+        Ok(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_and_body() {
+        let s = parse_script(
+            "<?php
+            function add($a, $b = 1) { return $a + $b; }
+            echo add(2), \"\\n\";",
+        )
+        .unwrap();
+        assert_eq!(s.functions[0].name, "add");
+        assert_eq!(s.functions[0].params.len(), 2);
+        assert!(s.functions[0].params[1].1.is_some());
+        assert!(matches!(s.body[0], Stmt::Echo(_)));
+    }
+
+    #[test]
+    fn if_elseif_else_chain() {
+        let s = parse_script(
+            "if ($a) { echo 1; } elseif ($b) { echo 2; } else if ($c) { echo 3; } else { echo 4; }",
+        )
+        .unwrap();
+        match &s.body[0] {
+            Stmt::If { arms, otherwise } => {
+                assert_eq!(arms.len(), 3);
+                assert_eq!(otherwise.len(), 1);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreach_forms() {
+        let s = parse_script("foreach ($a as $v) echo $v; foreach ($a as $k => $v) { echo $k; }")
+            .unwrap();
+        match &s.body[0] {
+            Stmt::Foreach { key_var, .. } => assert!(key_var.is_none()),
+            other => panic!("expected foreach, got {other:?}"),
+        }
+        match &s.body[1] {
+            Stmt::Foreach { key_var, .. } => assert_eq!(key_var.as_deref(), Some("k")),
+            other => panic!("expected foreach, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn switch_with_default() {
+        let s = parse_script(
+            "switch ($x) { case 1: echo 'a'; break; case 2: echo 'b'; default: echo 'c'; }",
+        )
+        .unwrap();
+        match &s.body[0] {
+            Stmt::Switch { cases, default, .. } => {
+                assert_eq!(cases.len(), 2);
+                assert!(default.is_some());
+            }
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_array_assignment() {
+        let s = parse_script("$a['x'][2] = 5; $b[] = 1;").unwrap();
+        match &s.body[0] {
+            Stmt::Expr(Expr::Assign { target, .. }) => {
+                assert_eq!(target.var, "a");
+                assert_eq!(target.path.len(), 2);
+                assert!(target.path[0].is_some());
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+        match &s.body[1] {
+            Stmt::Expr(Expr::Assign { target, .. }) => {
+                assert_eq!(target.path, vec![None]);
+            }
+            other => panic!("expected append, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compound_assignment_and_incdec() {
+        let s = parse_script("$a += 2; $a .= 'x'; $i++; ++$j; $k--;").unwrap();
+        assert!(matches!(
+            &s.body[0],
+            Stmt::Expr(Expr::Assign {
+                op: AssignOp::Add,
+                ..
+            })
+        ));
+        assert!(matches!(
+            &s.body[2],
+            Stmt::Expr(Expr::IncDec {
+                inc: true,
+                pre: false,
+                ..
+            })
+        ));
+        assert!(matches!(
+            &s.body[3],
+            Stmt::Expr(Expr::IncDec {
+                inc: true,
+                pre: true,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn ternary_forms() {
+        let s = parse_script("$x = $a ? 1 : 2; $y = $b ?: 3;").unwrap();
+        match &s.body[1] {
+            Stmt::Expr(Expr::Assign { value, .. }) => {
+                assert!(matches!(**value, Expr::Ternary { then: None, .. }));
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_literals() {
+        let s = parse_script("$a = array(1, 'k' => 2); $b = [3, 4 => 5];").unwrap();
+        match &s.body[0] {
+            Stmt::Expr(Expr::Assign { value, .. }) => match &**value {
+                Expr::ArrayLit(pairs) => {
+                    assert_eq!(pairs.len(), 2);
+                    assert!(pairs[0].0.is_none());
+                    assert!(pairs[1].0.is_some());
+                }
+                other => panic!("expected array literal, got {other:?}"),
+            },
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn isset_empty_unset() {
+        let s = parse_script("if (isset($a['k']) && !empty($b)) { unset($a['k']); }").unwrap();
+        assert!(matches!(&s.body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn operator_precedence_and_or() {
+        // a || b && c parses as a || (b && c).
+        let s = parse_script("$x = $a || $b && $c;").unwrap();
+        match &s.body[0] {
+            Stmt::Expr(Expr::Assign { value, .. }) => match &**value {
+                Expr::Binary {
+                    op: BinOp::Or, rhs, ..
+                } => assert!(matches!(**rhs, Expr::Binary { op: BinOp::And, .. })),
+                other => panic!("expected ||, got {other:?}"),
+            },
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concat_same_precedence_as_add() {
+        // Left-assoc chain: ((('a' . 1) + 2) . 'b') — PHP 7 semantics.
+        let s = parse_script("$x = 'a' . 1 . 'b';").unwrap();
+        assert!(matches!(&s.body[0], Stmt::Expr(Expr::Assign { .. })));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_script("if ($a { }").is_err());
+        assert!(parse_script("function () {}").is_err());
+        assert!(parse_script("$x = ;").is_err());
+        assert!(parse_script("foreach ($a as) {}").is_err());
+    }
+
+    #[test]
+    fn global_statement() {
+        let s = parse_script("function f() { global $db, $cfg; return $db; }").unwrap();
+        assert!(matches!(&s.functions[0].body[0], Stmt::Global(names) if names.len() == 2));
+    }
+}

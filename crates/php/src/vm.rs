@@ -1,0 +1,1294 @@
+//! The scalar VM: executes compiled scripts one request at a time.
+//!
+//! This is the runtime the online server uses (with a recording backend)
+//! and the verifier's per-request fallback path. It maintains the
+//! **control-flow digest** (§4.3): at every conditional branch, switch
+//! dispatch, and iteration step, the digest absorbs the program counter
+//! and the direction taken, so requests with identical digests followed
+//! identical control-flow paths.
+//!
+//! PHP semantics implemented here (arithmetic overflow to float, `/`
+//! returning int only for exact integer division, string offsets, array
+//! copy-on-write) are shared with the multivalue VM via
+//! [`crate::builtins`] and the ops in this module's `ops` submodule.
+
+use crate::backend::{BackendError, RuntimeBackend};
+use crate::builtins::{self, Host};
+use crate::bytecode::{CompiledFunction, CompiledScript, Op};
+use crate::value::{ArrayKey, PhpArray, Value};
+use orochi_common::codec::Wire;
+use std::fmt;
+use std::sync::Arc;
+
+/// The session cookie name every application uses.
+pub const SESSION_COOKIE: &str = "sess";
+
+/// Runtime failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// A fatal PHP error: the request answers with a 500 page. The
+    /// message is deterministic, so the verifier reproduces it exactly.
+    Fatal(String),
+    /// The verifier-side backend rejected an operation; the audit fails.
+    AuditReject(String),
+    /// `exit` / `die`: normal termination.
+    Exit,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Fatal(m) => write!(f, "fatal error: {m}"),
+            VmError::AuditReject(m) => write!(f, "audit rejection: {m}"),
+            VmError::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+impl From<BackendError> for VmError {
+    fn from(e: BackendError) -> Self {
+        match e {
+            BackendError::AuditReject(m) => VmError::AuditReject(m),
+            BackendError::Fatal(m) => VmError::Fatal(m),
+        }
+    }
+}
+
+/// The request as the runtime sees it (decoupled from `orochi-trace`).
+#[derive(Debug, Clone, Default)]
+pub struct RequestInput {
+    /// HTTP method.
+    pub method: String,
+    /// Script path.
+    pub path: String,
+    /// `$_GET`.
+    pub get: Vec<(String, String)>,
+    /// `$_POST`.
+    pub post: Vec<(String, String)>,
+    /// `$_COOKIE`.
+    pub cookies: Vec<(String, String)>,
+}
+
+impl RequestInput {
+    /// The session cookie value, if the client sent one.
+    pub fn session_cookie(&self) -> Option<&str> {
+        self.cookies
+            .iter()
+            .find(|(k, _)| k == SESSION_COOKIE)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// What the runtime produced for a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestOutput {
+    /// HTTP status (200 unless set; 500 on fatal error).
+    pub status: u16,
+    /// Headers added by the program.
+    pub headers: Vec<(String, String)>,
+    /// The page body.
+    pub body: String,
+}
+
+/// Execution counters (feed Figs. 10 and 11).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Instructions executed.
+    pub instructions: u64,
+}
+
+/// Result of running one request.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The response content.
+    pub output: RequestOutput,
+    /// The control-flow digest (the server's grouping tag, §4.3).
+    pub digest: u64,
+    /// Execution counters.
+    pub stats: ExecStats,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over bytes; used to seed the digest with the script path.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Mixes one branch decision into a digest.
+#[inline]
+pub fn digest_mix(digest: u64, pc: u32, taken: bool) -> u64 {
+    (digest ^ ((pc as u64) << 1 | taken as u64)).wrapping_mul(FNV_PRIME)
+}
+
+/// Which function a frame executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FnRef {
+    Main,
+    User(u16),
+}
+
+/// An active foreach iterator (snapshot semantics).
+#[derive(Debug)]
+struct ArrayIter {
+    pairs: Vec<(ArrayKey, Value)>,
+    pos: usize,
+}
+
+#[derive(Debug)]
+struct Frame {
+    func: FnRef,
+    pc: usize,
+    locals: Vec<Value>,
+    iters: Vec<ArrayIter>,
+    stack_base: usize,
+}
+
+/// The scalar virtual machine.
+pub struct Vm<'a> {
+    script: &'a CompiledScript,
+    backend: &'a mut dyn RuntimeBackend,
+    pub(crate) globals: Vec<Value>,
+    stack: Vec<Value>,
+    frames: Vec<Frame>,
+    pub(crate) output: String,
+    pub(crate) headers: Vec<(String, String)>,
+    pub(crate) status: u16,
+    digest: u64,
+    pub(crate) session_started: bool,
+    session_cookie: Option<String>,
+    pub(crate) last_insert_id: i64,
+    pub(crate) last_affected: i64,
+    stats: ExecStats,
+    step_limit: u64,
+}
+
+/// Runs one request through a compiled script.
+///
+/// On a fatal error the result is a deterministic 500 response — the
+/// online server and the verifier produce the identical page. An
+/// audit-side rejection (only possible with a checking backend) is
+/// returned as `Err`.
+///
+/// # Examples
+///
+/// ```
+/// use orochi_php::backend::NullBackend;
+/// use orochi_php::vm::{run_request, RequestInput};
+/// use orochi_php::{compile, parse_script};
+///
+/// let script = compile(
+///     "/hello.php",
+///     &parse_script("<?php echo 'hello ' . $_GET['who'];").unwrap(),
+/// )
+/// .unwrap();
+/// let mut backend = NullBackend;
+/// let input = RequestInput {
+///     method: "GET".into(),
+///     path: "/hello.php".into(),
+///     get: vec![("who".into(), "world".into())],
+///     ..Default::default()
+/// };
+/// let result = run_request(&script, &mut backend, &input).unwrap();
+/// assert_eq!(result.output.body, "hello world");
+/// assert_eq!(result.output.status, 200);
+/// ```
+pub fn run_request(
+    script: &CompiledScript,
+    backend: &mut dyn RuntimeBackend,
+    input: &RequestInput,
+) -> Result<RunResult, String> {
+    let mut vm = Vm::new(script, backend, input);
+    let outcome = vm.run_main();
+    match outcome {
+        Ok(()) | Err(VmError::Exit) => {
+            // End-of-request hook: leaked transactions become a
+            // deterministic fatal on both the server and the verifier.
+            if let Err(e) = vm.backend.end_of_request() {
+                match VmError::from(e) {
+                    VmError::AuditReject(m) => return Err(m),
+                    VmError::Fatal(m) => return Ok(vm.into_fatal_result(m)),
+                    VmError::Exit => unreachable!("end_of_request cannot exit"),
+                }
+            }
+            // Normal completion: persist the session if one was started.
+            if let Err(e) = vm.write_session_back() {
+                match e {
+                    VmError::AuditReject(m) => return Err(m),
+                    VmError::Fatal(m) => return Ok(vm.into_fatal_result(m)),
+                    VmError::Exit => unreachable!("session write cannot exit"),
+                }
+            }
+            Ok(RunResult {
+                output: RequestOutput {
+                    status: vm.status,
+                    headers: vm.headers.clone(),
+                    body: std::mem::take(&mut vm.output),
+                },
+                digest: vm.digest,
+                stats: vm.stats,
+            })
+        }
+        Err(VmError::Fatal(m)) => Ok(vm.into_fatal_result(m)),
+        Err(VmError::AuditReject(m)) => Err(m),
+    }
+}
+
+impl<'a> Vm<'a> {
+    fn new(
+        script: &'a CompiledScript,
+        backend: &'a mut dyn RuntimeBackend,
+        input: &RequestInput,
+    ) -> Self {
+        let mut globals = vec![Value::Null; script.global_names.len()];
+        globals[0] = pairs_to_array(&input.get);
+        globals[1] = pairs_to_array(&input.post);
+        globals[2] = pairs_to_array(&input.cookies);
+        globals[3] = Value::empty_array(); // $_SESSION until session_start.
+        let mut server = PhpArray::new();
+        server.set(
+            ArrayKey::Str("REQUEST_METHOD".into()),
+            Value::str(input.method.clone()),
+        );
+        server.set(
+            ArrayKey::Str("SCRIPT_NAME".into()),
+            Value::str(input.path.clone()),
+        );
+        globals[4] = Value::array(server);
+        Vm {
+            script,
+            backend,
+            globals,
+            stack: Vec::with_capacity(64),
+            frames: Vec::new(),
+            output: String::new(),
+            headers: Vec::new(),
+            status: 200,
+            digest: fnv1a(script.path.as_bytes()),
+            session_started: false,
+            session_cookie: input.session_cookie().map(str::to_string),
+            last_insert_id: 0,
+            last_affected: 0,
+            stats: ExecStats::default(),
+            step_limit: 200_000_000,
+        }
+    }
+
+    fn into_fatal_result(mut self, message: String) -> RunResult {
+        RunResult {
+            output: RequestOutput {
+                status: 500,
+                headers: Vec::new(),
+                body: format!("Fatal error: {message}"),
+            },
+            digest: self.digest,
+            stats: std::mem::take(&mut self.stats),
+        }
+    }
+
+    #[allow(dead_code)]
+    fn func(&self, fref: FnRef) -> &'a CompiledFunction {
+        match fref {
+            FnRef::Main => &self.script.main,
+            FnRef::User(i) => &self.script.functions[i as usize],
+        }
+    }
+
+    fn write_session_back(&mut self) -> Result<(), VmError> {
+        if !self.session_started {
+            return Ok(());
+        }
+        let Some(cookie) = self.session_cookie.clone() else {
+            return Ok(());
+        };
+        let bytes = self.globals[3].to_wire_bytes();
+        self.backend
+            .register_write(&format!("reg:sess:{cookie}"), bytes)?;
+        Ok(())
+    }
+
+    fn run_main(&mut self) -> Result<(), VmError> {
+        self.frames.push(Frame {
+            func: FnRef::Main,
+            pc: 0,
+            locals: vec![Value::Null; self.script.main.num_locals as usize],
+            iters: Vec::new(),
+            stack_base: 0,
+        });
+        self.interp()
+    }
+
+    fn pop(&mut self) -> Value {
+        self.stack.pop().expect("compiler guarantees stack depth")
+    }
+
+    fn interp(&mut self) -> Result<(), VmError> {
+        loop {
+            if self.stats.instructions >= self.step_limit {
+                return Err(VmError::Fatal("execution step limit exceeded".into()));
+            }
+            self.stats.instructions += 1;
+            let frame = self.frames.last_mut().expect("frame present while running");
+            let code = match frame.func {
+                FnRef::Main => &self.script.main.code,
+                FnRef::User(i) => &self.script.functions[i as usize].code,
+            };
+            let pc = frame.pc;
+            let op = code[pc];
+            frame.pc += 1;
+            match op {
+                Op::Const(i) => self.stack.push(self.script.consts[i as usize].clone()),
+                Op::LoadLocal(s) => {
+                    let frame = self.frames.last().expect("running frame");
+                    self.stack.push(frame.locals[s as usize].clone());
+                }
+                Op::StoreLocal(s) => {
+                    let v = self.pop();
+                    let frame = self.frames.last_mut().expect("running frame");
+                    frame.locals[s as usize] = v;
+                }
+                Op::LoadGlobal(s) => self.stack.push(self.globals[s as usize].clone()),
+                Op::StoreGlobal(s) => {
+                    let v = self.pop();
+                    self.globals[s as usize] = v;
+                }
+                Op::Pop => {
+                    self.pop();
+                }
+                Op::Dup => {
+                    let v = self.stack.last().expect("dup on non-empty stack").clone();
+                    self.stack.push(v);
+                }
+                Op::Swap => {
+                    let n = self.stack.len();
+                    self.stack.swap(n - 1, n - 2);
+                }
+                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod | Op::Concat => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    self.stack.push(ops::binary(op, &a, &b)?);
+                }
+                Op::Eq => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    self.stack.push(Value::Bool(a.loose_eq(&b)));
+                }
+                Op::Ne => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    self.stack.push(Value::Bool(!a.loose_eq(&b)));
+                }
+                Op::Identical => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    self.stack.push(Value::Bool(a.identical(&b)));
+                }
+                Op::NotIdentical => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    self.stack.push(Value::Bool(!a.identical(&b)));
+                }
+                Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    self.stack.push(Value::Bool(ops::relational(op, &a, &b)));
+                }
+                Op::Not => {
+                    let v = self.pop();
+                    self.stack.push(Value::Bool(!v.is_truthy()));
+                }
+                Op::Neg => {
+                    let v = self.pop();
+                    self.stack.push(ops::negate(&v)?);
+                }
+                Op::Jump(t) => {
+                    self.frames.last_mut().expect("running frame").pc = t as usize;
+                }
+                Op::JumpIfFalse(t) => {
+                    let v = self.pop();
+                    let taken = !v.is_truthy();
+                    self.digest = digest_mix(self.digest, pc as u32, taken);
+                    if taken {
+                        self.frames.last_mut().expect("running frame").pc = t as usize;
+                    }
+                }
+                Op::JumpIfTrue(t) => {
+                    let v = self.pop();
+                    let taken = v.is_truthy();
+                    self.digest = digest_mix(self.digest, pc as u32, taken);
+                    if taken {
+                        self.frames.last_mut().expect("running frame").pc = t as usize;
+                    }
+                }
+                Op::NewArray => self.stack.push(Value::empty_array()),
+                Op::AppendStack => {
+                    let v = self.pop();
+                    let arr = self.pop();
+                    self.stack.push(ops::array_append(arr, v)?);
+                }
+                Op::InsertStack => {
+                    let v = self.pop();
+                    let k = self.pop();
+                    let arr = self.pop();
+                    self.stack.push(ops::array_insert(arr, &k, v)?);
+                }
+                Op::IndexGet => {
+                    let k = self.pop();
+                    let base = self.pop();
+                    self.stack.push(ops::index_get(&base, &k));
+                }
+                Op::SetPathLocal(slot, n) => {
+                    let keys = self.pop_keys(n as usize);
+                    let value = self.pop();
+                    let frame = self.frames.last_mut().expect("running frame");
+                    ops::set_path(&mut frame.locals[slot as usize], &keys, value.clone())?;
+                    self.stack.push(value);
+                }
+                Op::SetPathGlobal(slot, n) => {
+                    let keys = self.pop_keys(n as usize);
+                    let value = self.pop();
+                    ops::set_path(&mut self.globals[slot as usize], &keys, value.clone())?;
+                    self.stack.push(value);
+                }
+                Op::AppendPathLocal(slot, n) => {
+                    let keys = self.pop_keys(n as usize - 1);
+                    let value = self.pop();
+                    let frame = self.frames.last_mut().expect("running frame");
+                    ops::append_path(&mut frame.locals[slot as usize], &keys, value.clone())?;
+                    self.stack.push(value);
+                }
+                Op::AppendPathGlobal(slot, n) => {
+                    let keys = self.pop_keys(n as usize - 1);
+                    let value = self.pop();
+                    ops::append_path(&mut self.globals[slot as usize], &keys, value.clone())?;
+                    self.stack.push(value);
+                }
+                Op::UnsetPathLocal(slot, n) => {
+                    let keys = self.pop_keys(n as usize);
+                    let frame = self.frames.last_mut().expect("running frame");
+                    ops::unset_path(&mut frame.locals[slot as usize], &keys);
+                }
+                Op::UnsetPathGlobal(slot, n) => {
+                    let keys = self.pop_keys(n as usize);
+                    ops::unset_path(&mut self.globals[slot as usize], &keys);
+                }
+                Op::IssetPathLocal(slot, n) => {
+                    let keys = self.pop_keys(n as usize);
+                    let frame = self.frames.last().expect("running frame");
+                    self.stack
+                        .push(Value::Bool(ops::isset_path(&frame.locals[slot as usize], &keys)));
+                }
+                Op::IssetPathGlobal(slot, n) => {
+                    let keys = self.pop_keys(n as usize);
+                    self.stack
+                        .push(Value::Bool(ops::isset_path(&self.globals[slot as usize], &keys)));
+                }
+                Op::PreIncLocal(s) | Op::PostIncLocal(s) | Op::PreDecLocal(s)
+                | Op::PostDecLocal(s) => {
+                    let frame = self.frames.last_mut().expect("running frame");
+                    let result = ops::incdec(&mut frame.locals[s as usize], op)?;
+                    self.stack.push(result);
+                }
+                Op::PreIncGlobal(s) | Op::PostIncGlobal(s) | Op::PreDecGlobal(s)
+                | Op::PostDecGlobal(s) => {
+                    let result = ops::incdec(&mut self.globals[s as usize], op)?;
+                    self.stack.push(result);
+                }
+                Op::Call(fidx, argc) => {
+                    let func = &self.script.functions[fidx as usize];
+                    let argc = argc as usize;
+                    let mut locals = vec![Value::Null; func.num_locals as usize];
+                    // Args are on the stack in order; fill param slots.
+                    let args_start = self.stack.len() - argc;
+                    for (i, v) in self.stack.drain(args_start..).enumerate() {
+                        if i < func.num_params as usize {
+                            locals[i] = v;
+                        }
+                    }
+                    #[allow(clippy::needless_range_loop)]
+                    for p in argc..func.num_params as usize {
+                        match func.defaults[p] {
+                            Some(cidx) => locals[p] = self.script.consts[cidx as usize].clone(),
+                            None => {
+                                return Err(VmError::Fatal(format!(
+                                    "too few arguments to function {}()",
+                                    func.name
+                                )))
+                            }
+                        }
+                    }
+                    if self.frames.len() >= 200 {
+                        return Err(VmError::Fatal("call stack depth exceeded".into()));
+                    }
+                    self.frames.push(Frame {
+                        func: FnRef::User(fidx),
+                        pc: 0,
+                        locals,
+                        iters: Vec::new(),
+                        stack_base: self.stack.len(),
+                    });
+                }
+                Op::CallBuiltin(bidx, argc) => {
+                    let argc = argc as usize;
+                    let args_start = self.stack.len() - argc;
+                    let args: Vec<Value> = self.stack.drain(args_start..).collect();
+                    if builtins::is_byref(bidx) {
+                        let (new_target, ret) = builtins::dispatch_byref(bidx, args)?;
+                        self.stack.push(new_target);
+                        self.stack.push(ret);
+                    } else {
+                        let ret = builtins::dispatch(bidx, args, self)?;
+                        self.stack.push(ret);
+                    }
+                }
+                Op::Return => {
+                    let value = self.pop();
+                    let frame = self.frames.pop().expect("returning frame");
+                    if self.frames.is_empty() {
+                        return Ok(());
+                    }
+                    self.stack.truncate(frame.stack_base);
+                    self.stack.push(value);
+                }
+                Op::ReturnNull => {
+                    let frame = self.frames.pop().expect("returning frame");
+                    if self.frames.is_empty() {
+                        return Ok(());
+                    }
+                    self.stack.truncate(frame.stack_base);
+                    self.stack.push(Value::Null);
+                }
+                Op::Echo => {
+                    let v = self.pop();
+                    self.output.push_str(&v.to_php_string());
+                }
+                Op::IterInit => {
+                    let arr = self.pop();
+                    let pairs = match &arr {
+                        Value::Array(a) => a.to_pairs(),
+                        // PHP warns and skips the loop for non-arrays.
+                        _ => Vec::new(),
+                    };
+                    self.frames
+                        .last_mut()
+                        .expect("running frame")
+                        .iters
+                        .push(ArrayIter { pairs, pos: 0 });
+                }
+                Op::IterNext(t) | Op::IterNextKV(t) => {
+                    let frame = self.frames.last_mut().expect("running frame");
+                    let iter = frame
+                        .iters
+                        .last_mut()
+                        .expect("IterInit precedes IterNext");
+                    if iter.pos < iter.pairs.len() {
+                        let (k, v) = iter.pairs[iter.pos].clone();
+                        iter.pos += 1;
+                        self.digest = digest_mix(self.digest, pc as u32, true);
+                        if matches!(op, Op::IterNextKV(_)) {
+                            self.stack.push(k.to_value());
+                        }
+                        self.stack.push(v);
+                    } else {
+                        self.digest = digest_mix(self.digest, pc as u32, false);
+                        frame.pc = t as usize;
+                    }
+                }
+                Op::IterPop => {
+                    self.frames
+                        .last_mut()
+                        .expect("running frame")
+                        .iters
+                        .pop();
+                }
+            }
+        }
+    }
+
+    fn pop_keys(&mut self, n: usize) -> Vec<Value> {
+        if n == 0 {
+            return Vec::new();
+        }
+        self.stack.split_off(self.stack.len() - n)
+    }
+}
+
+impl Host for Vm<'_> {
+    fn echo(&mut self, s: &str) {
+        self.output.push_str(s);
+    }
+
+    fn add_header(&mut self, name: String, value: String) {
+        self.headers.push((name, value));
+    }
+
+    fn set_status(&mut self, code: u16) {
+        self.status = code;
+    }
+
+    fn session_start(&mut self) -> Result<(), VmError> {
+        if self.session_started {
+            return Ok(());
+        }
+        self.session_started = true;
+        let Some(cookie) = self.session_cookie.clone() else {
+            self.globals[3] = Value::empty_array();
+            return Ok(());
+        };
+        let bytes = self.backend.register_read(&format!("reg:sess:{cookie}"))?;
+        self.globals[3] = match bytes {
+            Some(b) => Value::from_wire_bytes(&b)
+                .map_err(|_| VmError::Fatal("corrupt session data".into()))?,
+            None => Value::empty_array(),
+        };
+        Ok(())
+    }
+
+    fn kv_get(&mut self, key: &str) -> Result<Value, VmError> {
+        let bytes = self.backend.kv_get("kv:apc", key)?;
+        Ok(match bytes {
+            Some(b) => Value::from_wire_bytes(&b)
+                .map_err(|_| VmError::Fatal("corrupt apc data".into()))?,
+            None => Value::Bool(false),
+        })
+    }
+
+    fn kv_set(&mut self, key: &str, value: Option<&Value>) -> Result<(), VmError> {
+        let bytes = value.map(|v| v.to_wire_bytes());
+        self.backend.kv_set("kv:apc", key, bytes)?;
+        Ok(())
+    }
+
+    fn db_begin(&mut self) -> Result<(), VmError> {
+        self.backend.db_begin("db:main")?;
+        Ok(())
+    }
+
+    fn db_query(&mut self, sql: &str) -> Result<Value, VmError> {
+        let result = self.backend.db_query("db:main", sql)?;
+        Ok(builtins::db_result_to_value(
+            result,
+            &mut self.last_insert_id,
+            &mut self.last_affected,
+        ))
+    }
+
+    fn db_commit(&mut self) -> Result<bool, VmError> {
+        Ok(self.backend.db_commit("db:main")?)
+    }
+
+    fn db_rollback(&mut self) -> Result<(), VmError> {
+        self.backend.db_rollback("db:main")?;
+        Ok(())
+    }
+
+    fn db_insert_id(&mut self) -> i64 {
+        self.last_insert_id
+    }
+
+    fn db_affected_rows(&mut self) -> i64 {
+        self.last_affected
+    }
+
+    fn nd_time(&mut self) -> Result<i64, VmError> {
+        Ok(self.backend.time()?)
+    }
+
+    fn nd_microtime(&mut self) -> Result<f64, VmError> {
+        Ok(self.backend.microtime()?)
+    }
+
+    fn nd_getpid(&mut self) -> Result<i64, VmError> {
+        Ok(self.backend.getpid()?)
+    }
+
+    fn nd_rand_raw(&mut self) -> Result<i64, VmError> {
+        Ok(self.backend.mt_rand()?)
+    }
+
+    fn nd_uniqid(&mut self) -> Result<String, VmError> {
+        Ok(self.backend.uniqid()?)
+    }
+}
+
+/// The deterministic 404 page for unrouted paths; the online server and
+/// the verifier share it so output comparison is meaningful.
+pub fn not_found_output(path: &str) -> RequestOutput {
+    RequestOutput {
+        status: 404,
+        headers: Vec::new(),
+        body: format!("Not Found: {path}"),
+    }
+}
+
+/// Builds a PHP assoc array from string pairs (superglobal
+/// materialization, §4.2).
+pub fn pairs_to_array(pairs: &[(String, String)]) -> Value {
+    let mut a = PhpArray::new();
+    for (k, v) in pairs {
+        a.set(
+            ArrayKey::from_value(&Value::str(k.clone())),
+            Value::str(v.clone()),
+        );
+    }
+    Value::array(a)
+}
+
+/// Shared scalar operation semantics, used by both the scalar VM and the
+/// multivalue VM (which applies them per lane).
+pub mod ops {
+    use super::*;
+
+    /// Binary arithmetic/string ops with PHP coercions.
+    pub fn binary(op: Op, a: &Value, b: &Value) -> Result<Value, VmError> {
+        match op {
+            Op::Concat => {
+                let mut s = a.to_php_string();
+                s.push_str(&b.to_php_string());
+                Ok(Value::str(s))
+            }
+            Op::Add | Op::Sub | Op::Mul => {
+                if let (Value::Array(_), _) | (_, Value::Array(_)) = (a, b) {
+                    return Err(VmError::Fatal("unsupported operand types: array".into()));
+                }
+                match (int_view(a), int_view(b)) {
+                    (Some(x), Some(y)) => {
+                        let r = match op {
+                            Op::Add => x.checked_add(y),
+                            Op::Sub => x.checked_sub(y),
+                            Op::Mul => x.checked_mul(y),
+                            _ => unreachable!("arith subset"),
+                        };
+                        Ok(match r {
+                            Some(v) => Value::Int(v),
+                            // PHP overflows int arithmetic into float.
+                            None => {
+                                let (x, y) = (x as f64, y as f64);
+                                Value::Float(match op {
+                                    Op::Add => x + y,
+                                    Op::Sub => x - y,
+                                    Op::Mul => x * y,
+                                    _ => unreachable!("arith subset"),
+                                })
+                            }
+                        })
+                    }
+                    _ => {
+                        let (x, y) = (a.to_php_float(), b.to_php_float());
+                        Ok(Value::Float(match op {
+                            Op::Add => x + y,
+                            Op::Sub => x - y,
+                            Op::Mul => x * y,
+                            _ => unreachable!("arith subset"),
+                        }))
+                    }
+                }
+            }
+            Op::Div => {
+                if b.to_php_float() == 0.0 {
+                    return Err(VmError::Fatal("division by zero".into()));
+                }
+                match (int_view(a), int_view(b)) {
+                    (Some(x), Some(y)) if x % y == 0 => Ok(Value::Int(x / y)),
+                    _ => Ok(Value::Float(a.to_php_float() / b.to_php_float())),
+                }
+            }
+            Op::Mod => {
+                let y = b.to_php_int();
+                if y == 0 {
+                    return Err(VmError::Fatal("modulo by zero".into()));
+                }
+                Ok(Value::Int(a.to_php_int() % y))
+            }
+            other => unreachable!("not a binary op: {other:?}"),
+        }
+    }
+
+    /// `<`, `<=`, `>`, `>=` (incomparable pairs yield false).
+    pub fn relational(op: Op, a: &Value, b: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        match a.loose_cmp(b) {
+            None => false,
+            Some(ord) => match op {
+                Op::Lt => ord == Less,
+                Op::Le => ord != Greater,
+                Op::Gt => ord == Greater,
+                Op::Ge => ord != Less,
+                other => unreachable!("not relational: {other:?}"),
+            },
+        }
+    }
+
+    /// Unary minus.
+    pub fn negate(v: &Value) -> Result<Value, VmError> {
+        match v {
+            Value::Int(i) => Ok(match i.checked_neg() {
+                Some(n) => Value::Int(n),
+                None => Value::Float(-(*i as f64)),
+            }),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            Value::Array(_) => Err(VmError::Fatal("cannot negate array".into())),
+            other => Ok(match int_view(other) {
+                Some(i) => Value::Int(-i),
+                None => Value::Float(-other.to_php_float()),
+            }),
+        }
+    }
+
+    /// Integer view used by arithmetic: ints, bools, and null (0).
+    fn int_view(v: &Value) -> Option<i64> {
+        match v {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(*b as i64),
+            Value::Null => Some(0),
+            Value::Str(s) => {
+                // Fully-integer strings act as ints in arithmetic.
+                let t = s.trim();
+                t.parse::<i64>().ok()
+            }
+            _ => None,
+        }
+    }
+
+    /// `++`/`--` on a storage slot (PHP: `null++` is 1, `null--` stays
+    /// null).
+    pub fn incdec(slot: &mut Value, op: Op) -> Result<Value, VmError> {
+        let inc = matches!(op, Op::PreIncLocal(_) | Op::PostIncLocal(_) | Op::PreIncGlobal(_) | Op::PostIncGlobal(_));
+        let pre = matches!(op, Op::PreIncLocal(_) | Op::PreDecLocal(_) | Op::PreIncGlobal(_) | Op::PreDecGlobal(_));
+        let old = slot.clone();
+        let new = match (&old, inc) {
+            (Value::Null, true) => Value::Int(1),
+            (Value::Null, false) => Value::Null,
+            _ => binary(if inc { Op::Add } else { Op::Sub }, &old, &Value::Int(1))?,
+        };
+        *slot = new.clone();
+        Ok(if pre { new } else { old })
+    }
+
+    /// `$a[] = v` on a stack value (array literals).
+    pub fn array_append(arr: Value, v: Value) -> Result<Value, VmError> {
+        match arr {
+            Value::Array(mut rc) => {
+                Arc::make_mut(&mut rc).push(v);
+                Ok(Value::Array(rc))
+            }
+            _ => Err(VmError::Fatal("append to non-array".into())),
+        }
+    }
+
+    /// `$a[k] = v` on a stack value (array literals).
+    pub fn array_insert(arr: Value, k: &Value, v: Value) -> Result<Value, VmError> {
+        match arr {
+            Value::Array(mut rc) => {
+                Arc::make_mut(&mut rc).set(ArrayKey::from_value(k), v);
+                Ok(Value::Array(rc))
+            }
+            _ => Err(VmError::Fatal("insert into non-array".into())),
+        }
+    }
+
+    /// Index read: arrays by key, strings by offset; anything else (or a
+    /// missing key) yields null, as PHP does (sans the notice).
+    pub fn index_get(base: &Value, key: &Value) -> Value {
+        match base {
+            Value::Array(a) => a
+                .get(&ArrayKey::from_value(key))
+                .cloned()
+                .unwrap_or(Value::Null),
+            Value::Str(s) => {
+                let idx = key.to_php_int();
+                if idx < 0 {
+                    let n = s.chars().count() as i64;
+                    let idx = n + idx;
+                    if idx < 0 {
+                        return Value::str("");
+                    }
+                    return Value::str(
+                        s.chars()
+                            .nth(idx as usize)
+                            .map(|c| c.to_string())
+                            .unwrap_or_default(),
+                    );
+                }
+                Value::str(
+                    s.chars()
+                        .nth(idx as usize)
+                        .map(|c| c.to_string())
+                        .unwrap_or_default(),
+                )
+            }
+            _ => Value::Null,
+        }
+    }
+
+    /// Writes through an index path, materializing arrays along the way.
+    pub fn set_path(container: &mut Value, keys: &[Value], value: Value) -> Result<(), VmError> {
+        if keys.is_empty() {
+            *container = value;
+            return Ok(());
+        }
+        ensure_array(container)?;
+        let Value::Array(rc) = container else {
+            unreachable!("ensure_array above");
+        };
+        let arr = Arc::make_mut(rc);
+        let key = ArrayKey::from_value(&keys[0]);
+        if keys.len() == 1 {
+            arr.set(key, value);
+            return Ok(());
+        }
+        if !arr.has_key(&key) {
+            arr.set(key.clone(), Value::Null);
+        }
+        let slot = arr.get_mut(&key).expect("inserted above");
+        set_path(slot, &keys[1..], value)
+    }
+
+    /// Appends through an index path (`$a[k1]..[] = v`).
+    pub fn append_path(container: &mut Value, keys: &[Value], value: Value) -> Result<(), VmError> {
+        ensure_array(container)?;
+        let Value::Array(rc) = container else {
+            unreachable!("ensure_array above");
+        };
+        let arr = Arc::make_mut(rc);
+        if keys.is_empty() {
+            arr.push(value);
+            return Ok(());
+        }
+        let key = ArrayKey::from_value(&keys[0]);
+        if !arr.has_key(&key) {
+            arr.set(key.clone(), Value::Null);
+        }
+        let slot = arr.get_mut(&key).expect("inserted above");
+        append_path(slot, &keys[1..], value)
+    }
+
+    /// Unsets through an index path; missing steps are no-ops.
+    pub fn unset_path(container: &mut Value, keys: &[Value]) {
+        if keys.is_empty() {
+            *container = Value::Null;
+            return;
+        }
+        let Value::Array(rc) = container else {
+            return;
+        };
+        let arr = Arc::make_mut(rc);
+        let key = ArrayKey::from_value(&keys[0]);
+        if keys.len() == 1 {
+            arr.remove(&key);
+            return;
+        }
+        if let Some(slot) = arr.get_mut(&key) {
+            unset_path(slot, &keys[1..]);
+        }
+    }
+
+    /// `isset` through an index path: every step must exist and the
+    /// final value must not be null.
+    pub fn isset_path(container: &Value, keys: &[Value]) -> bool {
+        let mut cur = container;
+        for k in keys {
+            match cur {
+                Value::Array(a) => match a.get(&ArrayKey::from_value(k)) {
+                    Some(v) => cur = v,
+                    None => return false,
+                },
+                Value::Str(s) => {
+                    // isset($s[i]) on strings: offset in range.
+                    let idx = k.to_php_int();
+                    return idx >= 0 && (idx as usize) < s.chars().count();
+                }
+                _ => return false,
+            }
+        }
+        !matches!(cur, Value::Null)
+    }
+
+    fn ensure_array(container: &mut Value) -> Result<(), VmError> {
+        match container {
+            Value::Array(_) => Ok(()),
+            Value::Null => {
+                *container = Value::empty_array();
+                Ok(())
+            }
+            // PHP also auto-vivifies "" into an array historically;
+            // modern PHP errors. We error, deterministically.
+            other => Err(VmError::Fatal(format!(
+                "cannot use {} as array",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::NullBackend;
+    use crate::compiler::compile;
+    use crate::parser::parse_script;
+
+    fn run(src: &str) -> String {
+        run_with(src, &[])
+    }
+
+    fn run_with(src: &str, get: &[(&str, &str)]) -> String {
+        let script = compile("/t.php", &parse_script(src).unwrap()).unwrap();
+        let mut backend = NullBackend;
+        let input = RequestInput {
+            method: "GET".into(),
+            path: "/t.php".into(),
+            get: get
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            ..Default::default()
+        };
+        run_request(&script, &mut backend, &input)
+            .unwrap()
+            .output
+            .body
+    }
+
+    #[test]
+    fn arithmetic_and_echo() {
+        assert_eq!(run("echo 1 + 2 * 3;"), "7");
+        assert_eq!(run("echo 7 / 2;"), "3.5");
+        assert_eq!(run("echo 6 / 2;"), "3");
+        assert_eq!(run("echo 7 % 3;"), "1");
+        assert_eq!(run("echo 'a' . 'b' . 3;"), "ab3");
+        assert_eq!(run("echo -5 + 2;"), "-3");
+    }
+
+    #[test]
+    fn variables_and_assignment() {
+        assert_eq!(run("$x = 4; $x += 2; echo $x;"), "6");
+        assert_eq!(run("$s = 'a'; $s .= 'b'; echo $s;"), "ab");
+        // Assignment is an expression.
+        assert_eq!(run("$a = $b = 3; echo $a + $b;"), "6");
+    }
+
+    #[test]
+    fn superglobals_materialized() {
+        assert_eq!(
+            run_with("echo $_GET['x'] + $_GET['y'];", &[("x", "1"), ("y", "3")]),
+            "4"
+        );
+    }
+
+    #[test]
+    fn if_else_chains() {
+        let src = "$x = 5;
+            if ($x > 10) { echo 'big'; }
+            elseif ($x > 3) { echo 'mid'; }
+            else { echo 'small'; }";
+        assert_eq!(run(src), "mid");
+    }
+
+    #[test]
+    fn while_and_for_loops() {
+        assert_eq!(run("$i = 0; while ($i < 3) { echo $i; $i++; }"), "012");
+        assert_eq!(run("for ($i = 0; $i < 4; $i++) { echo $i; }"), "0123");
+        assert_eq!(
+            run("for ($i = 0; $i < 5; $i++) { if ($i == 2) { continue; } if ($i == 4) { break; } echo $i; }"),
+            "013"
+        );
+    }
+
+    #[test]
+    fn foreach_value_and_kv() {
+        assert_eq!(run("foreach ([3, 4, 5] as $v) { echo $v; }"), "345");
+        assert_eq!(
+            run("foreach (['a' => 1, 'b' => 2] as $k => $v) { echo $k, $v; }"),
+            "a1b2"
+        );
+        // Snapshot semantics: mutation inside the loop is invisible.
+        assert_eq!(
+            run("$a = [1, 2]; foreach ($a as $v) { $a[] = 9; echo $v; }"),
+            "12"
+        );
+    }
+
+    #[test]
+    fn switch_fallthrough_and_default() {
+        let src = "function f($x) {
+            switch ($x) {
+                case 1: return 'one';
+                case 2:
+                case 3: return 'few';
+                default: return 'many';
+            }
+        }
+        echo f(1), f(2), f(3), f(9);";
+        assert_eq!(run(src), "onefewfewmany");
+    }
+
+    #[test]
+    fn functions_defaults_and_recursion() {
+        assert_eq!(
+            run("function inc($x, $by = 1) { return $x + $by; } echo inc(1), inc(1, 5);"),
+            "26"
+        );
+        assert_eq!(
+            run("function fib($n) { if ($n < 2) { return $n; } return fib($n-1) + fib($n-2); } echo fib(10);"),
+            "55"
+        );
+    }
+
+    #[test]
+    fn globals_visible_with_declaration() {
+        let src = "$counter = 10;
+            function bump() { global $counter; $counter++; return $counter; }
+            echo bump(); echo bump(); echo $counter;";
+        assert_eq!(run(src), "111212");
+    }
+
+    #[test]
+    fn locals_do_not_leak() {
+        let src = "$x = 'global';
+            function f() { $x = 'local'; return $x; }
+            echo f(), $x;";
+        assert_eq!(run(src), "localglobal");
+    }
+
+    #[test]
+    fn arrays_nested_paths() {
+        let src = "$a = [];
+            $a['u']['name'] = 'dana';
+            $a['u']['n'] = 2;
+            $a['u']['n'] += 3;
+            $a['list'][] = 'x';
+            $a['list'][] = 'y';
+            echo $a['u']['name'], $a['u']['n'], count($a['list']);";
+        assert_eq!(run(src), "dana52");
+    }
+
+    #[test]
+    fn isset_and_unset() {
+        let src = "$a = ['k' => 1, 'n' => null];
+            echo isset($a['k']) ? 'y' : 'n';
+            echo isset($a['n']) ? 'y' : 'n';
+            echo isset($a['z']) ? 'y' : 'n';
+            unset($a['k']);
+            echo isset($a['k']) ? 'y' : 'n';
+            echo isset($undefined) ? 'y' : 'n';";
+        assert_eq!(run(src), "ynnnn");
+    }
+
+    #[test]
+    fn ternary_and_elvis() {
+        assert_eq!(run("echo 1 ? 'a' : 'b';"), "a");
+        assert_eq!(run("echo 0 ?: 'dflt';"), "dflt");
+        assert_eq!(run("echo 'v' ?: 'dflt';"), "v");
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        // The second operand must not run (division by zero would be
+        // fatal).
+        assert_eq!(run("echo (false && 1 / 0) ? 'y' : 'n';"), "n");
+        assert_eq!(run("echo (true || 1 / 0) ? 'y' : 'n';"), "y");
+    }
+
+    #[test]
+    fn string_indexing() {
+        assert_eq!(run("$s = 'abc'; echo $s[1];"), "b");
+        assert_eq!(run("$s = 'abc'; echo $s[-1];"), "c");
+    }
+
+    #[test]
+    fn fatal_errors_produce_500() {
+        let script = compile("/t.php", &parse_script("echo 1 / 0;").unwrap()).unwrap();
+        let mut b = NullBackend;
+        let result = run_request(
+            &script,
+            &mut b,
+            &RequestInput {
+                path: "/t.php".into(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(result.output.status, 500);
+        assert!(result.output.body.contains("division by zero"));
+    }
+
+    #[test]
+    fn digest_distinguishes_control_flow() {
+        let script = compile(
+            "/t.php",
+            &parse_script("if ($_GET['x'] == 1) { echo 'a'; } else { echo 'b'; }").unwrap(),
+        )
+        .unwrap();
+        let run_digest = |x: &str| {
+            let mut b = NullBackend;
+            run_request(
+                &script,
+                &mut b,
+                &RequestInput {
+                    path: "/t.php".into(),
+                    get: vec![("x".into(), x.into())],
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .digest
+        };
+        assert_eq!(run_digest("1"), run_digest("1"));
+        assert_ne!(run_digest("1"), run_digest("2"));
+        // Same path, different data: same digest.
+        assert_eq!(run_digest("2"), run_digest("3"));
+    }
+
+    #[test]
+    fn digest_depends_on_loop_count() {
+        let script = compile(
+            "/t.php",
+            &parse_script("for ($i = 0; $i < intval($_GET['n']); $i++) { echo $i; }").unwrap(),
+        )
+        .unwrap();
+        let run_digest = |n: &str| {
+            let mut b = NullBackend;
+            run_request(
+                &script,
+                &mut b,
+                &RequestInput {
+                    path: "/t.php".into(),
+                    get: vec![("n".into(), n.into())],
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .digest
+        };
+        assert_ne!(run_digest("2"), run_digest("3"));
+        assert_eq!(run_digest("3"), run_digest("3"));
+    }
+
+    #[test]
+    fn overflow_promotes_to_float() {
+        assert_eq!(
+            run("echo 9223372036854775807 + 1 > 0 ? 'pos' : 'neg';"),
+            "pos"
+        );
+    }
+
+    #[test]
+    fn incdec_semantics() {
+        assert_eq!(run("$i = 1; echo $i++; echo $i; echo ++$i;"), "123");
+        assert_eq!(run("echo $undef++; echo $undef;"), "1"); // null++ -> "" then 1.
+        assert_eq!(run("$a = ['n' => 1]; $a['n']++; echo $a['n'];"), "2");
+    }
+
+    #[test]
+    fn stack_depth_guard() {
+        let out = run("function f() { return f(); } echo f();");
+        // Comes back as a deterministic fatal-error page body.
+        assert!(out.is_empty() || !out.contains("55"));
+    }
+}

@@ -1,0 +1,326 @@
+//! SQL tokenizer.
+//!
+//! Produces a flat token stream for the recursive-descent parser.
+//! Keywords are case-insensitive; identifiers keep their case. String
+//! literals use single quotes with `''` escaping (the dialect the
+//! applications' `db_quote` helper emits).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are matched by the
+    /// parser; the original text is preserved).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// Punctuation or operator: `( ) , * = != <> < <= > >= + - / . ;`.
+    Sym(&'static str),
+}
+
+impl Token {
+    /// True if the token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Lexing error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a SQL string.
+///
+/// # Examples
+///
+/// ```
+/// use orochi_sqldb::lexer::{tokenize, Token};
+///
+/// let toks = tokenize("SELECT id FROM t WHERE name = 'x'").unwrap();
+/// assert!(toks[0].is_kw("select"));
+/// assert_eq!(toks.last().unwrap(), &Token::Str("x".into()));
+/// ```
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::Sym("("));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Sym(")"));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Sym(","));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Sym("*"));
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Sym(";"));
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Sym("+"));
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Sym("/"));
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Sym("%"));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Sym("="));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Sym("!="));
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Sym("<="));
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token::Sym("!="));
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Sym("<"));
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Sym(">="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Sym(">"));
+                    i += 1;
+                }
+            }
+            '-' => {
+                // Comment `-- ...` or minus.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Sym("-"));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                pos: i,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Decode at char granularity for UTF-8.
+                            let rest = &sql[i..];
+                            let ch = rest.chars().next().expect("non-empty rest");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|_| LexError {
+                        pos: start,
+                        message: format!("bad float literal {text}"),
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|_| LexError {
+                        pos: start,
+                        message: format!("integer literal out of range: {text}"),
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '`' => {
+                // Backquoted identifiers are allowed and stripped.
+                let quoted = c == '`';
+                if quoted {
+                    i += 1;
+                }
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = sql[start..i].to_string();
+                if quoted {
+                    if bytes.get(i) != Some(&b'`') {
+                        return Err(LexError {
+                            pos: i,
+                            message: "unterminated backquoted identifier".into(),
+                        });
+                    }
+                    i += 1;
+                }
+                if word.is_empty() {
+                    return Err(LexError {
+                        pos: start,
+                        message: "empty identifier".into(),
+                    });
+                }
+                tokens.push(Token::Word(word));
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_symbols() {
+        let toks = tokenize("SELECT a, b FROM t WHERE a >= 10 AND b != 'x'").unwrap();
+        assert!(toks[0].is_kw("SELECT"));
+        assert!(toks.contains(&Token::Sym(">=")));
+        assert!(toks.contains(&Token::Sym("!=")));
+        assert!(toks.contains(&Token::Str("x".into())));
+    }
+
+    #[test]
+    fn ne_spellings_normalize() {
+        let a = tokenize("a <> b").unwrap();
+        let b = tokenize("a != b").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let toks = tokenize("'o''brien'").unwrap();
+        assert_eq!(toks, vec![Token::Str("o'brien".into())]);
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("42 3.5 -7").unwrap();
+        assert_eq!(toks[0], Token::Int(42));
+        assert_eq!(toks[1], Token::Float(3.5));
+        // Minus is a symbol; the parser folds unary minus.
+        assert_eq!(toks[2], Token::Sym("-"));
+        assert_eq!(toks[3], Token::Int(7));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn backquoted_identifiers() {
+        let toks = tokenize("SELECT `from_col` FROM `table`").unwrap();
+        assert_eq!(toks[1], Token::Word("from_col".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn utf8_in_strings() {
+        let toks = tokenize("'héllo wörld'").unwrap();
+        assert_eq!(toks, vec![Token::Str("héllo wörld".into())]);
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = tokenize("SELECT @x").unwrap_err();
+        assert!(err.message.contains("unexpected"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Table schemas: column definitions, primary keys, auto-increment, and
+//! secondary indexes.
+
+use crate::value::SqlValue;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer (`INT`, `INTEGER`, `BIGINT`).
+    Int,
+    /// Double-precision float (`FLOAT`, `DOUBLE`, `REAL`).
+    Float,
+    /// UTF-8 text (`TEXT`, `VARCHAR(..)`).
+    Text,
+}
+
+impl ColumnType {
+    /// True if `value` is storable in a column of this type (NULL is
+    /// storable everywhere; ints widen into float columns).
+    pub fn admits(self, value: &SqlValue) -> bool {
+        matches!(
+            (self, value),
+            (_, SqlValue::Null)
+                | (ColumnType::Int, SqlValue::Int(_))
+                | (ColumnType::Float, SqlValue::Float(_) | SqlValue::Int(_))
+                | (ColumnType::Text, SqlValue::Text(_))
+        )
+    }
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Data type.
+    pub ty: ColumnType,
+    /// True if this column is the table's primary key.
+    pub primary_key: bool,
+    /// True if the primary key auto-increments (INT primary keys only).
+    pub auto_increment: bool,
+}
+
+/// A table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Names of secondary-indexed columns (`INDEX(col)` clauses).
+    pub indexes: Vec<String>,
+}
+
+impl TableSchema {
+    /// Index of the column named `name`.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Index of the primary-key column, if declared.
+    pub fn primary_key_index(&self) -> Option<usize> {
+        self.columns.iter().position(|c| c.primary_key)
+    }
+
+    /// True if the primary key auto-increments.
+    pub fn has_auto_increment(&self) -> bool {
+        self.columns.iter().any(|c| c.auto_increment)
+    }
+
+    /// All indexed column positions: the primary key plus declared
+    /// secondary indexes.
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(pk) = self.primary_key_index() {
+            out.push(pk);
+        }
+        for idx_name in &self.indexes {
+            if let Some(pos) = self.column_index(idx_name) {
+                if !out.contains(&pos) {
+                    out.push(pos);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "t".into(),
+            columns: vec![
+                ColumnDef {
+                    name: "id".into(),
+                    ty: ColumnType::Int,
+                    primary_key: true,
+                    auto_increment: true,
+                },
+                ColumnDef {
+                    name: "name".into(),
+                    ty: ColumnType::Text,
+                    primary_key: false,
+                    auto_increment: false,
+                },
+                ColumnDef {
+                    name: "score".into(),
+                    ty: ColumnType::Float,
+                    primary_key: false,
+                    auto_increment: false,
+                },
+            ],
+            indexes: vec!["name".into()],
+        }
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = schema();
+        assert_eq!(s.column_index("id"), Some(0));
+        assert_eq!(s.column_index("score"), Some(2));
+        assert_eq!(s.column_index("missing"), None);
+        assert_eq!(s.primary_key_index(), Some(0));
+        assert!(s.has_auto_increment());
+    }
+
+    #[test]
+    fn indexed_columns_include_pk_and_secondary() {
+        assert_eq!(schema().indexed_columns(), vec![0, 1]);
+    }
+
+    #[test]
+    fn type_admission() {
+        assert!(ColumnType::Int.admits(&SqlValue::Int(1)));
+        assert!(!ColumnType::Int.admits(&SqlValue::Float(1.0)));
+        assert!(ColumnType::Float.admits(&SqlValue::Int(1)));
+        assert!(ColumnType::Text.admits(&SqlValue::Null));
+        assert!(!ColumnType::Text.admits(&SqlValue::Int(1)));
+    }
+}

@@ -1,0 +1,245 @@
+//! SQL values and their comparison/coercion semantics.
+//!
+//! The engine stores four scalar types: `NULL`, 64-bit integers, doubles,
+//! and text. Comparison rules follow the usual SQL conventions the
+//! evaluation applications rely on: `NULL` compares equal to nothing
+//! (predicates over `NULL` are false except `IS NULL`), numbers compare
+//! numerically across int/float, and text compares bytewise.
+
+use orochi_common::codec::{Decoder, Encoder, Wire, WireError};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single SQL scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlValue {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl SqlValue {
+    /// True if this is `NULL`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, SqlValue::Null)
+    }
+
+    /// Numeric view, when the value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            SqlValue::Int(i) => Some(*i as f64),
+            SqlValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view, when the value is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            SqlValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued comparison: `None` when either side is `NULL`
+    /// or the types are incomparable.
+    pub fn sql_cmp(&self, other: &SqlValue) -> Option<Ordering> {
+        match (self, other) {
+            (SqlValue::Null, _) | (_, SqlValue::Null) => None,
+            (SqlValue::Text(a), SqlValue::Text(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Equality under SQL semantics (`NULL = anything` is not true).
+    pub fn sql_eq(&self, other: &SqlValue) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Total ordering used by `ORDER BY` and index keys: NULLs sort
+    /// first, then numbers, then text. Unlike [`Self::sql_cmp`] this is a
+    /// total order so sorting is always defined.
+    pub fn order_cmp(&self, other: &SqlValue) -> Ordering {
+        fn rank(v: &SqlValue) -> u8 {
+            match v {
+                SqlValue::Null => 0,
+                SqlValue::Int(_) | SqlValue::Float(_) => 1,
+                SqlValue::Text(_) => 2,
+            }
+        }
+        match (self, other) {
+            (SqlValue::Null, SqlValue::Null) => Ordering::Equal,
+            (SqlValue::Text(a), SqlValue::Text(b)) => a.cmp(b),
+            (a, b) if rank(a) == 1 && rank(b) == 1 => {
+                let (x, y) = (a.as_f64().unwrap_or(0.0), b.as_f64().unwrap_or(0.0));
+                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Key used by hash indexes. Integers and integral floats share a
+    /// key so `WHERE id = 3` matches a row stored as `3.0`.
+    pub fn index_key(&self) -> IndexKey {
+        match self {
+            SqlValue::Null => IndexKey::Null,
+            SqlValue::Int(i) => IndexKey::Int(*i),
+            SqlValue::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                {
+                    IndexKey::Int(*f as i64)
+                } else {
+                    IndexKey::FloatBits(f.to_bits())
+                }
+            }
+            SqlValue::Text(s) => IndexKey::Text(s.clone()),
+        }
+    }
+
+    /// Truthiness for WHERE results (SQL treats non-zero as true).
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            SqlValue::Null => false,
+            SqlValue::Int(i) => *i != 0,
+            SqlValue::Float(f) => *f != 0.0,
+            SqlValue::Text(s) => !s.is_empty(),
+        }
+    }
+}
+
+/// Hashable key form of a [`SqlValue`] for use in hash indexes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IndexKey {
+    /// NULL key (never matched by equality predicates, but storable).
+    Null,
+    /// Integer (also integral floats).
+    Int(i64),
+    /// Non-integral float, by bit pattern.
+    FloatBits(u64),
+    /// Text.
+    Text(String),
+}
+
+impl fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlValue::Null => write!(f, "NULL"),
+            SqlValue::Int(i) => write!(f, "{i}"),
+            SqlValue::Float(x) => write!(f, "{x}"),
+            SqlValue::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl Wire for SqlValue {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            SqlValue::Null => enc.byte(0),
+            SqlValue::Int(i) => {
+                enc.byte(1);
+                enc.i64(*i);
+            }
+            SqlValue::Float(x) => {
+                enc.byte(2);
+                enc.f64(*x);
+            }
+            SqlValue::Text(s) => {
+                enc.byte(3);
+                enc.str(s);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(match dec.byte()? {
+            0 => SqlValue::Null,
+            1 => SqlValue::Int(dec.i64()?),
+            2 => SqlValue::Float(dec.f64()?),
+            3 => SqlValue::Text(dec.str()?),
+            _ => return Err(WireError::Malformed("unknown sql value tag")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(SqlValue::Null.sql_eq(&SqlValue::Null), None);
+        assert_eq!(SqlValue::Null.sql_cmp(&SqlValue::Int(1)), None);
+        assert_eq!(SqlValue::Int(1).sql_eq(&SqlValue::Null), None);
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(
+            SqlValue::Int(2).sql_cmp(&SqlValue::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            SqlValue::Int(2).sql_cmp(&SqlValue::Float(2.5)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn text_comparison_bytewise() {
+        assert_eq!(
+            SqlValue::Text("a".into()).sql_cmp(&SqlValue::Text("b".into())),
+            Some(Ordering::Less)
+        );
+        // Text vs number is incomparable under sql_cmp.
+        assert_eq!(SqlValue::Text("1".into()).sql_cmp(&SqlValue::Int(1)), None);
+    }
+
+    #[test]
+    fn order_cmp_is_total() {
+        let mut vals = [SqlValue::Text("b".into()),
+            SqlValue::Null,
+            SqlValue::Int(3),
+            SqlValue::Float(1.5),
+            SqlValue::Text("a".into())];
+        vals.sort_by(|a, b| a.order_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], SqlValue::Float(1.5));
+        assert_eq!(vals[2], SqlValue::Int(3));
+        assert_eq!(vals[3], SqlValue::Text("a".into()));
+    }
+
+    #[test]
+    fn index_key_unifies_int_and_integral_float() {
+        assert_eq!(SqlValue::Int(3).index_key(), SqlValue::Float(3.0).index_key());
+        assert_ne!(SqlValue::Int(3).index_key(), SqlValue::Float(3.5).index_key());
+        assert_ne!(
+            SqlValue::Text("3".into()).index_key(),
+            SqlValue::Int(3).index_key()
+        );
+    }
+
+    #[test]
+    fn display_escapes_quotes() {
+        assert_eq!(SqlValue::Text("o'brien".into()).to_string(), "'o''brien'");
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for v in [
+            SqlValue::Null,
+            SqlValue::Int(-5),
+            SqlValue::Float(2.75),
+            SqlValue::Text("hi".into()),
+        ] {
+            let bytes = v.to_wire_bytes();
+            assert_eq!(SqlValue::from_wire_bytes(&bytes).unwrap(), v);
+        }
+    }
+}

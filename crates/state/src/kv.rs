@@ -1,0 +1,158 @@
+//! Linearizable key-value store: the object type behind OROCHI's APC.
+//!
+//! PHP applications use shared-memory caches (the Alternative PHP Cache
+//! and friends); OROCHI models them as a key-value store exposing a
+//! single-key get/set interface with linearizable semantics (§4.4).
+//! As with registers, each operation receives a sequence number inside
+//! the critical section so the recorded log order matches the
+//! linearization order.
+
+use orochi_common::ids::SeqNum;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct KvInner {
+    map: HashMap<String, Vec<u8>>,
+    next_seq: u64,
+}
+
+/// A linearizable key-value store over opaque byte values.
+///
+/// # Examples
+///
+/// ```
+/// use orochi_state::KvStore;
+///
+/// let kv = KvStore::new();
+/// kv.set("k", Some(vec![7]));
+/// let (v, _seq) = kv.get("k");
+/// assert_eq!(v, Some(vec![7]));
+/// kv.set("k", None); // Delete.
+/// assert_eq!(kv.get("k").0, None);
+/// ```
+#[derive(Debug, Default)]
+pub struct KvStore {
+    inner: Mutex<KvInner>,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically reads `key`, returning the value (if any) and the
+    /// operation's sequence number.
+    pub fn get(&self, key: &str) -> (Option<Vec<u8>>, SeqNum) {
+        let mut inner = self.inner.lock();
+        inner.next_seq += 1;
+        (inner.map.get(key).cloned(), SeqNum(inner.next_seq))
+    }
+
+    /// Atomically sets `key` to `value` (`None` deletes), returning the
+    /// operation's sequence number.
+    pub fn set(&self, key: &str, value: Option<Vec<u8>>) -> SeqNum {
+        let mut inner = self.inner.lock();
+        inner.next_seq += 1;
+        match value {
+            Some(v) => {
+                inner.map.insert(key.to_string(), v);
+            }
+            None => {
+                inner.map.remove(key);
+            }
+        }
+        SeqNum(inner.next_seq)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True if no key is set.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all key/value pairs, sorted by key (post-audit state
+    /// hand-off).
+    pub fn snapshot(&self) -> Vec<(String, Vec<u8>)> {
+        let inner = self.inner.lock();
+        let mut out: Vec<_> = inner
+            .map
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn get_set_delete() {
+        let kv = KvStore::new();
+        assert_eq!(kv.get("missing").0, None);
+        kv.set("a", Some(vec![1]));
+        assert_eq!(kv.get("a").0, Some(vec![1]));
+        kv.set("a", Some(vec![2]));
+        assert_eq!(kv.get("a").0, Some(vec![2]));
+        kv.set("a", None);
+        assert_eq!(kv.get("a").0, None);
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn seqs_are_dense_across_keys() {
+        let kv = KvStore::new();
+        let s1 = kv.set("a", Some(vec![1]));
+        let (_, s2) = kv.get("b");
+        let s3 = kv.set("c", None);
+        assert_eq!((s1, s2, s3), (SeqNum(1), SeqNum(2), SeqNum(3)));
+    }
+
+    #[test]
+    fn concurrent_ops_unique_dense_seqs() {
+        let kv = Arc::new(KvStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let kv = Arc::clone(&kv);
+            handles.push(thread::spawn(move || {
+                let mut seqs = Vec::new();
+                for i in 0..250 {
+                    let key = format!("k{}", i % 10);
+                    if i % 3 == 0 {
+                        seqs.push(kv.set(&key, Some(vec![t as u8])));
+                    } else {
+                        seqs.push(kv.get(&key).1);
+                    }
+                }
+                seqs
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .map(|s| s.0)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (1..=1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn snapshot_sorted() {
+        let kv = KvStore::new();
+        kv.set("z", Some(vec![3]));
+        kv.set("a", Some(vec![1]));
+        let snap = kv.snapshot();
+        assert_eq!(snap[0].0, "a");
+        assert_eq!(snap[1].0, "z");
+    }
+}

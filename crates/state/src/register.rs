@@ -1,0 +1,186 @@
+//! Atomic registers: the object type backing per-user session data.
+//!
+//! Registers expose a read/write interface with atomic semantics
+//! (§3.2, citing Lamport's atomic registers). OROCHI uses them for PHP
+//! "session data": per-user persistent state indexed by browser cookie
+//! (§4.4). Constructing the session variable is the read; the runtime
+//! writes the register at the end of a request.
+//!
+//! Each register assigns a sequence number to every operation *inside its
+//! critical section*, so the sequence order equals the linearization
+//! order; the record library needs this to assemble truthful logs.
+
+use orochi_common::ids::SeqNum;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct RegisterInner {
+    value: Option<Vec<u8>>,
+    next_seq: u64,
+}
+
+/// A single atomic register holding an opaque byte value.
+///
+/// # Examples
+///
+/// ```
+/// use orochi_state::AtomicRegister;
+///
+/// let reg = AtomicRegister::new();
+/// let (old, _s1) = reg.read();
+/// assert_eq!(old, None);
+/// let _s2 = reg.write(vec![1, 2]);
+/// let (now, _s3) = reg.read();
+/// assert_eq!(now, Some(vec![1, 2]));
+/// ```
+#[derive(Debug, Default)]
+pub struct AtomicRegister {
+    inner: Mutex<RegisterInner>,
+}
+
+impl AtomicRegister {
+    /// Creates an empty register (reads return `None` until written).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically reads the register, returning the current value and the
+    /// operation's sequence number.
+    pub fn read(&self) -> (Option<Vec<u8>>, SeqNum) {
+        let mut inner = self.inner.lock();
+        inner.next_seq += 1;
+        (inner.value.clone(), SeqNum(inner.next_seq))
+    }
+
+    /// Atomically writes the register, returning the operation's sequence
+    /// number.
+    pub fn write(&self, value: Vec<u8>) -> SeqNum {
+        let mut inner = self.inner.lock();
+        inner.next_seq += 1;
+        inner.value = Some(value);
+        SeqNum(inner.next_seq)
+    }
+
+    /// Returns the current value without consuming a sequence number
+    /// (used to snapshot final state after the audit period).
+    pub fn peek(&self) -> Option<Vec<u8>> {
+        self.inner.lock().value.clone()
+    }
+}
+
+/// A bank of named registers created on demand.
+///
+/// The online server holds one bank; each session cookie maps to one
+/// register.
+#[derive(Debug, Default)]
+pub struct RegisterBank {
+    registers: Mutex<HashMap<String, Arc<AtomicRegister>>>,
+}
+
+impl RegisterBank {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the register named `name`, creating it if absent.
+    pub fn get_or_create(&self, name: &str) -> Arc<AtomicRegister> {
+        let mut map = self.registers.lock();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicRegister::new())),
+        )
+    }
+
+    /// Snapshot of all register names and final values (post-audit state
+    /// hand-off, §4.1 "persistent objects").
+    pub fn snapshot(&self) -> Vec<(String, Option<Vec<u8>>)> {
+        let map = self.registers.lock();
+        let mut out: Vec<_> = map
+            .iter()
+            .map(|(name, reg)| (name.clone(), reg.peek()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Number of registers materialized so far.
+    pub fn len(&self) -> usize {
+        self.registers.lock().len()
+    }
+
+    /// True if no register has been created.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn seq_numbers_are_dense_and_ordered() {
+        let reg = AtomicRegister::new();
+        let (_, s1) = reg.read();
+        let s2 = reg.write(vec![1]);
+        let (_, s3) = reg.read();
+        assert_eq!((s1, s2, s3), (SeqNum(1), SeqNum(2), SeqNum(3)));
+    }
+
+    #[test]
+    fn concurrent_ops_get_unique_seqs() {
+        let reg = Arc::new(AtomicRegister::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let reg = Arc::clone(&reg);
+            handles.push(thread::spawn(move || {
+                let mut seqs = Vec::new();
+                for i in 0..100 {
+                    if (t + i) % 2 == 0 {
+                        seqs.push(reg.write(vec![t as u8]));
+                    } else {
+                        seqs.push(reg.read().1);
+                    }
+                }
+                seqs
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .map(|s| s.0)
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (1..=800).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn bank_returns_same_register_for_same_name() {
+        let bank = RegisterBank::new();
+        let a = bank.get_or_create("sess:u1");
+        let b = bank.get_or_create("sess:u1");
+        a.write(vec![42]);
+        assert_eq!(b.peek(), Some(vec![42]));
+        assert_eq!(bank.len(), 1);
+    }
+
+    #[test]
+    fn bank_snapshot_sorted_by_name() {
+        let bank = RegisterBank::new();
+        bank.get_or_create("b").write(vec![2]);
+        bank.get_or_create("a").write(vec![1]);
+        let snap = bank.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                ("a".to_string(), Some(vec![1])),
+                ("b".to_string(), Some(vec![2]))
+            ]
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! The trusted collector (middlebox).
+//!
+//! In Dana's scenario (§1) the collector is a middlebox at the network
+//! border that captures end-clients' traffic to and from the application.
+//! Here it is an in-process object the load generator and server share:
+//! the client side calls [`Collector::record_request`] as a request enters
+//! the executor and [`Collector::record_response`] as the response leaves.
+//! Events are appended under a lock, so the trace order is exactly the
+//! order in which the collector observed the events — the property the
+//! model calls "accurate" (§2).
+//!
+//! The collector also assigns requestIDs. The paper has the well-behaved
+//! executor label responses; our collector hands the server the rid along
+//! with the request (as a middlebox-injected header would) and the server
+//! is expected to echo it on the response. A misbehaving server that
+//! mislabels is caught by the balanced-trace check.
+
+use crate::event::{HttpRequest, HttpResponse};
+use crate::record::{Event, Trace};
+use orochi_common::ids::RequestId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe trace collector.
+///
+/// # Examples
+///
+/// ```
+/// use orochi_trace::{Collector, HttpRequest, HttpResponse};
+///
+/// let collector = Collector::new();
+/// let rid = collector.record_request(HttpRequest::get("/a.php", &[]));
+/// collector.record_response(rid, HttpResponse::ok(rid, "hello"));
+/// let trace = collector.into_trace();
+/// assert_eq!(trace.events.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Collector {
+    next_rid: AtomicU64,
+    events: Mutex<Vec<Event>>,
+}
+
+impl Collector {
+    /// Creates an empty collector; requestIDs start at 1.
+    pub fn new() -> Self {
+        Self {
+            next_rid: AtomicU64::new(1),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records an arriving request, assigning it a fresh requestID.
+    pub fn record_request(&self, req: HttpRequest) -> RequestId {
+        let rid = RequestId(self.next_rid.fetch_add(1, Ordering::Relaxed));
+        self.events.lock().push(Event::Request(rid, req));
+        rid
+    }
+
+    /// Records a departing response for `rid`.
+    pub fn record_response(&self, rid: RequestId, resp: HttpResponse) {
+        self.events.lock().push(Event::Response(rid, resp));
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True if no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consumes the collector, yielding the trace in observation order.
+    pub fn into_trace(self) -> Trace {
+        Trace {
+            events: self.events.into_inner(),
+        }
+    }
+
+    /// Copies the events observed so far into a trace without consuming
+    /// the collector.
+    pub fn snapshot(&self) -> Trace {
+        Trace {
+            events: self.events.lock().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn assigns_unique_rids() {
+        let c = Collector::new();
+        let a = c.record_request(HttpRequest::get("/a", &[]));
+        let b = c.record_request(HttpRequest::get("/b", &[]));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn interleaved_events_keep_observation_order() {
+        let c = Collector::new();
+        let r1 = c.record_request(HttpRequest::get("/1", &[]));
+        let r2 = c.record_request(HttpRequest::get("/2", &[]));
+        c.record_response(r2, HttpResponse::ok(r2, "2"));
+        c.record_response(r1, HttpResponse::ok(r1, "1"));
+        let trace = c.into_trace();
+        let rids: Vec<_> = trace.events.iter().map(|e| e.rid().0).collect();
+        assert_eq!(rids, vec![r1.0, r2.0, r2.0, r1.0]);
+        // This interleaving is balanced (concurrent requests).
+        assert!(trace.ensure_balanced().is_ok());
+    }
+
+    #[test]
+    fn concurrent_collection_is_balanced() {
+        let c = Arc::new(Collector::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let rid = c.record_request(HttpRequest::get(
+                        "/t.php",
+                        &[("t", &t.to_string()), ("i", &i.to_string())],
+                    ));
+                    c.record_response(rid, HttpResponse::ok(rid, "done"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let trace = Arc::try_unwrap(c).unwrap().into_trace();
+        let balanced = trace.ensure_balanced().unwrap();
+        assert_eq!(balanced.num_requests(), 400);
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let c = Collector::new();
+        let rid = c.record_request(HttpRequest::get("/a", &[]));
+        let snap = c.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        c.record_response(rid, HttpResponse::ok(rid, "x"));
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! Request and response payloads.
+//!
+//! In OROCHI's setting (§4) requests are HTTP requests to PHP scripts and
+//! responses are the pages the server delivered. The audit treats both as
+//! opaque content to compare byte-for-byte; only the verifier's PHP
+//! runtime interprets the request fields. We therefore model the
+//! *content* of the messages (method, path, parameters, cookies, body)
+//! and skip the wire protocol.
+
+use orochi_common::codec::{Decoder, Encoder, Wire, WireError};
+use orochi_common::ids::RequestId;
+
+/// An HTTP request as captured by the collector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HttpRequest {
+    /// HTTP method, e.g. `"GET"` or `"POST"`.
+    pub method: String,
+    /// Script path, e.g. `"/wiki.php"`.
+    pub path: String,
+    /// Query-string parameters (materialized as `$_GET`).
+    pub query: Vec<(String, String)>,
+    /// Form parameters (materialized as `$_POST`).
+    pub post: Vec<(String, String)>,
+    /// Cookies (materialized as `$_COOKIE`); the session cookie names the
+    /// per-user register object (§4.4).
+    pub cookies: Vec<(String, String)>,
+}
+
+impl HttpRequest {
+    /// Builds a GET request for `path` with the given query parameters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use orochi_trace::HttpRequest;
+    ///
+    /// let req = HttpRequest::get("/page.php", &[("id", "7")]);
+    /// assert_eq!(req.method, "GET");
+    /// assert_eq!(req.query_param("id"), Some("7"));
+    /// ```
+    pub fn get(path: &str, query: &[(&str, &str)]) -> Self {
+        Self {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            post: Vec::new(),
+            cookies: Vec::new(),
+        }
+    }
+
+    /// Builds a POST request for `path` with query and form parameters.
+    pub fn post(path: &str, query: &[(&str, &str)], post: &[(&str, &str)]) -> Self {
+        Self {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            post: post
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            cookies: Vec::new(),
+        }
+    }
+
+    /// Returns this request with an added cookie.
+    pub fn with_cookie(mut self, name: &str, value: &str) -> Self {
+        self.cookies.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Looks up a query parameter by name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Looks up a cookie by name.
+    pub fn cookie(&self, name: &str) -> Option<&str> {
+        self.cookies
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A canonical single-line rendering of the request target, used for
+    /// grouping statistics (Fig. 11 counts "unique URLs").
+    pub fn url(&self) -> String {
+        let mut s = self.path.clone();
+        if !self.query.is_empty() {
+            s.push('?');
+            for (i, (k, v)) in self.query.iter().enumerate() {
+                if i > 0 {
+                    s.push('&');
+                }
+                s.push_str(k);
+                s.push('=');
+                s.push_str(v);
+            }
+        }
+        s
+    }
+
+    /// Encoded size in bytes; the Fig. 8 table reports average
+    /// request-response pair sizes.
+    pub fn wire_size(&self) -> usize {
+        self.to_wire_bytes().len()
+    }
+}
+
+/// An HTTP response as captured by the collector.
+///
+/// A well-behaved executor labels each response with the requestID of the
+/// request it answers (§3); the label is part of the observable output.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HttpResponse {
+    /// The requestID label the executor placed on the response.
+    pub rid_label: RequestId,
+    /// HTTP status code (200, 404, ...).
+    pub status: u16,
+    /// Response headers set by the application (e.g. `Set-Cookie`).
+    pub headers: Vec<(String, String)>,
+    /// Response body (the rendered page).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Builds a 200 response with the given body and no extra headers.
+    pub fn ok(rid_label: RequestId, body: impl Into<String>) -> Self {
+        Self {
+            rid_label,
+            status: 200,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.to_wire_bytes().len()
+    }
+}
+
+fn encode_pairs(enc: &mut Encoder, pairs: &[(String, String)]) {
+    enc.u64(pairs.len() as u64);
+    for (k, v) in pairs {
+        enc.str(k);
+        enc.str(v);
+    }
+}
+
+fn decode_pairs(dec: &mut Decoder<'_>) -> Result<Vec<(String, String)>, WireError> {
+    let n = dec.u64()? as usize;
+    if n > dec.remaining() {
+        return Err(WireError::Malformed("pair count exceeds buffer"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((dec.str()?, dec.str()?));
+    }
+    Ok(out)
+}
+
+impl Wire for HttpRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.str(&self.method);
+        enc.str(&self.path);
+        encode_pairs(enc, &self.query);
+        encode_pairs(enc, &self.post);
+        encode_pairs(enc, &self.cookies);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            method: dec.str()?,
+            path: dec.str()?,
+            query: decode_pairs(dec)?,
+            post: decode_pairs(dec)?,
+            cookies: decode_pairs(dec)?,
+        })
+    }
+}
+
+impl Wire for HttpResponse {
+    fn encode(&self, enc: &mut Encoder) {
+        self.rid_label.encode(enc);
+        enc.u64(self.status as u64);
+        encode_pairs(enc, &self.headers);
+        enc.str(&self.body);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let rid_label = RequestId::decode(dec)?;
+        let status = dec.u64()?;
+        if status > u16::MAX as u64 {
+            return Err(WireError::Malformed("status out of range"));
+        }
+        Ok(Self {
+            rid_label,
+            status: status as u16,
+            headers: decode_pairs(dec)?,
+            body: dec.str()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_builder_and_lookup() {
+        let req = HttpRequest::get("/s.php", &[("a", "7"), ("b", "x")]);
+        assert_eq!(req.query_param("a"), Some("7"));
+        assert_eq!(req.query_param("b"), Some("x"));
+        assert_eq!(req.query_param("c"), None);
+        assert!(req.post.is_empty());
+    }
+
+    #[test]
+    fn url_rendering() {
+        let req = HttpRequest::get("/s.php", &[("a", "7"), ("b", "x")]);
+        assert_eq!(req.url(), "/s.php?a=7&b=x");
+        let bare = HttpRequest::get("/s.php", &[]);
+        assert_eq!(bare.url(), "/s.php");
+    }
+
+    #[test]
+    fn cookies() {
+        let req = HttpRequest::get("/s.php", &[]).with_cookie("sess", "u1");
+        assert_eq!(req.cookie("sess"), Some("u1"));
+        assert_eq!(req.cookie("other"), None);
+    }
+
+    #[test]
+    fn request_wire_roundtrip() {
+        let req = HttpRequest::post("/p.php", &[("q", "1")], &[("body", "text")])
+            .with_cookie("sess", "u9");
+        let bytes = req.to_wire_bytes();
+        assert_eq!(HttpRequest::from_wire_bytes(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn response_wire_roundtrip() {
+        let resp = HttpResponse {
+            rid_label: RequestId(88),
+            status: 404,
+            headers: vec![("Set-Cookie".into(), "sess=u1".into())],
+            body: "not found".into(),
+        };
+        let bytes = resp.to_wire_bytes();
+        assert_eq!(HttpResponse::from_wire_bytes(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn wire_size_is_positive_and_monotone_in_body() {
+        let small = HttpResponse::ok(RequestId(1), "a");
+        let large = HttpResponse::ok(RequestId(1), "a".repeat(1000));
+        assert!(small.wire_size() > 0);
+        assert!(large.wire_size() > small.wire_size());
+    }
+}

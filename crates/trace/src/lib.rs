@@ -1,0 +1,27 @@
+//! Traces of requests and responses, and the collector that records them.
+//!
+//! The Efficient Server Audit Problem (§2 of the paper) assumes an
+//! *accurate* collector: a middlebox that captures an ordered list — the
+//! **trace** — of exactly the requests that flowed into the executor and
+//! the (possibly wrong) responses that flowed out. The verifier receives
+//! this trace; everything else it receives (the reports) is untrusted.
+//!
+//! This crate provides:
+//!
+//! * [`HttpRequest`] / [`HttpResponse`]: the request/response payloads.
+//!   We model the content of HTTP messages (path, query, form data,
+//!   cookies, body) without the byte-level protocol, which is irrelevant
+//!   to the audit problem.
+//! * [`Event`] and [`Trace`]: the ordered event list.
+//! * [`BalancedTrace`]: a validated trace, produced by
+//!   [`Trace::ensure_balanced`] (§3: "the verifier begins the audit by
+//!   checking that the trace is balanced").
+//! * [`Collector`]: the thread-safe middlebox used by the online system.
+
+pub mod collector;
+pub mod event;
+pub mod record;
+
+pub use collector::Collector;
+pub use event::{HttpRequest, HttpResponse};
+pub use record::{BalanceError, BalancedTrace, Event, Trace};

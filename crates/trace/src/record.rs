@@ -1,0 +1,403 @@
+//! The trace proper: ordered events and the balanced-trace check.
+//!
+//! A trace is an ordered list of REQUEST and RESPONSE events (§2). Before
+//! auditing, the verifier checks that the trace is *balanced* (§3):
+//! every response is associated with an earlier request, every request has
+//! exactly one response, and requestIDs are unique. Only a
+//! [`BalancedTrace`] can be fed to the audit.
+
+use crate::event::{HttpRequest, HttpResponse};
+use orochi_common::codec::{Decoder, Encoder, Wire, WireError};
+use orochi_common::ids::RequestId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One observed event: a request arriving at, or a response departing
+/// from, the executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `(REQUEST, rid, contents)` — a request arrived.
+    Request(RequestId, HttpRequest),
+    /// `(RESPONSE, rid, contents)` — a response departed.
+    Response(RequestId, HttpResponse),
+}
+
+impl Event {
+    /// The requestID this event belongs to.
+    pub fn rid(&self) -> RequestId {
+        match self {
+            Event::Request(rid, _) => *rid,
+            Event::Response(rid, _) => *rid,
+        }
+    }
+}
+
+impl Wire for Event {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Event::Request(rid, req) => {
+                enc.byte(0);
+                rid.encode(enc);
+                req.encode(enc);
+            }
+            Event::Response(rid, resp) => {
+                enc.byte(1);
+                rid.encode(enc);
+                resp.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match dec.byte()? {
+            0 => Ok(Event::Request(
+                RequestId::decode(dec)?,
+                HttpRequest::decode(dec)?,
+            )),
+            1 => Ok(Event::Response(
+                RequestId::decode(dec)?,
+                HttpResponse::decode(dec)?,
+            )),
+            _ => Err(WireError::Malformed("unknown event tag")),
+        }
+    }
+}
+
+/// An ordered, possibly unvalidated trace of events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Events in collector (time) order.
+    pub events: Vec<Event>,
+}
+
+/// Why a trace failed the balanced check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BalanceError {
+    /// Two REQUEST events carry the same requestID.
+    DuplicateRequestId(RequestId),
+    /// A RESPONSE event appeared with no earlier matching REQUEST.
+    ResponseWithoutRequest(RequestId),
+    /// Two RESPONSE events answer the same request.
+    DuplicateResponse(RequestId),
+    /// A REQUEST event never received a RESPONSE.
+    RequestWithoutResponse(RequestId),
+    /// A response's `rid_label` disagrees with its position-derived rid.
+    MislabeledResponse {
+        /// The requestID implied by the event stream.
+        expected: RequestId,
+        /// The label the executor actually put on the response.
+        got: RequestId,
+    },
+}
+
+impl fmt::Display for BalanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BalanceError::DuplicateRequestId(rid) => {
+                write!(f, "duplicate requestID {rid}")
+            }
+            BalanceError::ResponseWithoutRequest(rid) => {
+                write!(f, "response for {rid} precedes its request")
+            }
+            BalanceError::DuplicateResponse(rid) => {
+                write!(f, "more than one response for {rid}")
+            }
+            BalanceError::RequestWithoutResponse(rid) => {
+                write!(f, "request {rid} has no response")
+            }
+            BalanceError::MislabeledResponse { expected, got } => {
+                write!(f, "response labeled {got} but answers {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BalanceError {}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events (requests plus responses).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Validates the balanced-trace conditions (§3) and indexes the trace.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use orochi_common::ids::RequestId;
+    /// use orochi_trace::{Event, HttpRequest, HttpResponse, Trace};
+    ///
+    /// let rid = RequestId(1);
+    /// let trace = Trace {
+    ///     events: vec![
+    ///         Event::Request(rid, HttpRequest::get("/a.php", &[])),
+    ///         Event::Response(rid, HttpResponse::ok(rid, "hi")),
+    ///     ],
+    /// };
+    /// let balanced = trace.ensure_balanced().unwrap();
+    /// assert_eq!(balanced.request_ids().count(), 1);
+    /// ```
+    pub fn ensure_balanced(&self) -> Result<BalancedTrace, BalanceError> {
+        let mut requests: HashMap<RequestId, usize> = HashMap::new();
+        let mut responses: HashMap<RequestId, usize> = HashMap::new();
+        for (pos, event) in self.events.iter().enumerate() {
+            match event {
+                Event::Request(rid, _) => {
+                    if requests.insert(*rid, pos).is_some() {
+                        return Err(BalanceError::DuplicateRequestId(*rid));
+                    }
+                }
+                Event::Response(rid, resp) => {
+                    if !requests.contains_key(rid) {
+                        return Err(BalanceError::ResponseWithoutRequest(*rid));
+                    }
+                    if responses.insert(*rid, pos).is_some() {
+                        return Err(BalanceError::DuplicateResponse(*rid));
+                    }
+                    if resp.rid_label != *rid {
+                        return Err(BalanceError::MislabeledResponse {
+                            expected: *rid,
+                            got: resp.rid_label,
+                        });
+                    }
+                }
+            }
+        }
+        for rid in requests.keys() {
+            if !responses.contains_key(rid) {
+                return Err(BalanceError::RequestWithoutResponse(*rid));
+            }
+        }
+        Ok(BalancedTrace {
+            trace: self.clone(),
+            request_pos: requests,
+            response_pos: responses,
+        })
+    }
+
+    /// Total encoded size of the trace in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.to_wire_bytes().len()
+    }
+}
+
+impl Wire for Trace {
+    fn encode(&self, enc: &mut Encoder) {
+        self.events.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Trace {
+            events: Vec::<Event>::decode(dec)?,
+        })
+    }
+}
+
+/// A trace that passed [`Trace::ensure_balanced`], with request/response
+/// positions indexed by requestID.
+#[derive(Debug, Clone)]
+pub struct BalancedTrace {
+    trace: Trace,
+    request_pos: HashMap<RequestId, usize>,
+    response_pos: HashMap<RequestId, usize>,
+}
+
+impl BalancedTrace {
+    /// The underlying event list, in time order.
+    pub fn events(&self) -> &[Event] {
+        &self.trace.events
+    }
+
+    /// Number of request/response pairs.
+    pub fn num_requests(&self) -> usize {
+        self.request_pos.len()
+    }
+
+    /// Iterates all requestIDs (in no particular order).
+    pub fn request_ids(&self) -> impl Iterator<Item = RequestId> + '_ {
+        self.request_pos.keys().copied()
+    }
+
+    /// True if `rid` appears in the trace.
+    pub fn contains(&self, rid: RequestId) -> bool {
+        self.request_pos.contains_key(&rid)
+    }
+
+    /// The request payload for `rid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rid` is not in the trace; check [`Self::contains`] first.
+    pub fn request(&self, rid: RequestId) -> &HttpRequest {
+        match &self.trace.events[self.request_pos[&rid]] {
+            Event::Request(_, req) => req,
+            Event::Response(..) => unreachable!("request_pos indexes request events"),
+        }
+    }
+
+    /// The response payload for `rid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rid` is not in the trace.
+    pub fn response(&self, rid: RequestId) -> &HttpResponse {
+        match &self.trace.events[self.response_pos[&rid]] {
+            Event::Response(_, resp) => resp,
+            Event::Request(..) => unreachable!("response_pos indexes response events"),
+        }
+    }
+
+    /// Event position of the REQUEST event for `rid`.
+    pub fn request_position(&self, rid: RequestId) -> usize {
+        self.request_pos[&rid]
+    }
+
+    /// Event position of the RESPONSE event for `rid`.
+    pub fn response_position(&self, rid: RequestId) -> usize {
+        self.response_pos[&rid]
+    }
+
+    /// The time-precedence relation from the trace: `r1 <Tr r2` iff the
+    /// response of `r1` departed before the request of `r2` arrived (§3.5).
+    pub fn precedes(&self, r1: RequestId, r2: RequestId) -> bool {
+        match (self.response_pos.get(&r1), self.request_pos.get(&r2)) {
+            (Some(resp), Some(req)) => resp < req,
+            _ => false,
+        }
+    }
+
+    /// Borrows the raw trace.
+    pub fn as_trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(rid: u64) -> Event {
+        Event::Request(RequestId(rid), HttpRequest::get("/x.php", &[]))
+    }
+
+    fn resp(rid: u64) -> Event {
+        Event::Response(RequestId(rid), HttpResponse::ok(RequestId(rid), "ok"))
+    }
+
+    #[test]
+    fn accepts_sequential_trace() {
+        let t = Trace {
+            events: vec![req(1), resp(1), req(2), resp(2)],
+        };
+        let b = t.ensure_balanced().unwrap();
+        assert_eq!(b.num_requests(), 2);
+        assert!(b.precedes(RequestId(1), RequestId(2)));
+        assert!(!b.precedes(RequestId(2), RequestId(1)));
+    }
+
+    #[test]
+    fn accepts_concurrent_trace() {
+        let t = Trace {
+            events: vec![req(1), req(2), resp(2), resp(1)],
+        };
+        let b = t.ensure_balanced().unwrap();
+        // Concurrent requests precede in neither direction.
+        assert!(!b.precedes(RequestId(1), RequestId(2)));
+        assert!(!b.precedes(RequestId(2), RequestId(1)));
+    }
+
+    #[test]
+    fn rejects_duplicate_request_id() {
+        let t = Trace {
+            events: vec![req(1), req(1)],
+        };
+        assert_eq!(
+            t.ensure_balanced().unwrap_err(),
+            BalanceError::DuplicateRequestId(RequestId(1))
+        );
+    }
+
+    #[test]
+    fn rejects_response_before_request() {
+        let t = Trace {
+            events: vec![resp(1), req(1)],
+        };
+        assert_eq!(
+            t.ensure_balanced().unwrap_err(),
+            BalanceError::ResponseWithoutRequest(RequestId(1))
+        );
+    }
+
+    #[test]
+    fn rejects_double_response() {
+        let t = Trace {
+            events: vec![req(1), resp(1), resp(1)],
+        };
+        assert_eq!(
+            t.ensure_balanced().unwrap_err(),
+            BalanceError::DuplicateResponse(RequestId(1))
+        );
+    }
+
+    #[test]
+    fn rejects_missing_response() {
+        let t = Trace {
+            events: vec![req(1), req(2), resp(1)],
+        };
+        assert_eq!(
+            t.ensure_balanced().unwrap_err(),
+            BalanceError::RequestWithoutResponse(RequestId(2))
+        );
+    }
+
+    #[test]
+    fn rejects_mislabeled_response() {
+        let t = Trace {
+            events: vec![
+                req(1),
+                Event::Response(RequestId(1), HttpResponse::ok(RequestId(9), "ok")),
+            ],
+        };
+        assert!(matches!(
+            t.ensure_balanced().unwrap_err(),
+            BalanceError::MislabeledResponse { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_trace_is_balanced() {
+        let b = Trace::new().ensure_balanced().unwrap();
+        assert_eq!(b.num_requests(), 0);
+    }
+
+    #[test]
+    fn trace_wire_roundtrip() {
+        let t = Trace {
+            events: vec![req(1), req(2), resp(2), resp(1)],
+        };
+        let bytes = t.to_wire_bytes();
+        assert_eq!(Trace::from_wire_bytes(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn lookup_by_rid() {
+        let t = Trace {
+            events: vec![req(5), resp(5)],
+        };
+        let b = t.ensure_balanced().unwrap();
+        assert_eq!(b.request(RequestId(5)).path, "/x.php");
+        assert_eq!(b.response(RequestId(5)).body, "ok");
+        assert_eq!(b.request_position(RequestId(5)), 0);
+        assert_eq!(b.response_position(RequestId(5)), 1);
+    }
+}

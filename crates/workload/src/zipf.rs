@@ -1,0 +1,116 @@
+//! Zipf sampling for the wiki workload.
+//!
+//! The paper's MediaWiki workload is downsampled from a 2007 Wikipedia
+//! trace "while retaining its Zipf distribution (β = 0.53)" (§5). This
+//! sampler draws ranks `1..=n` with probability proportional to
+//! `1 / rank^β` via a precomputed CDF and binary search.
+
+use rand::Rng;
+
+/// A Zipf(β) distribution over ranks `1..=n`.
+///
+/// # Examples
+///
+/// ```
+/// use orochi_workload::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(200, 0.53);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=200).contains(&rank));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `1..=n` with exponent `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, beta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(beta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(50, 0.53);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let r = zipf.sample(&mut rng);
+            assert!((1..=50).contains(&r));
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let zipf = Zipf::new(200, 0.53);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 201];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 1 must be sampled noticeably more often than rank 200.
+        assert!(counts[1] > counts[200] * 5);
+        // And the head (top 20 ranks) takes a disproportionate share.
+        let head: usize = counts[1..=20].iter().sum();
+        assert!(head as f64 > 100_000.0 * 0.15);
+    }
+
+    #[test]
+    fn beta_zero_is_uniformish() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 11];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for (rank, &count) in counts.iter().enumerate().skip(1) {
+            let share = count as f64 / 100_000.0;
+            assert!((share - 0.1).abs() < 0.02, "rank {rank} share {share}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: put a program on an untrusted server, capture the trace,
+//! and audit the responses.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use orochi::accphp::AccPhpExecutor;
+use orochi::core::audit::{audit, AuditConfig};
+use orochi::php::{compile, parse_script};
+use orochi::server::{Server, ServerConfig};
+use orochi::sqldb::Database;
+use orochi::trace::HttpRequest;
+use std::collections::HashMap;
+
+fn main() {
+    // 1. The principal's program: a PHP script that greets visitors and
+    //    counts their visits in a session.
+    let source = r#"<?php
+        session_start();
+        $_SESSION['visits'] = intval($_SESSION['visits']) + 1;
+        echo 'hello ' . htmlspecialchars($_GET['name'])
+            . ', visit #' . $_SESSION['visits'];
+    "#;
+    let mut scripts = HashMap::new();
+    scripts.insert(
+        "/hello.php".to_string(),
+        compile("/hello.php", &parse_script(source).unwrap()).unwrap(),
+    );
+
+    // 2. Deploy on the (untrusted) server. The collector inside records
+    //    the trace; the recording runtime assembles the reports.
+    let server = Server::new(ServerConfig {
+        scripts: scripts.clone(),
+        initial_db: Database::new(),
+        recording: true,
+        seed: 7,
+    });
+
+    // 3. Clients talk to the server.
+    for name in ["ada", "grace", "ada", "ada"] {
+        let response = server.handle(
+            HttpRequest::get("/hello.php", &[("name", name)]).with_cookie("sess", name),
+        );
+        println!("server said: {}", response.body);
+    }
+
+    // 4. The audit: trace (trusted) + reports (untrusted) + the program.
+    let bundle = server.into_bundle();
+    println!(
+        "\ntrace: {} events, reports: {} ops / {} bytes",
+        bundle.trace.events.len(),
+        bundle.reports.total_ops(),
+        bundle.reports.wire_size(),
+    );
+    let mut verifier = AccPhpExecutor::new(scripts);
+    match audit(
+        &bundle.trace,
+        &bundle.reports,
+        &mut verifier,
+        &AuditConfig::new(),
+    ) {
+        Ok(outcome) => println!(
+            "AUDIT ACCEPTED: {} requests re-executed in {} groups",
+            outcome.stats.requests_reexecuted, outcome.stats.groups_executed
+        ),
+        Err(rejection) => println!("AUDIT REJECTED: {rejection}"),
+    }
+}

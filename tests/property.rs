@@ -1,0 +1,393 @@
+//! Property-based tests on the core invariants (proptest).
+//!
+//! * The frontier algorithm's reachability is exactly the trace's
+//!   time-precedence relation (Lemma 2), matching both the dense oracle
+//!   and `BalancedTrace::precedes`.
+//! * Wire codecs roundtrip for PHP values and report bundles.
+//! * The versioned KV equals the replay-prefix model at every position.
+//! * The versioned DB redo reproduces the online engine's state at every
+//!   transaction boundary.
+//! * PHP arrays behave like an ordered-map reference model.
+//! * End-to-end completeness: honest random workloads always pass the
+//!   audit (the Completeness property of §2, fuzzed).
+
+use orochi::core::precedence::{create_time_precedence_graph, dense_time_precedence};
+use orochi::php::{ArrayKey, PhpArray, Value};
+use orochi::sqldb::{Database, VersionedDb, MAXQ};
+use orochi::state::{ObjectName, OpContents, OpLog, OpLogEntry, VersionedKv};
+use orochi::trace::{Event, HttpRequest, HttpResponse, Trace};
+use orochi_common::codec::Wire;
+use orochi_common::ids::{OpNum, RequestId, SeqNum};
+use proptest::prelude::*;
+
+/// Generates a random balanced trace: a sequence of open/close actions
+/// over up to `max_requests` requests.
+fn balanced_trace_strategy(max_requests: usize) -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(any::<(bool, u8)>(), 0..max_requests * 2).prop_map(|actions| {
+        let mut events = Vec::new();
+        let mut open: Vec<RequestId> = Vec::new();
+        let mut next = 1u64;
+        for (do_open, pick) in actions {
+            if do_open || open.is_empty() {
+                let rid = RequestId(next);
+                next += 1;
+                events.push(Event::Request(rid, HttpRequest::get("/x", &[])));
+                open.push(rid);
+            } else {
+                let idx = pick as usize % open.len();
+                let rid = open.swap_remove(idx);
+                events.push(Event::Response(rid, HttpResponse::ok(rid, "ok")));
+            }
+        }
+        for rid in open {
+            events.push(Event::Response(rid, HttpResponse::ok(rid, "ok")));
+        }
+        Trace { events }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frontier_reachability_equals_time_precedence(
+        trace in balanced_trace_strategy(12)
+    ) {
+        let balanced = trace.ensure_balanced().unwrap();
+        let fast = create_time_precedence_graph(&balanced);
+        let dense = dense_time_precedence(&balanced);
+        let rids: Vec<RequestId> = balanced.request_ids().collect();
+        for &a in &rids {
+            for &b in &rids {
+                if a == b {
+                    continue;
+                }
+                let expected = balanced.precedes(a, b);
+                prop_assert_eq!(fast.has_path(a, b), expected, "frontier {} -> {}", a, b);
+                prop_assert_eq!(dense.has_path(a, b), expected, "dense {} -> {}", a, b);
+            }
+        }
+        // Minimality (Lemma 12): the frontier graph never has more edges
+        // than the dense one, and no edge is redundant with the direct
+        // relation.
+        prop_assert!(fast.edges.len() <= dense.edges.len());
+        for (a, b) in &fast.edges {
+            prop_assert!(balanced.precedes(*a, *b));
+        }
+    }
+}
+
+/// Recursive strategy for arbitrary PHP values.
+fn php_value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN breaks identical() reflexivity, which
+        // PHP shares.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-z0-9]{0,12}".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        proptest::collection::vec((prop_oneof![
+            any::<i32>().prop_map(|i| ArrayKey::Int(i as i64)),
+            "[a-z]{1,6}".prop_map(ArrayKey::Str),
+        ], inner), 0..6)
+        .prop_map(|pairs| {
+            let mut a = PhpArray::new();
+            for (k, v) in pairs {
+                a.set(k, v);
+            }
+            Value::array(a)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn php_value_codec_roundtrips(v in php_value_strategy()) {
+        let bytes = v.to_wire_bytes();
+        let back = Value::from_wire_bytes(&bytes).unwrap();
+        prop_assert!(v.identical(&back));
+    }
+
+    #[test]
+    fn loose_equality_is_symmetric(a in php_value_strategy(), b in php_value_strategy()) {
+        prop_assert_eq!(a.loose_eq(&b), b.loose_eq(&a));
+    }
+
+    #[test]
+    fn identical_is_reflexive(v in php_value_strategy()) {
+        prop_assert!(v.identical(&v));
+    }
+}
+
+/// Ops for the versioned KV model test.
+#[derive(Debug, Clone)]
+enum KvOp {
+    Set(u8, Option<u8>),
+    Get(u8),
+}
+
+fn kv_ops_strategy() -> impl Strategy<Value = Vec<KvOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<Option<u8>>()).prop_map(|(k, v)| KvOp::Set(k % 8, v)),
+            any::<u8>().prop_map(|k| KvOp::Get(k % 8)),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn versioned_kv_matches_replay_model(ops in kv_ops_strategy()) {
+        let mut log = OpLog::new();
+        for op in &ops {
+            let contents = match op {
+                KvOp::Set(k, v) => OpContents::KvSet {
+                    key: format!("k{k}"),
+                    value: v.map(|b| vec![b]),
+                },
+                KvOp::Get(k) => OpContents::KvGet { key: format!("k{k}") },
+            };
+            log.push(OpLogEntry { rid: RequestId(1), opnum: OpNum(1), contents });
+        }
+        let kv = VersionedKv::build(&log);
+        // Model: replay prefix into a plain map.
+        for s in 1..=(log.len() as u64 + 1) {
+            let mut model: std::collections::HashMap<String, Vec<u8>> = Default::default();
+            for (seq, entry) in log.iter() {
+                if seq.0 >= s {
+                    break;
+                }
+                if let OpContents::KvSet { key, value } = &entry.contents {
+                    match value {
+                        Some(v) => { model.insert(key.clone(), v.clone()); }
+                        None => { model.remove(key); }
+                    }
+                }
+            }
+            for k in 0..8u8 {
+                let key = format!("k{k}");
+                prop_assert_eq!(
+                    kv.get(&key, SeqNum(s)),
+                    model.get(&key).cloned(),
+                    "key {} at seq {}", key, s
+                );
+            }
+        }
+    }
+}
+
+/// Random single-statement transactions over a small schema.
+fn sql_ops_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..20, 0i64..100).prop_map(|(k, v)| format!(
+                "INSERT INTO t (k, v) VALUES ({k}, {v})"
+            )),
+            (0u8..20, 0i64..100).prop_map(|(k, v)| format!(
+                "UPDATE t SET v = {v} WHERE k = {k}"
+            )),
+            (0u8..20).prop_map(|k| format!("DELETE FROM t WHERE k = {k}")),
+            (0i64..100).prop_map(|v| format!("UPDATE t SET v = v + 1 WHERE v < {v}")),
+        ],
+        0..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn versioned_redo_matches_online_engine(ops in sql_ops_strategy()) {
+        let schema = "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, k INT, v INT, INDEX(k))";
+        let mut online = Database::new();
+        online.execute_autocommit(schema).0.unwrap();
+        let mut base = Database::new();
+        base.execute_autocommit(schema).0.unwrap();
+        let mut vdb = VersionedDb::from_snapshot(&base);
+        for sql in &ops {
+            let (result, seq) = online.execute_autocommit(sql);
+            let logged = match &result {
+                Ok(out) => vec![out.write()],
+                Err(_) => vec![None],
+            };
+            vdb.redo_transaction(seq, &[sql.clone()], result.is_ok(), &logged)
+                .unwrap();
+            // The versioned view at this point equals the online state.
+            let (want, _) = online.execute_autocommit("SELECT id, k, v FROM t ORDER BY id");
+            let got = vdb
+                .query_at("SELECT id, k, v FROM t ORDER BY id", seq * MAXQ + MAXQ - 1)
+                .unwrap();
+            prop_assert_eq!(got, want.unwrap());
+        }
+        // And the migrated snapshot matches the final online state.
+        let mut migrated = vdb.latest_snapshot();
+        let (want, _) = online.execute_autocommit("SELECT id, k, v FROM t ORDER BY id");
+        let (got, _) = migrated.execute_autocommit("SELECT id, k, v FROM t ORDER BY id");
+        prop_assert_eq!(got.unwrap(), want.unwrap());
+    }
+}
+
+/// Ordered-map reference model for PHP arrays.
+#[derive(Debug, Clone)]
+enum ArrOp {
+    Set(ArrayKey, i64),
+    Push(i64),
+    Remove(ArrayKey),
+}
+
+fn arr_ops_strategy() -> impl Strategy<Value = Vec<ArrOp>> {
+    let key = prop_oneof![
+        (0i64..10).prop_map(ArrayKey::Int),
+        "[a-c]{1,2}".prop_map(ArrayKey::Str),
+    ];
+    proptest::collection::vec(
+        prop_oneof![
+            (key.clone(), any::<i64>()).prop_map(|(k, v)| ArrOp::Set(k, v)),
+            any::<i64>().prop_map(ArrOp::Push),
+            key.prop_map(ArrOp::Remove),
+        ],
+        0..50,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn php_array_matches_ordered_map_model(ops in arr_ops_strategy()) {
+        let mut arr = PhpArray::new();
+        // Model: insertion-ordered (key, value) list + next-int tracker.
+        let mut model: Vec<(ArrayKey, i64)> = Vec::new();
+        let mut next_int = 0i64;
+        for op in ops {
+            match op {
+                ArrOp::Set(k, v) => {
+                    if let ArrayKey::Int(i) = k {
+                        if i >= next_int {
+                            next_int = i + 1;
+                        }
+                    }
+                    arr.set(k.clone(), Value::Int(v));
+                    match model.iter_mut().find(|(mk, _)| *mk == k) {
+                        Some(slot) => slot.1 = v,
+                        None => model.push((k, v)),
+                    }
+                }
+                ArrOp::Push(v) => {
+                    let key = ArrayKey::Int(next_int);
+                    next_int += 1;
+                    arr.push(Value::Int(v));
+                    model.push((key, v));
+                }
+                ArrOp::Remove(k) => {
+                    arr.remove(&k);
+                    model.retain(|(mk, _)| *mk != k);
+                }
+            }
+            prop_assert_eq!(arr.len(), model.len());
+            let got: Vec<(ArrayKey, i64)> = arr
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_php_int()))
+                .collect();
+            prop_assert_eq!(&got, &model);
+        }
+    }
+}
+
+/// End-to-end fuzzed completeness: honest servers always pass the audit,
+/// whatever mix of wiki requests arrives.
+#[derive(Debug, Clone)]
+enum WikiAction {
+    View(u8),
+    Edit(u8, u8),
+    Login(u8),
+}
+
+fn wiki_actions_strategy() -> impl Strategy<Value = Vec<WikiAction>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..6).prop_map(WikiAction::View),
+            (0u8..6, any::<u8>()).prop_map(|(p, b)| WikiAction::Edit(p, b)),
+            (0u8..3).prop_map(WikiAction::Login),
+        ],
+        0..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn honest_random_workloads_always_accepted(actions in wiki_actions_strategy()) {
+        use orochi::accphp::AccPhpExecutor;
+        use orochi::core::audit::{audit, AuditConfig};
+        use orochi::server::{Server, ServerConfig};
+
+        let app = orochi::apps::wiki::app();
+        let scripts = app.compile().unwrap();
+        let server = Server::new(ServerConfig {
+            scripts: scripts.clone(),
+            initial_db: app.initial_db(),
+            recording: true,
+            seed: 5,
+        });
+        // Editors must be logged in before edits take effect; issue the
+        // logins first so some edits succeed and some hit the 403 path.
+        server.handle(
+            HttpRequest::post("/login.php", &[], &[("user", "u0")]).with_cookie("sess", "u0"),
+        );
+        for action in &actions {
+            match action {
+                WikiAction::View(p) => {
+                    server.handle(HttpRequest::get(
+                        "/wiki.php",
+                        &[("title", &format!("P{p}"))],
+                    ));
+                }
+                WikiAction::Edit(p, b) => {
+                    server.handle(
+                        HttpRequest::post(
+                            "/edit.php",
+                            &[],
+                            &[
+                                ("title", &format!("P{p}")),
+                                ("body", &format!("body {b}")),
+                            ],
+                        )
+                        .with_cookie("sess", "u0"),
+                    );
+                }
+                WikiAction::Login(u) => {
+                    let user = format!("u{u}");
+                    server.handle(
+                        HttpRequest::post("/login.php", &[], &[("user", &user)])
+                            .with_cookie("sess", &user),
+                    );
+                }
+            }
+        }
+        let bundle = server.into_bundle();
+        let mut config = AuditConfig::new();
+        config.initial_dbs.insert("db:main".to_string(), app.initial_db());
+        let mut verifier = AccPhpExecutor::new(scripts);
+        let verdict = audit(&bundle.trace, &bundle.reports, &mut verifier, &config);
+        prop_assert!(verdict.is_ok(), "honest run rejected: {}", verdict.unwrap_err());
+    }
+}
+
+/// The object-name constructors stay aligned with what the runtime
+/// generates (a regression guard for the CheckOp name comparison).
+#[test]
+fn object_name_conventions() {
+    assert_eq!(ObjectName::session("x").as_str(), "reg:sess:x");
+    assert_eq!(ObjectName::kv("apc").as_str(), "kv:apc");
+    assert_eq!(ObjectName::db("main").as_str(), "db:main");
+}

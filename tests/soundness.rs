@@ -1,0 +1,365 @@
+//! The soundness battery: every kind of executor misbehaviour must be
+//! rejected (§2 Soundness, exercised through the built system).
+//!
+//! Each test serves an honest run of the HotCRP app (chosen because it
+//! exercises multi-statement transactions, sessions, and nondeterminism)
+//! and then tampers with exactly one part of the trace or reports.
+
+use orochi::accphp::AccPhpExecutor;
+use orochi::core::audit::{audit, AuditConfig};
+use orochi::core::nondet::NondetValue;
+use orochi::core::reports::Reports;
+use orochi::php::CompiledScript;
+use orochi::server::server::AuditBundle;
+use orochi::server::{Server, ServerConfig};
+use orochi::state::{ObjectName, OpContents, OpLog};
+use orochi::trace::{Event, HttpRequest, Trace};
+use orochi_common::ids::RequestId;
+use std::collections::HashMap;
+
+fn honest() -> (AuditBundle, HashMap<String, CompiledScript>, AuditConfig) {
+    let app = orochi::apps::hotcrp::app();
+    let scripts = app.compile().unwrap();
+    let server = Server::new(ServerConfig {
+        scripts: scripts.clone(),
+        initial_db: app.initial_db(),
+        recording: true,
+        seed: 31,
+    });
+    server.handle(
+        HttpRequest::post("/login.php", &[], &[("who", "alice")]).with_cookie("sess", "alice"),
+    );
+    server.handle(
+        HttpRequest::post("/submit.php", &[], &[("title", "T"), ("abstract", "A")])
+            .with_cookie("sess", "alice"),
+    );
+    server.handle(
+        HttpRequest::post(
+            "/review.php",
+            &[],
+            &[("id", "1"), ("score", "4"), ("body", "ok")],
+        )
+        .with_cookie("sess", "alice"),
+    );
+    server.handle(HttpRequest::get("/paper.php", &[("id", "1")]));
+    server.handle(HttpRequest::get("/list.php", &[]));
+    let bundle = server.into_bundle();
+    let mut config = AuditConfig::new();
+    config
+        .initial_dbs
+        .insert("db:main".to_string(), app.initial_db());
+    (bundle, scripts, config)
+}
+
+fn assert_rejected(
+    label: &str,
+    trace: &Trace,
+    reports: &Reports,
+    scripts: &HashMap<String, CompiledScript>,
+    config: &AuditConfig,
+) {
+    let mut verifier = AccPhpExecutor::new(scripts.clone());
+    let verdict = audit(trace, reports, &mut verifier, config);
+    assert!(verdict.is_err(), "{label}: tampering must be rejected");
+}
+
+#[test]
+fn honest_run_is_accepted() {
+    let (bundle, scripts, config) = honest();
+    let mut verifier = AccPhpExecutor::new(scripts);
+    audit(&bundle.trace, &bundle.reports, &mut verifier, &config)
+        .unwrap_or_else(|r| panic!("honest run rejected: {r}"));
+}
+
+#[test]
+fn rejects_flipped_status_code() {
+    let (mut bundle, scripts, config) = honest();
+    for e in bundle.trace.events.iter_mut() {
+        if let Event::Response(_, resp) = e {
+            resp.status = 503;
+            break;
+        }
+    }
+    assert_rejected("status", &bundle.trace, &bundle.reports, &scripts, &config);
+}
+
+#[test]
+fn rejects_added_response_header() {
+    let (mut bundle, scripts, config) = honest();
+    for e in bundle.trace.events.iter_mut() {
+        if let Event::Response(_, resp) = e {
+            resp.headers.push(("X-Injected".into(), "1".into()));
+            break;
+        }
+    }
+    assert_rejected("header", &bundle.trace, &bundle.reports, &scripts, &config);
+}
+
+#[test]
+fn rejects_unbalanced_trace_missing_response() {
+    let (mut bundle, scripts, config) = honest();
+    let pos = bundle
+        .trace
+        .events
+        .iter()
+        .position(|e| matches!(e, Event::Response(..)))
+        .unwrap();
+    bundle.trace.events.remove(pos);
+    assert_rejected("missing-response", &bundle.trace, &bundle.reports, &scripts, &config);
+}
+
+#[test]
+fn rejects_mislabeled_response() {
+    let (mut bundle, scripts, config) = honest();
+    for e in bundle.trace.events.iter_mut() {
+        if let Event::Response(_, resp) = e {
+            resp.rid_label = RequestId(999);
+            break;
+        }
+    }
+    assert_rejected("mislabel", &bundle.trace, &bundle.reports, &scripts, &config);
+}
+
+/// Finds the db log index.
+fn db_log_index(reports: &Reports) -> usize {
+    reports
+        .op_logs
+        .index_of(&ObjectName("db:main".into()))
+        .expect("db log present")
+}
+
+#[test]
+fn rejects_rewritten_sql_in_log() {
+    let (mut bundle, scripts, config) = honest();
+    let i = db_log_index(&bundle.reports);
+    let log = bundle.reports.op_logs.log_mut(i).unwrap();
+    let mut entries = log.entries().to_vec();
+    for e in entries.iter_mut() {
+        if let OpContents::DbOp { queries, .. } = &mut e.contents {
+            if let Some(q) = queries.iter_mut().find(|q| q.starts_with("INSERT")) {
+                *q = q.replace("INSERT", "INSERT ");
+                break;
+            }
+        }
+    }
+    *log = OpLog::from_entries(entries);
+    assert_rejected("sql-rewrite", &bundle.trace, &bundle.reports, &scripts, &config);
+}
+
+#[test]
+fn rejects_forged_insert_id() {
+    let (mut bundle, scripts, config) = honest();
+    let i = db_log_index(&bundle.reports);
+    let log = bundle.reports.op_logs.log_mut(i).unwrap();
+    let mut entries = log.entries().to_vec();
+    'outer: for e in entries.iter_mut() {
+        if let OpContents::DbOp { write_results, .. } = &mut e.contents {
+            for w in write_results.iter_mut().flatten() {
+                if let Some(id) = w.last_insert_id.as_mut() {
+                    *id += 41;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    *log = OpLog::from_entries(entries);
+    assert_rejected("insert-id", &bundle.trace, &bundle.reports, &scripts, &config);
+}
+
+#[test]
+fn rejects_commit_flag_flip() {
+    let (mut bundle, scripts, config) = honest();
+    let i = db_log_index(&bundle.reports);
+    let log = bundle.reports.op_logs.log_mut(i).unwrap();
+    let mut entries = log.entries().to_vec();
+    for e in entries.iter_mut() {
+        if let OpContents::DbOp { succeeded, .. } = &mut e.contents {
+            *succeeded = !*succeeded;
+            break;
+        }
+    }
+    *log = OpLog::from_entries(entries);
+    assert_rejected("commit-flip", &bundle.trace, &bundle.reports, &scripts, &config);
+}
+
+#[test]
+fn rejects_op_moved_to_wrong_object() {
+    let (mut bundle, scripts, config) = honest();
+    // Move the first db entry into a register log.
+    let i = db_log_index(&bundle.reports);
+    let entry = {
+        let log = bundle.reports.op_logs.log_mut(i).unwrap();
+        let mut entries = log.entries().to_vec();
+        let moved = entries.remove(0);
+        *log = OpLog::from_entries(entries);
+        moved
+    };
+    let reg_index = bundle
+        .reports
+        .op_logs
+        .index_of(&ObjectName("reg:sess:alice".into()))
+        .expect("session log present");
+    let log = bundle.reports.op_logs.log_mut(reg_index).unwrap();
+    let mut entries = log.entries().to_vec();
+    entries.insert(0, entry);
+    *log = OpLog::from_entries(entries);
+    assert_rejected("wrong-object", &bundle.trace, &bundle.reports, &scripts, &config);
+}
+
+#[test]
+fn rejects_swapped_db_transactions() {
+    let (mut bundle, scripts, config) = honest();
+    let i = db_log_index(&bundle.reports);
+    let log = bundle.reports.op_logs.log_mut(i).unwrap();
+    let mut entries = log.entries().to_vec();
+    // Swap two adjacent transactions from different requests.
+    let swap_at = entries
+        .windows(2)
+        .position(|w| w[0].rid != w[1].rid)
+        .expect("adjacent entries from different requests");
+    entries.swap(swap_at, swap_at + 1);
+    *log = OpLog::from_entries(entries);
+    assert_rejected("txn-swap", &bundle.trace, &bundle.reports, &scripts, &config);
+}
+
+#[test]
+fn rejects_tampered_time_value() {
+    let (mut bundle, scripts, config) = honest();
+    // Rebuild the nondet log with one time value altered: the program
+    // embedded the original in a DB write, so re-execution diverges.
+    let rids: Vec<RequestId> = bundle
+        .trace
+        .ensure_balanced()
+        .unwrap()
+        .request_ids()
+        .collect();
+    let mut rebuilt = orochi::core::nondet::NondetLog::new();
+    let mut tampered = false;
+    for rid in rids {
+        for v in bundle.reports.nondet.for_request(rid) {
+            let v = match v {
+                NondetValue::Time(t) if !tampered => {
+                    tampered = true;
+                    NondetValue::Time(t + 1)
+                }
+                other => other.clone(),
+            };
+            rebuilt.push(rid, v);
+        }
+    }
+    assert!(tampered, "workload records at least one time value");
+    bundle.reports.nondet = rebuilt;
+    assert_rejected("time-tamper", &bundle.trace, &bundle.reports, &scripts, &config);
+}
+
+#[test]
+fn rejects_truncated_nondet() {
+    let (mut bundle, scripts, config) = honest();
+    let rids: Vec<RequestId> = bundle
+        .trace
+        .ensure_balanced()
+        .unwrap()
+        .request_ids()
+        .collect();
+    let mut rebuilt = orochi::core::nondet::NondetLog::new();
+    let mut dropped = false;
+    for rid in rids {
+        let values = bundle.reports.nondet.for_request(rid);
+        let keep = if !dropped && !values.is_empty() {
+            dropped = true;
+            &values[..values.len() - 1]
+        } else {
+            values
+        };
+        for v in keep {
+            rebuilt.push(rid, v.clone());
+        }
+    }
+    assert!(dropped, "workload records nondeterminism");
+    bundle.reports.nondet = rebuilt;
+    assert_rejected("nondet-truncate", &bundle.trace, &bundle.reports, &scripts, &config);
+}
+
+#[test]
+fn rejects_non_monotonic_time_report() {
+    let (mut bundle, scripts, config) = honest();
+    // Find a request with two time values and reverse them; the §4.6
+    // validity check alone must fire.
+    let rids: Vec<RequestId> = bundle
+        .trace
+        .ensure_balanced()
+        .unwrap()
+        .request_ids()
+        .collect();
+    let mut rebuilt = orochi::core::nondet::NondetLog::new();
+    for rid in rids {
+        let values = bundle.reports.nondet.for_request(rid).to_vec();
+        for v in values {
+            let v = match v {
+                NondetValue::Time(t) => NondetValue::Time(1_000_000_000 - t),
+                other => other,
+            };
+            rebuilt.push(rid, v);
+        }
+    }
+    bundle.reports.nondet = rebuilt;
+    assert_rejected("time-order", &bundle.trace, &bundle.reports, &scripts, &config);
+}
+
+#[test]
+fn rejects_renumbered_opnums() {
+    let (mut bundle, scripts, config) = honest();
+    let i = db_log_index(&bundle.reports);
+    let log = bundle.reports.op_logs.log_mut(i).unwrap();
+    let mut entries = log.entries().to_vec();
+    if let Some(e) = entries.first_mut() {
+        e.opnum = orochi_common::ids::OpNum(e.opnum.0 + 1);
+    }
+    *log = OpLog::from_entries(entries);
+    assert_rejected("opnum-shift", &bundle.trace, &bundle.reports, &scripts, &config);
+}
+
+#[test]
+fn rejects_wrong_initial_state_claim() {
+    // The verifier holds its own copy of the initial DB (§4.1); if the
+    // server actually started from different state, re-execution
+    // diverges from the trace.
+    let (bundle, scripts, _config) = honest();
+    let mut wrong = AuditConfig::new();
+    let mut db = orochi::apps::hotcrp::app().initial_db();
+    db.execute_autocommit(
+        "INSERT INTO papers (title, abstract, author, updated) VALUES ('ghost', 'g', 'x', 1)",
+    )
+    .0
+    .unwrap();
+    wrong.initial_dbs.insert("db:main".to_string(), db);
+    assert_rejected("initial-state", &bundle.trace, &bundle.reports, &scripts, &wrong);
+}
+
+#[test]
+fn ooo_oracle_agrees_on_honest_and_tampered() {
+    use orochi::core::ooo::ooo_audit;
+    let (bundle, scripts, config) = honest();
+    // Honest: both accept.
+    let mut a = AccPhpExecutor::new(scripts.clone());
+    let mut b = AccPhpExecutor::new(scripts.clone());
+    let grouped = audit(&bundle.trace, &bundle.reports, &mut a, &config);
+    let ooo = ooo_audit(&bundle.trace, &bundle.reports, &mut b, &config);
+    assert!(grouped.is_ok() && ooo.is_ok(), "oracles disagree on honest run");
+    // Tampered: both reject.
+    let mut tampered = bundle;
+    for e in tampered.trace.events.iter_mut() {
+        if let Event::Response(_, resp) = e {
+            resp.body.push('!');
+            break;
+        }
+    }
+    let mut a = AccPhpExecutor::new(scripts.clone());
+    let mut b = AccPhpExecutor::new(scripts);
+    let grouped = audit(&tampered.trace, &tampered.reports, &mut a, &config);
+    let ooo = ooo_audit(&tampered.trace, &tampered.reports, &mut b, &config);
+    assert!(
+        grouped.is_err() && ooo.is_err(),
+        "oracles disagree on tampered run"
+    );
+}

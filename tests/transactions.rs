@@ -1,0 +1,161 @@
+//! Transaction semantics through the whole pipeline: commit, voluntary
+//! rollback, and statement-failure abort — each served online, recorded,
+//! and audited. Aborted transactions exercise the scratch-replay path
+//! (§A.7 discussion in `orochi-sqldb::versioned`): their reads are
+//! captured during redo because interval queries cannot express
+//! "visible to later queries of this transaction only".
+
+use orochi::accphp::AccPhpExecutor;
+use orochi::core::audit::{audit, AuditConfig};
+use orochi::php::{compile, parse_script, CompiledScript};
+use orochi::server::{Server, ServerConfig};
+use orochi::sqldb::Database;
+use orochi::trace::HttpRequest;
+use std::collections::HashMap;
+
+fn scripts() -> HashMap<String, CompiledScript> {
+    let mut out = HashMap::new();
+    // Attempts to claim a unique id; the second claim of the same id
+    // fails mid-transaction and the commit reports the abort. The
+    // SELECT in between is an intra-transaction read that sees the
+    // transaction's own (eventually discarded) insert.
+    out.insert(
+        "/claim.php".to_string(),
+        compile(
+            "/claim.php",
+            &parse_script(
+                r#"<?php
+                $id = intval($_GET['id']);
+                db_begin();
+                db_query('INSERT INTO claims (id, who) VALUES (' . $id . ", 'first')");
+                $r = db_query('SELECT COUNT(*) FROM claims');
+                $seen = $r[0]['COUNT(*)'];
+                $dup = db_query('INSERT INTO claims (id, who) VALUES (' . $id . ", 'second')");
+                $ok = db_commit();
+                echo $ok ? 'claimed' : 'aborted';
+                echo ':' . $seen . ':' . ($dup ? 'dup-ok' : 'dup-failed');
+                "#,
+            )
+            .unwrap(),
+        )
+        .unwrap(),
+    );
+    // A voluntary rollback: insert then change your mind.
+    out.insert(
+        "/undo.php".to_string(),
+        compile(
+            "/undo.php",
+            &parse_script(
+                r#"<?php
+                db_begin();
+                db_query("INSERT INTO claims (id, who) VALUES (999, 'temp')");
+                db_rollback();
+                $r = db_query('SELECT COUNT(*) FROM claims WHERE id = 999');
+                echo 'count=' . $r[0]['COUNT(*)'];
+                "#,
+            )
+            .unwrap(),
+        )
+        .unwrap(),
+    );
+    // A clean committed transaction.
+    out.insert(
+        "/commit.php".to_string(),
+        compile(
+            "/commit.php",
+            &parse_script(
+                r#"<?php
+                $id = intval($_GET['id']);
+                db_begin();
+                db_query('INSERT INTO claims (id, who) VALUES (' . $id . ", 'c')");
+                db_query('UPDATE claims SET who = ' . "'final'" . ' WHERE id = ' . $id);
+                $ok = db_commit();
+                echo $ok ? 'ok' : 'failed';
+                "#,
+            )
+            .unwrap(),
+        )
+        .unwrap(),
+    );
+    out
+}
+
+fn initial_db() -> Database {
+    let mut db = Database::new();
+    db.execute_autocommit("CREATE TABLE claims (id INT PRIMARY KEY, who TEXT)")
+        .0
+        .unwrap();
+    db
+}
+
+fn serve_and_audit(requests: Vec<HttpRequest>) -> Vec<String> {
+    let scripts = scripts();
+    let server = Server::new(ServerConfig {
+        scripts: scripts.clone(),
+        initial_db: initial_db(),
+        recording: true,
+        seed: 17,
+    });
+    let mut bodies = Vec::new();
+    for req in requests {
+        bodies.push(server.handle(req).body);
+    }
+    let bundle = server.into_bundle();
+    let mut config = AuditConfig::new();
+    config.initial_dbs.insert("db:main".to_string(), initial_db());
+    let mut verifier = AccPhpExecutor::new(scripts);
+    audit(&bundle.trace, &bundle.reports, &mut verifier, &config)
+        .unwrap_or_else(|r| panic!("honest transactional run rejected: {r}"));
+    bodies
+}
+
+#[test]
+fn statement_failure_aborts_and_audits() {
+    // The claim aborts because the duplicate insert fails; the
+    // intra-transaction SELECT saw the (discarded) first insert.
+    let bodies = serve_and_audit(vec![HttpRequest::get("/claim.php", &[("id", "7")])]);
+    assert_eq!(bodies[0], "aborted:1:dup-failed");
+}
+
+#[test]
+fn abort_leaves_no_trace_in_later_requests() {
+    let bodies = serve_and_audit(vec![
+        HttpRequest::get("/claim.php", &[("id", "7")]),
+        HttpRequest::get("/undo.php", &[]),
+        HttpRequest::get("/commit.php", &[("id", "7")]),
+        HttpRequest::get("/claim.php", &[("id", "7")]),
+    ]);
+    // First claim aborted, so the commit succeeds with the same id...
+    assert_eq!(bodies[0], "aborted:1:dup-failed");
+    assert_eq!(bodies[1], "count=0");
+    assert_eq!(bodies[2], "ok");
+    // ...and the final claim aborts at the FIRST insert now (id taken):
+    // its first statement fails, so the SELECT runs in a poisoned
+    // transaction and the count read never happens — the dup insert also
+    // observes failure.
+    assert!(bodies[3].starts_with("aborted:"), "got {}", bodies[3]);
+}
+
+#[test]
+fn voluntary_rollback_audits() {
+    let bodies = serve_and_audit(vec![
+        HttpRequest::get("/undo.php", &[]),
+        HttpRequest::get("/undo.php", &[]),
+    ]);
+    assert_eq!(bodies, vec!["count=0", "count=0"]);
+}
+
+#[test]
+fn grouped_aborted_transactions_audit() {
+    // Several requests with the SAME control flow (all aborting at the
+    // duplicate insert) form a real control-flow group whose lanes all
+    // carry aborted transactions.
+    let mut requests = vec![HttpRequest::get("/commit.php", &[("id", "1")])];
+    for _ in 0..4 {
+        requests.push(HttpRequest::get("/claim.php", &[("id", "1")]));
+    }
+    let bodies = serve_and_audit(requests);
+    for body in &bodies[1..] {
+        assert!(body.starts_with("aborted:"), "got {body}");
+    }
+}
