@@ -317,6 +317,10 @@ pub struct AuditOutcome {
     pub stats: AuditStats,
 }
 
+/// Key of the read-query dedup cache: (log index, sql text, epochs of
+/// the tables the query touches).
+type DedupKey = (usize, String, Vec<(String, u64)>);
+
 /// The simulate-and-check context handed to the [`GroupExecutor`].
 ///
 /// Tracks per-request operation numbers, performs `CheckOp` against the
@@ -338,7 +342,7 @@ pub struct AuditContext<'a> {
     /// Versioned databases per log index (built by the redo phase).
     versioned_dbs: HashMap<usize, VersionedDb>,
     /// Read-query dedup cache: (log, sql, table epochs) -> result.
-    dedup_cache: HashMap<(usize, String, Vec<(String, u64)>), ExecOutcome>,
+    dedup_cache: HashMap<DedupKey, ExecOutcome>,
     /// Memoized sql -> touched tables (queries repeat heavily; parsing
     /// each occurrence would eat the dedup gain).
     touched_tables: HashMap<String, Vec<String>>,

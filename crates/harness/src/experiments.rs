@@ -320,7 +320,7 @@ pub fn print_fig11(s: &Fig11Summary) {
     println!("min alpha over grouped executions: {min_alpha:.4}");
     println!("{:>6} {:>8} {:>10}", "n", "alpha", "len");
     let mut sorted = s.triples.clone();
-    sorted.sort_by(|a, b| b.0.cmp(&a.0));
+    sorted.sort_by_key(|t| std::cmp::Reverse(t.0));
     for (n, alpha, len) in sorted.iter().take(20) {
         println!("{n:>6} {alpha:>8.4} {len:>10}");
     }

@@ -1,0 +1,180 @@
+//! Offline, API-compatible subset of the `parking_lot` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice it uses: [`Mutex`] with [`Mutex::lock`] and the
+//! owned-guard [`Mutex::lock_arc`] (returning
+//! [`lock_api::ArcMutexGuard`], which the SQL engine stores inside its
+//! `Transaction` to hold the global lock across statements).
+//!
+//! The implementation is a fair-enough blocking lock built on
+//! `std::sync::Mutex<bool>` + `Condvar` — no poisoning (matching
+//! parking_lot semantics: a panicking holder simply releases the lock).
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+pub mod lock_api;
+
+use lock_api::ArcMutexGuard;
+
+/// The raw lock backing [`Mutex`]; exposed because `lock_api` guard
+/// types are generic over it.
+#[derive(Default)]
+pub struct RawMutex {
+    locked: StdMutex<bool>,
+    cond: Condvar,
+}
+
+impl RawMutex {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) {
+        let mut locked = self.locked.lock().unwrap_or_else(|e| e.into_inner());
+        while *locked {
+            locked = self.cond.wait(locked).unwrap_or_else(|e| e.into_inner());
+        }
+        *locked = true;
+    }
+
+    fn unlock(&self) {
+        let mut locked = self.locked.lock().unwrap_or_else(|e| e.into_inner());
+        *locked = false;
+        drop(locked);
+        self.cond.notify_one();
+    }
+}
+
+/// A mutual-exclusion primitive without poisoning.
+pub struct Mutex<T: ?Sized> {
+    raw: RawMutex,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            raw: RawMutex::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.raw.lock();
+        MutexGuard {
+            mutex: self,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Acquires the lock on an `Arc`'d mutex, returning an owned guard
+    /// that keeps the lock held for its own lifetime (parking_lot's
+    /// `arc_lock` feature).
+    pub fn lock_arc(self: &Arc<Self>) -> ArcMutexGuard<RawMutex, T> {
+        self.raw.lock();
+        ArcMutexGuard::new(Arc::clone(self))
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    pub(crate) fn raw_unlock(&self) {
+        self.raw.unlock();
+    }
+
+    pub(crate) fn data_ptr(&self) -> *mut T {
+        self.data.get()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+    /// Suppresses the auto Send/Sync impls (`&Mutex<T>` alone would
+    /// make the guard Sync for any `T: Send`, handing `&T` to other
+    /// threads even when `T: !Sync`); the explicit impl below mirrors
+    /// real parking_lot: Sync iff `T: Sync`, never Send.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+unsafe impl<T: ?Sized + Sync> Sync for MutexGuard<'_, T> {}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.mutex.data_ptr() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.mutex.data_ptr() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.raw_unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn counts_across_threads() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn arc_guard_holds_lock_until_drop() {
+        let m = Arc::new(Mutex::new(5u32));
+        let guard = m.lock_arc();
+        assert_eq!(*guard, 5);
+        drop(guard);
+        assert_eq!(*m.lock(), 5);
+    }
+}

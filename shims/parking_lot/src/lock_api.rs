@@ -1,0 +1,48 @@
+//! The `lock_api` guard types re-exported by parking_lot.
+
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use crate::Mutex;
+
+/// An owned mutex guard: holds both the `Arc` and the lock, so it can
+/// outlive the borrow that created it (used by `sqldb::Transaction` to
+/// keep the database's global lock across statements).
+pub struct ArcMutexGuard<R, T: ?Sized> {
+    mutex: Arc<Mutex<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T: ?Sized> ArcMutexGuard<R, T> {
+    /// Wraps an `Arc`'d mutex whose raw lock the caller has already
+    /// acquired; the guard releases it on drop.
+    pub(crate) fn new(mutex: Arc<Mutex<T>>) -> Self {
+        ArcMutexGuard {
+            mutex,
+            _raw: PhantomData,
+        }
+    }
+}
+
+unsafe impl<R, T: ?Sized + Send> Send for ArcMutexGuard<R, T> {}
+unsafe impl<R, T: ?Sized + Send + Sync> Sync for ArcMutexGuard<R, T> {}
+
+impl<R, T: ?Sized> Deref for ArcMutexGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.mutex.data_ptr() }
+    }
+}
+
+impl<R, T: ?Sized> DerefMut for ArcMutexGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.mutex.data_ptr() }
+    }
+}
+
+impl<R, T: ?Sized> Drop for ArcMutexGuard<R, T> {
+    fn drop(&mut self) {
+        self.mutex.raw_unlock();
+    }
+}

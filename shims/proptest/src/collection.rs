@@ -1,0 +1,32 @@
+//! Collection strategies.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates a `Vec` whose length is uniform in `size` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end || size.start == 0, "empty size range");
+    VecStrategy { element, size }
+}
+
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.size.end.saturating_sub(self.size.start).max(1);
+        let len = self.size.start + rng.below(span as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice its property tests use: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map` / `prop_recursive`,
+//! [`prelude::any`], [`prelude::Just`], ranges and `&str` regex
+//! patterns as strategies, [`prop_oneof!`], [`collection::vec`], and
+//! `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   `Debug`-printed; it is not minimized.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's name, so failures reproduce across runs without a
+//!   `proptest-regressions` file.
+//! * `&str` strategies support only the pattern shape the tests use:
+//!   concatenations of literals and `[...]` classes with optional
+//!   `{n}` / `{m,n}` repetition.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs one test function body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                // Build each strategy once (construction can be heavy,
+                // e.g. prop_recursive); the loop below shadows the
+                // binding with the generated value per case.
+                $(let $arg = $strategy;)+
+                let strategies = ($(&$arg,)+);
+                for case in 0..config.cases {
+                    // Checkpoint the RNG: on failure the (possibly
+                    // consumed) inputs are regenerated from it for the
+                    // report, so passing cases pay no formatting cost.
+                    let checkpoint = rng.clone();
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)+
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest case {}/{} failed for {}; inputs:",
+                            case + 1, config.cases, stringify!($name),
+                        );
+                        let ($($arg,)+) = strategies;
+                        let mut rng = checkpoint;
+                        $(eprintln!(
+                            "  {} = {:?}",
+                            stringify!($arg),
+                            $crate::strategy::Strategy::generate($arg, &mut rng),
+                        );)+
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

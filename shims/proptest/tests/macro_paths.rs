@@ -1,0 +1,30 @@
+//! The proptest! macro's two paths: passing bodies run all cases;
+//! failing bodies panic (after regenerating inputs for the report).
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn in_range_values_pass(x in 0u8..10, pair in (any::<bool>(), 0i64..5)) {
+        prop_assert!(x < 10);
+        prop_assert!((0..5).contains(&pair.1));
+    }
+}
+
+// No #[test] attribute: invoked manually below to observe the panic.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    fn always_fails(v in proptest::collection::vec(0u8..10, 1..4)) {
+        // Consumes the input, so the failure report must regenerate it.
+        prop_assert!(v.into_iter().map(u32::from).sum::<u32>() > 1000);
+    }
+}
+
+#[test]
+fn failing_property_panics_with_report() {
+    let outcome = std::panic::catch_unwind(always_fails);
+    assert!(outcome.is_err(), "failing property must propagate its panic");
+}

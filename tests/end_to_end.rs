@@ -75,10 +75,9 @@ fn wiki_sequential_roundtrip() {
 #[test]
 fn forum_sequential_roundtrip() {
     let app = forum::app();
-    let mut requests = Vec::new();
-    requests.push(
+    let mut requests = vec![
         HttpRequest::post("/login.php", &[], &[("user", "bob")]).with_cookie("sess", "bob"),
-    );
+    ];
     // Seed a topic via reply failure (no topic) then through the DB
     // schema: create a topic by direct insert is not exposed, so drive
     // the app: replies to a missing topic 404, then a topic is created
@@ -96,10 +95,9 @@ fn forum_sequential_roundtrip() {
 #[test]
 fn hotcrp_sequential_roundtrip() {
     let app = hotcrp::app();
-    let mut requests = Vec::new();
-    requests.push(
+    let mut requests = vec![
         HttpRequest::post("/login.php", &[], &[("who", "carol")]).with_cookie("sess", "carol"),
-    );
+    ];
     requests.push(
         HttpRequest::post(
             "/submit.php",

@@ -218,7 +218,7 @@ proptest! {
                 Ok(out) => vec![out.write()],
                 Err(_) => vec![None],
             };
-            vdb.redo_transaction(seq, &[sql.clone()], result.is_ok(), &logged)
+            vdb.redo_transaction(seq, std::slice::from_ref(sql), result.is_ok(), &logged)
                 .unwrap();
             // The versioned view at this point equals the online state.
             let (want, _) = online.execute_autocommit("SELECT id, k, v FROM t ORDER BY id");

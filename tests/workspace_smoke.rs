@@ -1,0 +1,44 @@
+//! Workspace smoke test: a fast canary that the facade wiring stays
+//! intact. One request is constructed via `orochi::workload`, served
+//! through `orochi::server`, and audited with `orochi::core::audit` —
+//! touching every re-export layer the other tests rely on.
+
+use orochi::accphp::AccPhpExecutor;
+use orochi::apps::wiki;
+use orochi::core::audit::{audit, AuditConfig};
+use orochi::server::{Server, ServerConfig};
+use orochi::workload::wiki as wiki_workload;
+
+#[test]
+fn one_workload_request_roundtrips_through_the_facade() {
+    // Construct requests via the workload generator (tiny scale: a few
+    // setup edits plus at least one measured view).
+    let workload = wiki_workload::generate(&wiki_workload::Params::scaled(0.001), 42);
+    assert!(!workload.is_empty(), "scaled workload generated no requests");
+
+    // Serve through orochi::server.
+    let app = wiki::app();
+    let scripts = app.compile().expect("wiki app compiles");
+    let server = Server::new(ServerConfig {
+        scripts: scripts.clone(),
+        initial_db: app.initial_db(),
+        recording: true,
+        seed: 1,
+    });
+    let served = workload.all();
+    assert!(!served.is_empty());
+    for req in served {
+        server.handle(req);
+    }
+    let bundle = server.into_bundle();
+
+    // Audit with orochi::core::audit.
+    let mut config = AuditConfig::new();
+    config
+        .initial_dbs
+        .insert("db:main".to_string(), app.initial_db());
+    let mut verifier = AccPhpExecutor::new(scripts);
+    let outcome = audit(&bundle.trace, &bundle.reports, &mut verifier, &config)
+        .expect("honest serve must pass the audit");
+    assert!(outcome.stats.requests_reexecuted > 0);
+}
