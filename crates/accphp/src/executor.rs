@@ -19,12 +19,12 @@ use crate::groupvm::{run_group, GroupRunError};
 use orochi_common::ids::RequestId;
 use orochi_core::audit::{AuditContext, Rejection};
 use orochi_core::exec::{DbQueryResult, DbTxnHandle, GroupExecutor, SimResult};
+use orochi_core::nondet::NondetValue;
 use orochi_php::backend::{BackendError, DbResult, DbScalar, NondetProvider, StateBackend};
+use orochi_php::builtins;
 use orochi_php::bytecode::CompiledScript;
 use orochi_php::value::Value;
 use orochi_php::vm::{not_found_output, run_request, RequestInput, RequestOutput};
-use orochi_core::nondet::NondetValue;
-use orochi_php::builtins;
 use orochi_sqldb::{ExecOutcome, SqlValue};
 use orochi_state::object::ObjectName;
 use orochi_trace::{HttpRequest, HttpResponse};
@@ -76,6 +76,20 @@ pub struct ExecutorStats {
     pub group_stats: Vec<GroupStat>,
 }
 
+impl ExecutorStats {
+    /// Folds another executor's statistics into this one. The parallel
+    /// audit runs one executor per worker thread; the harness merges
+    /// their counters afterwards. Counter sums are order-independent;
+    /// only the order of the Fig. 11 triples depends on scheduling (the
+    /// triples themselves do not — consumers sort before rendering).
+    pub fn merge(&mut self, other: &ExecutorStats) {
+        self.grouped += other.grouped;
+        self.fallbacks += other.fallbacks;
+        self.scalar_requests += other.scalar_requests;
+        self.group_stats.extend_from_slice(&other.group_stats);
+    }
+}
+
 /// The acc-PHP group executor: routes requests to compiled scripts and
 /// re-executes each control-flow group.
 pub struct AccPhpExecutor {
@@ -89,6 +103,13 @@ pub struct AccPhpExecutor {
     /// Statistics for the evaluation harness.
     pub stats: ExecutorStats,
 }
+
+// The parallel audit moves one executor into each worker thread, so the
+// executor (and the compiled scripts it routes to) must stay `Send`.
+const _: fn() = || {
+    fn sendable<T: Send>() {}
+    sendable::<AccPhpExecutor>();
+};
 
 impl AccPhpExecutor {
     /// Creates an executor for the given `(path, script)` routing table.
@@ -154,16 +175,16 @@ impl GroupExecutor for AccPhpExecutor {
         ctx: &mut AuditContext<'_>,
     ) -> Result<Vec<(RequestId, HttpResponse)>, Rejection> {
         let rids: Vec<RequestId> = requests.iter().map(|(r, _)| *r).collect();
-        let inputs: Vec<RequestInput> =
-            requests.iter().map(|(_, req)| Self::to_input(req)).collect();
+        let inputs: Vec<RequestInput> = requests
+            .iter()
+            .map(|(_, req)| Self::to_input(req))
+            .collect();
         let mut outputs: Vec<(RequestId, HttpResponse)> = Vec::with_capacity(requests.len());
 
         // Grouped execution requires a single script; groups beyond
         // max_group split into chunks (OROCHI caps groups at 3,000 to
         // avoid thrashing, §4.7). Anything else goes scalar.
-        let same_path = inputs
-            .windows(2)
-            .all(|w| w[0].path == w[1].path);
+        let same_path = inputs.windows(2).all(|w| w[0].path == w[1].path);
         let script_known = same_path && self.scripts.contains_key(&inputs[0].path);
         let try_grouped = !self.force_scalar && requests.len() > 1 && script_known;
 
@@ -176,9 +197,7 @@ impl GroupExecutor for AccPhpExecutor {
             let chunk = self.max_group.max(1);
             let mut diverged = false;
             let mut chunk_outputs = Vec::with_capacity(requests.len());
-            for (rid_chunk, input_chunk) in
-                rids.chunks(chunk).zip(inputs.chunks(chunk))
-            {
+            for (rid_chunk, input_chunk) in rids.chunks(chunk).zip(inputs.chunks(chunk)) {
                 match run_group(&script, rid_chunk, input_chunk, ctx) {
                     Ok(outcome) => {
                         self.stats.grouped += 1;
@@ -232,9 +251,7 @@ impl AuditBackend<'_, '_> {
     }
 }
 
-fn exec_outcome_to_db_result(
-    outcome: DbQueryResult,
-) -> DbResult {
+fn exec_outcome_to_db_result(outcome: DbQueryResult) -> DbResult {
     match outcome {
         DbQueryResult::Failed => DbResult::Failed,
         DbQueryResult::Ok(ExecOutcome::Rows { columns, rows }) => DbResult::Rows(

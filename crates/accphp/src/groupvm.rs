@@ -302,9 +302,8 @@ pub fn run_group(
 
 fn init_globals(script: &CompiledScript, inputs: &[RequestInput], lanes: usize) -> Vec<MVal> {
     let mut globals = vec![MVal::Uni(Value::Null); script.global_names.len()];
-    let lane_vals = |f: &dyn Fn(&RequestInput) -> Value| {
-        MVal::from_lanes(inputs.iter().map(f).collect())
-    };
+    let lane_vals =
+        |f: &dyn Fn(&RequestInput) -> Value| MVal::from_lanes(inputs.iter().map(f).collect());
     globals[0] = lane_vals(&|i| orochi_php::vm::pairs_to_array(&i.get));
     globals[1] = lane_vals(&|i| orochi_php::vm::pairs_to_array(&i.post));
     globals[2] = lane_vals(&|i| orochi_php::vm::pairs_to_array(&i.cookies));
@@ -356,10 +355,7 @@ impl GroupVm<'_, '_> {
     }
 
     /// All lanes answer with the same fatal page (no headers/session).
-    fn uniform_fatal_outcome(
-        &mut self,
-        message: &str,
-    ) -> Result<GroupOutcome, GroupRunError> {
+    fn uniform_fatal_outcome(&mut self, message: &str) -> Result<GroupOutcome, GroupRunError> {
         let body = format!("Fatal error: {message}");
         Ok(GroupOutcome {
             outputs: (0..self.lanes)
@@ -511,9 +507,11 @@ impl GroupVm<'_, '_> {
                     let v = self.pop();
                     let multi = !v.is_uni();
                     self.account(multi);
-                    let r = v
-                        .map1(self.lanes, ops::negate)
-                        .map_err(if multi { lane_err } else { uni_err })?;
+                    let r = v.map1(self.lanes, ops::negate).map_err(if multi {
+                        lane_err
+                    } else {
+                        uni_err
+                    })?;
                     self.stack.push(r);
                 }
                 Op::Jump(t) => {
@@ -559,14 +557,19 @@ impl GroupVm<'_, '_> {
                     if multi {
                         for l in 0..self.lanes {
                             out.push(
-                                ops::array_insert(arr.lane(l).clone(), k.lane(l), v.lane(l).clone())
-                                    .map_err(lane_err)?,
+                                ops::array_insert(
+                                    arr.lane(l).clone(),
+                                    k.lane(l),
+                                    v.lane(l).clone(),
+                                )
+                                .map_err(lane_err)?,
                             );
                         }
                         self.stack.push(MVal::from_lanes(out));
                     } else {
-                        let r = ops::array_insert(arr.lane(0).clone(), k.lane(0), v.lane(0).clone())
-                            .map_err(uni_err)?;
+                        let r =
+                            ops::array_insert(arr.lane(0).clone(), k.lane(0), v.lane(0).clone())
+                                .map_err(uni_err)?;
                         self.stack.push(MVal::Uni(r));
                     }
                 }
@@ -584,27 +587,29 @@ impl GroupVm<'_, '_> {
                     let keys: Vec<MVal> = self.pop_keys(n as usize);
                     let value = self.pop();
                     let is_local = matches!(op, Op::SetPathLocal(..));
-                    self.modify_path(is_local, slot, &keys, |cur, lane_keys, v| {
-                        ops::set_path(cur, lane_keys, v)
-                    }, Some(value.clone()))?;
+                    self.modify_path(is_local, slot, &keys, ops::set_path, Some(value.clone()))?;
                     self.stack.push(value);
                 }
                 Op::AppendPathLocal(slot, n) | Op::AppendPathGlobal(slot, n) => {
                     let keys: Vec<MVal> = self.pop_keys(n as usize - 1);
                     let value = self.pop();
                     let is_local = matches!(op, Op::AppendPathLocal(..));
-                    self.modify_path(is_local, slot, &keys, |cur, lane_keys, v| {
-                        ops::append_path(cur, lane_keys, v)
-                    }, Some(value.clone()))?;
+                    self.modify_path(is_local, slot, &keys, ops::append_path, Some(value.clone()))?;
                     self.stack.push(value);
                 }
                 Op::UnsetPathLocal(slot, n) | Op::UnsetPathGlobal(slot, n) => {
                     let keys: Vec<MVal> = self.pop_keys(n as usize);
                     let is_local = matches!(op, Op::UnsetPathLocal(..));
-                    self.modify_path(is_local, slot, &keys, |cur, lane_keys, _v| {
-                        ops::unset_path(cur, lane_keys);
-                        Ok(())
-                    }, None)?;
+                    self.modify_path(
+                        is_local,
+                        slot,
+                        &keys,
+                        |cur, lane_keys, _v| {
+                            ops::unset_path(cur, lane_keys);
+                            Ok(())
+                        },
+                        None,
+                    )?;
                 }
                 Op::IssetPathLocal(slot, n) | Op::IssetPathGlobal(slot, n) => {
                     let keys: Vec<MVal> = self.pop_keys(n as usize);
@@ -629,7 +634,9 @@ impl GroupVm<'_, '_> {
                         MVal::Uni(out.into_iter().next().expect("one lane"))
                     });
                 }
-                Op::PreIncLocal(s) | Op::PostIncLocal(s) | Op::PreDecLocal(s)
+                Op::PreIncLocal(s)
+                | Op::PostIncLocal(s)
+                | Op::PreDecLocal(s)
                 | Op::PostDecLocal(s) => {
                     let frame = self.frames.last_mut().expect("running frame");
                     let cur = frame.locals[s as usize].clone();
@@ -648,7 +655,9 @@ impl GroupVm<'_, '_> {
                     frame.locals[s as usize] = new_slot;
                     self.stack.push(result);
                 }
-                Op::PreIncGlobal(s) | Op::PostIncGlobal(s) | Op::PreDecGlobal(s)
+                Op::PreIncGlobal(s)
+                | Op::PostIncGlobal(s)
+                | Op::PreDecGlobal(s)
                 | Op::PostDecGlobal(s) => {
                     let cur = self.globals[s as usize].clone();
                     let multi = !cur.is_uni();
@@ -815,11 +824,7 @@ impl GroupVm<'_, '_> {
                 }
                 Op::IterPop => {
                     self.account(false);
-                    self.frames
-                        .last_mut()
-                        .expect("running frame")
-                        .iters
-                        .pop();
+                    self.frames.last_mut().expect("running frame").iters.pop();
                 }
             }
         }
@@ -960,8 +965,9 @@ impl GroupVm<'_, '_> {
                 for l in 0..self.lanes {
                     let text = h.lane(l).to_php_string();
                     match text.split_once(':') {
-                        Some((n, v)) => self.headers[l]
-                            .push((n.trim().to_string(), v.trim().to_string())),
+                        Some((n, v)) => {
+                            self.headers[l].push((n.trim().to_string(), v.trim().to_string()))
+                        }
                         None => {
                             return Err(if h.is_uni() {
                                 Flow::GroupFatal("header(): malformed header".into())
@@ -998,7 +1004,11 @@ impl GroupVm<'_, '_> {
                 for l in 0..self.lanes {
                     self.headers[l].push((
                         "Set-Cookie".to_string(),
-                        format!("{}={}", n.lane(l).to_php_string(), v.lane(l).to_php_string()),
+                        format!(
+                            "{}={}",
+                            n.lane(l).to_php_string(),
+                            v.lane(l).to_php_string()
+                        ),
                     ));
                 }
                 self.stack.push(MVal::Uni(Value::Bool(true)));
@@ -1111,7 +1121,10 @@ impl GroupVm<'_, '_> {
                             .ctx
                             .db_begin(self.rids[l], &ObjectName("db:main".into()))
                             .map_err(Flow::Reject)?;
-                        let r = self.ctx.db_query(&mut handle, &text).map_err(Flow::Reject)?;
+                        let r = self
+                            .ctx
+                            .db_query(&mut handle, &text)
+                            .map_err(Flow::Reject)?;
                         self.ctx.db_finish(handle, true).map_err(Flow::Reject)?;
                         r
                     };
@@ -1132,9 +1145,7 @@ impl GroupVm<'_, '_> {
                     let handle = match self.txns[l].take() {
                         Some(h) => h,
                         None => {
-                            return Err(Flow::GroupFatal(format!(
-                                "{name}() without transaction"
-                            )))
+                            return Err(Flow::GroupFatal(format!("{name}() without transaction")))
                         }
                     };
                     let ok = self
@@ -1163,10 +1174,7 @@ impl GroupVm<'_, '_> {
                 let mut out = Vec::with_capacity(self.lanes);
                 let kind = if name == "getpid" { "pid" } else { name };
                 for l in 0..self.lanes {
-                    let v = self
-                        .ctx
-                        .nondet(self.rids[l], kind)
-                        .map_err(Flow::Reject)?;
+                    let v = self.ctx.nondet(self.rids[l], kind).map_err(Flow::Reject)?;
                     out.push(match v {
                         NondetValue::Time(t) => Value::Int(t),
                         NondetValue::Microtime(t) => Value::Float(t),
@@ -1235,11 +1243,7 @@ fn incdec_mval(cur: &MVal, scalar_op: Op, lanes: usize) -> Result<(MVal, MVal), 
 
 /// Converts an audit-side query result into the PHP-visible value,
 /// mirroring the scalar backend's conversion exactly.
-fn db_query_result_to_value(
-    result: DbQueryResult,
-    last_id: &mut i64,
-    last_aff: &mut i64,
-) -> Value {
+fn db_query_result_to_value(result: DbQueryResult, last_id: &mut i64, last_aff: &mut i64) -> Value {
     match result {
         DbQueryResult::Failed => Value::Bool(false),
         DbQueryResult::Ok(ExecOutcome::Rows { columns, rows }) => {

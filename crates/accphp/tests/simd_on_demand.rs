@@ -11,9 +11,7 @@ use orochi_trace::{Event, HttpRequest, HttpResponse, Trace};
 
 /// Builds a (trace, reports) pair for `lanes` op-less requests with the
 /// given GET parameters, plus the audit context inputs.
-fn fixtures(
-    params: &[Vec<(&str, &str)>],
-) -> (Vec<RequestId>, Vec<RequestInput>, Trace, Reports) {
+fn fixtures(params: &[Vec<(&str, &str)>]) -> (Vec<RequestId>, Vec<RequestInput>, Trace, Reports) {
     let mut events = Vec::new();
     let mut rids = Vec::new();
     let mut inputs = Vec::new();
@@ -94,8 +92,7 @@ fn branch_divergence_detected() {
         if (intval($_GET['x']) > 5) { echo 'big'; } else { echo 'small'; }
     "#;
     let script = compile("/prog.php", &parse_script(src).unwrap()).unwrap();
-    let (rids, inputs, trace, reports) =
-        fixtures(&[vec![("x", "10")], vec![("x", "1")]]);
+    let (rids, inputs, trace, reports) = fixtures(&[vec![("x", "10")], vec![("x", "1")]]);
     let config = AuditConfig::new();
     let mut ctx = AuditContext::prepare(&trace, &reports, &config).unwrap();
     match run_group(&script, &rids, &inputs, &mut ctx) {
@@ -112,8 +109,7 @@ fn uniform_branches_do_not_diverge() {
     let script = compile("/prog.php", &parse_script(src).unwrap()).unwrap();
     // Different values, same truthiness: no divergence; outputs differ
     // per lane (multivalent echo).
-    let (rids, inputs, trace, reports) =
-        fixtures(&[vec![("x", "10")], vec![("x", "20")]]);
+    let (rids, inputs, trace, reports) = fixtures(&[vec![("x", "10")], vec![("x", "20")]]);
     let config = AuditConfig::new();
     let mut ctx = AuditContext::prepare(&trace, &reports, &config).unwrap();
     let outcome = run_group(&script, &rids, &inputs, &mut ctx).unwrap();
@@ -128,8 +124,7 @@ fn iteration_length_divergence_detected() {
         foreach ($parts as $p) { echo $p; }
     "#;
     let script = compile("/prog.php", &parse_script(src).unwrap()).unwrap();
-    let (rids, inputs, trace, reports) =
-        fixtures(&[vec![("csv", "a,b")], vec![("csv", "a,b,c")]]);
+    let (rids, inputs, trace, reports) = fixtures(&[vec![("csv", "a,b")], vec![("csv", "a,b,c")]]);
     let config = AuditConfig::new();
     let mut ctx = AuditContext::prepare(&trace, &reports, &config).unwrap();
     match run_group(&script, &rids, &inputs, &mut ctx) {
@@ -160,8 +155,7 @@ fn same_length_iterations_run_multivalently() {
 fn uniform_fatal_yields_identical_500s() {
     let src = "<?php echo 1 % intval($_GET['zero']);";
     let script = compile("/prog.php", &parse_script(src).unwrap()).unwrap();
-    let (rids, inputs, trace, reports) =
-        fixtures(&[vec![("zero", "0")], vec![("zero", "0")]]);
+    let (rids, inputs, trace, reports) = fixtures(&[vec![("zero", "0")], vec![("zero", "0")]]);
     let config = AuditConfig::new();
     let mut ctx = AuditContext::prepare(&trace, &reports, &config).unwrap();
     let outcome = run_group(&script, &rids, &inputs, &mut ctx).unwrap();

@@ -3,7 +3,7 @@
 //! `fig9_decomposition` binary prints the per-phase table.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use orochi_core::audit::{AuditContext, AuditConfig};
+use orochi_core::audit::{AuditConfig, AuditContext};
 use orochi_harness::{run_audit, serve, AppWorkload, ServeOptions};
 use orochi_workload::forum;
 

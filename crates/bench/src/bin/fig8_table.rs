@@ -1,13 +1,50 @@
 //! Regenerates the Fig. 8 (left) main-results table.
 //!
-//! Usage: `cargo run --release -p orochi-bench --bin fig8_table`
-//! (`OROCHI_FULL=1` for the paper's full request counts).
+//! Usage: `cargo run --release -p orochi_bench --bin fig8_table`
+//! (`OROCHI_FULL=1` for the paper's full request counts;
+//! `OROCHI_BENCH_JSON=path` to also write the rows as JSON for the CI
+//! artifact).
 
-use orochi_harness::experiments::{fig8_table, print_fig8, scale_from_env};
+use orochi_bench::json::Json;
+use orochi_harness::experiments::{fig8_table, print_fig8, scale_from_env, Fig8Row};
+
+fn json_doc(scale: f64, rows: &[Fig8Row]) -> Json {
+    Json::obj([
+        ("experiment", Json::str("fig8_table")),
+        ("scale", Json::Num(scale)),
+        (
+            "fig8",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("app", Json::str(r.app)),
+                            ("requests", Json::from(r.requests)),
+                            ("audit_speedup", Json::Num(r.audit_speedup)),
+                            ("server_cpu_overhead", Json::Num(r.server_cpu_overhead)),
+                            ("avg_request_bytes", Json::Num(r.avg_request_bytes)),
+                            ("baseline_report_bytes", Json::Num(r.baseline_report_bytes)),
+                            ("orochi_report_bytes", Json::Num(r.orochi_report_bytes)),
+                            ("report_overhead", Json::Num(r.report_overhead)),
+                            ("db_temp_overhead", Json::Num(r.db_temp_overhead)),
+                            ("db_permanent_overhead", Json::Num(r.db_permanent_overhead)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
 
 fn main() {
     let scale = scale_from_env();
     println!("== Fig. 8 (left): main results (scale {scale}) ==");
     let rows = fig8_table(scale, 42);
     print_fig8(&rows);
+
+    if let Ok(path) = std::env::var("OROCHI_BENCH_JSON") {
+        let doc = json_doc(scale, &rows);
+        std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
 }

@@ -1,13 +1,85 @@
 //! Regenerates the Fig. 9 audit-time CPU decomposition for all three
-//! applications.
+//! applications, plus the sequential-vs-parallel audit wall-time
+//! comparison the CI pipeline tracks.
 //!
-//! Usage: `cargo run --release -p orochi-bench --bin fig9_decomposition`
+//! Usage: `cargo run --release -p orochi_bench --bin fig9_decomposition`
+//!
+//! * `OROCHI_AUDIT_THREADS` — worker threads for the parallel arm
+//!   (default/`auto`: every available core, clamped to the machine).
+//! * `OROCHI_BENCH_JSON=path` — also write the results as JSON for the
+//!   `bench-smoke` CI artifact.
 
-use orochi_harness::experiments::{fig9_decomposition, print_fig9, scale_from_env};
+use orochi_bench::json::Json;
+use orochi_harness::audit_threads_from_env;
+use orochi_harness::experiments::{
+    fig9_decomposition, parallel_speedup, print_fig9, print_parallel, scale_from_env, Fig9Row,
+    ParallelRow,
+};
+
+fn json_doc(scale: f64, rows: &[Fig9Row], par: &[ParallelRow], threads: usize) -> Json {
+    Json::obj([
+        ("experiment", Json::str("fig9_decomposition")),
+        ("scale", Json::Num(scale)),
+        (
+            "fig9",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("app", Json::str(r.app)),
+                            ("proc_op_rep_s", Json::Num(r.proc_op_rep.as_secs_f64())),
+                            ("db_redo_s", Json::Num(r.db_redo.as_secs_f64())),
+                            ("db_query_s", Json::Num(r.db_query.as_secs_f64())),
+                            ("php_s", Json::Num(r.php.as_secs_f64())),
+                            ("other_s", Json::Num(r.other.as_secs_f64())),
+                            (
+                                "baseline_total_s",
+                                Json::Num(r.baseline_total.as_secs_f64()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "parallel_audit",
+            Json::obj([
+                ("threads", Json::from(threads)),
+                (
+                    "rows",
+                    Json::Arr(
+                        par.iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("app", Json::str(r.app)),
+                                    ("requests", Json::from(r.requests)),
+                                    ("seq_wall_s", Json::Num(r.seq_wall.as_secs_f64())),
+                                    ("par_wall_s", Json::Num(r.par_wall.as_secs_f64())),
+                                    ("speedup", Json::Num(r.speedup())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
 
 fn main() {
     let scale = scale_from_env();
     println!("== Fig. 9: audit-time CPU decomposition (scale {scale}) ==");
     let rows = fig9_decomposition(scale, 42);
     print_fig9(&rows);
+
+    let threads = audit_threads_from_env();
+    println!("== Parallel audit: sequential vs {threads} worker threads ==");
+    let par = parallel_speedup(scale, 42, threads);
+    print_parallel(&par);
+
+    if let Ok(path) = std::env::var("OROCHI_BENCH_JSON") {
+        let doc = json_doc(scale, &rows, &par, threads);
+        std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
 }

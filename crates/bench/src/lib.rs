@@ -5,6 +5,8 @@
 //! and multivalue VMs and (b) synthesize traces for the time-precedence
 //! ablation; the helpers live here.
 
+pub mod json;
+
 use orochi_accphp::groupvm::{run_group, GroupOutcome};
 use orochi_common::ids::{CtlFlowTag, RequestId};
 use orochi_core::audit::{AuditConfig, AuditContext};
@@ -192,7 +194,11 @@ mod tests {
         let script = fig10_script("$x = $a * $b;", 50);
         let group = Fig10Group::new(4, false, 0);
         let outcome = group.run(&script);
-        assert!(outcome.multivalent > 50, "multivalent {}", outcome.multivalent);
+        assert!(
+            outcome.multivalent > 50,
+            "multivalent {}",
+            outcome.multivalent
+        );
     }
 
     #[test]

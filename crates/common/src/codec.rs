@@ -355,10 +355,7 @@ mod tests {
             let mut enc = Encoder::new();
             enc.f64(v);
             let bytes = enc.into_bytes();
-            assert_eq!(
-                Decoder::new(&bytes).f64().unwrap().to_bits(),
-                v.to_bits()
-            );
+            assert_eq!(Decoder::new(&bytes).f64().unwrap().to_bits(), v.to_bits());
         }
         // NaN keeps its payload.
         let mut enc = Encoder::new();

@@ -20,6 +20,21 @@
 //!    responses in the trace.
 //!
 //! Any failed check rejects with a precise [`Rejection`] reason.
+//!
+//! # Parallel audit
+//!
+//! After the prologue (phases 1–3), control-flow groups touch disjoint
+//! per-request state and only *read* the shared prologue products (the
+//! OpMap, the operation logs, and the versioned stores). [`audit_parallel`]
+//! exploits that: the prologue's store builds are sharded by object across
+//! a bounded pool of scoped threads, and the groups are then re-executed
+//! by the same pool, one [`AuditContext`] per worker over one shared
+//! [`AuditShared`]. Verdicts and failure diagnostics are byte-identical to
+//! the sequential path: group lists are fixed by a deterministic pre-pass,
+//! and when several groups fail concurrently the rejection reported is the
+//! one the sequential audit would have hit first (lowest group index).
+//! Only scheduling-dependent *performance counters* (the dedup-cache
+//! hit/miss split) may vary with the thread count.
 
 use crate::exec::{DbQueryResult, DbTxnHandle, GroupExecutor, SimResult};
 use crate::graph::{process_op_reports, GraphRejection, OpMap};
@@ -29,12 +44,13 @@ use orochi_common::ids::{CtlFlowTag, OpNum, RequestId, SeqNum};
 use orochi_common::metrics::PhaseTimer;
 use orochi_sqldb::{Database, ExecOutcome, RedoError, RedoStats, VersionedDb, MAXQ};
 use orochi_state::object::{ObjectName, OpContents, OpType};
-use orochi_state::oplog::OpLogs;
 use orochi_state::versioned_kv::VersionedKv;
-use orochi_trace::record::{BalanceError, Trace};
-use orochi_trace::HttpResponse;
+use orochi_trace::record::{BalanceError, BalancedTrace, Trace};
+use orochi_trace::{HttpRequest, HttpResponse};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Why the audit rejected. Each variant corresponds to a failed check in
@@ -310,6 +326,22 @@ pub struct AuditStats {
     pub phases: PhaseTimer,
 }
 
+impl AuditStats {
+    /// Folds one worker's per-context counters into an aggregate. Phase
+    /// timings, redo statistics, and byte counts are not per-worker; the
+    /// audit driver fills them in once at the end.
+    fn absorb(&mut self, other: &AuditStats) {
+        self.groups_executed += other.groups_executed;
+        self.requests_reexecuted += other.requests_reexecuted;
+        self.register_ops += other.register_ops;
+        self.kv_ops += other.kv_ops;
+        self.db_txns += other.db_txns;
+        self.db_queries += other.db_queries;
+        self.db_queries_deduped += other.db_queries_deduped;
+        self.db_queries_issued += other.db_queries_issued;
+    }
+}
+
 /// A successful audit.
 #[derive(Debug)]
 pub struct AuditOutcome {
@@ -321,26 +353,201 @@ pub struct AuditOutcome {
 /// the tables the query touches).
 type DedupKey = (usize, String, Vec<(String, u64)>);
 
+/// The prologue's products, shared read-only by every re-execution
+/// worker: the OpMap, the versioned stores, and the per-log register
+/// prev-write indexes. Built once (optionally sharded by object across
+/// the worker pool) before any group re-executes; all access afterwards
+/// is `&self`, which makes one instance safely shareable across the
+/// audit's scoped threads.
+pub struct AuditShared<'a> {
+    reports: &'a Reports,
+    config: &'a AuditConfig,
+    opmap: OpMap,
+    /// Per-log register prev-write indexes: for entry index `j`, the
+    /// index of the latest `RegisterWrite` strictly before `j`. Built
+    /// for every log containing a `RegisterRead`.
+    reg_prev_write: HashMap<usize, Vec<Option<usize>>>,
+    /// Versioned key-value views, built for every log containing
+    /// key-value operations (`kv.Build(OL)`, Fig. 12 line 5).
+    versioned_kv: HashMap<usize, VersionedKv>,
+    /// Versioned databases per log index (the §4.5 redo pass).
+    versioned_dbs: HashMap<usize, VersionedDb>,
+}
+
+// The parallel audit hands `Arc<AuditShared>` to scoped worker threads;
+// keep the shareability obligation explicit.
+const _: fn() = || {
+    fn shareable<T: Send + Sync>() {}
+    shareable::<AuditShared<'static>>();
+};
+
+/// Which versioned stores one log needs; the unit of prologue sharding.
+struct StoreBuildTask {
+    log_index: usize,
+    db: bool,
+    kv: bool,
+    reg: bool,
+}
+
+/// The stores built for one log.
+struct StoreBuildProduct {
+    log_index: usize,
+    db: Option<Result<VersionedDb, RedoError>>,
+    kv: Option<VersionedKv>,
+    reg: Option<Vec<Option<usize>>>,
+}
+
+impl<'a> AuditShared<'a> {
+    /// Builds every versioned store and index the re-execution phase
+    /// reads. With `threads >= 2` the per-log builds are sharded across
+    /// a scoped-thread pool — logs are independent by construction, and
+    /// redo failures are reported in log order regardless of which
+    /// worker hits them, so diagnostics match the sequential build
+    /// exactly.
+    fn build(
+        reports: &'a Reports,
+        opmap: OpMap,
+        config: &'a AuditConfig,
+        threads: usize,
+    ) -> Result<Self, Rejection> {
+        let tasks: Vec<StoreBuildTask> = reports
+            .op_logs
+            .iter()
+            .filter_map(|(i, _name, log)| {
+                let task = StoreBuildTask {
+                    log_index: i,
+                    db: log.contains_op_type(OpType::DbOp),
+                    kv: log.contains_op_type(OpType::KvGet) || log.contains_op_type(OpType::KvSet),
+                    reg: log.contains_op_type(OpType::RegisterRead),
+                };
+                (task.db || task.kv || task.reg).then_some(task)
+            })
+            .collect();
+        let mut products: Vec<StoreBuildProduct> = if threads >= 2 && tasks.len() >= 2 {
+            let cursor = AtomicUsize::new(0);
+            let collected: Mutex<Vec<StoreBuildProduct>> =
+                Mutex::new(Vec::with_capacity(tasks.len()));
+            crossbeam::thread::scope(|s| {
+                for _ in 0..threads.min(tasks.len()) {
+                    s.spawn(|_| {
+                        let mut local = Vec::new();
+                        loop {
+                            let k = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(task) = tasks.get(k) else { break };
+                            local.push(build_stores_for(reports, config, task));
+                        }
+                        collected.lock().expect("collector poisoned").extend(local);
+                    });
+                }
+            })
+            .expect("prologue pool");
+            collected.into_inner().expect("collector poisoned")
+        } else {
+            tasks
+                .iter()
+                .map(|task| build_stores_for(reports, config, task))
+                .collect()
+        };
+        // Report the first redo failure in log order — identical to a
+        // sequential pass over the logs.
+        products.sort_by_key(|p| p.log_index);
+        let mut shared = AuditShared {
+            reports,
+            config,
+            opmap,
+            reg_prev_write: HashMap::new(),
+            versioned_kv: HashMap::new(),
+            versioned_dbs: HashMap::new(),
+        };
+        for product in products {
+            if let Some(db) = product.db {
+                shared.versioned_dbs.insert(product.log_index, db?);
+            }
+            if let Some(kv) = product.kv {
+                shared.versioned_kv.insert(product.log_index, kv);
+            }
+            if let Some(reg) = product.reg {
+                shared.reg_prev_write.insert(product.log_index, reg);
+            }
+        }
+        Ok(shared)
+    }
+}
+
+/// Builds the stores one log needs: the §4.5 versioned-DB redo pass,
+/// the versioned KV view, and the register prev-write index.
+fn build_stores_for(
+    reports: &Reports,
+    config: &AuditConfig,
+    task: &StoreBuildTask,
+) -> StoreBuildProduct {
+    let log = reports
+        .op_logs
+        .log(task.log_index)
+        .expect("task indexes a valid log");
+    let name = reports
+        .op_logs
+        .name(task.log_index)
+        .expect("task indexes a valid log");
+    let db = task.db.then(|| {
+        let empty = Database::new();
+        let initial = config.initial_dbs.get(name.as_str()).unwrap_or(&empty);
+        let mut vdb = VersionedDb::from_snapshot(initial);
+        for (seq, entry) in log.iter() {
+            if let OpContents::DbOp {
+                queries,
+                succeeded,
+                write_results,
+            } = &entry.contents
+            {
+                let logged: Vec<Option<orochi_sqldb::engine::WriteOutcome>> = write_results
+                    .iter()
+                    .map(|w| {
+                        w.map(|w| orochi_sqldb::engine::WriteOutcome {
+                            affected: w.affected,
+                            last_insert_id: w.last_insert_id,
+                        })
+                    })
+                    .collect();
+                vdb.redo_transaction(seq.0, queries, *succeeded, &logged)?;
+            }
+        }
+        Ok(vdb)
+    });
+    let kv = task.kv.then(|| VersionedKv::build(log));
+    let reg = task.reg.then(|| {
+        let mut out = Vec::with_capacity(log.len());
+        let mut last: Option<usize> = None;
+        for (j, entry) in log.entries().iter().enumerate() {
+            out.push(last);
+            if entry.op_type() == OpType::RegisterWrite {
+                last = Some(j);
+            }
+        }
+        out
+    });
+    StoreBuildProduct {
+        log_index: task.log_index,
+        db,
+        kv,
+        reg,
+    }
+}
+
 /// The simulate-and-check context handed to the [`GroupExecutor`].
 ///
 /// Tracks per-request operation numbers, performs `CheckOp` against the
-/// OpMap and logs, and feeds reads from the versioned stores.
+/// OpMap and logs, and feeds reads from the versioned stores. All
+/// cross-request audit state lives in the immutable [`AuditShared`]; a
+/// context only owns per-request cursors and performance caches, which
+/// is what lets the parallel audit run one context per worker thread
+/// over a single shared prologue.
 pub struct AuditContext<'a> {
-    op_logs: &'a OpLogs,
-    reports: &'a Reports,
-    opmap: OpMap,
-    config: &'a AuditConfig,
+    shared: Arc<AuditShared<'a>>,
     /// Next unconsumed opnum per request (starts at 1).
     opnum_next: HashMap<RequestId, u32>,
     /// Requests with an open database transaction.
     in_txn: HashSet<RequestId>,
-    /// Lazily built per-log register prev-write indexes: for entry index
-    /// `j`, the index of the latest `RegisterWrite` strictly before `j`.
-    reg_prev_write: HashMap<usize, Vec<Option<usize>>>,
-    /// Lazily built versioned key-value views per log.
-    versioned_kv: HashMap<usize, VersionedKv>,
-    /// Versioned databases per log index (built by the redo phase).
-    versioned_dbs: HashMap<usize, VersionedDb>,
     /// Read-query dedup cache: (log, sql, table epochs) -> result.
     dedup_cache: HashMap<DedupKey, ExecOutcome>,
     /// Memoized sql -> touched tables (queries repeat heavily; parsing
@@ -357,9 +564,9 @@ pub struct AuditContext<'a> {
 impl<'a> AuditContext<'a> {
     /// Runs the audit prologue standalone: balance check, report
     /// processing (Fig. 5), nondeterminism validation, and the versioned
-    /// redo pass — yielding a context ready for re-execution. `audit()`
-    /// uses this internally; benchmarks and executor tests use it to
-    /// drive a [`GroupExecutor`] directly.
+    /// store builds — yielding a context ready for re-execution.
+    /// `audit()` uses the same machinery internally; benchmarks and
+    /// executor tests use this to drive a [`GroupExecutor`] directly.
     pub fn prepare(
         trace: &Trace,
         reports: &'a Reports,
@@ -367,27 +574,19 @@ impl<'a> AuditContext<'a> {
     ) -> Result<AuditContext<'a>, Rejection> {
         let balanced = trace.ensure_balanced().map_err(Rejection::Unbalanced)?;
         let (_graph, opmap) = process_op_reports(&balanced, reports)?;
-        reports.nondet.validate().map_err(Rejection::NondetInvalid)?;
-        let versioned_dbs = build_versioned_dbs(reports, config)?;
-        Ok(AuditContext::new(reports, opmap, config, versioned_dbs))
+        reports
+            .nondet
+            .validate()
+            .map_err(Rejection::NondetInvalid)?;
+        let shared = AuditShared::build(reports, opmap, config, 1)?;
+        Ok(AuditContext::from_shared(Arc::new(shared)))
     }
 
-    fn new(
-        reports: &'a Reports,
-        opmap: OpMap,
-        config: &'a AuditConfig,
-        versioned_dbs: HashMap<usize, VersionedDb>,
-    ) -> Self {
+    fn from_shared(shared: Arc<AuditShared<'a>>) -> Self {
         AuditContext {
-            op_logs: &reports.op_logs,
-            reports,
-            opmap,
-            config,
+            shared,
             opnum_next: HashMap::new(),
             in_txn: HashSet::new(),
-            reg_prev_write: HashMap::new(),
-            versioned_kv: HashMap::new(),
-            versioned_dbs,
             dedup_cache: HashMap::new(),
             touched_tables: HashMap::new(),
             nondet_cursor: HashMap::new(),
@@ -418,14 +617,22 @@ impl<'a> AuditContext<'a> {
         }
         let opnum = self.peek_opnum(rid);
         let (i, s) = self
+            .shared
             .opmap
             .get(rid, opnum)
             .ok_or(Rejection::OpNotInOpMap { rid, opnum })?;
-        let name = self.op_logs.name(i).expect("OpMap indexes valid logs");
+        let name = self
+            .shared
+            .reports
+            .op_logs
+            .name(i)
+            .expect("OpMap indexes valid logs");
         if name != object {
             return Err(Rejection::ObjectMismatch { rid, opnum });
         }
         let entry = self
+            .shared
+            .reports
             .op_logs
             .log(i)
             .and_then(|l| l.get(s))
@@ -445,16 +652,25 @@ impl<'a> AuditContext<'a> {
         object: &ObjectName,
     ) -> Result<SimResult, Rejection> {
         let (i, s) = self.check_op(rid, object, &OpContents::RegisterRead)?;
-        let prev = self.reg_prev_index(i);
+        let prev = self
+            .shared
+            .reg_prev_write
+            .get(&i)
+            .expect("prologue builds prev-write indexes for register logs");
         let value = match prev[(s.0 - 1) as usize] {
             Some(widx) => {
-                let log = self.op_logs.log(i).expect("checked index");
+                let log = self.shared.reports.op_logs.log(i).expect("checked index");
                 match &log.entries()[widx].contents {
                     OpContents::RegisterWrite { value } => Some(value.clone()),
                     _ => unreachable!("prev-write index only records writes"),
                 }
             }
-            None => self.config.initial_registers.get(object.as_str()).cloned(),
+            None => self
+                .shared
+                .config
+                .initial_registers
+                .get(object.as_str())
+                .cloned(),
         };
         self.consume_opnum(rid);
         self.stats.register_ops += 1;
@@ -492,13 +708,15 @@ impl<'a> AuditContext<'a> {
             },
         )?;
         let kv = self
+            .shared
             .versioned_kv
-            .entry(i)
-            .or_insert_with(|| VersionedKv::build(self.op_logs.log(i).expect("checked index")));
+            .get(&i)
+            .expect("prologue builds versioned views for kv logs");
         let value = if kv.has_write_before(key, s) {
             kv.get(key, s)
         } else {
-            self.config
+            self.shared
+                .config
                 .initial_kv
                 .get(object.as_str())
                 .and_then(|m| m.get(key).cloned())
@@ -542,14 +760,22 @@ impl<'a> AuditContext<'a> {
         }
         let opnum = self.peek_opnum(rid);
         let (i, s) = self
+            .shared
             .opmap
             .get(rid, opnum)
             .ok_or(Rejection::OpNotInOpMap { rid, opnum })?;
-        let name = self.op_logs.name(i).expect("OpMap indexes valid logs");
+        let name = self
+            .shared
+            .reports
+            .op_logs
+            .name(i)
+            .expect("OpMap indexes valid logs");
         if name != object {
             return Err(Rejection::ObjectMismatch { rid, opnum });
         }
         let entry = self
+            .shared
+            .reports
             .op_logs
             .log(i)
             .and_then(|l| l.get(s))
@@ -594,6 +820,8 @@ impl<'a> AuditContext<'a> {
             return Err(Rejection::DbTooManyQueries { rid, opnum });
         }
         let entry = self
+            .shared
+            .reports
             .op_logs
             .log(handle.obj_index)
             .and_then(|l| l.get(handle.seq))
@@ -607,7 +835,11 @@ impl<'a> AuditContext<'a> {
             _ => unreachable!("db_begin validated the optype"),
         };
         if queries[(q - 1) as usize] != sql {
-            return Err(Rejection::DbQueryMismatch { rid, opnum, query: q });
+            return Err(Rejection::DbQueryMismatch {
+                rid,
+                opnum,
+                query: q,
+            });
         }
         if write_results.len() != queries.len() {
             // Malformed entry; redo rejects this too, but a hostile log
@@ -619,6 +851,7 @@ impl<'a> AuditContext<'a> {
         self.stats.db_queries += 1;
 
         let vdb = self
+            .shared
             .versioned_dbs
             .get(&handle.obj_index)
             .ok_or(Rejection::ObjectMismatch { rid, opnum })?;
@@ -672,10 +905,11 @@ impl<'a> AuditContext<'a> {
         opnum: OpNum,
     ) -> Result<ExecOutcome, Rejection> {
         let vdb = self
+            .shared
             .versioned_dbs
             .get(&obj_index)
             .ok_or(Rejection::ObjectMismatch { rid, opnum })?;
-        if !self.config.query_dedup {
+        if !self.shared.config.query_dedup {
             self.stats.db_queries_issued += 1;
             return vdb
                 .query_at(sql, ts)
@@ -686,10 +920,6 @@ impl<'a> AuditContext<'a> {
             .entry(sql.to_string())
             .or_insert_with(|| VersionedDb::touched_tables(sql))
             .clone();
-        let vdb = self
-            .versioned_dbs
-            .get(&obj_index)
-            .expect("checked above");
         let epochs: Vec<(String, u64)> = tables
             .into_iter()
             .map(|t| {
@@ -713,21 +943,18 @@ impl<'a> AuditContext<'a> {
     /// Finishes a transaction. `committed` reflects what the re-executed
     /// program did (`db_commit` vs `db_rollback`); the result is the
     /// value `db_commit` returns to the program.
-    pub fn db_finish(
-        &mut self,
-        handle: DbTxnHandle,
-        committed: bool,
-    ) -> Result<bool, Rejection> {
+    pub fn db_finish(&mut self, handle: DbTxnHandle, committed: bool) -> Result<bool, Rejection> {
         let rid = handle.rid;
         let opnum = handle.opnum;
         if handle.queries_done != handle.total_queries {
             return Err(Rejection::DbQueryCountMismatch { rid, opnum });
         }
-        let vdb = self
+        let failed = self
+            .shared
             .versioned_dbs
             .get(&handle.obj_index)
-            .ok_or(Rejection::ObjectMismatch { rid, opnum })?;
-        let failed = vdb.aborted_failed_at_last(handle.seq.0);
+            .ok_or(Rejection::ObjectMismatch { rid, opnum })?
+            .aborted_failed_at_last(handle.seq.0);
         let result = if committed {
             if handle.logged_succeeded {
                 true
@@ -754,7 +981,7 @@ impl<'a> AuditContext<'a> {
     /// Feeds the next recorded nondeterministic value for `rid`,
     /// checking its kind matches the call site (§4.6).
     pub fn nondet(&mut self, rid: RequestId, kind: &str) -> Result<NondetValue, Rejection> {
-        let recorded = self.reports.nondet.for_request(rid);
+        let recorded = self.shared.reports.nondet.for_request(rid);
         let cursor = self.nondet_cursor.entry(rid).or_insert(0);
         let value = recorded
             .get(*cursor)
@@ -774,30 +1001,14 @@ impl<'a> AuditContext<'a> {
             return Err(Rejection::StateOpDuringTxn { rid });
         }
         let next = self.peek_opnum(rid).0;
-        if next != self.reports.op_count(rid) + 1 {
+        if next != self.shared.reports.op_count(rid) + 1 {
             return Err(Rejection::OpCountMismatch { rid });
         }
         let consumed = *self.nondet_cursor.get(&rid).unwrap_or(&0);
-        if consumed != self.reports.nondet.for_request(rid).len() {
+        if consumed != self.shared.reports.nondet.for_request(rid).len() {
             return Err(Rejection::NondetLeftover { rid });
         }
         Ok(())
-    }
-
-    fn reg_prev_index(&mut self, i: usize) -> &Vec<Option<usize>> {
-        let op_logs = self.op_logs;
-        self.reg_prev_write.entry(i).or_insert_with(|| {
-            let log = op_logs.log(i).expect("valid log index");
-            let mut out = Vec::with_capacity(log.len());
-            let mut last: Option<usize> = None;
-            for (j, entry) in log.entries().iter().enumerate() {
-                out.push(last);
-                if entry.op_type() == OpType::RegisterWrite {
-                    last = Some(j);
-                }
-            }
-            out
-        })
     }
 
     /// Statistics accumulated so far (dedup hits, op counts, ...).
@@ -819,80 +1030,90 @@ impl<'a> AuditContext<'a> {
     }
 }
 
-/// Runs the full audit (`SSCO_AUDIT2`, Fig. 12).
-///
-/// Returns statistics on acceptance; rejects with a precise reason
-/// otherwise.
-pub fn audit(
-    trace: &Trace,
+/// One control-flow group, filtered and resolved by the deterministic
+/// pre-pass: duplicate requests removed, every request known to the
+/// trace.
+struct PreparedGroup {
+    tag: CtlFlowTag,
+    requests: Vec<(RequestId, HttpRequest)>,
+}
+
+/// Deterministic grouping pre-pass: walks `reports.groupings` in order,
+/// filters requests already claimed by an earlier group (re-execution is
+/// idempotent, so duplicate filtering is an optimization, not a check,
+/// §3.1), and stops at the first request the trace does not contain.
+/// The returned rejection — if any — only fires after every *earlier*
+/// prepared group re-executed cleanly, which is exactly when the
+/// sequential audit would have reached it.
+fn prepare_groups(
+    balanced: &BalancedTrace,
     reports: &Reports,
-    executor: &mut dyn GroupExecutor,
-    config: &AuditConfig,
-) -> Result<AuditOutcome, Rejection> {
-    let mut phases = PhaseTimer::new();
-
-    // Phase 1: balanced-trace validation (§3).
-    let balanced = phases
-        .time("Balance", || trace.ensure_balanced())
-        .map_err(Rejection::Unbalanced)?;
-
-    // Phase 2: ProcessOpReports (Fig. 5) + nondeterminism sanity (§4.6).
-    let (_graph, opmap) = phases.time("ProcOpRep", || process_op_reports(&balanced, reports))?;
-    reports.nondet.validate().map_err(Rejection::NondetInvalid)?;
-
-    // Phase 3: versioned redo for every log containing DbOps (§4.5).
-    let versioned_dbs = phases.time("DB redo", || build_versioned_dbs(reports, config))?;
-
-    // Phase 4: grouped re-execution with simulate-and-check.
-    let mut ctx = AuditContext::new(reports, opmap, config, versioned_dbs);
-    let mut produced: HashMap<RequestId, HttpResponse> = HashMap::new();
-    let mut executed: HashSet<RequestId> = HashSet::new();
-    let reexec_t0 = Instant::now();
+) -> (Vec<PreparedGroup>, Option<Rejection>) {
+    let mut claimed: HashSet<RequestId> = HashSet::new();
+    let mut out = Vec::new();
     for (tag, rids) in &reports.groupings {
         let mut group_requests = Vec::new();
         let mut seen_in_group = HashSet::new();
         for rid in rids {
-            if executed.contains(rid) || !seen_in_group.insert(*rid) {
-                // Duplicate groupings are filtered; re-execution is
-                // idempotent so this is an optimization, not a check (§3.1).
+            if claimed.contains(rid) || !seen_in_group.insert(*rid) {
                 continue;
             }
             if !balanced.contains(*rid) {
-                return Err(Rejection::GroupUnknownRequest { rid: *rid });
+                return (out, Some(Rejection::GroupUnknownRequest { rid: *rid }));
             }
             group_requests.push((*rid, balanced.request(*rid).clone()));
         }
         if group_requests.is_empty() {
             continue;
         }
-        let outputs = executor.execute_group(&group_requests, &mut ctx)?;
-        let group_set: HashSet<RequestId> = group_requests.iter().map(|(r, _)| *r).collect();
-        for (rid, resp) in outputs {
-            if !group_set.contains(&rid) {
-                return Err(Rejection::ExecutorProtocol(format!(
-                    "output for {rid} not in group {tag}"
-                )));
-            }
-            if produced.insert(rid, resp).is_some() {
-                return Err(Rejection::ExecutorProtocol(format!(
-                    "duplicate output for {rid}"
-                )));
-            }
-        }
-        for (rid, _) in &group_requests {
-            ctx.finish_request(*rid)?;
-            executed.insert(*rid);
-        }
-        ctx.stats.groups_executed += 1;
-        ctx.stats.requests_reexecuted += group_requests.len();
+        claimed.extend(group_requests.iter().map(|(r, _)| *r));
+        out.push(PreparedGroup {
+            tag: *tag,
+            requests: group_requests,
+        });
     }
-    let reexec_total = reexec_t0.elapsed();
-    phases.add("DB query", ctx.db_query_time);
-    phases.add("ReExec", reexec_total.saturating_sub(ctx.db_query_time));
+    (out, None)
+}
 
-    // Phase 5: produced outputs must be exactly the responses in the
-    // trace (Fig. 12 line 55).
-    let output_check = Instant::now();
+/// Re-executes one prepared group and runs the per-group driver checks
+/// (executor protocol, Fig. 12 line 51 op counts, leftover
+/// nondeterminism). Returns the produced outputs; error order within the
+/// group matches the sequential driver exactly.
+fn run_one_group(
+    executor: &mut dyn GroupExecutor,
+    ctx: &mut AuditContext<'_>,
+    group: &PreparedGroup,
+) -> Result<Vec<(RequestId, HttpResponse)>, Rejection> {
+    let outputs = executor.execute_group(&group.requests, ctx)?;
+    let group_set: HashSet<RequestId> = group.requests.iter().map(|(r, _)| *r).collect();
+    let mut seen: HashSet<RequestId> = HashSet::new();
+    for (rid, _) in &outputs {
+        if !group_set.contains(rid) {
+            return Err(Rejection::ExecutorProtocol(format!(
+                "output for {rid} not in group {}",
+                group.tag
+            )));
+        }
+        if !seen.insert(*rid) {
+            return Err(Rejection::ExecutorProtocol(format!(
+                "duplicate output for {rid}"
+            )));
+        }
+    }
+    for (rid, _) in &group.requests {
+        ctx.finish_request(*rid)?;
+    }
+    ctx.stats.groups_executed += 1;
+    ctx.stats.requests_reexecuted += group.requests.len();
+    Ok(outputs)
+}
+
+/// Phase 5: the produced outputs must be exactly the responses in the
+/// trace (Fig. 12 line 55).
+fn compare_outputs(
+    balanced: &BalancedTrace,
+    produced: &HashMap<RequestId, HttpResponse>,
+) -> Result<(), Rejection> {
     for rid in balanced.request_ids() {
         match produced.get(&rid) {
             None => return Err(Rejection::MissingOutput { rid }),
@@ -903,11 +1124,17 @@ pub fn audit(
             }
         }
     }
-    phases.add("Output", output_check.elapsed());
+    Ok(())
+}
 
-    let mut stats = ctx.stats;
+/// Folds the redo statistics and store sizes into the final outcome.
+fn assemble_outcome(
+    shared: &AuditShared<'_>,
+    mut stats: AuditStats,
+    phases: PhaseTimer,
+) -> AuditOutcome {
     stats.phases = phases;
-    for vdb in ctx.versioned_dbs.values() {
+    for vdb in shared.versioned_dbs.values() {
         let s = vdb.stats();
         stats.redo.transactions += s.transactions;
         stats.redo.queries += s.queries;
@@ -916,50 +1143,234 @@ pub fn audit(
         stats.db_versioned_bytes += vdb.estimated_bytes();
         stats.db_final_bytes += vdb.latest_snapshot().estimated_bytes();
     }
-    Ok(AuditOutcome { stats })
+    AuditOutcome { stats }
 }
 
-/// Builds a [`VersionedDb`] for every log that contains database
-/// operations, replaying each `DbOp` at its log position.
-fn build_versioned_dbs(
+/// Runs phases 1–3 (balance, ProcessOpReports + nondeterminism sanity,
+/// versioned store builds), timing each.
+fn prologue<'a>(
+    trace: &Trace,
+    reports: &'a Reports,
+    config: &'a AuditConfig,
+    threads: usize,
+    phases: &mut PhaseTimer,
+) -> Result<(BalancedTrace, Arc<AuditShared<'a>>), Rejection> {
+    // Phase 1: balanced-trace validation (§3).
+    let balanced = phases
+        .time("Balance", || trace.ensure_balanced())
+        .map_err(Rejection::Unbalanced)?;
+
+    // Phase 2: ProcessOpReports (Fig. 5) + nondeterminism sanity (§4.6).
+    let (_graph, opmap) = phases.time("ProcOpRep", || process_op_reports(&balanced, reports))?;
+    reports
+        .nondet
+        .validate()
+        .map_err(Rejection::NondetInvalid)?;
+
+    // Phase 3: versioned store builds — the §4.5 redo pass plus the kv
+    // views and register prev-write indexes — sharded by object when a
+    // pool is available.
+    let shared = phases.time("DB redo", || {
+        AuditShared::build(reports, opmap, config, threads)
+    })?;
+    Ok((balanced, Arc::new(shared)))
+}
+
+/// Runs the full audit (`SSCO_AUDIT2`, Fig. 12).
+///
+/// Returns statistics on acceptance; rejects with a precise reason
+/// otherwise. Groups are re-executed one at a time; see
+/// [`audit_parallel`] for the pooled variant.
+pub fn audit(
+    trace: &Trace,
     reports: &Reports,
+    executor: &mut dyn GroupExecutor,
     config: &AuditConfig,
-) -> Result<HashMap<usize, VersionedDb>, Rejection> {
-    let mut out = HashMap::new();
-    for (i, name, log) in reports.op_logs.iter() {
-        let has_db_ops = log
-            .entries()
-            .iter()
-            .any(|e| e.op_type() == OpType::DbOp);
-        if !has_db_ops {
-            continue;
-        }
-        let empty = Database::new();
-        let initial = config
-            .initial_dbs
-            .get(name.as_str())
-            .unwrap_or(&empty);
-        let mut vdb = VersionedDb::from_snapshot(initial);
-        for (seq, entry) in log.iter() {
-            if let OpContents::DbOp {
-                queries,
-                succeeded,
-                write_results,
-            } = &entry.contents
-            {
-                let logged: Vec<Option<orochi_sqldb::engine::WriteOutcome>> = write_results
-                    .iter()
-                    .map(|w| {
-                        w.map(|w| orochi_sqldb::engine::WriteOutcome {
-                            affected: w.affected,
-                            last_insert_id: w.last_insert_id,
-                        })
-                    })
-                    .collect();
-                vdb.redo_transaction(seq.0, queries, *succeeded, &logged)?;
-            }
-        }
-        out.insert(i, vdb);
+) -> Result<AuditOutcome, Rejection> {
+    let mut phases = PhaseTimer::new();
+    let (balanced, shared) = prologue(trace, reports, config, 1, &mut phases)?;
+    let (prepared, pre_error) = prepare_groups(&balanced, reports);
+    reexec_sequential(&balanced, &shared, &prepared, pre_error, executor, phases)
+}
+
+/// The sequential re-execution tail shared by [`audit`] and the
+/// small-run fallback of [`audit_parallel`].
+fn reexec_sequential(
+    balanced: &BalancedTrace,
+    shared: &Arc<AuditShared<'_>>,
+    prepared: &[PreparedGroup],
+    pre_error: Option<Rejection>,
+    executor: &mut dyn GroupExecutor,
+    mut phases: PhaseTimer,
+) -> Result<AuditOutcome, Rejection> {
+    let mut ctx = AuditContext::from_shared(Arc::clone(shared));
+    let mut produced: HashMap<RequestId, HttpResponse> = HashMap::new();
+    let reexec_t0 = Instant::now();
+    for group in prepared {
+        let outputs = run_one_group(executor, &mut ctx, group)?;
+        produced.extend(outputs);
     }
-    Ok(out)
+    if let Some(rejection) = pre_error {
+        // The grouping pre-pass found a request the trace does not
+        // contain; every group before it re-executed cleanly, so this is
+        // the first error the sequential walk reaches.
+        return Err(rejection);
+    }
+    let reexec_total = reexec_t0.elapsed();
+    phases.add("DB query", ctx.db_query_time);
+    phases.add("ReExec", reexec_total.saturating_sub(ctx.db_query_time));
+
+    let output_check = Instant::now();
+    compare_outputs(balanced, &produced)?;
+    phases.add("Output", output_check.elapsed());
+
+    Ok(assemble_outcome(shared, ctx.stats, phases))
+}
+
+/// What one re-execution worker hands back when it drains the queue.
+struct WorkerReport {
+    stats: AuditStats,
+    db_query_time: Duration,
+    busy: Duration,
+    outputs: Vec<(RequestId, HttpResponse)>,
+}
+
+/// Runs the full audit with group re-execution fanned out across
+/// `executors.len()` worker threads (one [`GroupExecutor`] and one
+/// [`AuditContext`] per worker over a single shared prologue).
+///
+/// Verdicts and failure diagnostics are byte-identical to [`audit`]:
+/// groups are fixed up front by the same deterministic pre-pass, each
+/// group's internal check order is unchanged, and when several groups
+/// fail concurrently the rejection reported is the lowest-indexed one —
+/// the first the sequential walk would have hit. Scheduling only moves
+/// performance counters (the dedup hit/miss split).
+///
+/// With a single executor — or fewer than two eligible groups — the
+/// sequential path runs directly and no threads are spawned, so tiny
+/// runs pay no pool overhead.
+///
+/// # Panics
+///
+/// Panics if `executors` is empty.
+pub fn audit_parallel<E: GroupExecutor + Send>(
+    trace: &Trace,
+    reports: &Reports,
+    executors: &mut [E],
+    config: &AuditConfig,
+) -> Result<AuditOutcome, Rejection> {
+    assert!(
+        !executors.is_empty(),
+        "audit_parallel requires at least one executor"
+    );
+    let threads = executors.len();
+    let mut phases = PhaseTimer::new();
+    let (balanced, shared) = prologue(trace, reports, config, threads, &mut phases)?;
+    let (prepared, pre_error) = prepare_groups(&balanced, reports);
+    if threads == 1 || prepared.len() < 2 {
+        return reexec_sequential(
+            &balanced,
+            &shared,
+            &prepared,
+            pre_error,
+            &mut executors[0],
+            phases,
+        );
+    }
+
+    // Phase 4, pooled: workers pull groups off a shared cursor (dynamic
+    // load balancing), largest group first (LPT) so a Zipf-head group
+    // started last can't serialize the tail. Schedule order is free to
+    // vary: group re-executions touch disjoint per-request state, and
+    // the reported rejection is selected by *group index*, not by
+    // schedule position.
+    let mut schedule: Vec<usize> = (0..prepared.len()).collect();
+    schedule.sort_by_key(|&g| std::cmp::Reverse(prepared[g].requests.len()));
+    let cursor = AtomicUsize::new(0);
+    // Lowest-indexed failing group so far: (group index, rejection).
+    let first_err: Mutex<Option<(usize, Rejection)>> = Mutex::new(None);
+    let reports_out: Mutex<Vec<WorkerReport>> = Mutex::new(Vec::with_capacity(threads));
+    crossbeam::thread::scope(|s| {
+        for executor in executors.iter_mut() {
+            let cursor = &cursor;
+            let first_err = &first_err;
+            let reports_out = &reports_out;
+            let shared = &shared;
+            let prepared = &prepared;
+            let schedule = &schedule;
+            s.spawn(move |_| {
+                let worker_t0 = Instant::now();
+                let mut ctx = AuditContext::from_shared(Arc::clone(shared));
+                let mut outputs: Vec<(RequestId, HttpResponse)> = Vec::new();
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&g) = schedule.get(k) else { break };
+                    let group = &prepared[g];
+                    // A group after a known failure can never influence
+                    // the verdict (the sequential walk stops there);
+                    // skip it.
+                    let doomed = first_err
+                        .lock()
+                        .expect("error slot poisoned")
+                        .as_ref()
+                        .is_some_and(|(idx, _)| g > *idx);
+                    if doomed {
+                        continue;
+                    }
+                    match run_one_group(&mut *executor, &mut ctx, group) {
+                        Ok(outs) => outputs.extend(outs),
+                        Err(rejection) => {
+                            let mut slot = first_err.lock().expect("error slot poisoned");
+                            if slot.as_ref().is_none_or(|(idx, _)| g < *idx) {
+                                *slot = Some((g, rejection));
+                            }
+                        }
+                    }
+                }
+                reports_out
+                    .lock()
+                    .expect("report slot poisoned")
+                    .push(WorkerReport {
+                        stats: ctx.stats,
+                        db_query_time: ctx.db_query_time,
+                        busy: worker_t0.elapsed(),
+                        outputs,
+                    });
+            });
+        }
+    })
+    .expect("audit worker pool");
+
+    if let Some((_, rejection)) = first_err.into_inner().expect("error slot poisoned") {
+        return Err(rejection);
+    }
+    if let Some(rejection) = pre_error {
+        return Err(rejection);
+    }
+
+    // Merge worker results. Counter sums are order-independent, so the
+    // merged statistics are deterministic even though workers finish in
+    // arbitrary order.
+    let mut stats = AuditStats::default();
+    let mut produced: HashMap<RequestId, HttpResponse> = HashMap::new();
+    let mut db_query_total = Duration::ZERO;
+    let mut busy_total = Duration::ZERO;
+    for report in reports_out.into_inner().expect("report slot poisoned") {
+        stats.absorb(&report.stats);
+        db_query_total += report.db_query_time;
+        busy_total += report.busy;
+        // Rids are disjoint across prepared groups and duplicate outputs
+        // within a group were already rejected, so inserts cannot clash.
+        produced.extend(report.outputs);
+    }
+    // Phase rows keep Fig. 9's CPU-decomposition meaning: summed worker
+    // busy time, not wall time.
+    phases.add("DB query", db_query_total);
+    phases.add("ReExec", busy_total.saturating_sub(db_query_total));
+
+    let output_check = Instant::now();
+    compare_outputs(&balanced, &produced)?;
+    phases.add("Output", output_check.elapsed());
+
+    Ok(assemble_outcome(&shared, stats, phases))
 }

@@ -398,21 +398,14 @@ mod tests {
     }
 
     fn write(rid: u64, opnum: u32) -> OpLogEntry {
-        entry(
-            rid,
-            opnum,
-            OpContents::RegisterWrite { value: vec![1] },
-        )
+        entry(rid, opnum, OpContents::RegisterWrite { value: vec![1] })
     }
 
     fn read(rid: u64, opnum: u32) -> OpLogEntry {
         entry(rid, opnum, OpContents::RegisterRead)
     }
 
-    fn reports_with(
-        logs: Vec<(ObjectName, Vec<OpLogEntry>)>,
-        counts: &[(u64, u32)],
-    ) -> Reports {
+    fn reports_with(logs: Vec<(ObjectName, Vec<OpLogEntry>)>, counts: &[(u64, u32)]) -> Reports {
         Reports {
             groupings: vec![(
                 CtlFlowTag(1),
@@ -423,10 +416,7 @@ mod tests {
                     .map(|(n, es)| (n, OpLog::from_entries(es)))
                     .collect(),
             ),
-            op_counts: counts
-                .iter()
-                .map(|(r, m)| (RequestId(*r), *m))
-                .collect(),
+            op_counts: counts.iter().map(|(r, m)| (RequestId(*r), *m)).collect(),
             nondet: Default::default(),
         }
     }

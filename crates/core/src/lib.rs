@@ -34,7 +34,9 @@ pub mod ooo;
 pub mod precedence;
 pub mod reports;
 
-pub use audit::{audit, AuditConfig, AuditContext, AuditOutcome, AuditStats, Rejection};
+pub use audit::{
+    audit, audit_parallel, AuditConfig, AuditContext, AuditOutcome, AuditStats, Rejection,
+};
 pub use exec::{DbTxnHandle, GroupExecutor, SimResult};
 pub use graph::{process_op_reports, AuditGraph, OpMap};
 pub use nondet::{NondetLog, NondetValue};

@@ -166,10 +166,7 @@ mod tests {
         let g = create_time_precedence_graph(&t);
         assert_eq!(
             g.edges,
-            vec![
-                (RequestId(1), RequestId(2)),
-                (RequestId(2), RequestId(3))
-            ]
+            vec![(RequestId(1), RequestId(2)), (RequestId(2), RequestId(3))]
         );
         // Reachability still holds transitively.
         assert!(g.has_path(RequestId(1), RequestId(3)));

@@ -3,6 +3,7 @@
 //! program execution, and every protocol violation has a precise
 //! rejection.
 
+use orochi_common::ids::{CtlFlowTag, OpNum, RequestId};
 use orochi_core::audit::{audit, AuditConfig, Rejection};
 use orochi_core::exec::{DbQueryResult, FnExecutor};
 use orochi_core::reports::Reports;
@@ -10,7 +11,6 @@ use orochi_sqldb::{Database, ExecOutcome, SqlValue};
 use orochi_state::object::{DbWriteResult, ObjectName, OpContents};
 use orochi_state::oplog::{OpLog, OpLogEntry, OpLogs};
 use orochi_trace::{Event, HttpRequest, HttpResponse, Trace};
-use orochi_common::ids::{CtlFlowTag, OpNum, RequestId};
 
 const RID: RequestId = RequestId(1);
 const INSERT: &str = "INSERT INTO t (v) VALUES ('x')";
@@ -127,10 +127,7 @@ fn different_sql_text_rejected() {
         Ok(vec![(rid, HttpResponse::ok(rid, "1"))])
     });
     let err = audit(&trace("1"), &reports(), &mut exec, &config()).unwrap_err();
-    assert!(matches!(
-        err,
-        Rejection::DbQueryMismatch { query: 1, .. }
-    ));
+    assert!(matches!(err, Rejection::DbQueryMismatch { query: 1, .. }));
 }
 
 #[test]

@@ -3,7 +3,7 @@
 use orochi_accphp::executor::ExecutorStats;
 use orochi_accphp::AccPhpExecutor;
 use orochi_apps::AppDefinition;
-use orochi_core::audit::{audit, AuditConfig, AuditOutcome, Rejection};
+use orochi_core::audit::{audit, audit_parallel, AuditConfig, AuditOutcome, Rejection};
 use orochi_server::server::AuditBundle;
 use orochi_server::{Server, ServerConfig};
 use orochi_trace::HttpRequest;
@@ -193,31 +193,116 @@ pub fn serve_open_loop(
 pub struct AuditRun {
     /// Audit statistics (phase timings, dedup counters, redo stats).
     pub outcome: AuditOutcome,
-    /// Executor statistics (groups, fallbacks, Fig. 11 triples).
+    /// Executor statistics (groups, fallbacks, Fig. 11 triples), merged
+    /// across workers for parallel runs.
     pub exec_stats: ExecutorStats,
     /// Total audit wall time.
     pub wall: Duration,
 }
 
+/// Audit knobs: execution mode, deduplication, and the worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditOptions {
+    /// SIMD-on-demand grouped re-execution vs the scalar baseline.
+    pub grouped: bool,
+    /// Read-query deduplication (§4.5).
+    pub dedup: bool,
+    /// Re-execution worker threads; 1 = the sequential audit.
+    pub threads: usize,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        AuditOptions {
+            grouped: true,
+            dedup: true,
+            threads: 1,
+        }
+    }
+}
+
+/// Clamps a requested audit thread count to the machine: `0` means
+/// "auto" (everything the OS advertises), anything else is capped at
+/// the available parallelism so oversubscribed requests don't spawn
+/// threads that only contend. Always at least 1.
+pub fn resolve_audit_threads(requested: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if requested == 0 {
+        hw
+    } else {
+        requested.min(hw).max(1)
+    }
+}
+
+/// Audit worker count from the `OROCHI_AUDIT_THREADS` environment
+/// variable: unset, `0`, or `auto` mean "use every available core";
+/// explicit values are clamped by [`resolve_audit_threads`].
+pub fn audit_threads_from_env() -> usize {
+    match std::env::var("OROCHI_AUDIT_THREADS") {
+        Ok(v) if v.eq_ignore_ascii_case("auto") || v.is_empty() => resolve_audit_threads(0),
+        Ok(v) => resolve_audit_threads(v.parse::<usize>().unwrap_or_else(|_| {
+            panic!("OROCHI_AUDIT_THREADS must be a number or 'auto', got {v:?}")
+        })),
+        Err(_) => resolve_audit_threads(0),
+    }
+}
+
 /// Audits a bundle. `grouped` selects SIMD-on-demand vs the scalar
-/// baseline; `dedup` toggles read-query deduplication (§4.5).
+/// baseline; `dedup` toggles read-query deduplication (§4.5). Runs the
+/// sequential audit; use [`run_audit_with`] for the pooled variant.
 pub fn run_audit(
     bundle: &AuditBundle,
     work: &AppWorkload,
     grouped: bool,
     dedup: bool,
 ) -> Result<AuditRun, Rejection> {
+    run_audit_with(
+        bundle,
+        work,
+        &AuditOptions {
+            grouped,
+            dedup,
+            threads: 1,
+        },
+    )
+}
+
+/// Audits a bundle with explicit [`AuditOptions`]. With `threads >= 2`
+/// the control-flow groups re-execute across a worker pool
+/// (`audit_parallel`); verdicts and diagnostics are identical to the
+/// sequential audit at any thread count.
+pub fn run_audit_with(
+    bundle: &AuditBundle,
+    work: &AppWorkload,
+    opts: &AuditOptions,
+) -> Result<AuditRun, Rejection> {
     let scripts = work.app.compile().expect("application compiles");
     let mut config = work.audit_config();
-    config.query_dedup = dedup;
-    let mut executor = AccPhpExecutor::new(scripts);
-    executor.force_scalar = !grouped;
+    config.query_dedup = opts.dedup;
+    let threads = opts.threads.max(1);
+    let mut executors: Vec<AccPhpExecutor> = (0..threads)
+        .map(|_| {
+            let mut e = AccPhpExecutor::new(scripts.clone());
+            e.force_scalar = !opts.grouped;
+            e
+        })
+        .collect();
     let t0 = Instant::now();
-    let outcome = audit(&bundle.trace, &bundle.reports, &mut executor, &config)?;
+    let outcome = if threads == 1 {
+        audit(&bundle.trace, &bundle.reports, &mut executors[0], &config)?
+    } else {
+        audit_parallel(&bundle.trace, &bundle.reports, &mut executors, &config)?
+    };
     let wall = t0.elapsed();
+    let mut exec_stats = ExecutorStats::default();
+    for e in &executors {
+        exec_stats.merge(&e.stats);
+    }
     Ok(AuditRun {
         outcome,
-        exec_stats: executor.stats,
+        exec_stats,
         wall,
     })
 }

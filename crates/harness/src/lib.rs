@@ -15,5 +15,8 @@
 pub mod driver;
 pub mod experiments;
 
-pub use driver::{run_audit, serve, serve_open_loop, AppWorkload, AuditRun, ServeOptions, ServeResult};
+pub use driver::{
+    audit_threads_from_env, resolve_audit_threads, run_audit, run_audit_with, serve,
+    serve_open_loop, AppWorkload, AuditOptions, AuditRun, ServeOptions, ServeResult,
+};
 pub use experiments::scale_from_env;

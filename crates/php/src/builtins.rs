@@ -58,28 +58,105 @@ pub trait Host {
 /// All builtin names, value-returning first, by-reference at the end.
 pub const NAMES: &[&str] = &[
     // Strings.
-    "strlen", "substr", "strpos", "str_replace", "strtolower", "strtoupper", "ucfirst", "trim",
-    "ltrim", "rtrim", "explode", "implode", "join", "str_repeat", "sprintf", "number_format",
-    "htmlspecialchars", "strcmp", "str_pad", "nl2br", "md5", "urlencode", "substr_count",
+    "strlen",
+    "substr",
+    "strpos",
+    "str_replace",
+    "strtolower",
+    "strtoupper",
+    "ucfirst",
+    "trim",
+    "ltrim",
+    "rtrim",
+    "explode",
+    "implode",
+    "join",
+    "str_repeat",
+    "sprintf",
+    "number_format",
+    "htmlspecialchars",
+    "strcmp",
+    "str_pad",
+    "nl2br",
+    "md5",
+    "urlencode",
+    "substr_count",
     // Arrays (value).
-    "count", "sizeof", "array_keys", "array_values", "array_merge", "array_slice",
-    "array_reverse", "in_array", "array_key_exists", "array_search", "array_sum", "range",
-    "array_unique", "array_flip", "array_fill",
+    "count",
+    "sizeof",
+    "array_keys",
+    "array_values",
+    "array_merge",
+    "array_slice",
+    "array_reverse",
+    "in_array",
+    "array_key_exists",
+    "array_search",
+    "array_sum",
+    "range",
+    "array_unique",
+    "array_flip",
+    "array_fill",
     // Math / types.
-    "abs", "max", "min", "floor", "ceil", "round", "intdiv", "pow", "sqrt", "intval", "floatval",
-    "strval", "boolval", "gettype", "is_int", "is_integer", "is_string", "is_array", "is_null",
-    "is_numeric", "is_bool", "is_float",
+    "abs",
+    "max",
+    "min",
+    "floor",
+    "ceil",
+    "round",
+    "intdiv",
+    "pow",
+    "sqrt",
+    "intval",
+    "floatval",
+    "strval",
+    "boolval",
+    "gettype",
+    "is_int",
+    "is_integer",
+    "is_string",
+    "is_array",
+    "is_null",
+    "is_numeric",
+    "is_bool",
+    "is_float",
     // Encoding.
     "json_encode",
     // Output / control.
-    "print", "exit", "die", "header", "http_response_code", "setcookie",
+    "print",
+    "exit",
+    "die",
+    "header",
+    "http_response_code",
+    "setcookie",
     // State.
-    "session_start", "apc_fetch", "apc_store", "apc_delete", "db_query", "db_begin", "db_commit",
-    "db_rollback", "db_insert_id", "db_affected_rows",
+    "session_start",
+    "apc_fetch",
+    "apc_store",
+    "apc_delete",
+    "db_query",
+    "db_begin",
+    "db_commit",
+    "db_rollback",
+    "db_insert_id",
+    "db_affected_rows",
     // Nondeterminism.
-    "time", "microtime", "getpid", "mt_rand", "rand", "uniqid", "mt_getrandmax",
+    "time",
+    "microtime",
+    "getpid",
+    "mt_rand",
+    "rand",
+    "uniqid",
+    "mt_getrandmax",
     // By-reference (must stay last; see BYREF_START).
-    "array_push", "array_pop", "array_shift", "array_unshift", "sort", "rsort", "ksort", "asort",
+    "array_push",
+    "array_pop",
+    "array_shift",
+    "array_unshift",
+    "sort",
+    "rsort",
+    "ksort",
+    "asort",
     "arsort",
 ];
 
@@ -202,10 +279,7 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
                     let reps: Vec<Value> = replaces.iter().map(|(_, v)| v.clone()).collect();
                     let mut s = subject;
                     for (i, (_, search)) in searches.iter().enumerate() {
-                        let rep = reps
-                            .get(i)
-                            .map(|v| v.to_php_string())
-                            .unwrap_or_default();
+                        let rep = reps.get(i).map(|v| v.to_php_string()).unwrap_or_default();
                         s = s.replace(&search.to_php_string(), &rep);
                     }
                     s
@@ -218,9 +292,7 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
                     }
                     s
                 }
-                (search, rep) => {
-                    subject.replace(&search.to_php_string(), &rep.to_php_string())
-                }
+                (search, rep) => subject.replace(&search.to_php_string(), &rep.to_php_string()),
             };
             Value::str(result)
         }
@@ -799,9 +871,7 @@ pub fn dispatch_byref(id: u16, mut args: Vec<Value>) -> Result<(Value, Value), V
         }
         "sort" | "rsort" => {
             let mut values: Vec<Value> = arr.iter().map(|(_, v)| v.clone()).collect();
-            values.sort_by(|a, b| {
-                a.loose_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            values.sort_by(|a, b| a.loose_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             if name == "rsort" {
                 values.reverse();
             }
@@ -1081,14 +1151,13 @@ mod tests {
     #[test]
     fn string_builtins() {
         assert!(call("strlen", vec![s("héllo")]).identical(&Value::Int(6))); // Bytes.
-        assert!(call("substr", vec![s("abcdef"), Value::Int(1), Value::Int(3)])
-            .identical(&s("bcd")));
+        assert!(
+            call("substr", vec![s("abcdef"), Value::Int(1), Value::Int(3)]).identical(&s("bcd"))
+        );
         assert!(call("substr", vec![s("abcdef"), Value::Int(-2)]).identical(&s("ef")));
         assert!(call("strpos", vec![s("hello"), s("ll")]).identical(&Value::Int(2)));
         assert!(call("strpos", vec![s("hello"), s("x")]).identical(&Value::Bool(false)));
-        assert!(
-            call("str_replace", vec![s("a"), s("b"), s("banana")]).identical(&s("bbnbnb"))
-        );
+        assert!(call("str_replace", vec![s("a"), s("b"), s("banana")]).identical(&s("bbnbnb")));
         assert!(call("ucfirst", vec![s("wiki")]).identical(&s("Wiki")));
         assert!(call("str_repeat", vec![s("ab"), Value::Int(3)]).identical(&s("ababab")));
         assert!(call("nl2br", vec![s("a\nb")]).identical(&s("a<br />\nb")));
@@ -1104,7 +1173,12 @@ mod tests {
     fn sprintf_subset() {
         assert!(call(
             "sprintf",
-            vec![s("%s has %d points (%.2f%%)"), s("dana"), Value::Int(9), Value::Float(12.5)]
+            vec![
+                s("%s has %d points (%.2f%%)"),
+                s("dana"),
+                Value::Int(9),
+                Value::Float(12.5)
+            ]
         )
         .identical(&s("dana has 9 points (12.50%)")));
         assert!(call("sprintf", vec![s("%05d"), Value::Int(42)]).identical(&s("00042")));
@@ -1120,10 +1194,11 @@ mod tests {
     #[test]
     fn number_format_grouping() {
         assert!(call("number_format", vec![Value::Int(1234567)]).identical(&s("1,234,567")));
-        assert!(
-            call("number_format", vec![Value::Float(1234.5678), Value::Int(2)])
-                .identical(&s("1,234.57"))
-        );
+        assert!(call(
+            "number_format",
+            vec![Value::Float(1234.5678), Value::Int(2)]
+        )
+        .identical(&s("1,234.57")));
     }
 
     #[test]
@@ -1135,8 +1210,7 @@ mod tests {
         assert!(call("count", vec![arr.clone()]).identical(&Value::Int(2)));
         assert!(call("array_sum", vec![arr.clone()]).identical(&Value::Int(3)));
         assert!(call("in_array", vec![Value::Int(2), arr.clone()]).identical(&Value::Bool(true)));
-        assert!(call("array_key_exists", vec![s("x"), arr.clone()])
-            .identical(&Value::Bool(true)));
+        assert!(call("array_key_exists", vec![s("x"), arr.clone()]).identical(&Value::Bool(true)));
         assert!(call("array_search", vec![Value::Int(2), arr.clone()]).identical(&s("y")));
         let keys = call("array_keys", vec![arr]);
         assert!(call("implode", vec![s(","), keys]).identical(&s("x,y")));
@@ -1146,8 +1220,9 @@ mod tests {
     fn in_array_strict_mode() {
         let arr = Value::array(PhpArray::from_values(vec![Value::Int(1)]));
         assert!(call("in_array", vec![s("1"), arr.clone()]).identical(&Value::Bool(true)));
-        assert!(call("in_array", vec![s("1"), arr, Value::Bool(true)])
-            .identical(&Value::Bool(false)));
+        assert!(
+            call("in_array", vec![s("1"), arr, Value::Bool(true)]).identical(&Value::Bool(false))
+        );
     }
 
     #[test]
@@ -1211,8 +1286,7 @@ mod tests {
             }
             other => panic!("expected array, got {other:?}"),
         }
-        let (asorted, _) =
-            dispatch_byref(lookup("asort").unwrap(), vec![Value::array(a)]).unwrap();
+        let (asorted, _) = dispatch_byref(lookup("asort").unwrap(), vec![Value::array(a)]).unwrap();
         match &asorted {
             Value::Array(m) => {
                 let vals: Vec<i64> = m.iter().map(|(_, v)| v.to_php_int()).collect();
@@ -1225,13 +1299,16 @@ mod tests {
     #[test]
     fn math_builtins() {
         assert!(call("abs", vec![Value::Int(-5)]).identical(&Value::Int(5)));
-        assert!(call("max", vec![Value::Int(1), Value::Int(9), Value::Int(3)])
-            .identical(&Value::Int(9)));
+        assert!(
+            call("max", vec![Value::Int(1), Value::Int(9), Value::Int(3)])
+                .identical(&Value::Int(9))
+        );
         let arr = Value::array(PhpArray::from_values(vec![Value::Int(4), Value::Int(2)]));
         assert!(call("min", vec![arr]).identical(&Value::Int(2)));
         assert!(call("intdiv", vec![Value::Int(7), Value::Int(2)]).identical(&Value::Int(3)));
-        assert!(call("round", vec![Value::Float(2.567), Value::Int(2)])
-            .identical(&Value::Float(2.57)));
+        assert!(
+            call("round", vec![Value::Float(2.567), Value::Int(2)]).identical(&Value::Float(2.57))
+        );
         assert!(call("pow", vec![Value::Int(2), Value::Int(10)]).identical(&Value::Int(1024)));
     }
 

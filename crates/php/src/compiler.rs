@@ -60,7 +60,13 @@ pub fn compile(path: &str, script: &Script) -> Result<CompiledScript, CompileErr
     let main = compile_function("{main}", &[], &script.body, &mut shared, true)?;
     let mut functions = Vec::new();
     for f in &script.functions {
-        functions.push(compile_function(&f.name, &f.params, &f.body, &mut shared, false)?);
+        functions.push(compile_function(
+            &f.name,
+            &f.params,
+            &f.body,
+            &mut shared,
+            false,
+        )?);
     }
     Ok(CompiledScript {
         path: path.to_string(),
@@ -477,33 +483,29 @@ impl FnCompiler<'_> {
                     None => return Err(err("break outside loop")),
                 }
             }
-            Stmt::Continue => {
-                match self.loops.last_mut() {
-                    Some(ctx) => match ctx.continue_target {
-                        Some(target) => {
-                            self.code.push(Op::Jump(target));
-                        }
-                        None => {
-                            let j = self.emit_jump(Op::Jump);
-                            self.loops
-                                .last_mut()
-                                .expect("checked above")
-                                .continue_jumps
-                                .push(j);
-                        }
-                    },
-                    None => return Err(err("continue outside loop")),
-                }
-            }
-            Stmt::Return(value) => {
-                match value {
-                    Some(e) => {
-                        self.expr(e)?;
-                        self.code.push(Op::Return);
+            Stmt::Continue => match self.loops.last_mut() {
+                Some(ctx) => match ctx.continue_target {
+                    Some(target) => {
+                        self.code.push(Op::Jump(target));
                     }
-                    None => self.code.push(Op::ReturnNull),
+                    None => {
+                        let j = self.emit_jump(Op::Jump);
+                        self.loops
+                            .last_mut()
+                            .expect("checked above")
+                            .continue_jumps
+                            .push(j);
+                    }
+                },
+                None => return Err(err("continue outside loop")),
+            },
+            Stmt::Return(value) => match value {
+                Some(e) => {
+                    self.expr(e)?;
+                    self.code.push(Op::Return);
                 }
-            }
+                None => self.code.push(Op::ReturnNull),
+            },
             Stmt::Global(names) => {
                 if self.is_main {
                     // `global` at script level is a no-op.
@@ -954,9 +956,7 @@ mod tests {
 
     #[test]
     fn function_locals_are_private() {
-        let c = compile_src(
-            "function f($a) { $b = $a + 1; return $b; } $b = 5; echo f($b);",
-        );
+        let c = compile_src("function f($a) { $b = $a + 1; return $b; } $b = 5; echo f($b);");
         let f = &c.functions[0];
         assert_eq!(f.num_params, 1);
         assert!(f.num_locals >= 2); // $a and $b.

@@ -74,9 +74,9 @@ pub struct SpannedTok {
 /// Multi-character operators, longest first.
 const SYMBOLS: &[&str] = &[
     "===", "!==", "<=>", "**=", "<<=", ">>=", "??=", "?->", "==", "!=", "<>", "<=", ">=", "&&",
-    "||", "++", "--", "+=", "-=", "*=", "/=", ".=", "%=", "=>", "->", "::", "??", "<<", ">>",
-    "(", ")", "{", "}", "[", "]", ",", ";", "+", "-", "*", "/", "%", ".", "=", "<", ">", "!",
-    "?", ":", "&", "|", "^", "~", "@",
+    "||", "++", "--", "+=", "-=", "*=", "/=", ".=", "%=", "=>", "->", "::", "??", "<<", ">>", "(",
+    ")", "{", "}", "[", "]", ",", ";", "+", "-", "*", "/", "%", ".", "=", "<", ">", "!", "?", ":",
+    "&", "|", "^", "~", "@",
 ];
 
 /// Tokenizes PHP source.
@@ -353,10 +353,7 @@ mod tests {
     fn numbers() {
         assert_eq!(toks("42 3.5"), vec![Tok::Int(42), Tok::Float(3.5)]);
         // Overflowing literal becomes float.
-        assert!(matches!(
-            toks("99999999999999999999")[0],
-            Tok::Float(_)
-        ));
+        assert!(matches!(toks("99999999999999999999")[0], Tok::Float(_)));
     }
 
     #[test]

@@ -126,7 +126,9 @@ impl Parser {
         } else {
             Err(self.err(format!(
                 "expected '{sym}', found {}",
-                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "eof".into())
+                self.peek()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "eof".into())
             )))
         }
     }
@@ -716,10 +718,7 @@ impl Parser {
         }
     }
 
-    fn array_pairs(
-        &mut self,
-        close: &str,
-    ) -> Result<Vec<(Option<Expr>, Expr)>, PhpParseError> {
+    fn array_pairs(&mut self, close: &str) -> Result<Vec<(Option<Expr>, Expr)>, PhpParseError> {
         let mut pairs = Vec::new();
         while !self.peek_sym(close) {
             let first = self.expr()?;

@@ -315,7 +315,10 @@ impl Value {
             (Null, Null) => true,
             (Bool(a), b) => *a == b.is_truthy(),
             (a, Bool(b)) => a.is_truthy() == *b,
-            (Null, b) => !b.is_truthy() && !matches!(b, Array(_)) || matches!(b, Array(arr) if arr.is_empty()),
+            (Null, b) => {
+                !b.is_truthy() && !matches!(b, Array(_))
+                    || matches!(b, Array(arr) if arr.is_empty())
+            }
             (a, Null) => Value::Null.loose_eq(a),
             (Int(a), Int(b)) => a == b,
             (Float(a), Float(b)) => a == b,
@@ -375,12 +378,10 @@ impl Value {
     pub fn loose_cmp(&self, other: &Value) -> Option<Ordering> {
         use Value::*;
         match (self, other) {
-            (Str(a), Str(b)) => {
-                match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
-                    (Ok(x), Ok(y)) => x.partial_cmp(&y),
-                    _ => Some(a.cmp(b)),
-                }
-            }
+            (Str(a), Str(b)) => match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+                (Ok(x), Ok(y)) => x.partial_cmp(&y),
+                _ => Some(a.cmp(b)),
+            },
             (Array(a), Array(b)) => Some(a.len().cmp(&b.len())),
             (Array(_), _) | (_, Array(_)) => None,
             (a, b) => a.to_php_float().partial_cmp(&b.to_php_float()),
@@ -514,18 +515,12 @@ mod tests {
 
     #[test]
     fn array_key_canonicalization() {
-        assert_eq!(
-            ArrayKey::from_value(&Value::str("5")),
-            ArrayKey::Int(5)
-        );
+        assert_eq!(ArrayKey::from_value(&Value::str("5")), ArrayKey::Int(5));
         assert_eq!(
             ArrayKey::from_value(&Value::str("05")),
             ArrayKey::Str("05".into())
         );
-        assert_eq!(
-            ArrayKey::from_value(&Value::str("-3")),
-            ArrayKey::Int(-3)
-        );
+        assert_eq!(ArrayKey::from_value(&Value::str("-3")), ArrayKey::Int(-3));
         assert_eq!(ArrayKey::from_value(&Value::Bool(true)), ArrayKey::Int(1));
         assert_eq!(ArrayKey::from_value(&Value::Float(2.9)), ArrayKey::Int(2));
         assert_eq!(

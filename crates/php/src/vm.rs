@@ -480,21 +480,29 @@ impl<'a> Vm<'a> {
                 Op::IssetPathLocal(slot, n) => {
                     let keys = self.pop_keys(n as usize);
                     let frame = self.frames.last().expect("running frame");
-                    self.stack
-                        .push(Value::Bool(ops::isset_path(&frame.locals[slot as usize], &keys)));
+                    self.stack.push(Value::Bool(ops::isset_path(
+                        &frame.locals[slot as usize],
+                        &keys,
+                    )));
                 }
                 Op::IssetPathGlobal(slot, n) => {
                     let keys = self.pop_keys(n as usize);
-                    self.stack
-                        .push(Value::Bool(ops::isset_path(&self.globals[slot as usize], &keys)));
+                    self.stack.push(Value::Bool(ops::isset_path(
+                        &self.globals[slot as usize],
+                        &keys,
+                    )));
                 }
-                Op::PreIncLocal(s) | Op::PostIncLocal(s) | Op::PreDecLocal(s)
+                Op::PreIncLocal(s)
+                | Op::PostIncLocal(s)
+                | Op::PreDecLocal(s)
                 | Op::PostDecLocal(s) => {
                     let frame = self.frames.last_mut().expect("running frame");
                     let result = ops::incdec(&mut frame.locals[s as usize], op)?;
                     self.stack.push(result);
                 }
-                Op::PreIncGlobal(s) | Op::PostIncGlobal(s) | Op::PreDecGlobal(s)
+                Op::PreIncGlobal(s)
+                | Op::PostIncGlobal(s)
+                | Op::PreDecGlobal(s)
                 | Op::PostDecGlobal(s) => {
                     let result = ops::incdec(&mut self.globals[s as usize], op)?;
                     self.stack.push(result);
@@ -582,10 +590,7 @@ impl<'a> Vm<'a> {
                 }
                 Op::IterNext(t) | Op::IterNextKV(t) => {
                     let frame = self.frames.last_mut().expect("running frame");
-                    let iter = frame
-                        .iters
-                        .last_mut()
-                        .expect("IterInit precedes IterNext");
+                    let iter = frame.iters.last_mut().expect("IterInit precedes IterNext");
                     if iter.pos < iter.pairs.len() {
                         let (k, v) = iter.pairs[iter.pos].clone();
                         iter.pos += 1;
@@ -600,11 +605,7 @@ impl<'a> Vm<'a> {
                     }
                 }
                 Op::IterPop => {
-                    self.frames
-                        .last_mut()
-                        .expect("running frame")
-                        .iters
-                        .pop();
+                    self.frames.last_mut().expect("running frame").iters.pop();
                 }
             }
         }
@@ -652,8 +653,9 @@ impl Host for Vm<'_> {
     fn kv_get(&mut self, key: &str) -> Result<Value, VmError> {
         let bytes = self.backend.kv_get("kv:apc", key)?;
         Ok(match bytes {
-            Some(b) => Value::from_wire_bytes(&b)
-                .map_err(|_| VmError::Fatal("corrupt apc data".into()))?,
+            Some(b) => {
+                Value::from_wire_bytes(&b).map_err(|_| VmError::Fatal("corrupt apc data".into()))?
+            }
             None => Value::Bool(false),
         })
     }
@@ -858,8 +860,14 @@ pub mod ops {
     /// `++`/`--` on a storage slot (PHP: `null++` is 1, `null--` stays
     /// null).
     pub fn incdec(slot: &mut Value, op: Op) -> Result<Value, VmError> {
-        let inc = matches!(op, Op::PreIncLocal(_) | Op::PostIncLocal(_) | Op::PreIncGlobal(_) | Op::PostIncGlobal(_));
-        let pre = matches!(op, Op::PreIncLocal(_) | Op::PreDecLocal(_) | Op::PreIncGlobal(_) | Op::PreDecGlobal(_));
+        let inc = matches!(
+            op,
+            Op::PreIncLocal(_) | Op::PostIncLocal(_) | Op::PreIncGlobal(_) | Op::PostIncGlobal(_)
+        );
+        let pre = matches!(
+            op,
+            Op::PreIncLocal(_) | Op::PreDecLocal(_) | Op::PreIncGlobal(_) | Op::PreDecGlobal(_)
+        );
         let old = slot.clone();
         let new = match (&old, inc) {
             (Value::Null, true) => Value::Int(1),

@@ -165,7 +165,9 @@ impl Server {
                 let mut rows = self.rows.lock();
                 rows.tags.push((
                     rid,
-                    CtlFlowTag(orochi_php::vm::fnv1a(format!("404:{}", req.path).as_bytes())),
+                    CtlFlowTag(orochi_php::vm::fnv1a(
+                        format!("404:{}", req.path).as_bytes(),
+                    )),
                 ));
                 rows.op_counts.insert(rid, 0);
             }
@@ -178,8 +180,8 @@ impl Server {
         };
         let pid = thread_pid();
         let mut backend = RecordingBackend::new(&self.shared, rid, pid, self.recording);
-        let result = run_request(script, &mut backend, &input)
-            .expect("the recording backend never rejects");
+        let result =
+            run_request(script, &mut backend, &input).expect("the recording backend never rejects");
         if self.recording {
             let mut rows = self.rows.lock();
             rows.tags.push((rid, CtlFlowTag(result.digest)));
@@ -301,16 +303,19 @@ mod tests {
 
     #[test]
     fn groups_by_control_flow() {
-        let server =
-            server_with("if ($_GET['x'] == 1) { echo 'a'; } else { echo 'b'; }");
+        let server = server_with("if ($_GET['x'] == 1) { echo 'a'; } else { echo 'b'; }");
         for x in ["1", "1", "2", "3"] {
             server.handle(HttpRequest::get("/t.php", &[("x", x)]));
         }
         let bundle = server.into_bundle();
         // Two control flows: x==1 (2 requests) and else (2 requests).
         assert_eq!(bundle.reports.groupings.len(), 2);
-        let mut sizes: Vec<usize> =
-            bundle.reports.groupings.iter().map(|(_, r)| r.len()).collect();
+        let mut sizes: Vec<usize> = bundle
+            .reports
+            .groupings
+            .iter()
+            .map(|(_, r)| r.len())
+            .collect();
         sizes.sort();
         assert_eq!(sizes, vec![2, 2]);
     }
@@ -325,10 +330,7 @@ mod tests {
         server.handle(HttpRequest::get("/t.php", &[]));
         let bundle = server.into_bundle();
         assert_eq!(bundle.reports.total_ops(), 2);
-        assert_eq!(
-            bundle.reports.op_count(orochi_common::ids::RequestId(1)),
-            2
-        );
+        assert_eq!(bundle.reports.op_count(orochi_common::ids::RequestId(1)), 2);
         assert_eq!(bundle.final_db.row_count("t"), Some(1));
     }
 

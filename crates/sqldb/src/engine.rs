@@ -156,11 +156,28 @@ impl Table {
 /// Undo record for transaction rollback.
 #[derive(Debug, Clone)]
 enum UndoOp {
-    InsertedRow { table: String, rowid: u64 },
-    UpdatedRow { table: String, rowid: u64, old: Vec<SqlValue> },
-    DeletedRow { table: String, rowid: u64, old: Vec<SqlValue> },
-    Counters { table: String, next_rowid: u64, auto_inc: i64 },
-    CreatedTable { table: String },
+    InsertedRow {
+        table: String,
+        rowid: u64,
+    },
+    UpdatedRow {
+        table: String,
+        rowid: u64,
+        old: Vec<SqlValue>,
+    },
+    DeletedRow {
+        table: String,
+        rowid: u64,
+        old: Vec<SqlValue>,
+    },
+    Counters {
+        table: String,
+        next_rowid: u64,
+        auto_inc: i64,
+    },
+    CreatedTable {
+        table: String,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -279,9 +296,10 @@ impl Database {
     /// number. Returns `(seq, succeeded)`: a poisoned transaction was
     /// already rolled back and commits as `succeeded = false`.
     pub fn commit(&mut self) -> Result<(u64, bool), SqlError> {
-        let txn = self.txn.take().ok_or_else(|| {
-            SqlError::Unsupported("commit without transaction".into())
-        })?;
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| SqlError::Unsupported("commit without transaction".into()))?;
         self.next_seq += 1;
         Ok((self.next_seq, !txn.poisoned))
     }
@@ -290,9 +308,10 @@ impl Database {
     /// sequence number: it is an operation in the log (its reads fed the
     /// program).
     pub fn rollback(&mut self) -> Result<u64, SqlError> {
-        let txn = self.txn.take().ok_or_else(|| {
-            SqlError::Unsupported("rollback without transaction".into())
-        })?;
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| SqlError::Unsupported("rollback without transaction".into()))?;
         if !txn.poisoned {
             self.apply_undo(txn.undo);
         }
@@ -692,9 +711,11 @@ pub(crate) fn eval_expr(
             }
         }
         Expr::Neg(inner) => match eval_expr(inner, row, schema)? {
-            SqlValue::Int(i) => Ok(SqlValue::Int(i.checked_neg().ok_or_else(|| {
-                SqlError::Arithmetic("negation overflow".into())
-            })?)),
+            SqlValue::Int(i) => {
+                Ok(SqlValue::Int(i.checked_neg().ok_or_else(|| {
+                    SqlError::Arithmetic("negation overflow".into())
+                })?))
+            }
             SqlValue::Float(f) => Ok(SqlValue::Float(-f)),
             SqlValue::Null => Ok(SqlValue::Null),
             other => Err(SqlError::TypeError(format!("cannot negate {other}"))),
@@ -1010,9 +1031,8 @@ fn eval_aggregate(
             )),
         },
         Aggregate::Max | Aggregate::Min => {
-            let pos = col.ok_or_else(|| {
-                SqlError::Unsupported("MAX/MIN require a column".into())
-            })?;
+            let pos =
+                col.ok_or_else(|| SqlError::Unsupported("MAX/MIN require a column".into()))?;
             let mut best: Option<&SqlValue> = None;
             for row in rows {
                 if row[pos].is_null() {
@@ -1038,8 +1058,7 @@ fn eval_aggregate(
             Ok(best.cloned().unwrap_or(SqlValue::Null))
         }
         Aggregate::Sum => {
-            let pos = col
-                .ok_or_else(|| SqlError::Unsupported("SUM requires a column".into()))?;
+            let pos = col.ok_or_else(|| SqlError::Unsupported("SUM requires a column".into()))?;
             let mut any = false;
             let mut int_sum: i64 = 0;
             let mut float_sum: f64 = 0.0;
@@ -1051,9 +1070,7 @@ fn eval_aggregate(
                         any = true;
                         match int_sum.checked_add(*i) {
                             Some(s) => int_sum = s,
-                            None => {
-                                return Err(SqlError::Arithmetic("SUM overflow".into()))
-                            }
+                            None => return Err(SqlError::Arithmetic("SUM overflow".into())),
                         }
                     }
                     SqlValue::Float(f) => {
@@ -1061,9 +1078,7 @@ fn eval_aggregate(
                         is_float = true;
                         float_sum += f;
                     }
-                    other => {
-                        return Err(SqlError::TypeError(format!("SUM over {other}")))
-                    }
+                    other => return Err(SqlError::TypeError(format!("SUM over {other}"))),
                 }
             }
             if !any {
@@ -1230,8 +1245,7 @@ mod tests {
     #[test]
     fn update_with_expression() {
         let mut db = db_with_table();
-        let (r, _) =
-            db.execute_autocommit("UPDATE t SET score = score + 5 WHERE score >= 20");
+        let (r, _) = db.execute_autocommit("UPDATE t SET score = score + 5 WHERE score >= 20");
         assert_eq!(r.unwrap().write().unwrap().affected, 2);
         let rows = select_rows(&mut db, "SELECT score FROM t ORDER BY score");
         assert_eq!(
@@ -1428,7 +1442,8 @@ mod tests {
         db.begin().unwrap();
         db.execute_in_txn("CREATE TABLE tmp (id INT PRIMARY KEY)")
             .unwrap();
-        db.execute_in_txn("INSERT INTO tmp (id) VALUES (1)").unwrap();
+        db.execute_in_txn("INSERT INTO tmp (id) VALUES (1)")
+            .unwrap();
         db.rollback().unwrap();
         assert!(db.schema("tmp").is_none());
     }
@@ -1461,8 +1476,7 @@ mod tests {
     #[test]
     fn type_errors_detected() {
         let mut db = db_with_table();
-        let (r, _) =
-            db.execute_autocommit("INSERT INTO t (name, score) VALUES (5, 'oops')");
+        let (r, _) = db.execute_autocommit("INSERT INTO t (name, score) VALUES (5, 'oops')");
         assert!(matches!(r, Err(SqlError::TypeError(_))));
     }
 

@@ -198,7 +198,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {

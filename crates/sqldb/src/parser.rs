@@ -333,9 +333,7 @@ impl Parser {
             ("MIN", Aggregate::Min),
             ("SUM", Aggregate::Sum),
         ] {
-            if self.peek_kw(kw)
-                && matches!(self.tokens.get(self.pos + 1), Some(Token::Sym("(")))
-            {
+            if self.peek_kw(kw) && matches!(self.tokens.get(self.pos + 1), Some(Token::Sym("("))) {
                 self.pos += 2;
                 let column = if self.eat_sym("*") {
                     if agg != Aggregate::Count {
@@ -641,8 +639,7 @@ mod tests {
 
     #[test]
     fn parse_insert_multi_row() {
-        let stmt =
-            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match stmt {
             Statement::Insert(i) => {
                 assert_eq!(i.columns, vec!["a", "b"]);
@@ -675,8 +672,7 @@ mod tests {
 
     #[test]
     fn parse_update_with_arith() {
-        let stmt =
-            parse_statement("UPDATE pages SET views = views + 1 WHERE id = 3").unwrap();
+        let stmt = parse_statement("UPDATE pages SET views = views + 1 WHERE id = 3").unwrap();
         match stmt {
             Statement::Update(u) => {
                 assert_eq!(u.assignments.len(), 1);
@@ -699,8 +695,7 @@ mod tests {
 
     #[test]
     fn parse_is_null_and_not() {
-        let stmt =
-            parse_statement("SELECT * FROM t WHERE a IS NOT NULL AND NOT b = 1").unwrap();
+        let stmt = parse_statement("SELECT * FROM t WHERE a IS NOT NULL AND NOT b = 1").unwrap();
         match stmt {
             Statement::Select(s) => assert!(s.where_clause.is_some()),
             other => panic!("expected Select, got {other:?}"),
@@ -714,10 +709,7 @@ mod tests {
         assert!(parse_statement("SELECT * FROM t WHERE").is_err());
         assert!(parse_statement("DROP TABLE t").is_err());
         assert!(parse_statement("SELECT * FROM t extra garbage !").is_err());
-        assert!(parse_statement(
-            "CREATE TABLE t (a TEXT AUTO_INCREMENT PRIMARY KEY)"
-        )
-        .is_err());
+        assert!(parse_statement("CREATE TABLE t (a TEXT AUTO_INCREMENT PRIMARY KEY)").is_err());
     }
 
     #[test]
@@ -740,11 +732,12 @@ mod tests {
     #[test]
     fn operator_precedence() {
         // a = 1 OR b = 2 AND c = 3  parses as  a=1 OR (b=2 AND c=3).
-        let stmt =
-            parse_statement("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let stmt = parse_statement("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
         match stmt {
             Statement::Select(s) => match s.where_clause.unwrap() {
-                Expr::Binary { op: BinOp::Or, rhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Or, rhs, ..
+                } => {
                     assert!(matches!(*rhs, Expr::Binary { op: BinOp::And, .. }));
                 }
                 other => panic!("expected OR at top, got {other:?}"),

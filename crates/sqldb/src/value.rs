@@ -93,7 +93,10 @@ impl SqlValue {
             SqlValue::Null => IndexKey::Null,
             SqlValue::Int(i) => IndexKey::Int(*i),
             SqlValue::Float(f) => {
-                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64
                 {
                     IndexKey::Int(*f as i64)
                 } else {
@@ -203,11 +206,13 @@ mod tests {
 
     #[test]
     fn order_cmp_is_total() {
-        let mut vals = [SqlValue::Text("b".into()),
+        let mut vals = [
+            SqlValue::Text("b".into()),
             SqlValue::Null,
             SqlValue::Int(3),
             SqlValue::Float(1.5),
-            SqlValue::Text("a".into())];
+            SqlValue::Text("a".into()),
+        ];
         vals.sort_by(|a, b| a.order_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], SqlValue::Float(1.5));
@@ -217,8 +222,14 @@ mod tests {
 
     #[test]
     fn index_key_unifies_int_and_integral_float() {
-        assert_eq!(SqlValue::Int(3).index_key(), SqlValue::Float(3.0).index_key());
-        assert_ne!(SqlValue::Int(3).index_key(), SqlValue::Float(3.5).index_key());
+        assert_eq!(
+            SqlValue::Int(3).index_key(),
+            SqlValue::Float(3.0).index_key()
+        );
+        assert_ne!(
+            SqlValue::Int(3).index_key(),
+            SqlValue::Float(3.5).index_key()
+        );
         assert_ne!(
             SqlValue::Text("3".into()).index_key(),
             SqlValue::Int(3).index_key()

@@ -252,6 +252,15 @@ pub struct VersionedDb {
     stats: RedoStats,
 }
 
+// After the redo pass the store is only read (`query_at`, `mod_epoch`,
+// `aborted_read`, ... all take `&self`), so the parallel audit shares
+// one built store per object across its worker threads without locking.
+// Guard that property at compile time.
+const _: fn() = || {
+    fn shareable<T: Send + Sync>() {}
+    shareable::<VersionedDb>();
+};
+
 impl VersionedDb {
     /// Initializes the store from the state at the start of the audited
     /// period; initial rows get `start_ts = 0`.
@@ -344,15 +353,9 @@ impl VersionedDb {
                     self.tables.insert(schema.name.clone(), vt);
                     Some(WriteOutcome::default())
                 }
-                Statement::Insert(insert) => {
-                    Some(self.redo_insert(insert, ts).map_err(fail)?)
-                }
-                Statement::Update(update) => {
-                    Some(self.redo_update(update, ts).map_err(fail)?)
-                }
-                Statement::Delete(delete) => {
-                    Some(self.redo_delete(delete, ts).map_err(fail)?)
-                }
+                Statement::Insert(insert) => Some(self.redo_insert(insert, ts).map_err(fail)?),
+                Statement::Update(update) => Some(self.redo_update(update, ts).map_err(fail)?),
+                Statement::Delete(delete) => Some(self.redo_delete(delete, ts).map_err(fail)?),
             };
             if computed != logged_results[pos] {
                 return Err(RedoError::WriteResultMismatch { seq, query: q });
@@ -731,11 +734,9 @@ mod tests {
         )
         .0
         .unwrap();
-        db.execute_autocommit(
-            "INSERT INTO p (title, views) VALUES ('alpha', 0), ('beta', 5)",
-        )
-        .0
-        .unwrap();
+        db.execute_autocommit("INSERT INTO p (title, views) VALUES ('alpha', 0), ('beta', 5)")
+            .0
+            .unwrap();
         db
     }
 
@@ -787,7 +788,9 @@ mod tests {
             })],
         )
         .unwrap();
-        let before = vdb.query_at("SELECT views FROM p WHERE id = 1", MAXQ).unwrap();
+        let before = vdb
+            .query_at("SELECT views FROM p WHERE id = 1", MAXQ)
+            .unwrap();
         assert_eq!(before.rows().unwrap()[0][0], SqlValue::Int(0));
         let after = vdb
             .query_at("SELECT views FROM p WHERE id = 1", MAXQ + 2)
@@ -937,14 +940,24 @@ mod tests {
             affected: 1,
             last_insert_id: None,
         });
-        vdb.redo_transaction(1, &["UPDATE p SET views = 1 WHERE id = 1".into()], true, &[w1])
-            .unwrap();
+        vdb.redo_transaction(
+            1,
+            &["UPDATE p SET views = 1 WHERE id = 1".into()],
+            true,
+            &[w1],
+        )
+        .unwrap();
         vdb.redo_transaction(2, &["SELECT views FROM p".into()], true, &[None])
             .unwrap();
         vdb.redo_transaction(3, &["SELECT views FROM p".into()], true, &[None])
             .unwrap();
-        vdb.redo_transaction(4, &["UPDATE p SET views = 2 WHERE id = 1".into()], true, &[w1])
-            .unwrap();
+        vdb.redo_transaction(
+            4,
+            &["UPDATE p SET views = 2 WHERE id = 1".into()],
+            true,
+            &[w1],
+        )
+        .unwrap();
         // The SELECTs at seqs 2 and 3 straddle no modification: equal
         // epochs => dedupable.
         assert_eq!(
@@ -990,10 +1003,8 @@ mod tests {
         assert_eq!(got.unwrap(), want.unwrap());
         // The migrated database continues assigning the same
         // auto-increment ids as the online one.
-        let (w_on, _) =
-            exec_logged(&mut online, "INSERT INTO p (title, views) VALUES ('y', 0)");
-        let (r, _) =
-            migrated.execute_autocommit("INSERT INTO p (title, views) VALUES ('y', 0)");
+        let (w_on, _) = exec_logged(&mut online, "INSERT INTO p (title, views) VALUES ('y', 0)");
+        let (r, _) = migrated.execute_autocommit("INSERT INTO p (title, views) VALUES ('y', 0)");
         assert_eq!(r.unwrap().write(), w_on);
     }
 

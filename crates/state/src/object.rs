@@ -307,9 +307,6 @@ mod tests {
     #[test]
     fn object_name_roundtrip() {
         let n = ObjectName::db("main");
-        assert_eq!(
-            ObjectName::from_wire_bytes(&n.to_wire_bytes()).unwrap(),
-            n
-        );
+        assert_eq!(ObjectName::from_wire_bytes(&n.to_wire_bytes()).unwrap(), n);
     }
 }

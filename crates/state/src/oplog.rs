@@ -97,6 +97,14 @@ impl OpLog {
     pub fn entries(&self) -> &[OpLogEntry] {
         &self.entries
     }
+
+    /// True if any entry has the given operation type. The audit
+    /// prologue uses this to decide which versioned stores and indexes
+    /// to build for each log before sharding the builds across the
+    /// worker pool.
+    pub fn contains_op_type(&self, ty: OpType) -> bool {
+        self.entries.iter().any(|e| e.op_type() == ty)
+    }
 }
 
 impl Wire for OpLog {

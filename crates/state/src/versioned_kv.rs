@@ -45,6 +45,14 @@ pub struct VersionedKv {
     versions: HashMap<String, VersionList>,
 }
 
+// Every read path (`get`, `has_write_before`, `num_keys`, ...) takes
+// `&self`, so a built view can be shared across the parallel audit's
+// worker threads without locking. Guard that property at compile time.
+const _: fn() = || {
+    fn shareable<T: Send + Sync>() {}
+    shareable::<VersionedKv>();
+};
+
 impl VersionedKv {
     /// Builds the versioned map from all `KvSet` operations in `log`
     /// (the paper's `kv.Build(OL_i)`, Fig. 12 line 5).

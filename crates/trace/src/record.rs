@@ -223,9 +223,17 @@ impl BalancedTrace {
         self.request_pos.len()
     }
 
-    /// Iterates all requestIDs (in no particular order).
+    /// Iterates all requestIDs in trace arrival order. The order is
+    /// deterministic on purpose: the audit's output-comparison phase
+    /// walks it, so the rid named by a `MissingOutput`/`OutputMismatch`
+    /// rejection must not depend on hash-map iteration (the parallel
+    /// audit's determinism suite compares those diagnostics across
+    /// runs).
     pub fn request_ids(&self) -> impl Iterator<Item = RequestId> + '_ {
-        self.request_pos.keys().copied()
+        self.trace.events.iter().filter_map(|e| match e {
+            Event::Request(rid, _) => Some(*rid),
+            Event::Response(..) => None,
+        })
     }
 
     /// True if `rid` appears in the trace.

@@ -57,8 +57,7 @@ pub fn generate(params: &Params, seed: u64) -> Workload {
     for u in 0..params.users {
         let name = format!("user{u}");
         setup.push(
-            HttpRequest::post("/login.php", &[], &[("user", &name)])
-                .with_cookie("sess", &name),
+            HttpRequest::post("/login.php", &[], &[("user", &name)]).with_cookie("sess", &name),
         );
     }
     let mut requests = Vec::with_capacity(params.requests);

@@ -64,9 +64,8 @@ impl Params {
 }
 
 fn review_body(paper: usize, reviewer: usize, version: usize, len: usize) -> String {
-    let seed = format!(
-        "Review v{version} of paper {paper} by reviewer {reviewer}: the approach is "
-    );
+    let seed =
+        format!("Review v{version} of paper {paper} by reviewer {reviewer}: the approach is ");
     let filler = "sound and the evaluation is thorough. ";
     let mut body = seed;
     while body.len() < len {
@@ -83,15 +82,13 @@ pub fn generate(params: &Params, seed: u64) -> Workload {
     // Authors (one per paper) and reviewers log in.
     for p in 0..params.papers {
         let who = format!("author{p}");
-        setup.push(
-            HttpRequest::post("/login.php", &[], &[("who", &who)]).with_cookie("sess", &who),
-        );
+        setup
+            .push(HttpRequest::post("/login.php", &[], &[("who", &who)]).with_cookie("sess", &who));
     }
     for r in 0..params.reviewers {
         let who = format!("rev{r}");
-        setup.push(
-            HttpRequest::post("/login.php", &[], &[("who", &who)]).with_cookie("sess", &who),
-        );
+        setup
+            .push(HttpRequest::post("/login.php", &[], &[("who", &who)]).with_cookie("sess", &who));
     }
     let mut requests = Vec::new();
     // Submissions: one valid paper per author, then 1..=max updates.
@@ -100,9 +97,8 @@ pub fn generate(params: &Params, seed: u64) -> Workload {
         let title = format!("Paper {p}");
         let updates = rng.random_range(1..=params.max_updates.max(1));
         for u in 0..=updates {
-            let abstract_text = format!(
-                "Abstract (take {u}) of {title}: we audit untrusted servers efficiently."
-            );
+            let abstract_text =
+                format!("Abstract (take {u}) of {title}: we audit untrusted servers efficiently.");
             requests.push(
                 HttpRequest::post(
                     "/submit.php",
@@ -149,8 +145,7 @@ pub fn generate(params: &Params, seed: u64) -> Workload {
                 requests.push(HttpRequest::get("/list.php", &[]).with_cookie("sess", &who));
             } else {
                 requests.push(
-                    HttpRequest::get("/paper.php", &[("id", &paper_id)])
-                        .with_cookie("sess", &who),
+                    HttpRequest::get("/paper.php", &[("id", &paper_id)]).with_cookie("sess", &who),
                 );
             }
         }

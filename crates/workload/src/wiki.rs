@@ -63,8 +63,7 @@ pub fn generate(params: &Params, seed: u64) -> Workload {
     for e in 0..params.editors {
         let user = format!("editor{e}");
         setup.push(
-            HttpRequest::post("/login.php", &[], &[("user", &user)])
-                .with_cookie("sess", &user),
+            HttpRequest::post("/login.php", &[], &[("user", &user)]).with_cookie("sess", &user),
         );
     }
     for p in 0..params.pages {
@@ -114,22 +113,14 @@ mod tests {
     #[test]
     fn setup_creates_every_page() {
         let w = generate(&Params::scaled(0.01), 1);
-        let edits = w
-            .setup
-            .iter()
-            .filter(|r| r.path == "/edit.php")
-            .count();
+        let edits = w.setup.iter().filter(|r| r.path == "/edit.php").count();
         assert_eq!(edits, Params::default().pages);
     }
 
     #[test]
     fn measured_mix_is_read_dominated() {
         let w = generate(&Params::scaled(0.1), 1);
-        let views = w
-            .requests
-            .iter()
-            .filter(|r| r.path == "/wiki.php")
-            .count();
+        let views = w.requests.iter().filter(|r| r.path == "/wiki.php").count();
         assert!(views as f64 > w.requests.len() as f64 * 0.9);
     }
 

@@ -37,9 +37,8 @@ fn main() {
 
     // 3. Clients talk to the server.
     for name in ["ada", "grace", "ada", "ada"] {
-        let response = server.handle(
-            HttpRequest::get("/hello.php", &[("name", name)]).with_cookie("sess", name),
-        );
+        let response = server
+            .handle(HttpRequest::get("/hello.php", &[("name", name)]).with_cookie("sess", name));
         println!("server said: {}", response.body);
     }
 

@@ -74,7 +74,11 @@ impl Criterion {
         }
     }
 
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
         let id = id.into();
         run_one(&id, 10, f);
         self

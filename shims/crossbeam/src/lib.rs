@@ -1,11 +1,94 @@
 //! Offline, API-compatible subset of the `crossbeam` crate.
 //!
 //! The build environment has no crates.io access; the workspace uses
-//! only [`channel::unbounded`] — a multi-producer **multi-consumer**
-//! channel (std's `mpsc::Receiver` is not clonable, which is why the
-//! harness reaches for crossbeam). Implemented as a `Mutex<VecDeque>`
-//! plus a `Condvar`; throughput is adequate for the request-dispatch
-//! loop it serves.
+//! [`channel::unbounded`] — a multi-producer **multi-consumer** channel
+//! (std's `mpsc::Receiver` is not clonable, which is why the harness
+//! reaches for crossbeam) — and [`thread::scope`], the scoped-thread API
+//! the parallel audit's worker pool is built on. The channel is a
+//! `Mutex<VecDeque>` plus a `Condvar`; throughput is adequate for the
+//! request-dispatch loop it serves. Scoped threads delegate to
+//! `std::thread::scope` behind crossbeam's signature.
+
+pub mod thread {
+    //! Scoped threads, API-compatible with `crossbeam::thread`.
+    //!
+    //! `scope(|s| { s.spawn(|_| ...); })` — spawned closures may borrow
+    //! from the enclosing stack frame; every thread is joined before
+    //! `scope` returns. Implemented over `std::thread::scope`, so a
+    //! panicking child propagates on join exactly like the real crate's
+    //! `.unwrap()` flow.
+
+    /// A scope handle; crossbeam passes it to every spawned closure so
+    /// nested spawns can join the same scope.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; joining returns the closure's result.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope itself (crossbeam's signature) for nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads. All spawned
+    /// threads are joined before this returns; the `Result` wrapper
+    /// mirrors crossbeam's API (this shim always returns `Ok` — a
+    /// panicked, unjoined child propagates its panic instead, which is
+    /// what callers' `.unwrap()` would have done anyway).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|v| s.spawn(move |_| *v * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let out = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 7).join().unwrap())
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(out, 7);
+        }
+    }
+}
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -45,11 +128,7 @@ pub mod channel {
             if self.shared.receivers.load(Ordering::SeqCst) == 0 {
                 return Err(SendError(value));
             }
-            let mut queue = self
-                .shared
-                .queue
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             queue.push_back(value);
             drop(queue);
             self.shared.ready.notify_one();
@@ -83,11 +162,7 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Blocks until a value arrives or every sender is dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut queue = self
-                .shared
-                .queue
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = queue.pop_front() {
                     return Ok(value);
@@ -104,11 +179,7 @@ pub mod channel {
         }
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut queue = self
-                .shared
-                .queue
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(value) = queue.pop_front() {
                 Ok(value)
             } else if self.shared.senders.load(Ordering::SeqCst) == 0 {

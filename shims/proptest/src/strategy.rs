@@ -345,12 +345,17 @@ mod tests {
         for _ in 0..200 {
             let s = "[a-c]{1,2}".generate(&mut rng);
             assert!((1..=2).contains(&s.len()), "bad len: {s:?}");
-            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "bad chars: {s:?}");
+            assert!(
+                s.chars().all(|c| ('a'..='c').contains(&c)),
+                "bad chars: {s:?}"
+            );
         }
         for _ in 0..200 {
             let s = "[a-z0-9]{0,12}".generate(&mut rng);
             assert!(s.len() <= 12);
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
         }
     }
 

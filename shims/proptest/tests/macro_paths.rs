@@ -26,5 +26,8 @@ proptest! {
 #[test]
 fn failing_property_panics_with_report() {
     let outcome = std::panic::catch_unwind(always_fails);
-    assert!(outcome.is_err(), "failing property must propagate its panic");
+    assert!(
+        outcome.is_err(),
+        "failing property must propagate its panic"
+    );
 }

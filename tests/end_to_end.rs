@@ -58,7 +58,10 @@ fn wiki_sequential_roundtrip() {
     requests.push(
         HttpRequest::post("/login.php", &[], &[("user", "alice")]).with_cookie("sess", "alice"),
     );
-    for (title, body) in [("Rust", "Systems language."), ("Audit", "Check the server!")] {
+    for (title, body) in [
+        ("Rust", "Systems language."),
+        ("Audit", "Check the server!"),
+    ] {
         requests.push(
             HttpRequest::post("/edit.php", &[], &[("title", title), ("body", body)])
                 .with_cookie("sess", "alice"),
@@ -75,9 +78,8 @@ fn wiki_sequential_roundtrip() {
 #[test]
 fn forum_sequential_roundtrip() {
     let app = forum::app();
-    let mut requests = vec![
-        HttpRequest::post("/login.php", &[], &[("user", "bob")]).with_cookie("sess", "bob"),
-    ];
+    let mut requests =
+        vec![HttpRequest::post("/login.php", &[], &[("user", "bob")]).with_cookie("sess", "bob")];
     // Seed a topic via reply failure (no topic) then through the DB
     // schema: create a topic by direct insert is not exposed, so drive
     // the app: replies to a missing topic 404, then a topic is created
@@ -96,7 +98,7 @@ fn forum_sequential_roundtrip() {
 fn hotcrp_sequential_roundtrip() {
     let app = hotcrp::app();
     let mut requests = vec![
-        HttpRequest::post("/login.php", &[], &[("who", "carol")]).with_cookie("sess", "carol"),
+        HttpRequest::post("/login.php", &[], &[("who", "carol")]).with_cookie("sess", "carol")
     ];
     requests.push(
         HttpRequest::post(
@@ -146,19 +148,14 @@ fn concurrent_wiki_roundtrip() {
         handles.push(std::thread::spawn(move || {
             let user = format!("writer{w}");
             server.handle(
-                HttpRequest::post("/login.php", &[], &[("user", &user)])
-                    .with_cookie("sess", &user),
+                HttpRequest::post("/login.php", &[], &[("user", &user)]).with_cookie("sess", &user),
             );
             for i in 0..10 {
                 let title = format!("Page{}", i % 4);
                 let body = format!("content {w} {i}");
                 server.handle(
-                    HttpRequest::post(
-                        "/edit.php",
-                        &[],
-                        &[("title", &title), ("body", &body)],
-                    )
-                    .with_cookie("sess", &user),
+                    HttpRequest::post("/edit.php", &[], &[("title", &title), ("body", &body)])
+                        .with_cookie("sess", &user),
                 );
             }
         }));
@@ -200,9 +197,7 @@ fn grouped_and_scalar_verifiers_agree() {
         recording: true,
         seed: 3,
     });
-    server.handle(
-        HttpRequest::post("/login.php", &[], &[("user", "a")]).with_cookie("sess", "a"),
-    );
+    server.handle(HttpRequest::post("/login.php", &[], &[("user", "a")]).with_cookie("sess", "a"));
     server.handle(
         HttpRequest::post("/edit.php", &[], &[("title", "T"), ("body", "B")])
             .with_cookie("sess", "a"),
@@ -256,9 +251,7 @@ fn tampered_response_is_rejected() {
         recording: true,
         seed: 5,
     });
-    server.handle(
-        HttpRequest::post("/login.php", &[], &[("user", "a")]).with_cookie("sess", "a"),
-    );
+    server.handle(HttpRequest::post("/login.php", &[], &[("user", "a")]).with_cookie("sess", "a"));
     server.handle(
         HttpRequest::post("/edit.php", &[], &[("title", "T"), ("body", "B")])
             .with_cookie("sess", "a"),
@@ -294,9 +287,7 @@ fn dropped_log_entry_is_rejected() {
         recording: true,
         seed: 5,
     });
-    server.handle(
-        HttpRequest::post("/login.php", &[], &[("who", "x")]).with_cookie("sess", "x"),
-    );
+    server.handle(HttpRequest::post("/login.php", &[], &[("who", "x")]).with_cookie("sess", "x"));
     server.handle(HttpRequest::get("/list.php", &[]));
     let mut bundle = server.into_bundle();
     // Drop the last entry of the first non-empty log.

@@ -89,10 +89,16 @@ fn php_value_strategy() -> impl Strategy<Value = Value> {
         "[a-z0-9]{0,12}".prop_map(Value::str),
     ];
     leaf.prop_recursive(3, 24, 6, |inner| {
-        proptest::collection::vec((prop_oneof![
-            any::<i32>().prop_map(|i| ArrayKey::Int(i as i64)),
-            "[a-z]{1,6}".prop_map(ArrayKey::Str),
-        ], inner), 0..6)
+        proptest::collection::vec(
+            (
+                prop_oneof![
+                    any::<i32>().prop_map(|i| ArrayKey::Int(i as i64)),
+                    "[a-z]{1,6}".prop_map(ArrayKey::Str),
+                ],
+                inner,
+            ),
+            0..6,
+        )
         .prop_map(|pairs| {
             let mut a = PhpArray::new();
             for (k, v) in pairs {
@@ -188,12 +194,9 @@ proptest! {
 fn sql_ops_strategy() -> impl Strategy<Value = Vec<String>> {
     proptest::collection::vec(
         prop_oneof![
-            (0u8..20, 0i64..100).prop_map(|(k, v)| format!(
-                "INSERT INTO t (k, v) VALUES ({k}, {v})"
-            )),
-            (0u8..20, 0i64..100).prop_map(|(k, v)| format!(
-                "UPDATE t SET v = {v} WHERE k = {k}"
-            )),
+            (0u8..20, 0i64..100)
+                .prop_map(|(k, v)| format!("INSERT INTO t (k, v) VALUES ({k}, {v})")),
+            (0u8..20, 0i64..100).prop_map(|(k, v)| format!("UPDATE t SET v = {v} WHERE k = {k}")),
             (0u8..20).prop_map(|k| format!("DELETE FROM t WHERE k = {k}")),
             (0i64..100).prop_map(|v| format!("UPDATE t SET v = v + 1 WHERE v < {v}")),
         ],
@@ -380,6 +383,137 @@ proptest! {
         let mut verifier = AccPhpExecutor::new(scripts);
         let verdict = audit(&bundle.trace, &bundle.reports, &mut verifier, &config);
         prop_assert!(verdict.is_ok(), "honest run rejected: {}", verdict.unwrap_err());
+    }
+}
+
+/// Shared fixture for the partition-fuzzing property: serving a wiki
+/// workload per proptest case would dominate the suite, so one honest
+/// bundle is built once and every case re-audits it under a different
+/// (often hostile) grouping report.
+mod partition_fuzz {
+    use super::*;
+    use orochi::accphp::AccPhpExecutor;
+    use orochi::core::audit::{audit, audit_parallel, AuditConfig, AuditOutcome, Rejection};
+    use orochi::core::reports::Reports;
+    use orochi::php::CompiledScript;
+    use orochi::server::server::AuditBundle;
+    use orochi::server::{Server, ServerConfig};
+    use orochi_common::ids::CtlFlowTag;
+    use std::collections::HashMap;
+    use std::sync::OnceLock;
+
+    type Fixture = (AuditBundle, HashMap<String, CompiledScript>, AuditConfig);
+
+    pub fn fixture() -> &'static Fixture {
+        static CELL: OnceLock<Fixture> = OnceLock::new();
+        CELL.get_or_init(|| {
+            use orochi::workload::wiki;
+            let app = orochi::apps::wiki::app();
+            let scripts = app.compile().unwrap();
+            let server = Server::new(ServerConfig {
+                scripts: scripts.clone(),
+                initial_db: app.initial_db(),
+                recording: true,
+                seed: 13,
+            });
+            let workload = wiki::generate(&wiki::Params::scaled(0.01), 17);
+            for req in workload.setup.iter().chain(workload.requests.iter()) {
+                server.handle(req.clone());
+            }
+            let bundle = server.into_bundle();
+            let mut config = AuditConfig::new();
+            config
+                .initial_dbs
+                .insert("db:main".to_string(), app.initial_db());
+            (bundle, scripts, config)
+        })
+    }
+
+    /// Audits the fixture under `groupings`, sequentially or pooled.
+    pub fn verdict(
+        groupings: Vec<(CtlFlowTag, Vec<RequestId>)>,
+        threads: usize,
+    ) -> Result<AuditOutcome, Rejection> {
+        let (bundle, scripts, config) = fixture();
+        let mut reports: Reports = bundle.reports.clone();
+        reports.groupings = groupings;
+        if threads == 1 {
+            let mut executor = AccPhpExecutor::new(scripts.clone());
+            audit(&bundle.trace, &reports, &mut executor, config)
+        } else {
+            let mut executors: Vec<AccPhpExecutor> = (0..threads)
+                .map(|_| AccPhpExecutor::new(scripts.clone()))
+                .collect();
+            audit_parallel(&bundle.trace, &reports, &mut executors, config)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The parallel audit agrees with the sequential oracle on the
+    /// verdict *and* the diagnostic for arbitrary — including hostile —
+    /// control-flow partitions: requests regrouped at random, duplicated
+    /// across and within groups, dropped entirely (→ `MissingOutput`),
+    /// or pointing at requests the trace never saw
+    /// (→ `GroupUnknownRequest`).
+    #[test]
+    fn fuzzed_partitions_match_sequential_oracle(
+        picks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..10),
+            0..8,
+        ),
+        ghost in any::<bool>(),
+    ) {
+        use orochi_common::ids::CtlFlowTag;
+
+        let (bundle, _, _) = partition_fuzz::fixture();
+        let rids: Vec<RequestId> = bundle
+            .trace
+            .ensure_balanced()
+            .unwrap()
+            .request_ids()
+            .collect();
+        let mut groupings: Vec<(CtlFlowTag, Vec<RequestId>)> = picks
+            .iter()
+            .enumerate()
+            .map(|(g, idxs)| {
+                let members = idxs
+                    .iter()
+                    .map(|i| rids[*i as usize % rids.len()])
+                    .collect();
+                (CtlFlowTag(g as u64 + 1), members)
+            })
+            .collect();
+        if ghost {
+            groupings.push((CtlFlowTag(0xdead), vec![RequestId(u64::MAX)]));
+        }
+
+        let seq = partition_fuzz::verdict(groupings.clone(), 1);
+        for threads in [2usize, 4] {
+            let par = partition_fuzz::verdict(groupings.clone(), threads);
+            match (&seq, &par) {
+                (Ok(s), Ok(p)) => {
+                    prop_assert_eq!(
+                        s.stats.requests_reexecuted,
+                        p.stats.requests_reexecuted,
+                        "threads {}", threads
+                    );
+                }
+                (Err(s), Err(p)) => {
+                    prop_assert_eq!(s, p, "threads {}", threads);
+                    prop_assert_eq!(s.to_string(), p.to_string(), "threads {}", threads);
+                }
+                (s, p) => prop_assert!(
+                    false,
+                    "verdict diverged at {} threads: {:?} vs {:?}",
+                    threads,
+                    s.as_ref().err().map(|e| e.to_string()),
+                    p.as_ref().err().map(|e| e.to_string())
+                ),
+            }
+        }
     }
 }
 

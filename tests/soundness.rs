@@ -105,7 +105,13 @@ fn rejects_unbalanced_trace_missing_response() {
         .position(|e| matches!(e, Event::Response(..)))
         .unwrap();
     bundle.trace.events.remove(pos);
-    assert_rejected("missing-response", &bundle.trace, &bundle.reports, &scripts, &config);
+    assert_rejected(
+        "missing-response",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
 }
 
 #[test]
@@ -117,7 +123,13 @@ fn rejects_mislabeled_response() {
             break;
         }
     }
-    assert_rejected("mislabel", &bundle.trace, &bundle.reports, &scripts, &config);
+    assert_rejected(
+        "mislabel",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
 }
 
 /// Finds the db log index.
@@ -143,7 +155,13 @@ fn rejects_rewritten_sql_in_log() {
         }
     }
     *log = OpLog::from_entries(entries);
-    assert_rejected("sql-rewrite", &bundle.trace, &bundle.reports, &scripts, &config);
+    assert_rejected(
+        "sql-rewrite",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
 }
 
 #[test]
@@ -163,7 +181,13 @@ fn rejects_forged_insert_id() {
         }
     }
     *log = OpLog::from_entries(entries);
-    assert_rejected("insert-id", &bundle.trace, &bundle.reports, &scripts, &config);
+    assert_rejected(
+        "insert-id",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
 }
 
 #[test]
@@ -179,7 +203,13 @@ fn rejects_commit_flag_flip() {
         }
     }
     *log = OpLog::from_entries(entries);
-    assert_rejected("commit-flip", &bundle.trace, &bundle.reports, &scripts, &config);
+    assert_rejected(
+        "commit-flip",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
 }
 
 #[test]
@@ -203,7 +233,13 @@ fn rejects_op_moved_to_wrong_object() {
     let mut entries = log.entries().to_vec();
     entries.insert(0, entry);
     *log = OpLog::from_entries(entries);
-    assert_rejected("wrong-object", &bundle.trace, &bundle.reports, &scripts, &config);
+    assert_rejected(
+        "wrong-object",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
 }
 
 #[test]
@@ -219,7 +255,13 @@ fn rejects_swapped_db_transactions() {
         .expect("adjacent entries from different requests");
     entries.swap(swap_at, swap_at + 1);
     *log = OpLog::from_entries(entries);
-    assert_rejected("txn-swap", &bundle.trace, &bundle.reports, &scripts, &config);
+    assert_rejected(
+        "txn-swap",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
 }
 
 #[test]
@@ -249,7 +291,13 @@ fn rejects_tampered_time_value() {
     }
     assert!(tampered, "workload records at least one time value");
     bundle.reports.nondet = rebuilt;
-    assert_rejected("time-tamper", &bundle.trace, &bundle.reports, &scripts, &config);
+    assert_rejected(
+        "time-tamper",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
 }
 
 #[test]
@@ -277,7 +325,13 @@ fn rejects_truncated_nondet() {
     }
     assert!(dropped, "workload records nondeterminism");
     bundle.reports.nondet = rebuilt;
-    assert_rejected("nondet-truncate", &bundle.trace, &bundle.reports, &scripts, &config);
+    assert_rejected(
+        "nondet-truncate",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
 }
 
 #[test]
@@ -303,7 +357,13 @@ fn rejects_non_monotonic_time_report() {
         }
     }
     bundle.reports.nondet = rebuilt;
-    assert_rejected("time-order", &bundle.trace, &bundle.reports, &scripts, &config);
+    assert_rejected(
+        "time-order",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
 }
 
 #[test]
@@ -316,7 +376,13 @@ fn rejects_renumbered_opnums() {
         e.opnum = orochi_common::ids::OpNum(e.opnum.0 + 1);
     }
     *log = OpLog::from_entries(entries);
-    assert_rejected("opnum-shift", &bundle.trace, &bundle.reports, &scripts, &config);
+    assert_rejected(
+        "opnum-shift",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
 }
 
 #[test]
@@ -333,7 +399,13 @@ fn rejects_wrong_initial_state_claim() {
     .0
     .unwrap();
     wrong.initial_dbs.insert("db:main".to_string(), db);
-    assert_rejected("initial-state", &bundle.trace, &bundle.reports, &scripts, &wrong);
+    assert_rejected(
+        "initial-state",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &wrong,
+    );
 }
 
 #[test]
@@ -345,7 +417,10 @@ fn ooo_oracle_agrees_on_honest_and_tampered() {
     let mut b = AccPhpExecutor::new(scripts.clone());
     let grouped = audit(&bundle.trace, &bundle.reports, &mut a, &config);
     let ooo = ooo_audit(&bundle.trace, &bundle.reports, &mut b, &config);
-    assert!(grouped.is_ok() && ooo.is_ok(), "oracles disagree on honest run");
+    assert!(
+        grouped.is_ok() && ooo.is_ok(),
+        "oracles disagree on honest run"
+    );
     // Tampered: both reject.
     let mut tampered = bundle;
     for e in tampered.trace.events.iter_mut() {

@@ -102,7 +102,9 @@ fn serve_and_audit(requests: Vec<HttpRequest>) -> Vec<String> {
     }
     let bundle = server.into_bundle();
     let mut config = AuditConfig::new();
-    config.initial_dbs.insert("db:main".to_string(), initial_db());
+    config
+        .initial_dbs
+        .insert("db:main".to_string(), initial_db());
     let mut verifier = AccPhpExecutor::new(scripts);
     audit(&bundle.trace, &bundle.reports, &mut verifier, &config)
         .unwrap_or_else(|r| panic!("honest transactional run rejected: {r}"));

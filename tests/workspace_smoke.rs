@@ -14,7 +14,10 @@ fn one_workload_request_roundtrips_through_the_facade() {
     // Construct requests via the workload generator (tiny scale: a few
     // setup edits plus at least one measured view).
     let workload = wiki_workload::generate(&wiki_workload::Params::scaled(0.001), 42);
-    assert!(!workload.is_empty(), "scaled workload generated no requests");
+    assert!(
+        !workload.is_empty(),
+        "scaled workload generated no requests"
+    );
 
     // Serve through orochi::server.
     let app = wiki::app();
