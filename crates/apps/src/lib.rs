@@ -14,6 +14,11 @@
 //! * [`hotcrp`] — a conference-review tool: paper pages with reviews,
 //!   paper submissions/updates, and versioned review submission, all in
 //!   transactions keyed by the reviewer's session.
+//! * [`shop`] — a session-heavy storefront beyond the paper's three:
+//!   per-session carts and login state in registers, inventory counters
+//!   and a rendered-fragment cache in the KV store (with check-then-act
+//!   races), SQL only for the catalog and orders — built to stress the
+//!   register and versioned-KV audit paths the other apps underuse.
 //!
 //! Every application exercises all three shared-object types (session
 //! registers, the APC key-value store, the SQL database), the
@@ -23,6 +28,7 @@
 pub mod forum;
 pub mod helpers;
 pub mod hotcrp;
+pub mod shop;
 pub mod wiki;
 
 use orochi_php::bytecode::CompiledScript;
@@ -74,9 +80,9 @@ impl AppDefinition {
     }
 }
 
-/// All three applications.
+/// All four applications.
 pub fn all_apps() -> Vec<AppDefinition> {
-    vec![wiki::app(), forum::app(), hotcrp::app()]
+    vec![wiki::app(), forum::app(), hotcrp::app(), shop::app()]
 }
 
 #[cfg(test)]

@@ -1,0 +1,273 @@
+//! The shop application (session-heavy storefront).
+//!
+//! The three paper apps are SQL-dominated; this storefront deliberately
+//! routes most of its operations through the two sub-log types they
+//! underuse. The product *catalog* lives in SQL, but the hot paths run on
+//! the other two object types:
+//!
+//! * **Session registers** hold the per-customer login state and the
+//!   cart (`$_SESSION['cart']`, a `id:qty|id:qty` string), so every
+//!   browse/add/checkout/abandon request opens with a register read and
+//!   closes with the session write-back.
+//! * **The APC key-value store** holds the per-product inventory
+//!   counters (`inv:<id>`) and the rendered product fragments
+//!   (`frag:prod:<id>`). Inventory is maintained *check-then-act*: a
+//!   request fetches the counter, decides, and stores a new value in a
+//!   separate operation — two linearization points, so concurrent
+//!   checkouts race on the counter and the audit must feed each read the
+//!   value the log's order actually implies (§4.5, `kv.get(k, s)`).
+//!
+//! Checkout is the only transaction-heavy path (order + order-items
+//! insert), and restocking is the cache-invalidation path (price changes
+//! delete the cached fragment, like the wiki's edit-invalidates-page).
+
+use crate::helpers::with_prelude;
+use crate::AppDefinition;
+
+/// `/login.php` — establish the customer session (POST user).
+fn login() -> String {
+    with_prelude(
+        "orochi-shop",
+        r#"
+session_start();
+$user = $_POST['user'];
+$_SESSION['user'] = $user;
+$_SESSION['cart'] = '';
+$_SESSION['since'] = time();
+echo $CHROME;
+echo '<p>welcome ' . htmlspecialchars($user) . '</p>';
+echo $FOOTER;
+"#,
+    )
+}
+
+/// `/product.php?id=N` — product page: cached rendered fragment plus a
+/// live inventory read (both KV), DB only on cache misses.
+fn product() -> String {
+    with_prelude(
+        "orochi-shop",
+        r#"
+$id = intval($_GET['id']);
+$user = '';
+$cart = '';
+if (isset($_COOKIE['sess'])) {
+    session_start();
+    if (isset($_SESSION['user'])) {
+        $user = $_SESSION['user'];
+    }
+    if (isset($_SESSION['cart'])) {
+        $cart = $_SESSION['cart'];
+    }
+}
+echo $CHROME;
+$frag = apc_fetch('frag:prod:' . $id);
+if ($frag === false) {
+    $rows = db_query('SELECT id, name, price FROM products WHERE id = ' . $id);
+    if (count($rows) == 0) {
+        http_response_code(404);
+        echo '<p>no such product</p>';
+        echo $FOOTER;
+        exit();
+    }
+    $frag = '<div class="prod"><h1>' . htmlspecialchars($rows[0]['name'])
+        . '</h1><p class="price">$' . $rows[0]['price'] . '</p></div>';
+    apc_store('frag:prod:' . $id, $frag);
+}
+echo $frag;
+$inv = apc_fetch('inv:' . $id);
+if ($inv === false) {
+    $stock_rows = db_query('SELECT stock FROM inventory WHERE product_id = ' . $id);
+    $inv = count($stock_rows) == 0 ? 0 : $stock_rows[0]['stock'];
+    apc_store('inv:' . $id, strval($inv));
+}
+$inv = intval($inv);
+if ($inv > 0) {
+    echo '<p class="stock">' . $inv . ' in stock</p>';
+} else {
+    echo '<p class="stock">out of stock</p>';
+}
+if ($user != '') {
+    $items = $cart == '' ? 0 : count(explode('|', $cart));
+    echo '<p class="badge">' . htmlspecialchars($user) . ': '
+        . $items . ' item(s) in cart</p>';
+}
+echo $FOOTER;
+"#,
+    )
+}
+
+/// `/cart.php` — add to cart (POST id, qty); registered customers only.
+/// The inventory check is the *check* half of check-then-act: the read
+/// can go stale by the time checkout performs the *act*.
+fn cart_add() -> String {
+    with_prelude(
+        "orochi-shop",
+        r#"
+session_start();
+$user = isset($_SESSION['user']) ? $_SESSION['user'] : '';
+if ($user == '') {
+    http_response_code(403);
+    echo 'login required';
+    exit();
+}
+$id = intval($_POST['id']);
+$qty = intval($_POST['qty']);
+if ($qty < 1) {
+    $qty = 1;
+}
+echo $CHROME;
+$inv = intval(apc_fetch('inv:' . $id));
+if ($inv < $qty) {
+    echo '<p class="cart">only ' . $inv . ' of #' . $id . ' left</p>';
+} else {
+    $cart = isset($_SESSION['cart']) ? $_SESSION['cart'] : '';
+    $line = $id . ':' . $qty;
+    $_SESSION['cart'] = $cart == '' ? $line : $cart . '|' . $line;
+    echo '<p class="cart">added ' . $qty . ' x #' . $id . '</p>';
+}
+$cart = isset($_SESSION['cart']) ? $_SESSION['cart'] : '';
+$items = $cart == '' ? 0 : count(explode('|', $cart));
+echo '<p class="badge">' . $items . ' item(s) in cart</p>';
+echo $FOOTER;
+"#,
+    )
+}
+
+/// `/checkout.php` — place the order: price lookup + order insert in one
+/// transaction, then the check-then-act inventory decrement (KV) and the
+/// cart reset (register).
+fn checkout() -> String {
+    with_prelude(
+        "orochi-shop",
+        r#"
+session_start();
+$user = isset($_SESSION['user']) ? $_SESSION['user'] : '';
+if ($user == '') {
+    http_response_code(403);
+    echo 'login required';
+    exit();
+}
+$cart = isset($_SESSION['cart']) ? $_SESSION['cart'] : '';
+echo $CHROME;
+if ($cart == '') {
+    echo '<p class="order">cart is empty</p>';
+    echo $FOOTER;
+    exit();
+}
+$items = explode('|', $cart);
+$now = time();
+$total = 0;
+db_begin();
+foreach ($items as $it) {
+    $parts = explode(':', $it);
+    $pid = intval($parts[0]);
+    $qty = intval($parts[1]);
+    $rows = db_query('SELECT price FROM products WHERE id = ' . $pid);
+    $price = count($rows) == 0 ? 0 : intval($rows[0]['price']);
+    $total = $total + $price * $qty;
+}
+db_query('INSERT INTO orders (customer, total, ts) VALUES ('
+    . db_quote($user) . ', ' . $total . ', ' . $now . ')');
+$oid = db_insert_id();
+foreach ($items as $it) {
+    $parts = explode(':', $it);
+    db_query('INSERT INTO order_items (order_id, product_id, qty) VALUES ('
+        . $oid . ', ' . intval($parts[0]) . ', ' . intval($parts[1]) . ')');
+}
+$ok = db_commit();
+if ($ok) {
+    foreach ($items as $it) {
+        $parts = explode(':', $it);
+        $pid = intval($parts[0]);
+        $qty = intval($parts[1]);
+        $inv = intval(apc_fetch('inv:' . $pid));
+        apc_store('inv:' . $pid, strval($inv - $qty));
+    }
+    $_SESSION['cart'] = '';
+    echo '<p class="order">order ' . $oid . ' placed by '
+        . htmlspecialchars($user) . ' total=' . $total . '</p>';
+} else {
+    echo '<p class="order">checkout failed</p>';
+}
+echo $FOOTER;
+"#,
+    )
+}
+
+/// `/logout.php` — abandon the session: drop the cart, end the login.
+fn logout() -> String {
+    with_prelude(
+        "orochi-shop",
+        r#"
+session_start();
+$user = isset($_SESSION['user']) ? $_SESSION['user'] : '';
+$cart = isset($_SESSION['cart']) ? $_SESSION['cart'] : '';
+$left = $cart == '' ? 0 : count(explode('|', $cart));
+$_SESSION['cart'] = '';
+$_SESSION['user'] = '';
+echo $CHROME;
+echo '<p class="bye">bye ' . htmlspecialchars($user) . ', '
+    . $left . ' item(s) abandoned</p>';
+echo $FOOTER;
+"#,
+    )
+}
+
+/// `/restock.php` — admin restock + repricing (POST id, stock, price):
+/// updates the catalog, resets the KV counter, and invalidates the
+/// cached fragment (the price it rendered is stale).
+fn restock() -> String {
+    with_prelude(
+        "orochi-shop",
+        r#"
+session_start();
+$user = isset($_SESSION['user']) ? $_SESSION['user'] : '';
+if ($user != 'admin') {
+    http_response_code(403);
+    echo 'admin required';
+    exit();
+}
+$id = intval($_POST['id']);
+$stock = intval($_POST['stock']);
+$price = intval($_POST['price']);
+db_begin();
+db_query('UPDATE products SET price = ' . $price . ' WHERE id = ' . $id);
+db_query('UPDATE inventory SET stock = ' . $stock . ' WHERE product_id = ' . $id);
+$ok = db_commit();
+echo $CHROME;
+if ($ok) {
+    apc_store('inv:' . $id, strval($stock));
+    apc_delete('frag:prod:' . $id);
+    echo '<p class="restock">#' . $id . ' restocked to ' . $stock
+        . ' at $' . $price . '</p>';
+} else {
+    echo '<p class="restock">restock failed</p>';
+}
+echo $FOOTER;
+"#,
+    )
+}
+
+/// The shop application definition.
+pub fn app() -> AppDefinition {
+    AppDefinition {
+        name: "shop",
+        scripts: vec![
+            ("/login.php".to_string(), login()),
+            ("/product.php".to_string(), product()),
+            ("/cart.php".to_string(), cart_add()),
+            ("/checkout.php".to_string(), checkout()),
+            ("/logout.php".to_string(), logout()),
+            ("/restock.php".to_string(), restock()),
+        ],
+        schema: vec![
+            "CREATE TABLE products (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, \
+             price INT)",
+            "CREATE TABLE inventory (product_id INT PRIMARY KEY, stock INT)",
+            "CREATE TABLE orders (id INT PRIMARY KEY AUTO_INCREMENT, customer TEXT, \
+             total INT, ts INT)",
+            "CREATE TABLE order_items (id INT PRIMARY KEY AUTO_INCREMENT, order_id INT, \
+             product_id INT, qty INT, INDEX(order_id))",
+        ],
+    }
+}

@@ -1,9 +1,11 @@
 //! Regenerates the Fig. 8 (left) main-results table.
 //!
-//! Usage: `cargo run --release -p orochi_bench --bin fig8_table`
+//! Usage: `cargo run --release -p orochi_bench --bin fig8_table
+//!         [--skew <theta[,len]>] [--session-len <len>]`
 //! (`OROCHI_FULL=1` for the paper's full request counts;
 //! `OROCHI_BENCH_JSON=path` to also write the rows as JSON for the CI
-//! artifact).
+//! artifact; the skew flags set `OROCHI_WORKLOAD_SKEW` for all four
+//! workload generators).
 
 use orochi_bench::json::Json;
 use orochi_harness::experiments::{fig8_table, print_fig8, scale_from_env, Fig8Row};
@@ -37,6 +39,7 @@ fn json_doc(scale: f64, rows: &[Fig8Row]) -> Json {
 }
 
 fn main() {
+    orochi_bench::cli::apply_skew_args("fig8_table", std::env::args().skip(1));
     let scale = scale_from_env();
     println!("== Fig. 8 (left): main results (scale {scale}) ==");
     let rows = fig8_table(scale, 42);

@@ -2,12 +2,15 @@
 //! applications, plus the sequential-vs-parallel audit wall-time
 //! comparison the CI pipeline tracks.
 //!
-//! Usage: `cargo run --release -p orochi_bench --bin fig9_decomposition`
+//! Usage: `cargo run --release -p orochi_bench --bin fig9_decomposition
+//!         [--skew <theta[,len]>] [--session-len <len>]`
 //!
 //! * `OROCHI_AUDIT_THREADS` — worker threads for the parallel arm
 //!   (default/`auto`: every available core, clamped to the machine).
 //! * `OROCHI_BENCH_JSON=path` — also write the results as JSON for the
 //!   `bench-smoke` CI artifact.
+//! * `--skew` / `--session-len` — set `OROCHI_WORKLOAD_SKEW` for all
+//!   four workload generators.
 
 use orochi_bench::json::Json;
 use orochi_harness::audit_threads_from_env;
@@ -67,6 +70,7 @@ fn json_doc(scale: f64, rows: &[Fig9Row], par: &[ParallelRow], threads: usize) -
 }
 
 fn main() {
+    orochi_bench::cli::apply_skew_args("fig9_decomposition", std::env::args().skip(1));
     let scale = scale_from_env();
     println!("== Fig. 9: audit-time CPU decomposition (scale {scale}) ==");
     let rows = fig9_decomposition(scale, 42);

@@ -1,0 +1,81 @@
+//! Tiny argument handling shared by the bench binaries.
+//!
+//! The workload generators read their shared skew knob from
+//! `OROCHI_WORKLOAD_SKEW`; the binaries accept `--skew <theta[,len]>`
+//! and `--session-len <len>` flags and translate them into that
+//! variable, so CLI and environment configure the same code path.
+
+/// Applies `--skew` / `--session-len` from `args` by setting
+/// `OROCHI_WORKLOAD_SKEW` (CLI wins over a pre-set variable). Unknown
+/// arguments panic with a usage message naming `bin`.
+///
+/// # Panics
+///
+/// Panics on unknown flags, missing values, or a malformed skew.
+pub fn apply_skew_args(bin: &str, args: impl Iterator<Item = String>) {
+    let mut args = args.peekable();
+    let mut theta: Option<String> = None;
+    let mut session_len: Option<String> = None;
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{bin}: {flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--skew" => theta = Some(value_of("--skew")),
+            "--session-len" => session_len = Some(value_of("--session-len")),
+            other => panic!(
+                "{bin}: unknown argument {other:?} \
+                 (supported: --skew <theta[,session_len]>, --session-len <len>)"
+            ),
+        }
+    }
+    if theta.is_none() && session_len.is_none() {
+        return;
+    }
+    // `--skew` may already carry a ",len" part; an explicit
+    // `--session-len` overrides it.
+    let base = theta.unwrap_or_default();
+    let (theta_part, embedded_len) = match base.split_once(',') {
+        Some((t, l)) => (t.to_string(), Some(l.to_string())),
+        None => (base, None),
+    };
+    let len_part = session_len.or(embedded_len).unwrap_or_default();
+    let combined = format!("{theta_part},{len_part}");
+    let combined = combined.trim_end_matches(',').to_string();
+    // Validate eagerly so a typo fails at the flag, not mid-experiment.
+    orochi_workload::Skew::parse(&combined).unwrap_or_else(|e| panic!("{bin}: invalid skew: {e}"));
+    std::env::set_var("OROCHI_WORKLOAD_SKEW", combined);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> impl Iterator<Item = String> {
+        list.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn combines_flags_into_env() {
+        // Serialized through one test because the variable is global.
+        apply_skew_args("t", args(&["--skew", "0.8"]));
+        assert_eq!(std::env::var("OROCHI_WORKLOAD_SKEW").unwrap(), "0.8");
+        apply_skew_args("t", args(&["--skew", "0.8", "--session-len", "4"]));
+        assert_eq!(std::env::var("OROCHI_WORKLOAD_SKEW").unwrap(), "0.8,4");
+        apply_skew_args("t", args(&["--session-len", "2"]));
+        assert_eq!(std::env::var("OROCHI_WORKLOAD_SKEW").unwrap(), ",2");
+        apply_skew_args("t", args(&["--skew", "1.1,9", "--session-len", "2"]));
+        assert_eq!(std::env::var("OROCHI_WORKLOAD_SKEW").unwrap(), "1.1,2");
+        std::env::remove_var("OROCHI_WORKLOAD_SKEW");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flags_panic() {
+        apply_skew_args("t", args(&["--frobnicate"]));
+    }
+}

@@ -1,0 +1,45 @@
+//! A deterministic byte hash shared across the workspace.
+//!
+//! Rust's `DefaultHasher` is randomized per process; several places
+//! need a hash that is stable across runs and machines — the PHP VM's
+//! control-flow digests, `md5`'s stand-in, and the stitch daemon's
+//! object-shard assignment. FNV-1a is small, fast on the short inputs
+//! involved (script paths, object names), and has one canonical
+//! definition here.
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// The FNV-1a 64-bit prime; public for mixers that fold extra state
+/// into an FNV-seeded value (the PHP VM's control-flow digests).
+pub const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over bytes.
+///
+/// # Examples
+///
+/// ```
+/// use orochi_common::hash::fnv1a;
+///
+/// assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
+/// assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fnv1a;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

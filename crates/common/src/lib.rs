@@ -10,11 +10,13 @@
 //! `orochi-core` for SSCO itself.
 
 pub mod codec;
+pub mod hash;
 pub mod ids;
 pub mod metrics;
 pub mod rng;
 
 pub use codec::{Decoder, Encoder, Wire, WireError};
+pub use hash::fnv1a;
 pub use ids::{CtlFlowTag, ObjectId, OpNum, RequestId, SeqNum};
 pub use metrics::{percentile, PhaseTimer, Stopwatch};
 pub use rng::SplitMix64;

@@ -76,10 +76,12 @@ pub struct ServeResult {
     pub requests: u64,
 }
 
-/// Serves a workload: the setup phase runs sequentially (logins and
-/// seeding), the measured phase fans out over `threads` closed-loop
-/// client threads.
-pub fn serve(work: &AppWorkload, opts: &ServeOptions) -> ServeResult {
+/// Serves a workload and returns the *drained* server (all client
+/// threads joined) plus the measured-phase wall time. Callers that only
+/// need the bundle should use [`serve`]; this variant exists so
+/// experiments can measure report assembly itself (e.g. the sequential
+/// vs object-sharded stitch) before consuming the server.
+pub fn serve_drained(work: &AppWorkload, opts: &ServeOptions) -> (Server, Duration) {
     let scripts = work.app.compile().expect("application compiles");
     let server = Arc::new(Server::new(ServerConfig {
         scripts,
@@ -111,6 +113,14 @@ pub fn serve(work: &AppWorkload, opts: &ServeOptions) -> ServeResult {
     }
     let wall = t0.elapsed();
     let server = Arc::try_unwrap(server).ok().expect("clients joined");
+    (server, wall)
+}
+
+/// Serves a workload: the setup phase runs sequentially (logins and
+/// seeding), the measured phase fans out over `threads` closed-loop
+/// client threads.
+pub fn serve(work: &AppWorkload, opts: &ServeOptions) -> ServeResult {
+    let (server, wall) = serve_drained(work, opts);
     let busy = server.busy();
     let requests = server.requests_handled();
     ServeResult {

@@ -2,13 +2,16 @@
 //! DESIGN.md maps each to its bench target).
 
 use crate::driver::{
-    run_audit, run_audit_with, serve, serve_open_loop, AppWorkload, AuditOptions, ServeOptions,
+    run_audit, run_audit_with, serve, serve_drained, serve_open_loop, AppWorkload, AuditOptions,
+    ServeOptions,
 };
+use crate::tamper;
 use orochi_common::metrics::percentile;
+use orochi_server::server::AuditBundle;
 use orochi_trace::Event;
-use orochi_workload::{forum, hotcrp, wiki};
+use orochi_workload::{forum, hotcrp, shop, skew, wiki};
 use std::collections::HashSet;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Workload scale: the paper's full counts with `OROCHI_FULL=1`,
 /// otherwise a CI-friendly fraction.
@@ -19,13 +22,27 @@ pub fn scale_from_env() -> f64 {
     }
 }
 
-/// Builds the three paper workloads at `scale`.
+/// Builds the shop workload at `scale` (the `OROCHI_WORKLOAD_SKEW` knob
+/// applies, like the paper workloads).
+pub fn shop_workload(scale: f64, seed: u64) -> AppWorkload {
+    let params = shop::Params::scaled(scale).with_skew(&skew::from_env());
+    AppWorkload {
+        app: orochi_apps::shop::app(),
+        workload: shop::generate(&params, seed),
+        seed_sql: shop::seed_sql(&params),
+    }
+}
+
+/// Builds the three paper workloads plus the shop at `scale`. The
+/// shared `OROCHI_WORKLOAD_SKEW` knob (Zipf theta, session length)
+/// applies to all four.
 pub fn paper_workloads(scale: f64, seed: u64) -> Vec<AppWorkload> {
-    let forum_params = forum::Params::scaled(scale);
+    let sk = skew::from_env();
+    let forum_params = forum::Params::scaled(scale).with_skew(&sk);
     vec![
         AppWorkload {
             app: orochi_apps::wiki::app(),
-            workload: wiki::generate(&wiki::Params::scaled(scale), seed),
+            workload: wiki::generate(&wiki::Params::scaled(scale).with_skew(&sk), seed),
             seed_sql: Vec::new(),
         },
         AppWorkload {
@@ -35,9 +52,10 @@ pub fn paper_workloads(scale: f64, seed: u64) -> Vec<AppWorkload> {
         },
         AppWorkload {
             app: orochi_apps::hotcrp::app(),
-            workload: hotcrp::generate(&hotcrp::Params::scaled(scale), seed),
+            workload: hotcrp::generate(&hotcrp::Params::scaled(scale).with_skew(&sk), seed),
             seed_sql: Vec::new(),
         },
+        shop_workload(scale, seed),
     ]
 }
 
@@ -492,6 +510,240 @@ pub fn ablation(scale: f64, seed: u64) -> Vec<AblationArm> {
         .collect()
 }
 
+/// One tampering variant's outcome in the shop experiment.
+#[derive(Debug)]
+pub struct ShopTamperRow {
+    /// Variant label (`forged_cart_total`, `stale_inventory_read`,
+    /// `replayed_kv_write`).
+    pub variant: &'static str,
+    /// Rejected by both the sequential and the pooled audit.
+    pub rejected: bool,
+    /// The rejection diagnostic (identical at both thread counts).
+    pub diagnostic: String,
+    /// Wall time of the (rejecting) pooled audit.
+    pub wall: Duration,
+}
+
+/// The shop experiment's results: honest audit walls, the
+/// register/KV-path share, report-assembly timings, and one row per
+/// tampering variant.
+#[derive(Debug)]
+pub struct ShopReport {
+    /// Requests in the audited window.
+    pub requests: u64,
+    /// Operations recorded in register or KV sub-logs / all operations.
+    pub reg_kv_share: f64,
+    /// Worker threads for the pooled arms.
+    pub threads: usize,
+    /// Honest sequential audit wall time.
+    pub honest_seq_wall: Duration,
+    /// Honest pooled audit wall time.
+    pub honest_par_wall: Duration,
+    /// Report assembly (sub-log stitch), sequential.
+    pub assembly_seq: Duration,
+    /// Report assembly sharded by object across `threads` workers.
+    pub assembly_par: Duration,
+    /// Tampering variants, every one rejected identically at 1 and
+    /// `threads` workers.
+    pub tampers: Vec<ShopTamperRow>,
+}
+
+impl ShopReport {
+    /// Sequential / pooled honest-audit wall ratio.
+    pub fn audit_speedup(&self) -> f64 {
+        self.honest_seq_wall.as_secs_f64() / self.honest_par_wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Sequential / sharded report-assembly wall ratio.
+    pub fn assembly_speedup(&self) -> f64 {
+        self.assembly_seq.as_secs_f64() / self.assembly_par.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Applies one named tampering variant to a served shop bundle.
+fn apply_shop_tamper(bundle: &mut AuditBundle, variant: &str) -> bool {
+    match variant {
+        "forged_cart_total" => tamper::forge_cart_total(&mut bundle.trace),
+        "stale_inventory_read" => tamper::reorder_kv_read(&mut bundle.reports, "inv:"),
+        "replayed_kv_write" => tamper::replay_kv_write(&mut bundle.reports),
+        other => panic!("unknown shop tamper {other:?}"),
+    }
+}
+
+/// Experiment E9: the shop workload end-to-end — honest audit
+/// (sequential and pooled, min-of-two like E8), the register/KV-path
+/// share the workload exists to provide, the sequential-vs-sharded
+/// report assembly comparison, and one rejected audit per tampering
+/// variant with the sequential and pooled diagnostics required to
+/// agree.
+///
+/// # Panics
+///
+/// Panics if the honest audit rejects, a tampering variant finds no
+/// site to tamper with, a variant is *accepted*, or the sequential and
+/// pooled audits disagree — all of which mean the system (or the
+/// workload) broke.
+pub fn shop_experiment(scale: f64, seed: u64, threads: usize) -> ShopReport {
+    let work = shop_workload(scale, seed);
+    let (server, _wall) = serve_drained(&work, &ServeOptions::default());
+    let requests = server.requests_handled();
+    // Report assembly: min-of-3 alternating arms on the drained
+    // recorder, then consume the server through the sharded stitch.
+    let recorder = server.recorder();
+    let time_stitch = |n: usize| {
+        let t0 = Instant::now();
+        let logs = recorder.stitch_with(n);
+        let elapsed = t0.elapsed();
+        (logs, elapsed)
+    };
+    // Each arm is a batch of stitches (min over 3 alternating batches):
+    // a single CI-scale stitch is sub-millisecond, where timer and
+    // scheduler noise would swamp the ratio the CI job guards.
+    let batch = 8;
+    let mut assembly_seq = Duration::MAX;
+    let mut assembly_par = Duration::MAX;
+    for _ in 0..3 {
+        let mut seq_t = Duration::ZERO;
+        let mut par_t = Duration::ZERO;
+        for _ in 0..batch {
+            let (seq_logs, t) = time_stitch(1);
+            seq_t += t;
+            let (par_logs, t) = time_stitch(threads);
+            par_t += t;
+            assert_eq!(
+                seq_logs, par_logs,
+                "sharded report assembly diverged from sequential"
+            );
+        }
+        assembly_seq = assembly_seq.min(seq_t / batch);
+        assembly_par = assembly_par.min(par_t / batch);
+    }
+    let bundle = server.into_bundle_with(threads);
+
+    let mut reg_kv = 0usize;
+    let mut total_ops = 0usize;
+    for (_, name, log) in bundle.reports.op_logs.iter() {
+        total_ops += log.len();
+        if name.as_str().starts_with("reg:") || name.as_str().starts_with("kv:") {
+            reg_kv += log.len();
+        }
+    }
+
+    let audit_at = |bundle: &AuditBundle, threads: usize| {
+        run_audit_with(
+            bundle,
+            &work,
+            &AuditOptions {
+                threads,
+                ..Default::default()
+            },
+        )
+    };
+    let min_of_two = |threads: usize, arm: &str| {
+        let a = audit_at(&bundle, threads)
+            .unwrap_or_else(|r| panic!("shop: honest {arm} audit rejected: {r}"));
+        let b = audit_at(&bundle, threads)
+            .unwrap_or_else(|r| panic!("shop: honest {arm} audit rejected: {r}"));
+        if a.wall <= b.wall {
+            a
+        } else {
+            b
+        }
+    };
+    let seq = min_of_two(1, "sequential");
+    let par = min_of_two(threads, "pooled");
+    let (s, p) = (&seq.outcome.stats, &par.outcome.stats);
+    assert_eq!(
+        (s.requests_reexecuted, s.register_ops, s.kv_ops, s.db_txns),
+        (p.requests_reexecuted, p.register_ops, p.kv_ops, p.db_txns),
+        "shop: pooled audit drifted from the sequential counters"
+    );
+
+    let mut tampers = Vec::new();
+    for variant in [
+        "forged_cart_total",
+        "stale_inventory_read",
+        "replayed_kv_write",
+    ] {
+        // Each variant tampers a fresh serve (of the same workload the
+        // verifier holds) so mutations don't stack.
+        let mut served = serve(&work, &ServeOptions::default());
+        assert!(
+            apply_shop_tamper(&mut served.bundle, variant),
+            "shop workload offers no site for {variant} — grow the workload"
+        );
+        let seq_verdict = audit_at(&served.bundle, 1);
+        let t0 = Instant::now();
+        let par_verdict = audit_at(&served.bundle, threads);
+        let wall = t0.elapsed();
+        let (seq_err, par_err) = match (seq_verdict, par_verdict) {
+            (Err(s), Err(p)) => (s, p),
+            (s, p) => panic!(
+                "shop: {variant} must be rejected at both thread counts, got {:?} / {:?}",
+                s.map(|_| "accept").map_err(|e| e.to_string()),
+                p.map(|_| "accept").map_err(|e| e.to_string()),
+            ),
+        };
+        assert_eq!(
+            seq_err.to_string(),
+            par_err.to_string(),
+            "shop: {variant} diagnostics diverged between thread counts"
+        );
+        tampers.push(ShopTamperRow {
+            variant,
+            rejected: true,
+            diagnostic: seq_err.to_string(),
+            wall,
+        });
+    }
+
+    ShopReport {
+        requests,
+        reg_kv_share: if total_ops == 0 {
+            0.0
+        } else {
+            reg_kv as f64 / total_ops as f64
+        },
+        threads,
+        honest_seq_wall: seq.wall,
+        honest_par_wall: par.wall,
+        assembly_seq,
+        assembly_par,
+        tampers,
+    }
+}
+
+/// Renders the shop experiment report.
+pub fn print_shop(r: &ShopReport) {
+    println!(
+        "requests={} reg/kv share={:.1}% threads={}",
+        r.requests,
+        r.reg_kv_share * 100.0,
+        r.threads
+    );
+    println!(
+        "honest audit: seq {:.3}s, pooled {:.3}s ({:.2}x)",
+        r.honest_seq_wall.as_secs_f64(),
+        r.honest_par_wall.as_secs_f64(),
+        r.audit_speedup(),
+    );
+    println!(
+        "report assembly: seq {:.2}ms, sharded {:.2}ms ({:.2}x)",
+        r.assembly_seq.as_secs_f64() * 1000.0,
+        r.assembly_par.as_secs_f64() * 1000.0,
+        r.assembly_speedup(),
+    );
+    for t in &r.tampers {
+        println!(
+            "tamper {:<22} rejected={} in {:.3}s: {}",
+            t.variant,
+            t.rejected,
+            t.wall.as_secs_f64(),
+            t.diagnostic
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,7 +751,7 @@ mod tests {
     #[test]
     fn fig8_rows_have_sane_shapes() {
         let rows = fig8_table(0.01, 7);
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(
                 r.audit_speedup > 0.0,
@@ -531,7 +783,7 @@ mod tests {
         // parallel_speedup itself asserts the parallel counters match
         // the sequential ones; this exercises it at CI scale.
         let rows = parallel_speedup(0.01, 7, 2);
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 4);
         for r in &rows {
             assert_eq!(r.threads, 2);
             assert!(r.seq_wall.as_nanos() > 0);

@@ -14,9 +14,10 @@
 
 pub mod driver;
 pub mod experiments;
+pub mod tamper;
 
 pub use driver::{
-    audit_threads_from_env, resolve_audit_threads, run_audit, run_audit_with, serve,
+    audit_threads_from_env, resolve_audit_threads, run_audit, run_audit_with, serve, serve_drained,
     serve_open_loop, AppWorkload, AuditOptions, AuditRun, ServeOptions, ServeResult,
 };
 pub use experiments::scale_from_env;

@@ -108,22 +108,14 @@ pub struct RunResult {
     pub stats: ExecStats,
 }
 
-const FNV_OFFSET: u64 = 0xcbf29ce484222325;
-const FNV_PRIME: u64 = 0x100000001b3;
-
 /// FNV-1a over bytes; used to seed the digest with the script path.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
-    }
-    h
-}
+/// Re-exported from [`orochi_common::hash`] (one canonical definition).
+pub use orochi_common::hash::fnv1a;
 
 /// Mixes one branch decision into a digest.
 #[inline]
 pub fn digest_mix(digest: u64, pc: u32, taken: bool) -> u64 {
-    (digest ^ ((pc as u64) << 1 | taken as u64)).wrapping_mul(FNV_PRIME)
+    (digest ^ ((pc as u64) << 1 | taken as u64)).wrapping_mul(orochi_common::hash::FNV_PRIME)
 }
 
 /// Which function a frame executes.

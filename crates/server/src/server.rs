@@ -208,9 +208,30 @@ impl Server {
         self.requests_handled.load(Ordering::Relaxed)
     }
 
+    /// The record library's sub-log collector. Exposed so harnesses can
+    /// measure report assembly (sequential vs sharded stitch) on a
+    /// drained server before consuming it with [`Server::into_bundle`].
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.recorder
+    }
+
     /// Drains the server: stitches the sub-logs (§4.7), assembles the
-    /// four report types, and snapshots the final object state.
+    /// four report types, and snapshots the final object state. Report
+    /// assembly is sharded by object across every available core; see
+    /// [`Server::into_bundle_with`] for an explicit worker count.
     pub fn into_bundle(self) -> AuditBundle {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.into_bundle_with(threads)
+    }
+
+    /// [`Server::into_bundle`] with an explicit stitch worker count.
+    /// The assembled bundle is byte-identical at every thread count
+    /// (objects assign the sequence numbers; sharding only moves the
+    /// clone-and-sort work), mirroring how the audit prologue shards its
+    /// versioned-store builds.
+    pub fn into_bundle_with(self, threads: usize) -> AuditBundle {
         let rows = self.rows.into_inner();
         // Groupings: requests sharing a digest share a control-flow tag.
         let mut groups: HashMap<CtlFlowTag, Vec<RequestId>> = HashMap::new();
@@ -224,7 +245,7 @@ impl Server {
         }
         let reports = Reports {
             groupings,
-            op_logs: self.shared.recorder.stitch(),
+            op_logs: self.shared.recorder.stitch_with(threads),
             op_counts: rows.op_counts,
             nondet: rows.nondet,
         };
@@ -450,6 +471,34 @@ mod tests {
             }
             other => panic!("expected DbOp, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sharded_assembly_matches_sequential() {
+        // The same request stream served twice must assemble identical
+        // reports whether the stitch runs sequentially or sharded.
+        let run = |threads: usize| {
+            let server = server_with(
+                "session_start();
+                 $_SESSION['n'] = intval($_SESSION['n']) + 1;
+                 apc_store('k' . $_GET['i'], strval($_SESSION['n']));
+                 $v = apc_fetch('k' . $_GET['i']);
+                 db_query(\"INSERT INTO t (v) VALUES ('x')\");
+                 echo $v;",
+            );
+            for i in 0..20 {
+                let who = format!("u{}", i % 4);
+                server.handle(
+                    HttpRequest::get("/t.php", &[("i", &(i % 6).to_string())])
+                        .with_cookie("sess", &who),
+                );
+            }
+            server.into_bundle_with(threads)
+        };
+        let seq = run(1);
+        let par = run(8);
+        assert_eq!(seq.reports.op_logs, par.reports.op_logs);
+        assert_eq!(seq.reports.op_counts, par.reports.op_counts);
     }
 
     #[test]

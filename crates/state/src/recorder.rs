@@ -18,6 +18,14 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Shard assignment for the sharded stitch: FNV-1a over the object
+/// name. Deterministic (unlike `HashMap`'s randomized hasher), so a
+/// worker's object set is stable across runs — only performance depends
+/// on the assignment, never the stitched output.
+fn shard_of(name: &ObjectName, shards: usize) -> usize {
+    (orochi_common::hash::fnv1a(name.as_str().as_bytes()) % shards as u64) as usize
+}
+
 /// One recorded operation, tagged with the object that performed it and
 /// the sequence number the object assigned at its linearization point.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,29 +118,102 @@ impl Recorder {
     }
 
     /// Merges all sub-logs into per-object logs ordered by sequence
-    /// number (the stitching daemon of §4.7).
+    /// number (the stitching daemon of §4.7). Sequential; equivalent to
+    /// [`Recorder::stitch_with`] at one thread.
     pub fn stitch(&self) -> OpLogs {
+        self.stitch_with(1)
+    }
+
+    /// The stitching daemon, sharded by object across `threads` scoped
+    /// workers (mirroring the audit prologue's sharded store builds):
+    /// each worker scans every sub-log but collects, sorts, and
+    /// assembles only the objects hashing into its shard, so the
+    /// clone-and-sort cost — the bulk of report assembly — splits across
+    /// the pool. (The scan itself is repeated per worker, but it is a
+    /// hash-and-skip over borrowed entries; the allocations are not.)
+    /// The output is byte-identical at every thread count: entries are
+    /// sorted by the sequence numbers the objects assigned, the final
+    /// per-object logs are ordered by name, and every worker walks the
+    /// sub-logs in the same order as the sequential pass so even
+    /// duplicate sequence numbers (possible only in a hostile report —
+    /// the audit rejects them) tie-break identically.
+    pub fn stitch_with(&self, threads: usize) -> OpLogs {
         let sublogs = self.sublogs.lock();
-        let mut per_object: HashMap<ObjectName, Vec<(SeqNum, OpLogEntry)>> = HashMap::new();
-        for sublog in sublogs.iter() {
-            for item in sublog.entries.lock().iter() {
-                per_object
-                    .entry(item.object.clone())
-                    .or_default()
-                    .push((item.seq, item.entry.clone()));
+        let threads = threads.max(1);
+        let mut stitched: Vec<(ObjectName, OpLog)> = if threads >= 2 && sublogs.len() >= 2 {
+            let shards: std::sync::Mutex<Vec<(ObjectName, OpLog)>> =
+                std::sync::Mutex::new(Vec::new());
+            // Lock every sub-log once up front and hand the workers
+            // borrowed slices: the guards live on this stack frame for
+            // the whole scope, so the worker scans are lock-free (no
+            // convoy from every worker walking the logs in the same
+            // order) and writers stay excluded for the duration.
+            let guards: Vec<_> = sublogs.iter().map(|s| s.entries.lock()).collect();
+            let slices: Vec<&[SubLogEntry]> = guards.iter().map(|g| g.as_slice()).collect();
+            crossbeam::thread::scope(|s| {
+                for w in 0..threads {
+                    let shards = &shards;
+                    let slices = &slices;
+                    s.spawn(move |_| {
+                        let mut mine: HashMap<ObjectName, Vec<(SeqNum, OpLogEntry)>> =
+                            HashMap::new();
+                        for entries in slices {
+                            for item in entries.iter() {
+                                if shard_of(&item.object, threads) != w {
+                                    continue;
+                                }
+                                mine.entry(item.object.clone())
+                                    .or_default()
+                                    .push((item.seq, item.entry.clone()));
+                            }
+                        }
+                        let mut built: Vec<(ObjectName, OpLog)> = mine
+                            .into_iter()
+                            .map(|(name, mut entries)| {
+                                entries.sort_by_key(|(seq, _)| *seq);
+                                (
+                                    name,
+                                    OpLog::from_entries(
+                                        entries.into_iter().map(|(_, e)| e).collect(),
+                                    ),
+                                )
+                            })
+                            .collect();
+                        shards
+                            .lock()
+                            .expect("stitch collector poisoned")
+                            .append(&mut built);
+                    });
+                }
+            })
+            .expect("stitch pool");
+            shards.into_inner().expect("stitch collector poisoned")
+        } else {
+            let mut per_object: HashMap<ObjectName, Vec<(SeqNum, OpLogEntry)>> = HashMap::new();
+            for sublog in sublogs.iter() {
+                for item in sublog.entries.lock().iter() {
+                    per_object
+                        .entry(item.object.clone())
+                        .or_default()
+                        .push((item.seq, item.entry.clone()));
+                }
             }
-        }
+            per_object
+                .into_iter()
+                .map(|(name, mut entries)| {
+                    entries.sort_by_key(|(seq, _)| *seq);
+                    (
+                        name,
+                        OpLog::from_entries(entries.into_iter().map(|(_, e)| e).collect()),
+                    )
+                })
+                .collect()
+        };
         // Deterministic report order: objects sorted by name.
-        let mut names: Vec<ObjectName> = per_object.keys().cloned().collect();
-        names.sort();
+        stitched.sort_by(|a, b| a.0.cmp(&b.0));
         let mut logs = OpLogs::new();
-        for name in names {
-            let mut entries = per_object.remove(&name).expect("key from map");
-            entries.sort_by_key(|(seq, _)| *seq);
-            logs.push(
-                name,
-                OpLog::from_entries(entries.into_iter().map(|(_, e)| e).collect()),
-            );
+        for (name, log) in stitched {
+            logs.push(name, log);
         }
         logs
     }
@@ -251,5 +332,93 @@ mod tests {
         let logs = recorder.stitch();
         assert!(logs.is_empty());
         assert_eq!(recorder.total_recorded(), 0);
+    }
+
+    /// A recorder with many objects spread over many sub-logs, the
+    /// shape the sharded stitch is built for.
+    fn busy_recorder() -> Recorder {
+        let recorder = Recorder::new();
+        let mut seq_per_object: HashMap<String, u64> = HashMap::new();
+        for r in 0..40u64 {
+            let sublog = recorder.new_sublog();
+            for i in 0..25u64 {
+                let object = match i % 3 {
+                    0 => ObjectName::kv("apc"),
+                    1 => ObjectName::session(&format!("c{}", (r * 25 + i) % 17)),
+                    _ => ObjectName::db("main"),
+                };
+                let seq = seq_per_object
+                    .entry(object.as_str().to_string())
+                    .or_insert(0);
+                *seq += 1;
+                sublog.record(
+                    object,
+                    SeqNum(*seq),
+                    RequestId(r * 100 + i),
+                    OpNum(1),
+                    OpContents::KvGet {
+                        key: format!("k{i}"),
+                    },
+                );
+            }
+        }
+        recorder
+    }
+
+    #[test]
+    fn sharded_stitch_is_identical_at_every_thread_count() {
+        let recorder = busy_recorder();
+        let sequential = recorder.stitch_with(1);
+        for threads in [2, 3, 8] {
+            let sharded = recorder.stitch_with(threads);
+            assert_eq!(
+                sequential, sharded,
+                "sharded stitch diverged at {threads} threads"
+            );
+        }
+        assert_eq!(sequential.total_ops(), 40 * 25);
+    }
+
+    #[test]
+    fn sharded_stitch_tie_breaks_duplicate_seqs_like_sequential() {
+        // A hostile recorder can assign the same sequence number twice
+        // (the audit rejects such reports later); the stitch must still
+        // be deterministic across thread counts, tie-breaking by
+        // sub-log order exactly like the sequential pass.
+        let recorder = Recorder::new();
+        let a = recorder.new_sublog();
+        let b = recorder.new_sublog();
+        for (sublog, rid) in [(&a, 1u64), (&b, 2u64)] {
+            for seq in 1..=5u64 {
+                sublog.record(
+                    ObjectName::kv("apc"),
+                    SeqNum(seq),
+                    RequestId(rid),
+                    OpNum(seq as u32),
+                    OpContents::KvGet { key: "k".into() },
+                );
+            }
+        }
+        let sequential = recorder.stitch_with(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(sequential, recorder.stitch_with(threads));
+        }
+    }
+
+    #[test]
+    fn sharded_stitch_with_one_object_still_matches() {
+        // Fewer objects than workers: most shards are empty.
+        let recorder = Recorder::new();
+        let sublog = recorder.new_sublog();
+        for i in 1..=10u64 {
+            sublog.record(
+                ObjectName::kv("apc"),
+                SeqNum(i),
+                RequestId(i),
+                OpNum(1),
+                OpContents::KvGet { key: "k".into() },
+            );
+        }
+        assert_eq!(recorder.stitch_with(1), recorder.stitch_with(8));
     }
 }

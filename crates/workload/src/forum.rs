@@ -6,6 +6,8 @@
 //! "seed" user — the shapes that matter (reads of a hot topic, counter
 //! updates from registered viewers, reply transactions) are preserved.
 
+use crate::skew::Skew;
+use crate::zipf::Zipf;
 use crate::Workload;
 use orochi_trace::HttpRequest;
 use rand::rngs::StdRng;
@@ -24,6 +26,12 @@ pub struct Params {
     pub guest_ratio: u32,
     /// Fraction of measured requests that are replies.
     pub reply_fraction: f64,
+    /// Zipf exponent over topic popularity ("tens to thousands of views
+    /// per post" — previously a hardcoded cubed-uniform draw).
+    pub topic_theta: f64,
+    /// Consecutive topic views a registered viewer issues once they
+    /// appear; 1 reproduces independent draws.
+    pub session_len: usize,
 }
 
 impl Default for Params {
@@ -34,6 +42,8 @@ impl Default for Params {
             requests: 30_000,
             guest_ratio: 40,
             reply_fraction: 0.01,
+            topic_theta: 1.3,
+            session_len: 1,
         }
     }
 }
@@ -47,12 +57,22 @@ impl Params {
             ..base
         }
     }
+
+    /// Applies the shared skew knob: `theta` overrides the topic Zipf
+    /// exponent, the session-length multiplier stretches registered
+    /// viewers' reading runs.
+    pub fn with_skew(mut self, skew: &Skew) -> Self {
+        self.topic_theta = skew.theta_or(self.topic_theta);
+        self.session_len = skew.scale_session(self.session_len);
+        self
+    }
 }
 
 /// Generates the forum workload. Topics are seeded via the forum's own
 /// database by the harness (see `seed_sql`); setup logs users in.
 pub fn generate(params: &Params, seed: u64) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(params.posts, params.topic_theta);
     let mut setup = Vec::new();
     for u in 0..params.users {
         let name = format!("user{u}");
@@ -61,6 +81,10 @@ pub fn generate(params: &Params, seed: u64) -> Workload {
         );
     }
     let mut requests = Vec::with_capacity(params.requests);
+    // Registered viewers read `session_len` consecutive pages once they
+    // appear; the appearance rate shrinks accordingly so the overall
+    // registered:guest ratio stays at the paper's 1:40.
+    let mut run: Option<(String, usize)> = None;
     for i in 0..params.requests {
         let roll: f64 = rng.random();
         if roll < params.reply_fraction {
@@ -78,23 +102,40 @@ pub fn generate(params: &Params, seed: u64) -> Workload {
         } else if roll < params.reply_fraction + 0.1 {
             // Topic index views.
             let req = HttpRequest::get("/forum.php", &[]);
-            requests.push(maybe_logged_in(req, params, &mut rng));
+            requests.push(maybe_logged_in(req, params, &mut rng, &mut run));
         } else {
             // Topic views: hot topics get most of the traffic
             // ("tens to thousands of views per post").
-            let topic = 1 + (rng.random::<f64>().powi(3) * params.posts as f64) as usize;
-            let topic = topic.min(params.posts);
+            let topic = zipf.sample(&mut rng);
             let req = HttpRequest::get("/topic.php", &[("id", &topic.to_string())]);
-            requests.push(maybe_logged_in(req, params, &mut rng));
+            requests.push(maybe_logged_in(req, params, &mut rng, &mut run));
         }
     }
     Workload { setup, requests }
 }
 
-fn maybe_logged_in(req: HttpRequest, params: &Params, rng: &mut StdRng) -> HttpRequest {
-    // 1 registered viewer per `guest_ratio` guests.
-    if rng.random_range(0..=params.guest_ratio) == 0 {
+fn maybe_logged_in(
+    req: HttpRequest,
+    params: &Params,
+    rng: &mut StdRng,
+    run: &mut Option<(String, usize)>,
+) -> HttpRequest {
+    let session_len = params.session_len.max(1);
+    if let Some((user, left)) = run.take() {
+        let req = req.with_cookie("sess", &user);
+        if left > 1 {
+            *run = Some((user, left - 1));
+        }
+        return req;
+    }
+    // 1 registered viewer per `guest_ratio` guests, appearance rate
+    // divided by the run length they will read (u64: the knob accepts
+    // session lengths big enough to overflow the u32 product).
+    if rng.random_range(0..=params.guest_ratio as u64 * session_len as u64) == 0 {
         let user = format!("user{}", rng.random_range(0..params.users));
+        if session_len > 1 {
+            *run = Some((user.clone(), session_len - 1));
+        }
         req.with_cookie("sess", &user)
     } else {
         req

@@ -3,6 +3,8 @@
 //! paper with 1–20 updates; each paper gets 3 reviews, each submitted
 //! twice; each reviewer views 100 pages — ~52,000 requests).
 
+use crate::skew::Skew;
+use crate::zipf::Zipf;
 use crate::Workload;
 use orochi_trace::HttpRequest;
 use rand::rngs::StdRng;
@@ -30,6 +32,9 @@ pub struct Params {
     pub views_per_author: usize,
     /// Average review body length in characters (paper: 3,625).
     pub review_len: usize,
+    /// Zipf exponent over which papers reviewers browse (0 = uniform,
+    /// the paper's implicit shape).
+    pub view_theta: f64,
 }
 
 impl Default for Params {
@@ -43,6 +48,7 @@ impl Default for Params {
             max_updates: 20,
             views_per_author: 155,
             review_len: 3_625,
+            view_theta: 0.0,
         }
     }
 }
@@ -60,6 +66,16 @@ impl Params {
             review_len: ((base.review_len as f64 * f.max(0.05)) as usize).max(80),
             ..base
         }
+    }
+
+    /// Applies the shared skew knob: `theta` skews which papers
+    /// reviewers browse, the session-length multiplier stretches each
+    /// reviewer's and author's browsing session.
+    pub fn with_skew(mut self, skew: &Skew) -> Self {
+        self.view_theta = skew.theta_or(self.view_theta);
+        self.views_per_reviewer = skew.scale_session(self.views_per_reviewer);
+        self.views_per_author = skew.scale_session(self.views_per_author);
+        self
     }
 }
 
@@ -150,14 +166,17 @@ pub fn generate(params: &Params, seed: u64) -> Workload {
             }
         }
     }
-    // Page views: each reviewer browses papers and the list.
+    // Page views: each reviewer browses papers and the list. With
+    // `view_theta` 0 the Zipf draw is uniform-ish (the paper's implicit
+    // shape); the skew knob concentrates attention on hot papers.
+    let view_zipf = Zipf::new(params.papers, params.view_theta);
     for r in 0..params.reviewers {
         let who = format!("rev{r}");
         for v in 0..params.views_per_reviewer {
             if v % 10 == 0 {
                 requests.push(HttpRequest::get("/list.php", &[]).with_cookie("sess", &who));
             } else {
-                let paper = rng.random_range(1..=params.papers);
+                let paper = view_zipf.sample(&mut rng);
                 requests.push(
                     HttpRequest::get("/paper.php", &[("id", &paper.to_string())])
                         .with_cookie("sess", &who),

@@ -1,6 +1,7 @@
 //! The MediaWiki-shaped workload (§5: 20,000 requests to 200 pages,
 //! Zipf β = 0.53, read-dominated).
 
+use crate::skew::Skew;
 use crate::zipf::Zipf;
 use crate::Workload;
 use orochi_trace::HttpRequest;
@@ -22,6 +23,9 @@ pub struct Params {
     pub editors: usize,
     /// Fraction of views carrying a session cookie (logged-in readers).
     pub logged_in_fraction: f64,
+    /// Consecutive views a logged-in reader issues once they appear
+    /// (their "session"); 1 reproduces the paper's independent draws.
+    pub session_len: usize,
 }
 
 impl Default for Params {
@@ -33,6 +37,7 @@ impl Default for Params {
             edit_fraction: 0.02,
             editors: 10,
             logged_in_fraction: 0.1,
+            session_len: 1,
         }
     }
 }
@@ -47,6 +52,14 @@ impl Params {
             view_requests: ((base.view_requests as f64 * f) as usize).max(50),
             ..base
         }
+    }
+
+    /// Applies the shared skew knob: `theta` overrides the page Zipf β,
+    /// the session-length multiplier stretches logged-in reading runs.
+    pub fn with_skew(mut self, skew: &Skew) -> Self {
+        self.zipf_beta = skew.theta_or(self.zipf_beta);
+        self.session_len = skew.scale_session(self.session_len);
+        self
     }
 }
 
@@ -79,7 +92,18 @@ pub fn generate(params: &Params, seed: u64) -> Workload {
         );
     }
     // Measured mix: Zipf-distributed views with a small edit stream.
+    // Logged-in readers read `session_len` consecutive pages once they
+    // appear. By renewal-reward the logged-in share is p·L/(p·L+1−p),
+    // so starting runs with p = f/(L − f·(L−1)) keeps the share at the
+    // paper's `f` exactly, for any run length.
     let mut requests = Vec::with_capacity(params.view_requests);
+    let session_len = params.session_len.max(1);
+    let run_start_p = {
+        let f = params.logged_in_fraction;
+        let l = session_len as f64;
+        f / (l - f * (l - 1.0))
+    };
+    let mut run: Option<(String, usize)> = None;
     for i in 0..params.view_requests {
         let roll: f64 = rng.random();
         if roll < params.edit_fraction {
@@ -95,9 +119,17 @@ pub fn generate(params: &Params, seed: u64) -> Workload {
             let p = zipf.sample(&mut rng) - 1;
             let title = page_title(p);
             let req = HttpRequest::get("/wiki.php", &[("title", &title)]);
-            if rng.random::<f64>() < params.logged_in_fraction {
+            if let Some((editor, left)) = run.take() {
+                requests.push(req.with_cookie("sess", &editor));
+                if left > 1 {
+                    run = Some((editor, left - 1));
+                }
+            } else if rng.random::<f64>() < run_start_p {
                 let editor = format!("editor{}", rng.random_range(0..params.editors.max(1)));
                 requests.push(req.with_cookie("sess", &editor));
+                if session_len > 1 {
+                    run = Some((editor, session_len - 1));
+                }
             } else {
                 requests.push(req);
             }

@@ -7,7 +7,7 @@
 //! three applications and all object types.
 
 use orochi::accphp::AccPhpExecutor;
-use orochi::apps::{forum, hotcrp, wiki, AppDefinition};
+use orochi::apps::{forum, hotcrp, shop, wiki, AppDefinition};
 use orochi::core::audit::{audit, AuditConfig};
 use orochi::core::ooo::ooo_audit;
 use orochi::server::{Server, ServerConfig};
@@ -318,7 +318,7 @@ fn dropped_log_entry_is_rejected() {
 
 #[test]
 fn all_apps_accept_with_empty_workload() {
-    for app in [wiki::app(), forum::app(), hotcrp::app()] {
+    for app in [wiki::app(), forum::app(), hotcrp::app(), shop::app()] {
         let scripts = app.compile().unwrap();
         let server = Server::new(ServerConfig {
             scripts: scripts.clone(),

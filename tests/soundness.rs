@@ -408,6 +408,150 @@ fn rejects_wrong_initial_state_claim() {
     );
 }
 
+/// An honest wiki run engineered to exercise the versioned-KV path:
+/// the page cache is stored, hit, deleted (edit), re-stored with a new
+/// body, and hit again — two differing writes plus reads of both, the
+/// structure the KV tampering helpers target.
+fn honest_wiki_kv() -> (AuditBundle, HashMap<String, CompiledScript>, AuditConfig) {
+    let app = orochi::apps::wiki::app();
+    let scripts = app.compile().unwrap();
+    let server = Server::new(ServerConfig {
+        scripts: scripts.clone(),
+        initial_db: app.initial_db(),
+        recording: true,
+        seed: 47,
+    });
+    server.handle(
+        HttpRequest::post("/login.php", &[], &[("user", "alice")]).with_cookie("sess", "alice"),
+    );
+    server.handle(
+        HttpRequest::post("/edit.php", &[], &[("title", "T"), ("body", "v1")])
+            .with_cookie("sess", "alice"),
+    );
+    server.handle(HttpRequest::get("/wiki.php", &[("title", "T")])); // miss + store v1
+    server.handle(HttpRequest::get("/wiki.php", &[("title", "T")])); // hit v1
+    server.handle(
+        HttpRequest::post("/edit.php", &[], &[("title", "T"), ("body", "v2")])
+            .with_cookie("sess", "alice"),
+    ); // apc_delete
+    server.handle(HttpRequest::get("/wiki.php", &[("title", "T")])); // miss + store v2
+    server.handle(HttpRequest::get("/wiki.php", &[("title", "T")])); // hit v2
+    let bundle = server.into_bundle();
+    let mut config = AuditConfig::new();
+    config
+        .initial_dbs
+        .insert("db:main".to_string(), app.initial_db());
+    (bundle, scripts, config)
+}
+
+/// An honest shop run with the same engineered KV structure on the
+/// inventory counters (seed, decrement, decrement, read).
+fn honest_shop_kv() -> (AuditBundle, HashMap<String, CompiledScript>, AuditConfig) {
+    let app = orochi::apps::shop::app();
+    let scripts = app.compile().unwrap();
+    let params = orochi::workload::shop::Params::scaled(0.01);
+    let mut db = app.initial_db();
+    for sql in orochi::workload::shop::seed_sql(&params) {
+        db.execute_autocommit(&sql).0.unwrap();
+    }
+    let server = Server::new(ServerConfig {
+        scripts: scripts.clone(),
+        initial_db: db.deep_clone(),
+        recording: true,
+        seed: 53,
+    });
+    server
+        .handle(HttpRequest::post("/login.php", &[], &[("user", "ada")]).with_cookie("sess", "c1"));
+    server.handle(HttpRequest::get("/product.php", &[("id", "1")]).with_cookie("sess", "c1"));
+    for _ in 0..2 {
+        server.handle(
+            HttpRequest::post("/cart.php", &[], &[("id", "1"), ("qty", "1")])
+                .with_cookie("sess", "c1"),
+        );
+        server.handle(HttpRequest::post("/checkout.php", &[], &[]).with_cookie("sess", "c1"));
+    }
+    server.handle(HttpRequest::get("/product.php", &[("id", "1")]).with_cookie("sess", "c1"));
+    let bundle = server.into_bundle();
+    let mut config = AuditConfig::new();
+    config.initial_dbs.insert("db:main".to_string(), db);
+    (bundle, scripts, config)
+}
+
+#[test]
+fn honest_kv_heavy_runs_are_accepted() {
+    for (label, (bundle, scripts, config)) in
+        [("wiki", honest_wiki_kv()), ("shop", honest_shop_kv())]
+    {
+        let mut verifier = AccPhpExecutor::new(scripts);
+        audit(&bundle.trace, &bundle.reports, &mut verifier, &config)
+            .unwrap_or_else(|r| panic!("honest {label} KV run rejected: {r}"));
+    }
+}
+
+#[test]
+fn rejects_dropped_kv_write_on_wiki() {
+    let (mut bundle, scripts, config) = honest_wiki_kv();
+    assert!(
+        orochi::harness::tamper::drop_kv_write(&mut bundle.reports, "page:"),
+        "wiki run stores page fragments"
+    );
+    assert_rejected(
+        "wiki-kv-drop",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
+}
+
+#[test]
+fn rejects_reordered_kv_read_on_wiki() {
+    let (mut bundle, scripts, config) = honest_wiki_kv();
+    assert!(
+        orochi::harness::tamper::reorder_kv_read(&mut bundle.reports, "page:"),
+        "wiki run reads a page fragment that changed"
+    );
+    assert_rejected(
+        "wiki-kv-reorder",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
+}
+
+#[test]
+fn rejects_dropped_kv_write_on_shop() {
+    let (mut bundle, scripts, config) = honest_shop_kv();
+    assert!(
+        orochi::harness::tamper::drop_kv_write(&mut bundle.reports, "inv:"),
+        "shop run writes inventory counters"
+    );
+    assert_rejected(
+        "shop-kv-drop",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
+}
+
+#[test]
+fn rejects_reordered_kv_read_on_shop() {
+    let (mut bundle, scripts, config) = honest_shop_kv();
+    assert!(
+        orochi::harness::tamper::reorder_kv_read(&mut bundle.reports, "inv:"),
+        "shop run reads an inventory counter that changed"
+    );
+    assert_rejected(
+        "shop-kv-reorder",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
+}
+
 #[test]
 fn ooo_oracle_agrees_on_honest_and_tampered() {
     use orochi::core::ooo::ooo_audit;
