@@ -1,17 +1,21 @@
 //! Tiny argument handling shared by the bench binaries.
 //!
 //! The workload generators read their shared skew knob from
-//! `OROCHI_WORKLOAD_SKEW`; the binaries accept `--skew <theta[,len]>`
-//! and `--session-len <len>` flags and translate them into that
-//! variable, so CLI and environment configure the same code path.
+//! `OROCHI_WORKLOAD_SKEW` and the serving front-end reads its pool and
+//! queue knobs from `OROCHI_SERVE_THREADS`/`OROCHI_SERVE_QUEUE`; the
+//! binaries accept `--skew <theta[,len]>`, `--session-len <len>`,
+//! `--serve-threads <n|auto>`, and `--queue-depth <n>` flags and
+//! translate them into those variables, so CLI and environment
+//! configure the same code path.
 
-/// Applies `--skew` / `--session-len` from `args` by setting
-/// `OROCHI_WORKLOAD_SKEW` (CLI wins over a pre-set variable). Unknown
-/// arguments panic with a usage message naming `bin`.
+/// Applies `--skew` / `--session-len` / `--serve-threads` /
+/// `--queue-depth` from `args` by setting the corresponding environment
+/// knobs (CLI wins over a pre-set variable). Unknown arguments panic
+/// with a usage message naming `bin`.
 ///
 /// # Panics
 ///
-/// Panics on unknown flags, missing values, or a malformed skew.
+/// Panics on unknown flags, missing values, or malformed values.
 pub fn apply_skew_args(bin: &str, args: impl Iterator<Item = String>) {
     let mut args = args.peekable();
     let mut theta: Option<String> = None;
@@ -24,9 +28,24 @@ pub fn apply_skew_args(bin: &str, args: impl Iterator<Item = String>) {
         match arg.as_str() {
             "--skew" => theta = Some(value_of("--skew")),
             "--session-len" => session_len = Some(value_of("--session-len")),
+            "--serve-threads" => {
+                let v = value_of("--serve-threads");
+                if !v.eq_ignore_ascii_case("auto") {
+                    v.parse::<usize>()
+                        .unwrap_or_else(|_| panic!("{bin}: --serve-threads needs a count or auto"));
+                }
+                std::env::set_var("OROCHI_SERVE_THREADS", v);
+            }
+            "--queue-depth" => {
+                let v = value_of("--queue-depth");
+                v.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("{bin}: --queue-depth needs a number"));
+                std::env::set_var("OROCHI_SERVE_QUEUE", v);
+            }
             other => panic!(
                 "{bin}: unknown argument {other:?} \
-                 (supported: --skew <theta[,session_len]>, --session-len <len>)"
+                 (supported: --skew <theta[,session_len]>, --session-len <len>, \
+                 --serve-threads <n|auto>, --queue-depth <n>)"
             ),
         }
     }
@@ -71,6 +90,17 @@ mod tests {
         apply_skew_args("t", args(&["--skew", "1.1,9", "--session-len", "2"]));
         assert_eq!(std::env::var("OROCHI_WORKLOAD_SKEW").unwrap(), "1.1,2");
         std::env::remove_var("OROCHI_WORKLOAD_SKEW");
+    }
+
+    #[test]
+    fn serve_flags_set_front_end_env() {
+        apply_skew_args("t", args(&["--serve-threads", "8", "--queue-depth", "64"]));
+        assert_eq!(std::env::var("OROCHI_SERVE_THREADS").unwrap(), "8");
+        assert_eq!(std::env::var("OROCHI_SERVE_QUEUE").unwrap(), "64");
+        apply_skew_args("t", args(&["--serve-threads", "auto"]));
+        assert_eq!(std::env::var("OROCHI_SERVE_THREADS").unwrap(), "auto");
+        std::env::remove_var("OROCHI_SERVE_THREADS");
+        std::env::remove_var("OROCHI_SERVE_QUEUE");
     }
 
     #[test]

@@ -1,15 +1,18 @@
 //! Serving and auditing drivers shared by every experiment.
+//!
+//! All three serving modes — closed-loop ([`serve`]/[`serve_drained`]),
+//! and open-loop ([`serve_open_loop`]/[`serve_open_loop_with`]) — are
+//! drivers over one abstraction, the [`Frontend`]: a bounded admission
+//! queue feeding a fixed worker pool. `OROCHI_SERVE_THREADS` and
+//! `OROCHI_SERVE_QUEUE` configure the pool and queue depth everywhere.
 
 use orochi_accphp::executor::ExecutorStats;
 use orochi_accphp::AccPhpExecutor;
 use orochi_apps::AppDefinition;
 use orochi_core::audit::{audit, audit_parallel, AuditConfig, AuditOutcome, Rejection};
 use orochi_server::server::AuditBundle;
-use orochi_server::{Server, ServerConfig};
-use orochi_trace::HttpRequest;
+use orochi_server::{Frontend, FrontendConfig, Server, ServerConfig, ShedPolicy};
 use orochi_workload::Workload;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// An application together with its workload and database seed.
@@ -44,10 +47,51 @@ impl AppWorkload {
     }
 }
 
+/// Resolves a requested serving worker count: `0` means "auto" (the
+/// available parallelism); explicit values are honored as-is (serving
+/// workers may deliberately oversubscribe the cores — they block on the
+/// global DB lock), floored at 1.
+pub fn resolve_serve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Serving worker count from `OROCHI_SERVE_THREADS`: unset keeps the
+/// historical default of 4 closed-loop workers; `0` or `auto` mean the
+/// available parallelism; explicit values are honored.
+pub fn serve_threads_from_env() -> usize {
+    match std::env::var("OROCHI_SERVE_THREADS") {
+        Ok(v) if v.eq_ignore_ascii_case("auto") || v.is_empty() => resolve_serve_threads(0),
+        Ok(v) => resolve_serve_threads(v.parse::<usize>().unwrap_or_else(|_| {
+            panic!("OROCHI_SERVE_THREADS must be a number or 'auto', got {v:?}")
+        })),
+        Err(_) => 4,
+    }
+}
+
+/// Admission-queue depth from `OROCHI_SERVE_QUEUE`: unset or `0` means
+/// unbounded (no backpressure, no shedding).
+pub fn serve_queue_from_env() -> usize {
+    match std::env::var("OROCHI_SERVE_QUEUE") {
+        Ok(v) if v.is_empty() => 0,
+        Ok(v) => v
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("OROCHI_SERVE_QUEUE must be a queue depth, got {v:?}")),
+        Err(_) => 0,
+    }
+}
+
 /// Serving options.
 pub struct ServeOptions {
-    /// Closed-loop client threads for the measured phase.
+    /// Front-end worker threads for the measured phase.
     pub threads: usize,
+    /// Admission-queue depth; `0` = unbounded.
+    pub queue_depth: usize,
     /// Record reports (OROCHI) or run the baseline server.
     pub recording: bool,
     /// Server randomness seed.
@@ -57,7 +101,8 @@ pub struct ServeOptions {
 impl Default for ServeOptions {
     fn default() -> Self {
         ServeOptions {
-            threads: 4,
+            threads: serve_threads_from_env(),
+            queue_depth: serve_queue_from_env(),
             recording: true,
             seed: 42,
         }
@@ -74,51 +119,58 @@ pub struct ServeResult {
     pub busy: Duration,
     /// Requests served.
     pub requests: u64,
+    /// Requests refused at admission (only under a shedding open-loop
+    /// front-end; always 0 for closed-loop backpressure serving).
+    pub shed: u64,
 }
 
-/// Serves a workload and returns the *drained* server (all client
-/// threads joined) plus the measured-phase wall time. Callers that only
-/// need the bundle should use [`serve`]; this variant exists so
-/// experiments can measure report assembly itself (e.g. the sequential
-/// vs object-sharded stitch) before consuming the server.
-pub fn serve_drained(work: &AppWorkload, opts: &ServeOptions) -> (Server, Duration) {
+fn build_server(work: &AppWorkload, recording: bool, seed: u64) -> Server {
     let scripts = work.app.compile().expect("application compiles");
-    let server = Arc::new(Server::new(ServerConfig {
+    let server = Server::new(ServerConfig {
         scripts,
         initial_db: work.initial_db(),
-        recording: opts.recording,
-        seed: opts.seed,
-    }));
+        recording,
+        seed,
+        ..Default::default()
+    });
     for req in &work.workload.setup {
         server.handle(req.clone());
     }
-    let measured: Arc<Vec<HttpRequest>> = Arc::new(work.workload.requests.clone());
-    let cursor = Arc::new(AtomicUsize::new(0));
+    server
+}
+
+/// Serves a workload and returns the *drained* server (worker pool
+/// joined) plus the measured-phase wall time. Callers that only need
+/// the bundle should use [`serve`]; this variant exists so experiments
+/// can measure report assembly itself (e.g. the sequential vs
+/// object-sharded stitch) before consuming the server.
+///
+/// The measured requests are fed straight off the borrowed workload
+/// into the front-end's admission queue (one clone per request as it is
+/// submitted — the request vector itself is never copied) with
+/// backpressure, so every request is served.
+pub fn serve_drained(work: &AppWorkload, opts: &ServeOptions) -> (Server, Duration) {
+    let server = build_server(work, opts.recording, opts.seed);
+    let frontend = Frontend::start(
+        server,
+        FrontendConfig {
+            workers: opts.threads.max(1),
+            queue_depth: opts.queue_depth,
+            shed: ShedPolicy::Block,
+        },
+    );
     let t0 = Instant::now();
-    let mut handles = Vec::new();
-    for _ in 0..opts.threads.max(1) {
-        let server = Arc::clone(&server);
-        let measured = Arc::clone(&measured);
-        let cursor = Arc::clone(&cursor);
-        handles.push(std::thread::spawn(move || loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= measured.len() {
-                break;
-            }
-            server.handle(measured[i].clone());
-        }));
+    for req in &work.workload.requests {
+        frontend.submit(req.clone());
     }
-    for h in handles {
-        h.join().expect("client thread");
-    }
+    let report = frontend.drain();
     let wall = t0.elapsed();
-    let server = Arc::try_unwrap(server).ok().expect("clients joined");
-    (server, wall)
+    (report.server, wall)
 }
 
 /// Serves a workload: the setup phase runs sequentially (logins and
-/// seeding), the measured phase fans out over `threads` closed-loop
-/// client threads.
+/// seeding), the measured phase goes through a [`Frontend`] pool of
+/// `threads` workers.
 pub fn serve(work: &AppWorkload, opts: &ServeOptions) -> ServeResult {
     let (server, wall) = serve_drained(work, opts);
     let busy = server.busy();
@@ -128,12 +180,31 @@ pub fn serve(work: &AppWorkload, opts: &ServeOptions) -> ServeResult {
         wall,
         busy,
         requests,
+        shed: 0,
     }
 }
 
+/// Open-loop serving knobs beyond the arrival rate.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopOptions {
+    /// Front-end worker threads.
+    pub pool: usize,
+    /// Admission-queue depth; `0` = unbounded.
+    pub queue_depth: usize,
+    /// Refuse arrivals when the bounded queue is full (load shedding)
+    /// instead of blocking the dispatcher (backpressure).
+    pub shed: bool,
+    /// Record reports (OROCHI) or run the baseline server.
+    pub recording: bool,
+    /// Server randomness and arrival-schedule seed.
+    pub seed: u64,
+}
+
 /// Serves with an open-loop Poisson arrival schedule (Fig. 8 right):
-/// a dispatcher hands requests to a pool at their scheduled arrival
-/// times; returns per-request latencies (queueing included).
+/// the dispatcher releases each *batch* of due arrivals into the
+/// front-end at its scheduled time (one sleep per batch, not per
+/// request); workers record per-request latencies (queueing included)
+/// into per-worker buffers merged at drain.
 pub fn serve_open_loop(
     work: &AppWorkload,
     rate_per_sec: f64,
@@ -141,60 +212,75 @@ pub fn serve_open_loop(
     recording: bool,
     seed: u64,
 ) -> (Vec<f64>, ServeResult) {
-    use crossbeam::channel;
-    let scripts = work.app.compile().expect("application compiles");
-    let server = Arc::new(Server::new(ServerConfig {
-        scripts,
-        initial_db: work.initial_db(),
-        recording,
-        seed,
-    }));
-    for req in &work.workload.setup {
-        server.handle(req.clone());
-    }
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    serve_open_loop_with(
+        work,
+        rate_per_sec,
+        &OpenLoopOptions {
+            pool,
+            queue_depth: 0,
+            shed: false,
+            recording,
+            seed,
+        },
+    )
+}
+
+/// [`serve_open_loop`] with explicit queue and shedding knobs (the
+/// saturation sweep bounds the queue and sheds so overload measures
+/// sustained capacity instead of queue growth).
+pub fn serve_open_loop_with(
+    work: &AppWorkload,
+    rate_per_sec: f64,
+    opts: &OpenLoopOptions,
+) -> (Vec<f64>, ServeResult) {
+    let server = build_server(work, opts.recording, opts.seed);
+    let frontend = Frontend::start(
+        server,
+        FrontendConfig {
+            workers: opts.pool.max(1),
+            queue_depth: opts.queue_depth,
+            shed: if opts.shed {
+                ShedPolicy::Shed
+            } else {
+                ShedPolicy::Block
+            },
+        },
+    );
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(opts.seed);
     let arrivals =
         orochi_workload::poisson_arrivals(rate_per_sec, work.workload.requests.len(), &mut rng);
-    let (tx, rx) = channel::unbounded::<(HttpRequest, Instant)>();
-    let latencies = Arc::new(parking_lot::Mutex::new(Vec::new()));
-    let mut workers = Vec::new();
-    for _ in 0..pool.max(1) {
-        let server = Arc::clone(&server);
-        let rx = rx.clone();
-        let latencies = Arc::clone(&latencies);
-        workers.push(std::thread::spawn(move || {
-            while let Ok((req, scheduled)) = rx.recv() {
-                server.handle(req);
-                let latency = scheduled.elapsed().as_secs_f64() * 1000.0;
-                latencies.lock().push(latency);
-            }
-        }));
-    }
+    let requests = &work.workload.requests;
     let t0 = Instant::now();
-    for (req, offset) in work.workload.requests.iter().zip(&arrivals) {
-        let target = t0 + *offset;
+    let mut i = 0;
+    while i < requests.len() {
+        let due = t0 + arrivals[i];
         let now = Instant::now();
-        if target > now {
-            std::thread::sleep(target - now);
+        if due > now {
+            std::thread::sleep(due - now);
         }
-        tx.send((req.clone(), target)).expect("workers alive");
+        // Release everything that has become due as one batch.
+        let now = Instant::now();
+        while i < requests.len() {
+            let scheduled = t0 + arrivals[i];
+            if scheduled > now {
+                break;
+            }
+            frontend.submit_at(requests[i].clone(), scheduled);
+            i += 1;
+        }
     }
-    drop(tx);
-    for w in workers {
-        w.join().expect("worker thread");
-    }
+    let report = frontend.drain();
     let wall = t0.elapsed();
-    let server = Arc::try_unwrap(server).ok().expect("workers joined");
-    let busy = server.busy();
-    let requests = server.requests_handled();
-    let lat = std::mem::take(&mut *latencies.lock());
+    let busy = report.server.busy();
+    let requests = report.server.requests_handled();
     (
-        lat,
+        report.latencies,
         ServeResult {
-            bundle: server.into_bundle(),
+            bundle: report.server.into_bundle(),
             wall,
             busy,
             requests,
+            shed: report.shed,
         },
     )
 }

@@ -2,8 +2,8 @@
 //! DESIGN.md maps each to its bench target).
 
 use crate::driver::{
-    run_audit, run_audit_with, serve, serve_drained, serve_open_loop, AppWorkload, AuditOptions,
-    ServeOptions,
+    run_audit, run_audit_with, serve, serve_drained, serve_open_loop, serve_open_loop_with,
+    AppWorkload, AuditOptions, OpenLoopOptions, ServeOptions,
 };
 use crate::tamper;
 use orochi_common::metrics::percentile;
@@ -108,6 +108,7 @@ pub fn fig8_table(scale: f64, seed: u64) -> Vec<Fig8Row> {
                     threads: 1,
                     recording,
                     seed: 42,
+                    ..Default::default()
                 },
             )
             .busy
@@ -223,6 +224,158 @@ pub fn fig8_latency(scale: f64, seed: u64, rates: &[f64], recording: bool) -> Ve
         });
     }
     out
+}
+
+/// One measured point of the saturation sweep.
+#[derive(Debug)]
+pub struct SaturationPoint {
+    /// Offered rate, requests/second.
+    pub offered_rate: f64,
+    /// Achieved throughput, requests/second.
+    pub throughput: f64,
+    /// Median latency, ms (queueing included).
+    pub p50_ms: f64,
+    /// 99th percentile latency, ms.
+    pub p99_ms: f64,
+    /// Requests refused at admission (bounded queue, shedding).
+    pub shed: u64,
+    /// Requests actually served.
+    pub requests: u64,
+}
+
+/// One (app × worker-count) arm of the saturation sweep.
+#[derive(Debug)]
+pub struct SaturationRow {
+    /// Application name.
+    pub app: &'static str,
+    /// Front-end workers.
+    pub workers: usize,
+    /// Admission-queue depth used by the sweep.
+    pub queue_depth: usize,
+    /// Peak sustained throughput, requests/second: the saturating-burst
+    /// probe (every arrival due immediately, backpressure admission) —
+    /// the pool's capacity, with every request served.
+    pub peak_sustained: f64,
+    /// Offered rate at the p99 knee: the first swept rate whose p99
+    /// blew past the unloaded p99 (or that had to shed); the last swept
+    /// rate if the knee was never reached.
+    pub knee_rate: f64,
+    /// The swept open-loop points, in offered-rate order.
+    pub points: Vec<SaturationPoint>,
+}
+
+/// Experiment E10: saturation sweep. For each paper workload and each
+/// worker count, measure the pool's capacity with a saturating burst
+/// probe, then sweep offered rates around that capacity (bounded queue,
+/// load shedding) up to the p99 knee. The measured request stream is
+/// truncated to `max_requests` per point so the sweep stays CI-sized;
+/// the full-scale nightly run raises it.
+pub fn saturation(
+    scale: f64,
+    seed: u64,
+    worker_counts: &[usize],
+    queue_depth: usize,
+    max_requests: usize,
+) -> Vec<SaturationRow> {
+    let mut rows = Vec::new();
+    for mut work in paper_workloads(scale, seed) {
+        if max_requests > 0 {
+            work.workload.requests.truncate(max_requests);
+        }
+        let n = work.workload.requests.len().max(1);
+        for &workers in worker_counts {
+            let workers = workers.max(1);
+            let depth = if queue_depth == 0 {
+                workers * 8
+            } else {
+                queue_depth
+            };
+            // Capacity probe: everything due at t=0, backpressure
+            // admission, so the pool runs flat out and serves all n.
+            let burst = OpenLoopOptions {
+                pool: workers,
+                queue_depth: depth,
+                shed: false,
+                recording: true,
+                seed,
+            };
+            let (_, probe) = serve_open_loop_with(&work, 1e9, &burst);
+            probe
+                .bundle
+                .trace
+                .ensure_balanced()
+                .expect("saturation probe produced an unbalanced trace");
+            assert_eq!(probe.shed, 0, "backpressure admission never sheds");
+            // Measured-phase count (ServeResult::requests also counts
+            // the sequential setup phase).
+            let peak_sustained = n as f64 / probe.wall.as_secs_f64().max(1e-9);
+
+            // Sweep offered rates around the measured capacity with a
+            // shedding front-end; stop one point past the p99 knee.
+            let shed_opts = OpenLoopOptions {
+                shed: true,
+                ..burst
+            };
+            let mut points = Vec::new();
+            let mut knee_rate = None;
+            let mut unloaded_p99 = None;
+            for mult in [0.25, 0.5, 0.75, 1.0, 1.5, 2.0] {
+                let rate = (peak_sustained * mult).max(1.0);
+                let (latencies, served) = serve_open_loop_with(&work, rate, &shed_opts);
+                let p99 = percentile(&latencies, 99.0).unwrap_or(0.0);
+                let handled = n as u64 - served.shed;
+                let point = SaturationPoint {
+                    offered_rate: rate,
+                    throughput: handled as f64 / served.wall.as_secs_f64().max(1e-9),
+                    p50_ms: percentile(&latencies, 50.0).unwrap_or(0.0),
+                    p99_ms: p99,
+                    shed: served.shed,
+                    requests: handled,
+                };
+                let base = *unloaded_p99.get_or_insert(p99.max(1e-3));
+                let at_knee = point.shed > 0 || p99 > base * 10.0;
+                let past_knee = knee_rate.is_some();
+                if at_knee && knee_rate.is_none() {
+                    knee_rate = Some(rate);
+                }
+                points.push(point);
+                if past_knee {
+                    break;
+                }
+            }
+            rows.push(SaturationRow {
+                app: work.app.name,
+                workers,
+                queue_depth: depth,
+                peak_sustained,
+                knee_rate: knee_rate
+                    .or_else(|| points.last().map(|p| p.offered_rate))
+                    .unwrap_or(0.0),
+                points,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the saturation rows.
+pub fn print_saturation(rows: &[SaturationRow]) {
+    println!(
+        "{:<10} {:>7} {:>6} {:>10} {:>10}",
+        "app", "workers", "queue", "peak", "knee"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>7} {:>6} {:>8.1}/s {:>8.1}/s",
+            r.app, r.workers, r.queue_depth, r.peak_sustained, r.knee_rate
+        );
+        for p in &r.points {
+            println!(
+                "  rate {:>8.1}/s -> {:>8.1}/s  p50 {:>7.2}ms  p99 {:>7.2}ms  shed {}",
+                p.offered_rate, p.throughput, p.p50_ms, p.p99_ms, p.shed
+            );
+        }
+    }
 }
 
 /// One bar of the Fig. 9 decomposition.
@@ -790,6 +943,34 @@ mod tests {
             assert!(r.par_wall.as_nanos() > 0);
             assert!(r.speedup() > 0.0);
         }
+    }
+
+    #[test]
+    fn saturation_rows_have_sane_shapes() {
+        let rows = saturation(0.01, 7, &[1, 2], 4, 60);
+        assert_eq!(rows.len(), 8, "4 apps x 2 worker counts");
+        for r in &rows {
+            assert!(r.peak_sustained > 0.0, "{}: no capacity measured", r.app);
+            assert!(r.knee_rate > 0.0);
+            assert!(!r.points.is_empty());
+            for p in &r.points {
+                assert!(p.offered_rate > 0.0);
+                assert!(p.throughput > 0.0);
+                assert!(p.requests as usize <= 60);
+                assert_eq!(p.requests + p.shed, r.points[0].requests + r.points[0].shed);
+            }
+        }
+    }
+
+    #[test]
+    fn serve_thread_resolution() {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(crate::driver::resolve_serve_threads(0), hw);
+        // Serving workers may oversubscribe (they block on the DB
+        // lock), so explicit requests are honored, not clamped.
+        assert_eq!(crate::driver::resolve_serve_threads(64), 64);
     }
 
     #[test]

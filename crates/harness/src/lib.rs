@@ -17,7 +17,9 @@ pub mod experiments;
 pub mod tamper;
 
 pub use driver::{
-    audit_threads_from_env, resolve_audit_threads, run_audit, run_audit_with, serve, serve_drained,
-    serve_open_loop, AppWorkload, AuditOptions, AuditRun, ServeOptions, ServeResult,
+    audit_threads_from_env, resolve_audit_threads, resolve_serve_threads, run_audit,
+    run_audit_with, serve, serve_drained, serve_open_loop, serve_open_loop_with,
+    serve_queue_from_env, serve_threads_from_env, AppWorkload, AuditOptions, AuditRun,
+    OpenLoopOptions, ServeOptions, ServeResult,
 };
 pub use experiments::scale_from_env;

@@ -17,8 +17,15 @@
 //! the baseline server cost (Fig. 8's "server CPU overhead" compares the
 //! two). The recording path is untrusted by construction: nothing the
 //! server writes here is believed by the verifier.
+//!
+//! Production-shaped serving goes through the [`frontend`] module: a
+//! bounded admission queue (with backpressure or load shedding) feeding
+//! a fixed worker pool, with per-worker trace stripes, report-row
+//! buffers, and latency buffers merged deterministically at drain.
 
 pub mod backend;
+pub mod frontend;
 pub mod server;
 
+pub use frontend::{Frontend, FrontendConfig, FrontendReport, ShedPolicy};
 pub use server::{Server, ServerConfig};

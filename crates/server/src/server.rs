@@ -36,6 +36,22 @@ pub struct ServerConfig {
     pub recording: bool,
     /// Seed for the server's random draws.
     pub seed: u64,
+    /// Lock stripes for the shared KV store and register-bank
+    /// directory; `0` picks the default. `1` is the single-lock
+    /// reference configuration the striping tests compare against.
+    pub state_shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            scripts: HashMap::new(),
+            initial_db: Database::new(),
+            recording: true,
+            seed: 42,
+            state_shards: 0,
+        }
+    }
 }
 
 /// State shared by all request threads.
@@ -85,12 +101,19 @@ struct ReportRows {
     nondet: NondetLog,
 }
 
+/// Stripe count for the per-worker report-row buffers. Matches the
+/// collector's stripe count so one worker index addresses both.
+const ROW_STRIPES: usize = orochi_trace::COLLECTOR_STRIPES;
+
 /// The online executor.
 pub struct Server {
     shared: ServerShared,
     scripts: HashMap<String, CompiledScript>,
     collector: Collector,
-    rows: Mutex<ReportRows>,
+    /// Report rows, striped per worker (merged deterministically at
+    /// [`Server::into_bundle_with`]): request threads holding different
+    /// stripe hints never contend on a global rows lock.
+    rows: Box<[Mutex<ReportRows>]>,
     recording: bool,
     /// Total busy time across request handling (CPU-cost proxy for the
     /// Fig. 8 server-overhead comparison).
@@ -119,10 +142,15 @@ pub struct AuditBundle {
 impl Server {
     /// Builds a server.
     pub fn new(config: ServerConfig) -> Self {
+        let shards = if config.state_shards == 0 {
+            orochi_state::kv::DEFAULT_KV_SHARDS
+        } else {
+            config.state_shards
+        };
         Server {
             shared: ServerShared {
-                registers: RegisterBank::new(),
-                kv: KvStore::new(),
+                registers: RegisterBank::with_shards(shards),
+                kv: KvStore::with_shards(shards),
                 db: SharedDatabase::new(config.initial_db),
                 recorder: Recorder::new(),
                 clock_us: AtomicI64::new(1_700_000_000_000_000),
@@ -130,7 +158,9 @@ impl Server {
             },
             scripts: config.scripts,
             collector: Collector::new(),
-            rows: Mutex::new(ReportRows::default()),
+            rows: (0..ROW_STRIPES)
+                .map(|_| Mutex::new(ReportRows::default()))
+                .collect(),
             recording: config.recording,
             busy_ns: AtomicU64::new(0),
             requests_handled: AtomicU64::new(0),
@@ -139,18 +169,29 @@ impl Server {
 
     /// Handles one request end-to-end on the calling thread: records the
     /// arrival, executes the script, records the response. Thread-safe.
+    /// The collector stripe and row buffer are keyed by the calling
+    /// thread; fixed worker pools should prefer [`Server::handle_from`].
     pub fn handle(&self, req: HttpRequest) -> HttpResponse {
+        self.handle_from(thread_stripe(), req)
+    }
+
+    /// [`Server::handle`] with an explicit worker index: the trace
+    /// collector stripe and the report-row buffer are both keyed by
+    /// `worker`, so a fixed pool's workers never share a buffer lock.
+    /// Any `usize` is accepted (reduced modulo the stripe count).
+    pub fn handle_from(&self, worker: usize, req: HttpRequest) -> HttpResponse {
         let t0 = Instant::now();
-        let rid = self.collector.record_request(req.clone());
-        let response = self.execute(rid, &req);
-        self.collector.record_response(rid, response.clone());
+        let rid = self.collector.record_request_in(worker, req.clone());
+        let response = self.execute(worker, rid, &req);
+        self.collector
+            .record_response_in(worker, rid, response.clone());
         self.busy_ns
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.requests_handled.fetch_add(1, Ordering::Relaxed);
         response
     }
 
-    fn execute(&self, rid: RequestId, req: &HttpRequest) -> HttpResponse {
+    fn execute(&self, worker: usize, rid: RequestId, req: &HttpRequest) -> HttpResponse {
         let input = RequestInput {
             method: req.method.clone(),
             path: req.path.clone(),
@@ -162,7 +203,7 @@ impl Server {
             let out = not_found_output(&req.path);
             // 404s still need a grouping tag and an (empty) op count.
             if self.recording {
-                let mut rows = self.rows.lock();
+                let mut rows = self.rows[worker % ROW_STRIPES].lock();
                 rows.tags.push((
                     rid,
                     CtlFlowTag(orochi_php::vm::fnv1a(
@@ -183,7 +224,7 @@ impl Server {
         let result =
             run_request(script, &mut backend, &input).expect("the recording backend never rejects");
         if self.recording {
-            let mut rows = self.rows.lock();
+            let mut rows = self.rows[worker % ROW_STRIPES].lock();
             rows.tags.push((rid, CtlFlowTag(result.digest)));
             rows.op_counts.insert(rid, backend.op_count());
             for v in backend.take_nondet() {
@@ -232,7 +273,17 @@ impl Server {
     /// clone-and-sort work), mirroring how the audit prologue shards its
     /// versioned-store builds.
     pub fn into_bundle_with(self, threads: usize) -> AuditBundle {
-        let rows = self.rows.into_inner();
+        // Merge the per-worker row stripes in stripe order. The merge is
+        // deterministic regardless of which worker served which request:
+        // groupings are re-sorted below, op counts are keyed by rid, and
+        // each rid's nondet values live wholly in one stripe.
+        let mut rows = ReportRows::default();
+        for stripe in self.rows.into_vec() {
+            let mut stripe = stripe.into_inner();
+            rows.tags.append(&mut stripe.tags);
+            rows.op_counts.extend(stripe.op_counts);
+            rows.nondet.merge(stripe.nondet);
+        }
         // Groupings: requests sharing a digest share a control-flow tag.
         let mut groups: HashMap<CtlFlowTag, Vec<RequestId>> = HashMap::new();
         for (rid, tag) in rows.tags {
@@ -273,6 +324,13 @@ fn thread_pid() -> i64 {
     (h.finish() & 0x7fff_ffff) as i64
 }
 
+/// Stripe hint for callers without an explicit worker identity.
+/// Collisions only cost lock sharing, never correctness: the collector
+/// orders by ticket and the row merge is order-insensitive.
+fn thread_stripe() -> usize {
+    thread_pid() as usize % ROW_STRIPES
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +353,7 @@ mod tests {
             initial_db: db,
             recording: true,
             seed: 42,
+            ..Default::default()
         })
     }
 
@@ -400,6 +459,7 @@ mod tests {
             initial_db: db,
             recording: true,
             seed: 1,
+            ..Default::default()
         }));
         let mut handles = Vec::new();
         for _ in 0..8 {
@@ -442,6 +502,7 @@ mod tests {
             initial_db: Database::new(),
             recording: false,
             seed: 9,
+            ..Default::default()
         });
         server.handle(HttpRequest::get("/t.php", &[]).with_cookie("sess", "u"));
         let bundle = server.into_bundle();

@@ -3,19 +3,34 @@
 //! PHP applications use shared-memory caches (the Alternative PHP Cache
 //! and friends); OROCHI models them as a key-value store exposing a
 //! single-key get/set interface with linearizable semantics (§4.4).
-//! As with registers, each operation receives a sequence number inside
-//! the critical section so the recorded log order matches the
-//! linearization order.
+//!
+//! The map is **lock-striped**: keys hash (FNV-1a, deterministic) to one
+//! of N shards, each behind its own mutex, so operations on different
+//! shards never contend. The store still assigns **one** per-object
+//! sequence counter — a global atomic fetched *inside* the owning
+//! shard's critical section — because the whole store is a single §4.4
+//! object (`"kv:apc"`) whose operation log the audit consumes in one
+//! total order. That order is a valid linearization: per key, seqs are
+//! drawn under the key's shard lock, so they increase in the key's
+//! lock-acquisition (= linearization) order; across keys, the counter's
+//! modification order respects real time (an operation that completes
+//! before another begins holds the smaller seq). Everything the audit's
+//! prev-write indexes and versioned-KV build ever consult — per-key
+//! read/write order within the per-object log — is exactly what a
+//! single-lock store would have recorded.
 
+use orochi_common::hash::fnv1a;
 use orochi_common::ids::SeqNum;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-#[derive(Debug, Default)]
-struct KvInner {
-    map: HashMap<String, Vec<u8>>,
-    next_seq: u64,
-}
+/// Default shard count: a power of two comfortably above typical
+/// serving-pool sizes. More shards only cost a few empty `HashMap`s.
+pub const DEFAULT_KV_SHARDS: usize = 16;
+
+/// One map shard behind its own lock.
+type KvShard = Mutex<HashMap<String, Vec<u8>>>;
 
 /// A linearizable key-value store over opaque byte values.
 ///
@@ -31,44 +46,67 @@ struct KvInner {
 /// kv.set("k", None); // Delete.
 /// assert_eq!(kv.get("k").0, None);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct KvStore {
-    inner: Mutex<KvInner>,
+    next_seq: AtomicU64,
+    shards: Box<[KvShard]>,
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl KvStore {
-    /// Creates an empty store.
+    /// Creates an empty store with the default stripe count.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_shards(DEFAULT_KV_SHARDS)
+    }
+
+    /// Creates an empty store striped over `shards` locks (`1` is the
+    /// single-lock reference the striping proptests compare against).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            next_seq: AtomicU64::new(0),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &KvShard {
+        &self.shards[(fnv1a(key.as_bytes()) % self.shards.len() as u64) as usize]
     }
 
     /// Atomically reads `key`, returning the value (if any) and the
     /// operation's sequence number.
     pub fn get(&self, key: &str) -> (Option<Vec<u8>>, SeqNum) {
-        let mut inner = self.inner.lock();
-        inner.next_seq += 1;
-        (inner.map.get(key).cloned(), SeqNum(inner.next_seq))
+        let map = self.shard(key).lock();
+        // Inside the shard lock: per-key seq order = linearization order.
+        let seq = SeqNum(self.next_seq.fetch_add(1, Ordering::Relaxed) + 1);
+        (map.get(key).cloned(), seq)
     }
 
     /// Atomically sets `key` to `value` (`None` deletes), returning the
     /// operation's sequence number.
     pub fn set(&self, key: &str, value: Option<Vec<u8>>) -> SeqNum {
-        let mut inner = self.inner.lock();
-        inner.next_seq += 1;
+        let mut map = self.shard(key).lock();
+        let seq = SeqNum(self.next_seq.fetch_add(1, Ordering::Relaxed) + 1);
         match value {
             Some(v) => {
-                inner.map.insert(key.to_string(), v);
+                map.insert(key.to_string(), v);
             }
             None => {
-                inner.map.remove(key);
+                map.remove(key);
             }
         }
-        SeqNum(inner.next_seq)
+        seq
     }
 
     /// Number of live keys.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// True if no key is set.
@@ -79,12 +117,11 @@ impl KvStore {
     /// Snapshot of all key/value pairs, sorted by key (post-audit state
     /// hand-off).
     pub fn snapshot(&self) -> Vec<(String, Vec<u8>)> {
-        let inner = self.inner.lock();
-        let mut out: Vec<_> = inner
-            .map
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
+        let mut out: Vec<(String, Vec<u8>)> = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.lock();
+            out.extend(map.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
@@ -119,6 +156,26 @@ mod tests {
     }
 
     #[test]
+    fn striped_and_single_lock_assign_identical_seqs_sequentially() {
+        // A single-threaded op sequence draws the same seq numbers at
+        // every shard count — the counter, not the stripes, carries the
+        // per-object order the audit consumes.
+        for shards in [1, 4, 16] {
+            let kv = KvStore::with_shards(shards);
+            let mut seqs = Vec::new();
+            for i in 0..30u8 {
+                let key = format!("k{}", i % 7);
+                if i % 3 == 0 {
+                    seqs.push(kv.set(&key, Some(vec![i])).0);
+                } else {
+                    seqs.push(kv.get(&key).1 .0);
+                }
+            }
+            assert_eq!(seqs, (1..=30).collect::<Vec<u64>>(), "shards {shards}");
+        }
+    }
+
+    #[test]
     fn concurrent_ops_unique_dense_seqs() {
         let kv = Arc::new(KvStore::new());
         let mut handles = Vec::new();
@@ -144,6 +201,32 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, (1..=1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn per_key_seq_order_matches_write_order_under_contention() {
+        // The audit's per-key guarantee: for any single key, the seq
+        // numbers must order the writes exactly as they linearized. The
+        // last write by seq must be the value a final read observes.
+        let kv = Arc::new(KvStore::with_shards(8));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let kv = Arc::clone(&kv);
+            handles.push(thread::spawn(move || {
+                (0..100u8)
+                    .map(|i| (kv.set("hot", Some(vec![t, i])), vec![t, i]))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut writes: Vec<(SeqNum, Vec<u8>)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        writes.sort_by_key(|(seq, _)| *seq);
+        let (final_value, read_seq) = kv.get("hot");
+        let last_write = writes.last().unwrap();
+        assert!(read_seq > last_write.0);
+        assert_eq!(final_value.as_ref(), Some(&last_write.1));
     }
 
     #[test]

@@ -70,24 +70,58 @@ impl AtomicRegister {
     }
 }
 
+/// Default stripe count for the bank's name → register directory.
+pub const DEFAULT_BANK_SHARDS: usize = 16;
+
+/// One directory shard behind its own lock.
+type BankShard = Mutex<HashMap<String, Arc<AtomicRegister>>>;
+
 /// A bank of named registers created on demand.
 ///
 /// The online server holds one bank; each session cookie maps to one
-/// register.
-#[derive(Debug, Default)]
+/// register. The directory is **lock-striped** — names hash (FNV-1a) to
+/// one of N shards — so concurrent sessions only contend on a lock when
+/// their names share a shard, and never once they hold their
+/// [`AtomicRegister`]s. Each register remains its own §4.4 object with
+/// its own per-object sequence counter (assigned inside the register's
+/// critical section), so per-object linearization order is untouched by
+/// how the directory is striped.
+#[derive(Debug)]
 pub struct RegisterBank {
-    registers: Mutex<HashMap<String, Arc<AtomicRegister>>>,
+    shards: Box<[BankShard]>,
+}
+
+impl Default for RegisterBank {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RegisterBank {
-    /// Creates an empty bank.
+    /// Creates an empty bank with the default stripe count.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_shards(DEFAULT_BANK_SHARDS)
+    }
+
+    /// Creates an empty bank striped over `shards` directory locks (`1`
+    /// is the single-lock reference the striping proptests compare
+    /// against).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &BankShard {
+        let h = orochi_common::hash::fnv1a(name.as_bytes());
+        &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
     /// Returns the register named `name`, creating it if absent.
     pub fn get_or_create(&self, name: &str) -> Arc<AtomicRegister> {
-        let mut map = self.registers.lock();
+        let mut map = self.shard(name).lock();
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(AtomicRegister::new())),
@@ -97,18 +131,18 @@ impl RegisterBank {
     /// Snapshot of all register names and final values (post-audit state
     /// hand-off, §4.1 "persistent objects").
     pub fn snapshot(&self) -> Vec<(String, Option<Vec<u8>>)> {
-        let map = self.registers.lock();
-        let mut out: Vec<_> = map
-            .iter()
-            .map(|(name, reg)| (name.clone(), reg.peek()))
-            .collect();
+        let mut out: Vec<(String, Option<Vec<u8>>)> = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.lock();
+            out.extend(map.iter().map(|(name, reg)| (name.clone(), reg.peek())));
+        }
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
 
     /// Number of registers materialized so far.
     pub fn len(&self) -> usize {
-        self.registers.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// True if no register has been created.
@@ -167,6 +201,34 @@ mod tests {
         a.write(vec![42]);
         assert_eq!(b.peek(), Some(vec![42]));
         assert_eq!(bank.len(), 1);
+    }
+
+    #[test]
+    fn striped_bank_isolates_names_like_single_lock() {
+        for shards in [1, 4, 16] {
+            let bank = RegisterBank::with_shards(shards);
+            let mut handles = Vec::new();
+            let bank = Arc::new(bank);
+            for t in 0..4u8 {
+                let bank = Arc::clone(&bank);
+                handles.push(thread::spawn(move || {
+                    for i in 0..50u8 {
+                        bank.get_or_create(&format!("sess:u{}", i % 9))
+                            .write(vec![t, i]);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(bank.len(), 9, "shards {shards}");
+            // Each register assigned dense per-object seqs: 4*50 writes
+            // spread over 9 names; a fresh read's seq is count+1.
+            let total: u64 = (0..9u8)
+                .map(|i| bank.get_or_create(&format!("sess:u{i}")).read().1 .0 - 1)
+                .sum();
+            assert_eq!(total, 200, "shards {shards}");
+        }
     }
 
     #[test]

@@ -5,9 +5,19 @@
 //! Here it is an in-process object the load generator and server share:
 //! the client side calls [`Collector::record_request`] as a request enters
 //! the executor and [`Collector::record_response`] as the response leaves.
-//! Events are appended under a lock, so the trace order is exactly the
-//! order in which the collector observed the events — the property the
-//! model calls "accurate" (§2).
+//!
+//! Events land in **striped per-worker buffers** stamped by a global
+//! atomic **ticket** drawn inside the stripe's critical section, and
+//! [`Collector::into_trace`]/[`Collector::snapshot`] merge-sort the
+//! buffers by ticket. The ticket counter is a single atomic whose
+//! modification order is a total order consistent with real time: if one
+//! `record_*` call returns before another begins, the first holds the
+//! smaller ticket. The merged trace is therefore exactly an observation
+//! order of the events — the property the model calls "accurate" (§2) —
+//! while concurrent recorders only contend when they share a stripe,
+//! never on one global event lock. Within a stripe, tickets are drawn
+//! under the stripe lock, so each buffer is already ticket-sorted and
+//! the merge is a k-way merge, not a sort.
 //!
 //! The collector also assigns requestIDs. The paper has the well-behaved
 //! executor label responses; our collector hands the server the rid along
@@ -19,7 +29,16 @@ use crate::event::{HttpRequest, HttpResponse};
 use crate::record::{Event, Trace};
 use orochi_common::ids::RequestId;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of event buffers. A power of two comfortably above typical
+/// worker-pool sizes: workers with distinct stripe hints never contend,
+/// and thread-hash collisions only cost performance, never order.
+pub const COLLECTOR_STRIPES: usize = 16;
+
+/// One striped buffer: events paired with the tickets that order them.
+type StampedBuffer = Vec<(u64, Event)>;
 
 /// Thread-safe trace collector.
 ///
@@ -34,10 +53,29 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// let trace = collector.into_trace();
 /// assert_eq!(trace.events.len(), 2);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Collector {
     next_rid: AtomicU64,
-    events: Mutex<Vec<Event>>,
+    next_ticket: AtomicU64,
+    /// Relaxed event count so `len`/`is_empty` never touch the buffers.
+    recorded: AtomicUsize,
+    stripes: Box<[Mutex<StampedBuffer>]>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Stripe for callers without an explicit worker identity: hash of the
+/// calling thread's id. Collisions are harmless (the ticket, not the
+/// stripe, orders the trace).
+fn thread_stripe() -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    h.finish() as usize % COLLECTOR_STRIPES
 }
 
 impl Collector {
@@ -45,25 +83,52 @@ impl Collector {
     pub fn new() -> Self {
         Self {
             next_rid: AtomicU64::new(1),
-            events: Mutex::new(Vec::new()),
+            next_ticket: AtomicU64::new(0),
+            recorded: AtomicUsize::new(0),
+            stripes: (0..COLLECTOR_STRIPES)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
         }
+    }
+
+    fn push(&self, stripe: usize, event: Event) {
+        let mut buffer = self.stripes[stripe % COLLECTOR_STRIPES].lock();
+        // Drawn inside the stripe lock, so each buffer is ticket-sorted.
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        buffer.push((ticket, event));
+        drop(buffer);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records an arriving request, assigning it a fresh requestID.
     pub fn record_request(&self, req: HttpRequest) -> RequestId {
-        let rid = RequestId(self.next_rid.fetch_add(1, Ordering::Relaxed));
-        self.events.lock().push(Event::Request(rid, req));
-        rid
+        self.record_request_in(thread_stripe(), req)
     }
 
     /// Records a departing response for `rid`.
     pub fn record_response(&self, rid: RequestId, resp: HttpResponse) {
-        self.events.lock().push(Event::Response(rid, resp));
+        self.record_response_in(thread_stripe(), rid, resp);
     }
 
-    /// Number of events recorded so far.
+    /// [`Collector::record_request`] into an explicit stripe — serving
+    /// workers pass their worker index so a fixed pool never collides;
+    /// any `usize` is accepted (reduced modulo the stripe count).
+    pub fn record_request_in(&self, stripe: usize, req: HttpRequest) -> RequestId {
+        let rid = RequestId(self.next_rid.fetch_add(1, Ordering::Relaxed));
+        self.push(stripe, Event::Request(rid, req));
+        rid
+    }
+
+    /// [`Collector::record_response`] into an explicit stripe.
+    pub fn record_response_in(&self, stripe: usize, rid: RequestId, resp: HttpResponse) {
+        self.push(stripe, Event::Response(rid, resp));
+    }
+
+    /// Number of events recorded so far (relaxed: concurrent recorders
+    /// may or may not be counted, exactly like the pre-striped lock
+    /// version racing its callers).
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.recorded.load(Ordering::Relaxed)
     }
 
     /// True if no events have been recorded.
@@ -73,18 +138,59 @@ impl Collector {
 
     /// Consumes the collector, yielding the trace in observation order.
     pub fn into_trace(self) -> Trace {
+        let buffers: Vec<StampedBuffer> = self
+            .stripes
+            .into_vec()
+            .into_iter()
+            .map(|stripe| stripe.into_inner())
+            .collect();
         Trace {
-            events: self.events.into_inner(),
+            events: merge_by_ticket(buffers),
         }
     }
 
     /// Copies the events observed so far into a trace without consuming
-    /// the collector.
+    /// the collector. All stripe locks are held simultaneously so the
+    /// snapshot is an atomic cut: no response can appear without its
+    /// request (recorders take one stripe lock at a time, so the fixed
+    /// acquisition order cannot deadlock).
     pub fn snapshot(&self) -> Trace {
+        let guards: Vec<_> = self.stripes.iter().map(|stripe| stripe.lock()).collect();
+        let buffers: Vec<StampedBuffer> = guards.iter().map(|g| (*g).clone()).collect();
+        drop(guards);
         Trace {
-            events: self.events.lock().clone(),
+            events: merge_by_ticket(buffers),
         }
     }
+}
+
+/// K-way merge of ticket-sorted buffers into ticket order. Tickets are
+/// unique (one atomic counter), so the order is total.
+fn merge_by_ticket(buffers: Vec<StampedBuffer>) -> Vec<Event> {
+    let total: usize = buffers.iter().map(Vec::len).sum();
+    let mut iters: Vec<_> = buffers.into_iter().map(Vec::into_iter).collect();
+    // Min-heap over (ticket, buffer index) via Reverse; the events stay
+    // in their iterators (Event is not Ord and never needs to be).
+    let mut heap = BinaryHeap::with_capacity(iters.len());
+    let mut heads: Vec<Option<Event>> = Vec::with_capacity(iters.len());
+    for (i, it) in iters.iter_mut().enumerate() {
+        match it.next() {
+            Some((ticket, event)) => {
+                heap.push(std::cmp::Reverse((ticket, i)));
+                heads.push(Some(event));
+            }
+            None => heads.push(None),
+        }
+    }
+    let mut events = Vec::with_capacity(total);
+    while let Some(std::cmp::Reverse((_, i))) = heap.pop() {
+        events.push(heads[i].take().expect("head present for queued buffer"));
+        if let Some((ticket, next)) = iters[i].next() {
+            heap.push(std::cmp::Reverse((ticket, i)));
+            heads[i] = Some(next);
+        }
+    }
+    events
 }
 
 #[cfg(test)]
@@ -115,6 +221,24 @@ mod tests {
     }
 
     #[test]
+    fn stripe_assignment_never_reorders_observations() {
+        // Adversarial striping: events recorded in a fixed order but
+        // scattered across stripes must merge back into exactly that
+        // order — the ticket, not the buffer, carries the trace order.
+        let c = Collector::new();
+        let r1 = c.record_request_in(7, HttpRequest::get("/1", &[]));
+        let r2 = c.record_request_in(0, HttpRequest::get("/2", &[]));
+        c.record_response_in(3, r1, HttpResponse::ok(r1, "1"));
+        let r3 = c.record_request_in(7, HttpRequest::get("/3", &[]));
+        c.record_response_in(15, r3, HttpResponse::ok(r3, "3"));
+        c.record_response_in(1, r2, HttpResponse::ok(r2, "2"));
+        let trace = c.into_trace();
+        let rids: Vec<_> = trace.events.iter().map(|e| e.rid().0).collect();
+        assert_eq!(rids, vec![r1.0, r2.0, r1.0, r3.0, r3.0, r2.0]);
+        trace.ensure_balanced().unwrap();
+    }
+
+    #[test]
     fn concurrent_collection_is_balanced() {
         let c = Arc::new(Collector::new());
         let mut handles = Vec::new();
@@ -122,11 +246,11 @@ mod tests {
             let c = Arc::clone(&c);
             handles.push(std::thread::spawn(move || {
                 for i in 0..50 {
-                    let rid = c.record_request(HttpRequest::get(
-                        "/t.php",
-                        &[("t", &t.to_string()), ("i", &i.to_string())],
-                    ));
-                    c.record_response(rid, HttpResponse::ok(rid, "done"));
+                    let rid = c.record_request_in(
+                        t,
+                        HttpRequest::get("/t.php", &[("t", &t.to_string()), ("i", &i.to_string())]),
+                    );
+                    c.record_response_in(t, rid, HttpResponse::ok(rid, "done"));
                 }
             }));
         }
@@ -139,6 +263,26 @@ mod tests {
     }
 
     #[test]
+    fn len_is_lock_free_and_counts_all_events() {
+        let c = Arc::new(Collector::new());
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let rid = c.record_request_in(t, HttpRequest::get("/x", &[]));
+                    c.record_response_in(t, rid, HttpResponse::ok(rid, "ok"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.len(), 800);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
     fn snapshot_does_not_consume() {
         let c = Collector::new();
         let rid = c.record_request(HttpRequest::get("/a", &[]));
@@ -146,5 +290,26 @@ mod tests {
         assert_eq!(snap.events.len(), 1);
         c.record_response(rid, HttpResponse::ok(rid, "x"));
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_an_atomic_cut_in_ticket_order() {
+        let c = Collector::new();
+        let mut expected = Vec::new();
+        for i in 0..40u64 {
+            let rid = c.record_request_in(i as usize % 5, HttpRequest::get("/x", &[]));
+            expected.push(rid.0);
+            c.record_response_in((i as usize + 3) % 5, rid, HttpResponse::ok(rid, "ok"));
+            expected.push(rid.0);
+        }
+        let snap = c.snapshot();
+        let got: Vec<_> = snap.events.iter().map(|e| e.rid().0).collect();
+        assert_eq!(got, expected);
+        // Snapshotting again after more events extends the same prefix.
+        let rid = c.record_request(HttpRequest::get("/y", &[]));
+        expected.push(rid.0);
+        let again = c.snapshot();
+        let got: Vec<_> = again.events.iter().map(|e| e.rid().0).collect();
+        assert_eq!(got, expected);
     }
 }

@@ -22,6 +22,6 @@ pub mod collector;
 pub mod event;
 pub mod record;
 
-pub use collector::Collector;
+pub use collector::{Collector, COLLECTOR_STRIPES};
 pub use event::{HttpRequest, HttpResponse};
 pub use record::{BalanceError, BalancedTrace, Event, Trace};

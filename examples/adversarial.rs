@@ -30,6 +30,7 @@ fn honest_bundle() -> (
         initial_db: db,
         recording: true,
         seed: 99,
+        ..Default::default()
     });
     server.handle(
         HttpRequest::post("/login.php", &[], &[("user", "mallory")]).with_cookie("sess", "mallory"),

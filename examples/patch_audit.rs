@@ -43,6 +43,7 @@ fn main() {
         initial_db: Database::new(),
         recording: true,
         seed: 1,
+        ..Default::default()
     });
     for n in [3, 10, 11, 9, 10, 25] {
         server.handle(HttpRequest::get("/t.php", &[("n", &n.to_string())]));

@@ -33,6 +33,7 @@ fn main() {
         initial_db: Database::new(),
         recording: true,
         seed: 7,
+        ..Default::default()
     });
 
     // 3. Clients talk to the server.

@@ -1,12 +1,15 @@
 //! Offline, API-compatible subset of the `crossbeam` crate.
 //!
 //! The build environment has no crates.io access; the workspace uses
-//! [`channel::unbounded`] — a multi-producer **multi-consumer** channel
-//! (std's `mpsc::Receiver` is not clonable, which is why the harness
-//! reaches for crossbeam) — and [`thread::scope`], the scoped-thread API
-//! the parallel audit's worker pool is built on. The channel is a
-//! `Mutex<VecDeque>` plus a `Condvar`; throughput is adequate for the
-//! request-dispatch loop it serves. Scoped threads delegate to
+//! [`channel::unbounded`] and [`channel::bounded`] — multi-producer
+//! **multi-consumer** channels (std's `mpsc::Receiver` is not clonable,
+//! which is why the harness reaches for crossbeam) — and
+//! [`thread::scope`], the scoped-thread API the parallel audit's worker
+//! pool is built on. The channels are a `Mutex<VecDeque>` plus
+//! `Condvar`s; the bounded variant blocks senders at capacity
+//! (backpressure) and offers `try_send` (load shedding) for the serving
+//! front-end's admission queue. Throughput is adequate for the
+//! request-dispatch loops it serves. Scoped threads delegate to
 //! `std::thread::scope` behind crossbeam's signature.
 
 pub mod thread {
@@ -99,15 +102,21 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a bounded queue frees a slot (recv) or the
+        /// receiver side disconnects, waking blocked senders.
+        space: Condvar,
+        /// `usize::MAX` = unbounded.
+        cap: usize,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_cap<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            cap,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -117,6 +126,21 @@ pub mod channel {
             },
             Receiver { shared },
         )
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(usize::MAX)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` messages:
+    /// [`Sender::send`] blocks while the queue is full (backpressure)
+    /// and [`Sender::try_send`] fails fast with [`TrySendError::Full`]
+    /// (load shedding). Zero-capacity rendezvous channels are not
+    /// implemented — no caller in this workspace needs one.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded(0) rendezvous channels are not supported");
+        with_cap(cap)
     }
 
     pub struct Sender<T> {
@@ -129,6 +153,32 @@ pub mod channel {
                 return Err(SendError(value));
             }
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            while queue.len() >= self.shared.cap {
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                queue = self
+                    .shared
+                    .space
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: fails with [`TrySendError::Full`] when a
+        /// bounded queue is at capacity instead of waiting for a slot.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if queue.len() >= self.shared.cap {
+                return Err(TrySendError::Full(value));
+            }
             queue.push_back(value);
             drop(queue);
             self.shared.ready.notify_one();
@@ -149,7 +199,11 @@ pub mod channel {
         fn drop(&mut self) {
             if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
                 // Last sender gone: wake every blocked receiver so it
-                // can observe disconnection.
+                // can observe disconnection. The queue lock must be
+                // held while notifying — a receiver between its
+                // empty-check and its wait would otherwise miss the
+                // wakeup and park forever.
+                let _guard = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
                 self.shared.ready.notify_all();
             }
         }
@@ -165,6 +219,8 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.space.notify_one();
                     return Ok(value);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -181,6 +237,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(value) = queue.pop_front() {
+                drop(queue);
+                self.shared.space.notify_one();
                 Ok(value)
             } else if self.shared.senders.load(Ordering::SeqCst) == 0 {
                 Err(TryRecvError::Disconnected)
@@ -201,12 +259,29 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last receiver gone: wake senders blocked on a full
+                // bounded queue so they can observe disconnection.
+                // Same lost-wakeup discipline as Sender::drop — notify
+                // only while holding the queue lock, so a sender
+                // between its full-check and its wait cannot miss it.
+                let _guard = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                self.shared.space.notify_all();
+            }
         }
     }
 
     #[derive(Debug)]
     pub struct SendError<T>(pub T);
+
+    /// Error from [`Sender::try_send`], carrying the unsent value.
+    #[derive(Debug)]
+    pub enum TrySendError<T> {
+        /// The bounded queue is at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
 
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -220,6 +295,15 @@ pub mod channel {
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
         }
     }
 
@@ -240,6 +324,41 @@ pub mod channel {
             tx.send(1).unwrap();
             drop(rx);
             assert!(tx.send(2).is_err());
+        }
+
+        #[test]
+        fn bounded_try_send_sheds_when_full() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.recv().unwrap(), 1);
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_slot_frees() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let sender = thread::spawn(move || tx.send(2).is_ok());
+            // The sender is blocked on the full queue; receiving frees
+            // the slot and lets it complete.
+            thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert!(sender.join().unwrap());
+            assert_eq!(rx.recv().unwrap(), 2);
+        }
+
+        #[test]
+        fn bounded_send_errors_when_receivers_vanish() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let sender = thread::spawn(move || tx.send(2).is_err());
+            thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            assert!(sender.join().unwrap());
         }
 
         #[test]

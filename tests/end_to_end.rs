@@ -30,6 +30,7 @@ fn serve_and_audit(app: &AppDefinition, requests: Vec<HttpRequest>) {
         initial_db: app.initial_db(),
         recording: true,
         seed: 7,
+        ..Default::default()
     });
     for req in requests {
         server.handle(req);
@@ -140,6 +141,7 @@ fn concurrent_wiki_roundtrip() {
         initial_db: app.initial_db(),
         recording: true,
         seed: 11,
+        ..Default::default()
     }));
     // Writers create pages while readers hammer them concurrently.
     let mut handles = Vec::new();
@@ -196,6 +198,7 @@ fn grouped_and_scalar_verifiers_agree() {
         initial_db: app.initial_db(),
         recording: true,
         seed: 3,
+        ..Default::default()
     });
     server.handle(HttpRequest::post("/login.php", &[], &[("user", "a")]).with_cookie("sess", "a"));
     server.handle(
@@ -250,6 +253,7 @@ fn tampered_response_is_rejected() {
         initial_db: app.initial_db(),
         recording: true,
         seed: 5,
+        ..Default::default()
     });
     server.handle(HttpRequest::post("/login.php", &[], &[("user", "a")]).with_cookie("sess", "a"));
     server.handle(
@@ -286,6 +290,7 @@ fn dropped_log_entry_is_rejected() {
         initial_db: app.initial_db(),
         recording: true,
         seed: 5,
+        ..Default::default()
     });
     server.handle(HttpRequest::post("/login.php", &[], &[("who", "x")]).with_cookie("sess", "x"));
     server.handle(HttpRequest::get("/list.php", &[]));
@@ -325,6 +330,7 @@ fn all_apps_accept_with_empty_workload() {
             initial_db: app.initial_db(),
             recording: true,
             seed: 1,
+            ..Default::default()
         });
         let bundle = server.into_bundle();
         let mut executor = AccPhpExecutor::new(scripts);
@@ -347,6 +353,7 @@ fn unknown_paths_roundtrip() {
         initial_db: app.initial_db(),
         recording: true,
         seed: 2,
+        ..Default::default()
     });
     server.handle(HttpRequest::get("/nope.php", &[]));
     server.handle(HttpRequest::get("/nope.php", &[]));
@@ -385,6 +392,7 @@ fn session_counter_roundtrip() {
         initial_db: orochi::sqldb::Database::new(),
         recording: true,
         seed: 1,
+        ..Default::default()
     });
     for user in ["u1", "u2", "u1", "u1", "u2"] {
         server.handle(HttpRequest::get("/c.php", &[]).with_cookie("sess", user));

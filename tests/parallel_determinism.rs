@@ -31,6 +31,7 @@ fn honest_hotcrp() -> (AuditBundle, HashMap<String, CompiledScript>, AuditConfig
         initial_db: app.initial_db(),
         recording: true,
         seed: 31,
+        ..Default::default()
     });
     server.handle(
         HttpRequest::post("/login.php", &[], &[("who", "alice")]).with_cookie("sess", "alice"),
@@ -68,6 +69,7 @@ fn honest_wiki() -> (AuditBundle, HashMap<String, CompiledScript>, AuditConfig) 
         initial_db: app.initial_db(),
         recording: true,
         seed: 7,
+        ..Default::default()
     });
     let workload = wiki::generate(&wiki::Params::scaled(0.02), 11);
     for req in workload.setup.iter().chain(workload.requests.iter()) {

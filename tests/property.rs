@@ -341,6 +341,7 @@ proptest! {
             initial_db: app.initial_db(),
             recording: true,
             seed: 5,
+            ..Default::default()
         });
         // Editors must be logged in before edits take effect; issue the
         // logins first so some edits succeed and some hit the 403 path.
@@ -415,6 +416,7 @@ mod partition_fuzz {
                 initial_db: app.initial_db(),
                 recording: true,
                 seed: 13,
+                ..Default::default()
             });
             let workload = wiki::generate(&wiki::Params::scaled(0.01), 17);
             for req in workload.setup.iter().chain(workload.requests.iter()) {
@@ -514,6 +516,255 @@ proptest! {
                 ),
             }
         }
+    }
+}
+
+/// Ticket-merge accuracy for the striped collector: whatever stripe
+/// each event lands in, the merged trace is exactly the order in which
+/// the record calls were issued (the §2 "accurate trace" property —
+/// the ticket, not the buffer, carries observation order).
+#[derive(Debug, Clone)]
+enum CollectorAction {
+    /// Open a request in the given stripe.
+    Open(u8),
+    /// Close the pick-th open request in the given stripe.
+    Close(u8, u8),
+}
+
+fn collector_actions_strategy() -> impl Strategy<Value = Vec<CollectorAction>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u8>().prop_map(CollectorAction::Open),
+            (any::<u8>(), any::<u8>()).prop_map(|(s, p)| CollectorAction::Close(s, p)),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn collector_merge_preserves_observation_order(
+        actions in collector_actions_strategy()
+    ) {
+        use orochi::trace::Collector;
+
+        let collector = Collector::new();
+        let mut open: Vec<RequestId> = Vec::new();
+        // The oracle: (rid, is_request) in issue order.
+        let mut expected: Vec<(u64, bool)> = Vec::new();
+        for action in actions {
+            match action {
+                CollectorAction::Open(stripe) => {
+                    let rid = collector
+                        .record_request_in(stripe as usize, HttpRequest::get("/x", &[]));
+                    expected.push((rid.0, true));
+                    open.push(rid);
+                }
+                CollectorAction::Close(stripe, pick) => {
+                    if open.is_empty() {
+                        continue;
+                    }
+                    let rid = open.swap_remove(pick as usize % open.len());
+                    collector.record_response_in(
+                        stripe as usize,
+                        rid,
+                        HttpResponse::ok(rid, "ok"),
+                    );
+                    expected.push((rid.0, false));
+                }
+            }
+        }
+        prop_assert_eq!(collector.len(), expected.len());
+        let snapshot = collector.snapshot();
+        let trace = collector.into_trace();
+        for t in [&snapshot, &trace] {
+            let got: Vec<(u64, bool)> = t
+                .events
+                .iter()
+                .map(|e| (e.rid().0, matches!(e, Event::Request(..))))
+                .collect();
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+}
+
+/// Front-end completeness (§2 Completeness, fuzzed over the serving
+/// stack): an honest server behind *any* bounded front-end — random
+/// worker counts, queue depths, and submission bursts — always yields a
+/// balanced trace the audit accepts, because backpressure admission
+/// never drops work and the ticketed collector keeps the trace
+/// accurate under pool concurrency.
+#[derive(Debug, Clone)]
+struct FrontendShape {
+    workers: usize,
+    queue_depth: usize,
+    burst: usize,
+}
+
+fn frontend_shape_strategy() -> impl Strategy<Value = FrontendShape> {
+    (1usize..7, prop_oneof![Just(0usize), 1usize..9], 1usize..8).prop_map(
+        |(workers, queue_depth, burst)| FrontendShape {
+            workers,
+            queue_depth,
+            burst,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn honest_runs_survive_any_frontend_shape(
+        actions in wiki_actions_strategy(),
+        shape in frontend_shape_strategy(),
+    ) {
+        use orochi::accphp::AccPhpExecutor;
+        use orochi::core::audit::{audit, AuditConfig};
+        use orochi::server::{Frontend, FrontendConfig, Server, ServerConfig, ShedPolicy};
+
+        let app = orochi::apps::wiki::app();
+        let scripts = app.compile().unwrap();
+        let server = Server::new(ServerConfig {
+            scripts: scripts.clone(),
+            initial_db: app.initial_db(),
+            recording: true,
+            seed: 5,
+            ..Default::default()
+        });
+        // Setup runs sequentially before the pool starts, like the
+        // harness drivers.
+        server.handle(
+            HttpRequest::post("/login.php", &[], &[("user", "u0")]).with_cookie("sess", "u0"),
+        );
+        let frontend = Frontend::start(
+            server,
+            FrontendConfig {
+                workers: shape.workers,
+                queue_depth: shape.queue_depth,
+                shed: ShedPolicy::Block,
+            },
+        );
+        let mut submitted = 0u64;
+        for (i, action) in actions.iter().enumerate() {
+            let req = match action {
+                WikiAction::View(p) => {
+                    HttpRequest::get("/wiki.php", &[("title", &format!("P{p}"))])
+                }
+                WikiAction::Edit(p, b) => HttpRequest::post(
+                    "/edit.php",
+                    &[],
+                    &[("title", &format!("P{p}")), ("body", &format!("body {b}"))],
+                )
+                .with_cookie("sess", "u0"),
+                WikiAction::Login(u) => {
+                    let user = format!("u{u}");
+                    HttpRequest::post("/login.php", &[], &[("user", &user)])
+                        .with_cookie("sess", &user)
+                }
+            };
+            prop_assert!(frontend.submit(req), "backpressure admission never sheds");
+            submitted += 1;
+            // Arrival bursts: yield between bursts so workers interleave
+            // with admission in varying patterns.
+            if i % shape.burst == shape.burst - 1 {
+                std::thread::yield_now();
+            }
+        }
+        let report = frontend.drain();
+        prop_assert_eq!(report.handled, submitted);
+        prop_assert_eq!(report.shed, 0);
+        let bundle = report.server.into_bundle();
+        let balanced = bundle.trace.ensure_balanced();
+        prop_assert!(balanced.is_ok(), "unbalanced trace: {:?}", balanced.err());
+        let mut config = AuditConfig::new();
+        config.initial_dbs.insert("db:main".to_string(), app.initial_db());
+        let mut verifier = AccPhpExecutor::new(scripts);
+        let verdict = audit(&bundle.trace, &bundle.reports, &mut verifier, &config);
+        prop_assert!(verdict.is_ok(), "honest run rejected: {}", verdict.unwrap_err());
+    }
+}
+
+// Striped vs single-lock shared objects: the same (sequential) request
+// stream served over 1-shard and N-shard stores yields byte-identical
+// reports and audit-identical verdicts — the stripes move lock
+// contention, never the per-object linearization order the audit
+// consumes.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn striped_stores_are_audit_identical_to_single_lock(
+        actions in wiki_actions_strategy()
+    ) {
+        use orochi::accphp::AccPhpExecutor;
+        use orochi::core::audit::{audit, AuditConfig};
+        use orochi::server::{Server, ServerConfig};
+
+        let app = orochi::apps::wiki::app();
+        let scripts = app.compile().unwrap();
+        let serve_at = |state_shards: usize| {
+            let server = Server::new(ServerConfig {
+                scripts: scripts.clone(),
+                initial_db: app.initial_db(),
+                recording: true,
+                seed: 5,
+                state_shards,
+            });
+            server.handle(
+                HttpRequest::post("/login.php", &[], &[("user", "u0")])
+                    .with_cookie("sess", "u0"),
+            );
+            for action in &actions {
+                match action {
+                    WikiAction::View(p) => {
+                        server.handle(HttpRequest::get(
+                            "/wiki.php",
+                            &[("title", &format!("P{p}"))],
+                        ));
+                    }
+                    WikiAction::Edit(p, b) => {
+                        server.handle(
+                            HttpRequest::post(
+                                "/edit.php",
+                                &[],
+                                &[
+                                    ("title", &format!("P{p}")),
+                                    ("body", &format!("body {b}")),
+                                ],
+                            )
+                            .with_cookie("sess", "u0"),
+                        );
+                    }
+                    WikiAction::Login(u) => {
+                        let user = format!("u{u}");
+                        server.handle(
+                            HttpRequest::post("/login.php", &[], &[("user", &user)])
+                                .with_cookie("sess", &user),
+                        );
+                    }
+                }
+            }
+            server.into_bundle()
+        };
+        let single = serve_at(1);
+        let striped = serve_at(8);
+        // Byte-identical untrusted reports and final object state.
+        prop_assert_eq!(&single.reports, &striped.reports);
+        prop_assert_eq!(&single.final_registers, &striped.final_registers);
+        prop_assert_eq!(&single.final_kv, &striped.final_kv);
+        // And audit-identical verdicts.
+        let mut config = AuditConfig::new();
+        config.initial_dbs.insert("db:main".to_string(), app.initial_db());
+        let verdict_of = |bundle: &orochi::server::server::AuditBundle| {
+            let mut verifier = AccPhpExecutor::new(scripts.clone());
+            audit(&bundle.trace, &bundle.reports, &mut verifier, &config)
+                .map(|o| o.stats.requests_reexecuted)
+                .map_err(|r| r.to_string())
+        };
+        prop_assert_eq!(verdict_of(&single), verdict_of(&striped));
     }
 }
 

@@ -25,6 +25,7 @@ fn honest() -> (AuditBundle, HashMap<String, CompiledScript>, AuditConfig) {
         initial_db: app.initial_db(),
         recording: true,
         seed: 31,
+        ..Default::default()
     });
     server.handle(
         HttpRequest::post("/login.php", &[], &[("who", "alice")]).with_cookie("sess", "alice"),
@@ -420,6 +421,7 @@ fn honest_wiki_kv() -> (AuditBundle, HashMap<String, CompiledScript>, AuditConfi
         initial_db: app.initial_db(),
         recording: true,
         seed: 47,
+        ..Default::default()
     });
     server.handle(
         HttpRequest::post("/login.php", &[], &[("user", "alice")]).with_cookie("sess", "alice"),
@@ -459,6 +461,7 @@ fn honest_shop_kv() -> (AuditBundle, HashMap<String, CompiledScript>, AuditConfi
         initial_db: db.deep_clone(),
         recording: true,
         seed: 53,
+        ..Default::default()
     });
     server
         .handle(HttpRequest::post("/login.php", &[], &[("user", "ada")]).with_cookie("sess", "c1"));

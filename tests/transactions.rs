@@ -95,6 +95,7 @@ fn serve_and_audit(requests: Vec<HttpRequest>) -> Vec<String> {
         initial_db: initial_db(),
         recording: true,
         seed: 17,
+        ..Default::default()
     });
     let mut bodies = Vec::new();
     for req in requests {

@@ -27,6 +27,7 @@ fn one_workload_request_roundtrips_through_the_facade() {
         initial_db: app.initial_db(),
         recording: true,
         seed: 1,
+        ..Default::default()
     });
     let served = workload.all();
     assert!(!served.is_empty());
