@@ -1,10 +1,26 @@
-//! Bench E6 (§3.5, Fig. 6): the streaming frontier algorithm for
-//! materializing the time-precedence partial order vs the dense
-//! (quadratic) reference construction, across request counts and
-//! concurrency widths.
+//! Bench E6 (§3.5, Fig. 6, Lemma 11): the graph-layer ablation.
+//!
+//! Four construction arms over the same §A.8 epoch traces, across
+//! request counts and concurrency widths:
+//!
+//! * `dense_naive` — the quadratic reference (`O(X²)`), one edge per
+//!   related pair;
+//! * `frontier` — the Fig. 6 streaming frontier materialized as an
+//!   edge list (`create_time_precedence_graph`);
+//! * `two_phase` — the full Fig. 5 graph built the pre-CSR way:
+//!   materialized edge list, per-endpoint hash lookups, `Vec<Vec>`
+//!   adjacency, `HashMap` OpMap, O(E) indegree recount;
+//! * `streamed_csr` — the full Fig. 5 graph via `process_op_reports`:
+//!   frontier edges streamed straight into the two-pass CSR builder,
+//!   zero hashing after the interning pass.
+//!
+//! Plus a `cycle_check` microbench: Kahn's algorithm alone over a
+//! prebuilt CSR graph, reusing one indegree scratch buffer across
+//! iterations (the contract `AuditGraph::is_acyclic_with` exists for).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use orochi_bench::epoch_trace;
+use orochi_bench::{epoch_trace, zero_op_reports};
+use orochi_core::graph::{process_op_reports, two_phase};
 use orochi_core::precedence::{create_time_precedence_graph, dense_time_precedence};
 
 fn bench_timeprec(c: &mut Criterion) {
@@ -12,18 +28,27 @@ fn bench_timeprec(c: &mut Criterion) {
     group.sample_size(10);
     for &(epochs, width) in &[(100usize, 4usize), (500, 4), (100, 16), (25, 64)] {
         let trace = epoch_trace(epochs, width);
+        let reports = zero_op_reports(&trace);
         let balanced = trace.ensure_balanced().unwrap();
         let x = epochs * width;
-        group.bench_with_input(
-            BenchmarkId::new("frontier", format!("X{x}_P{width}")),
-            &balanced,
-            |b, t| b.iter(|| create_time_precedence_graph(t)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("dense_naive", format!("X{x}_P{width}")),
-            &balanced,
-            |b, t| b.iter(|| dense_time_precedence(t)),
-        );
+        let id = format!("X{x}_P{width}");
+        group.bench_with_input(BenchmarkId::new("frontier", &id), &balanced, |b, t| {
+            b.iter(|| create_time_precedence_graph(t))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_naive", &id), &balanced, |b, t| {
+            b.iter(|| dense_time_precedence(t))
+        });
+        group.bench_with_input(BenchmarkId::new("two_phase", &id), &balanced, |b, t| {
+            b.iter(|| two_phase::process_op_reports(t, &reports).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("streamed_csr", &id), &balanced, |b, t| {
+            b.iter(|| process_op_reports(t, &reports).unwrap())
+        });
+        let (graph, _) = process_op_reports(&balanced, &reports).unwrap();
+        let mut scratch = Vec::new();
+        group.bench_with_input(BenchmarkId::new("cycle_check", &id), &graph, |b, g| {
+            b.iter(|| assert!(g.is_acyclic_with(&mut scratch)))
+        });
     }
     group.finish();
 }

@@ -31,6 +31,9 @@ fn json_doc(scale: f64, rows: &[Fig9Row], par: &[ParallelRow], threads: usize) -
                         Json::obj([
                             ("app", Json::str(r.app)),
                             ("proc_op_rep_s", Json::Num(r.proc_op_rep.as_secs_f64())),
+                            ("graph_build_s", Json::Num(r.graph_build.as_secs_f64())),
+                            ("graph_nodes", Json::from(r.graph_nodes)),
+                            ("graph_edges", Json::from(r.graph_edges)),
                             ("db_redo_s", Json::Num(r.db_redo.as_secs_f64())),
                             ("db_query_s", Json::Num(r.db_query.as_secs_f64())),
                             ("php_s", Json::Num(r.php.as_secs_f64())),

@@ -144,6 +144,28 @@ impl Fig10Group {
     }
 }
 
+/// Zero-operation reports covering every request of `trace`: what an
+/// executor that issued no state operations would ship. The graph-layer
+/// ablation feeds these to `process_op_reports` so the measured cost is
+/// the time-precedence + program-edge construction and the cycle check,
+/// with no log-validation noise.
+pub fn zero_op_reports(trace: &Trace) -> Reports {
+    let rids: Vec<RequestId> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Request(rid, _) => Some(*rid),
+            Event::Response(..) => None,
+        })
+        .collect();
+    Reports {
+        groupings: vec![(CtlFlowTag(1), rids.clone())],
+        op_logs: Default::default(),
+        op_counts: rids.iter().map(|r| (*r, 0)).collect(),
+        nondet: Default::default(),
+    }
+}
+
 /// Synthesizes a balanced trace of `epochs` epochs with `width`
 /// mutually concurrent requests each (the §A.8 concurrency shape used
 /// by the time-precedence ablation).

@@ -45,7 +45,7 @@ use orochi_common::metrics::PhaseTimer;
 use orochi_sqldb::{Database, ExecOutcome, RedoError, RedoStats, VersionedDb, MAXQ};
 use orochi_state::object::{ObjectName, OpContents, OpType};
 use orochi_state::versioned_kv::VersionedKv;
-use orochi_trace::record::{BalanceError, BalancedTrace, Trace};
+use orochi_trace::record::{BalanceError, BalancedTrace, RidInterner, Trace};
 use orochi_trace::{HttpRequest, HttpResponse};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -321,6 +321,14 @@ pub struct AuditStats {
     /// Bytes of the latest (migrated) database snapshot (the
     /// denominator; also what the verifier keeps after the audit).
     pub db_final_bytes: usize,
+    /// Nodes in the Fig. 5 audit graph (`2X + Y`).
+    pub graph_nodes: usize,
+    /// Edges in the Fig. 5 audit graph (time-precedence + program +
+    /// log-order).
+    pub graph_edges: usize,
+    /// Wall time of the streamed two-pass CSR graph build — the slice
+    /// of the "ProcOpRep" phase the graph layer accounts for.
+    pub graph_build: Duration,
     /// Wall time per phase ("ProcOpRep", "DB redo", "ReExec", "DB query",
     /// "Output"), in the style of Fig. 9.
     pub phases: PhaseTimer,
@@ -363,15 +371,26 @@ pub struct AuditShared<'a> {
     reports: &'a Reports,
     config: &'a AuditConfig,
     opmap: OpMap,
-    /// Per-log register prev-write indexes: for entry index `j`, the
-    /// index of the latest `RegisterWrite` strictly before `j`. Built
-    /// for every log containing a `RegisterRead`.
-    reg_prev_write: HashMap<usize, Vec<Option<usize>>>,
-    /// Versioned key-value views, built for every log containing
-    /// key-value operations (`kv.Build(OL)`, Fig. 12 line 5).
-    versioned_kv: HashMap<usize, VersionedKv>,
-    /// Versioned databases per log index (the §4.5 redo pass).
-    versioned_dbs: HashMap<usize, VersionedDb>,
+    /// The dense requestID interning built by `process_op_reports` and
+    /// reused — via the OpMap — by every worker: per-request cursors
+    /// are flat arrays indexed by it.
+    interner: Arc<RidInterner>,
+    /// Per-log register prev-write indexes (slot = log index): for
+    /// entry index `j`, the index of the latest `RegisterWrite`
+    /// strictly before `j`. Built for every log containing a
+    /// `RegisterRead`.
+    reg_prev_write: Vec<Option<Vec<Option<usize>>>>,
+    /// Versioned key-value views (slot = log index), built for every
+    /// log containing key-value operations (`kv.Build(OL)`, Fig. 12
+    /// line 5).
+    versioned_kv: Vec<Option<VersionedKv>>,
+    /// Versioned databases (slot = log index; the §4.5 redo pass).
+    versioned_dbs: Vec<Option<VersionedDb>>,
+    /// Graph-layer statistics copied from the `process_op_reports`
+    /// product for the final outcome.
+    graph_nodes: usize,
+    graph_edges: usize,
+    graph_build: Duration,
 }
 
 // The parallel audit hands `Arc<AuditShared>` to scoped worker threads;
@@ -451,26 +470,45 @@ impl<'a> AuditShared<'a> {
         // Report the first redo failure in log order — identical to a
         // sequential pass over the logs.
         products.sort_by_key(|p| p.log_index);
+        let num_logs = reports.op_logs.len();
+        let interner = Arc::clone(opmap.interner());
         let mut shared = AuditShared {
             reports,
             config,
             opmap,
-            reg_prev_write: HashMap::new(),
-            versioned_kv: HashMap::new(),
-            versioned_dbs: HashMap::new(),
+            interner,
+            reg_prev_write: (0..num_logs).map(|_| None).collect(),
+            versioned_kv: (0..num_logs).map(|_| None).collect(),
+            versioned_dbs: (0..num_logs).map(|_| None).collect(),
+            graph_nodes: 0,
+            graph_edges: 0,
+            graph_build: Duration::ZERO,
         };
         for product in products {
             if let Some(db) = product.db {
-                shared.versioned_dbs.insert(product.log_index, db?);
+                shared.versioned_dbs[product.log_index] = Some(db?);
             }
             if let Some(kv) = product.kv {
-                shared.versioned_kv.insert(product.log_index, kv);
+                shared.versioned_kv[product.log_index] = Some(kv);
             }
             if let Some(reg) = product.reg {
-                shared.reg_prev_write.insert(product.log_index, reg);
+                shared.reg_prev_write[product.log_index] = Some(reg);
             }
         }
         Ok(shared)
+    }
+
+    /// Copies the graph-layer statistics out of the Fig. 5 product so
+    /// the final outcome can surface them.
+    fn record_graph(&mut self, graph: &crate::graph::AuditGraph) {
+        self.graph_nodes = graph.num_nodes();
+        self.graph_edges = graph.num_edges();
+        self.graph_build = graph.build_wall();
+    }
+
+    /// The versioned database for log `i`, if the prologue built one.
+    fn versioned_db(&self, i: usize) -> Option<&VersionedDb> {
+        self.versioned_dbs.get(i).and_then(|slot| slot.as_ref())
     }
 }
 
@@ -544,17 +582,17 @@ fn build_stores_for(
 /// over a single shared prologue.
 pub struct AuditContext<'a> {
     shared: Arc<AuditShared<'a>>,
-    /// Next unconsumed opnum per request (starts at 1).
-    opnum_next: HashMap<RequestId, u32>,
-    /// Requests with an open database transaction.
-    in_txn: HashSet<RequestId>,
+    /// Next unconsumed opnum per dense request index (starts at 1).
+    opnum_next: Vec<u32>,
+    /// Open-database-transaction flag per dense request index.
+    in_txn: Vec<bool>,
     /// Read-query dedup cache: (log, sql, table epochs) -> result.
     dedup_cache: HashMap<DedupKey, ExecOutcome>,
     /// Memoized sql -> touched tables (queries repeat heavily; parsing
     /// each occurrence would eat the dedup gain).
     touched_tables: HashMap<String, Vec<String>>,
-    /// Nondeterminism cursors per request.
-    nondet_cursor: HashMap<RequestId, usize>,
+    /// Nondeterminism cursors per dense request index.
+    nondet_cursor: Vec<usize>,
     /// Accumulated statistics.
     stats: AuditStats,
     /// Time spent answering database queries (the Fig. 9 "DB query" row).
@@ -573,34 +611,35 @@ impl<'a> AuditContext<'a> {
         config: &'a AuditConfig,
     ) -> Result<AuditContext<'a>, Rejection> {
         let balanced = trace.ensure_balanced().map_err(Rejection::Unbalanced)?;
-        let (_graph, opmap) = process_op_reports(&balanced, reports)?;
+        let (graph, opmap) = process_op_reports(&balanced, reports)?;
         reports
             .nondet
             .validate()
             .map_err(Rejection::NondetInvalid)?;
-        let shared = AuditShared::build(reports, opmap, config, 1)?;
+        let mut shared = AuditShared::build(reports, opmap, config, 1)?;
+        shared.record_graph(&graph);
         Ok(AuditContext::from_shared(Arc::new(shared)))
     }
 
     fn from_shared(shared: Arc<AuditShared<'a>>) -> Self {
+        let x = shared.interner.num_requests();
         AuditContext {
             shared,
-            opnum_next: HashMap::new(),
-            in_txn: HashSet::new(),
+            opnum_next: vec![1; x],
+            in_txn: vec![false; x],
             dedup_cache: HashMap::new(),
             touched_tables: HashMap::new(),
-            nondet_cursor: HashMap::new(),
+            nondet_cursor: vec![0; x],
             stats: AuditStats::default(),
             db_query_time: Duration::ZERO,
         }
     }
 
-    fn peek_opnum(&self, rid: RequestId) -> OpNum {
-        OpNum(*self.opnum_next.get(&rid).unwrap_or(&1))
-    }
-
-    fn consume_opnum(&mut self, rid: RequestId) {
-        *self.opnum_next.entry(rid).or_insert(1) += 1;
+    /// Resolves a requestID to its dense index — the one hash lookup a
+    /// state operation performs; every cursor and OpMap access after it
+    /// is flat indexing.
+    fn dense(&self, rid: RequestId) -> Option<usize> {
+        self.shared.interner.index_of(rid).map(|i| i as usize)
     }
 
     /// `CheckOp` (Fig. 12 lines 10–15) for non-database operations: the
@@ -611,15 +650,23 @@ impl<'a> AuditContext<'a> {
         rid: RequestId,
         object: &ObjectName,
         expect: &OpContents,
-    ) -> Result<(usize, SeqNum), Rejection> {
-        if self.in_txn.contains(&rid) {
+    ) -> Result<(usize, usize, SeqNum), Rejection> {
+        // A rid outside the trace has no OpMap entries at all; report
+        // it the way an empty OpMap row would (opnum cursor at 1).
+        let Some(idx) = self.dense(rid) else {
+            return Err(Rejection::OpNotInOpMap {
+                rid,
+                opnum: OpNum(1),
+            });
+        };
+        if self.in_txn[idx] {
             return Err(Rejection::StateOpDuringTxn { rid });
         }
-        let opnum = self.peek_opnum(rid);
+        let opnum = OpNum(self.opnum_next[idx]);
         let (i, s) = self
             .shared
             .opmap
-            .get(rid, opnum)
+            .get_dense(idx as u32, opnum)
             .ok_or(Rejection::OpNotInOpMap { rid, opnum })?;
         let name = self
             .shared
@@ -640,7 +687,7 @@ impl<'a> AuditContext<'a> {
         if entry.contents != *expect {
             return Err(Rejection::OpContentsMismatch { rid, opnum });
         }
-        Ok((i, s))
+        Ok((idx, i, s))
     }
 
     /// Register read: checked, then fed from the latest preceding write
@@ -651,11 +698,9 @@ impl<'a> AuditContext<'a> {
         rid: RequestId,
         object: &ObjectName,
     ) -> Result<SimResult, Rejection> {
-        let (i, s) = self.check_op(rid, object, &OpContents::RegisterRead)?;
-        let prev = self
-            .shared
-            .reg_prev_write
-            .get(&i)
+        let (idx, i, s) = self.check_op(rid, object, &OpContents::RegisterRead)?;
+        let prev = self.shared.reg_prev_write[i]
+            .as_ref()
             .expect("prologue builds prev-write indexes for register logs");
         let value = match prev[(s.0 - 1) as usize] {
             Some(widx) => {
@@ -672,7 +717,7 @@ impl<'a> AuditContext<'a> {
                 .get(object.as_str())
                 .cloned(),
         };
-        self.consume_opnum(rid);
+        self.opnum_next[idx] += 1;
         self.stats.register_ops += 1;
         Ok(SimResult::Register(value))
     }
@@ -686,8 +731,8 @@ impl<'a> AuditContext<'a> {
         object: &ObjectName,
         value: Vec<u8>,
     ) -> Result<SimResult, Rejection> {
-        self.check_op(rid, object, &OpContents::RegisterWrite { value })?;
-        self.consume_opnum(rid);
+        let (idx, ..) = self.check_op(rid, object, &OpContents::RegisterWrite { value })?;
+        self.opnum_next[idx] += 1;
         self.stats.register_ops += 1;
         Ok(SimResult::None)
     }
@@ -700,17 +745,15 @@ impl<'a> AuditContext<'a> {
         object: &ObjectName,
         key: &str,
     ) -> Result<SimResult, Rejection> {
-        let (i, s) = self.check_op(
+        let (idx, i, s) = self.check_op(
             rid,
             object,
             &OpContents::KvGet {
                 key: key.to_string(),
             },
         )?;
-        let kv = self
-            .shared
-            .versioned_kv
-            .get(&i)
+        let kv = self.shared.versioned_kv[i]
+            .as_ref()
             .expect("prologue builds versioned views for kv logs");
         let value = if kv.has_write_before(key, s) {
             kv.get(key, s)
@@ -721,7 +764,7 @@ impl<'a> AuditContext<'a> {
                 .get(object.as_str())
                 .and_then(|m| m.get(key).cloned())
         };
-        self.consume_opnum(rid);
+        self.opnum_next[idx] += 1;
         self.stats.kv_ops += 1;
         Ok(SimResult::Kv(value))
     }
@@ -734,7 +777,7 @@ impl<'a> AuditContext<'a> {
         key: &str,
         value: Option<Vec<u8>>,
     ) -> Result<SimResult, Rejection> {
-        self.check_op(
+        let (idx, ..) = self.check_op(
             rid,
             object,
             &OpContents::KvSet {
@@ -742,7 +785,7 @@ impl<'a> AuditContext<'a> {
                 value,
             },
         )?;
-        self.consume_opnum(rid);
+        self.opnum_next[idx] += 1;
         self.stats.kv_ops += 1;
         Ok(SimResult::None)
     }
@@ -755,14 +798,20 @@ impl<'a> AuditContext<'a> {
         rid: RequestId,
         object: &ObjectName,
     ) -> Result<DbTxnHandle, Rejection> {
-        if self.in_txn.contains(&rid) {
+        let Some(idx) = self.dense(rid) else {
+            return Err(Rejection::OpNotInOpMap {
+                rid,
+                opnum: OpNum(1),
+            });
+        };
+        if self.in_txn[idx] {
             return Err(Rejection::StateOpDuringTxn { rid });
         }
-        let opnum = self.peek_opnum(rid);
+        let opnum = OpNum(self.opnum_next[idx]);
         let (i, s) = self
             .shared
             .opmap
-            .get(rid, opnum)
+            .get_dense(idx as u32, opnum)
             .ok_or(Rejection::OpNotInOpMap { rid, opnum })?;
         let name = self
             .shared
@@ -786,7 +835,7 @@ impl<'a> AuditContext<'a> {
             } => (queries.len() as u64, *succeeded),
             _ => return Err(Rejection::OpContentsMismatch { rid, opnum }),
         };
-        self.in_txn.insert(rid);
+        self.in_txn[idx] = true;
         self.stats.db_txns += 1;
         Ok(DbTxnHandle {
             rid,
@@ -852,8 +901,7 @@ impl<'a> AuditContext<'a> {
 
         let vdb = self
             .shared
-            .versioned_dbs
-            .get(&handle.obj_index)
+            .versioned_db(handle.obj_index)
             .ok_or(Rejection::ObjectMismatch { rid, opnum })?;
         let seq = handle.seq.0;
         if handle.logged_succeeded {
@@ -906,8 +954,7 @@ impl<'a> AuditContext<'a> {
     ) -> Result<ExecOutcome, Rejection> {
         let vdb = self
             .shared
-            .versioned_dbs
-            .get(&obj_index)
+            .versioned_db(obj_index)
             .ok_or(Rejection::ObjectMismatch { rid, opnum })?;
         if !self.shared.config.query_dedup {
             self.stats.db_queries_issued += 1;
@@ -951,8 +998,7 @@ impl<'a> AuditContext<'a> {
         }
         let failed = self
             .shared
-            .versioned_dbs
-            .get(&handle.obj_index)
+            .versioned_db(handle.obj_index)
             .ok_or(Rejection::ObjectMismatch { rid, opnum })?
             .aborted_failed_at_last(handle.seq.0);
         let result = if committed {
@@ -973,16 +1019,24 @@ impl<'a> AuditContext<'a> {
             }
             false
         };
-        self.in_txn.remove(&rid);
-        self.consume_opnum(rid);
+        let idx = self
+            .dense(rid)
+            .expect("db_begin resolved this request already");
+        self.in_txn[idx] = false;
+        self.opnum_next[idx] += 1;
         Ok(result)
     }
 
     /// Feeds the next recorded nondeterministic value for `rid`,
     /// checking its kind matches the call site (§4.6).
     pub fn nondet(&mut self, rid: RequestId, kind: &str) -> Result<NondetValue, Rejection> {
+        // A rid outside the trace owns no recorded values, so the
+        // cursor (0) is already past the end.
+        let Some(idx) = self.dense(rid) else {
+            return Err(Rejection::NondetExhausted { rid });
+        };
         let recorded = self.shared.reports.nondet.for_request(rid);
-        let cursor = self.nondet_cursor.entry(rid).or_insert(0);
+        let cursor = &mut self.nondet_cursor[idx];
         let value = recorded
             .get(*cursor)
             .ok_or(Rejection::NondetExhausted { rid })?;
@@ -997,15 +1051,16 @@ impl<'a> AuditContext<'a> {
     /// exactly `M(rid)` operations (Fig. 12 line 51) and all recorded
     /// nondeterminism.
     fn finish_request(&mut self, rid: RequestId) -> Result<(), Rejection> {
-        if self.in_txn.contains(&rid) {
+        let idx = self
+            .dense(rid)
+            .expect("prepared groups only contain trace requests");
+        if self.in_txn[idx] {
             return Err(Rejection::StateOpDuringTxn { rid });
         }
-        let next = self.peek_opnum(rid).0;
-        if next != self.shared.reports.op_count(rid) + 1 {
+        if self.opnum_next[idx] != self.shared.reports.op_count(rid) + 1 {
             return Err(Rejection::OpCountMismatch { rid });
         }
-        let consumed = *self.nondet_cursor.get(&rid).unwrap_or(&0);
-        if consumed != self.shared.reports.nondet.for_request(rid).len() {
+        if self.nondet_cursor[idx] != self.shared.reports.nondet.for_request(rid).len() {
             return Err(Rejection::NondetLeftover { rid });
         }
         Ok(())
@@ -1023,9 +1078,11 @@ impl<'a> AuditContext<'a> {
     /// the audit state, so a retry re-runs them identically.
     pub fn reset_requests(&mut self, rids: &[RequestId]) {
         for rid in rids {
-            self.opnum_next.remove(rid);
-            self.in_txn.remove(rid);
-            self.nondet_cursor.remove(rid);
+            if let Some(idx) = self.dense(*rid) {
+                self.opnum_next[idx] = 1;
+                self.in_txn[idx] = false;
+                self.nondet_cursor[idx] = 0;
+            }
         }
     }
 }
@@ -1134,7 +1191,10 @@ fn assemble_outcome(
     phases: PhaseTimer,
 ) -> AuditOutcome {
     stats.phases = phases;
-    for vdb in shared.versioned_dbs.values() {
+    stats.graph_nodes = shared.graph_nodes;
+    stats.graph_edges = shared.graph_edges;
+    stats.graph_build = shared.graph_build;
+    for vdb in shared.versioned_dbs.iter().flatten() {
         let s = vdb.stats();
         stats.redo.transactions += s.transactions;
         stats.redo.queries += s.queries;
@@ -1161,7 +1221,7 @@ fn prologue<'a>(
         .map_err(Rejection::Unbalanced)?;
 
     // Phase 2: ProcessOpReports (Fig. 5) + nondeterminism sanity (§4.6).
-    let (_graph, opmap) = phases.time("ProcOpRep", || process_op_reports(&balanced, reports))?;
+    let (graph, opmap) = phases.time("ProcOpRep", || process_op_reports(&balanced, reports))?;
     reports
         .nondet
         .validate()
@@ -1170,9 +1230,10 @@ fn prologue<'a>(
     // Phase 3: versioned store builds — the §4.5 redo pass plus the kv
     // views and register prev-write indexes — sharded by object when a
     // pool is available.
-    let shared = phases.time("DB redo", || {
+    let mut shared = phases.time("DB redo", || {
         AuditShared::build(reports, opmap, config, threads)
     })?;
+    shared.record_graph(&graph);
     Ok((balanced, Arc::new(shared)))
 }
 

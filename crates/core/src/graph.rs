@@ -20,12 +20,42 @@
 //! examples show why each edge source is necessary).
 //!
 //! The construction runs in `O(X + Y + Z)` time and space (Lemma 11).
+//!
+//! # Implementation contract
+//!
+//! The whole pass is *zero-hash after the one-time interning pass*.
+//! [`process_op_reports`] first interns the trace's requestIDs into
+//! dense `u32` indices ([`orochi_trace::RidInterner`]) and, while
+//! walking the logs once for `CheckLogs`, resolves every log entry's
+//! requestID through the interner into flat per-log index arrays. From
+//! that point on, every hot loop is index arithmetic over flat arrays:
+//!
+//! * the [`OpMap`] is an offset table — per dense request, a prefix
+//!   offset into one slot array of `M(rid)` entries — so duplicate
+//!   detection, the missing-operation scan, and re-execution's
+//!   `CheckOp` lookups are all direct indexing;
+//! * the [`AuditGraph`] is a compressed-sparse-row (CSR) structure
+//!   built in two passes over one edge stream (count out-degrees,
+//!   prefix-sum, fill columns) that includes the Fig. 6 frontier edges
+//!   *streamed* straight from
+//!   [`crate::precedence::for_each_frontier_edge`] — no intermediate
+//!   `(RequestId, RequestId)` edge list is ever materialized, and no
+//!   endpoint is re-hashed;
+//! * the cycle check is Kahn's algorithm over the flat `row_start`/
+//!   `col` arrays, seeded from an indegree array accumulated during the
+//!   fill pass (no O(E) recount) and copied into a reusable scratch
+//!   buffer per query.
+//!
+//! The pre-CSR construction — materialized edge list, per-endpoint hash
+//! lookups, `Vec<Vec<u32>>` adjacency, `HashMap` OpMap — survives in
+//! [`two_phase`] as the bench baseline and differential-testing oracle.
 
-use crate::precedence::create_time_precedence_graph;
+use crate::precedence::for_each_frontier_edge;
 use crate::reports::Reports;
 use orochi_common::ids::{OpNum, RequestId, SeqNum};
-use orochi_trace::record::BalancedTrace;
-use std::collections::HashMap;
+use orochi_trace::record::{BalancedTrace, RidInterner};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Why report processing rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,188 +130,245 @@ impl std::fmt::Display for GraphRejection {
 
 impl std::error::Error for GraphRejection {}
 
+/// Sentinel object index marking an unfilled [`OpMap`] slot.
+const UNSET: u32 = u32::MAX;
+
 /// The OpMap: `(rid, opnum) -> (object index, log sequence number)`.
-#[derive(Debug, Clone, Default)]
+///
+/// Stored as a flat per-request offset table over the dense request
+/// indices of the shared [`RidInterner`]: request `idx` owns the slot
+/// range `offsets[idx]..offsets[idx + 1]` (one slot per promised
+/// operation), so a lookup is two array reads — no `(rid, opnum)`
+/// hashing. The interner rides along so the audit's re-execution
+/// workers can reuse the same dense indices for their per-request
+/// cursors.
+#[derive(Debug, Clone)]
 pub struct OpMap {
-    map: HashMap<(RequestId, OpNum), (usize, SeqNum)>,
+    interner: Arc<RidInterner>,
+    /// Per dense request: prefix offsets into `slots`; length `X + 1`.
+    offsets: Vec<u32>,
+    /// One `(object index, seqnum)` slot per promised operation;
+    /// `UNSET` object index marks a slot no log entry filled.
+    slots: Vec<(u32, SeqNum)>,
+    /// Number of filled slots.
+    filled: usize,
 }
 
 impl OpMap {
-    /// Looks up an operation.
+    /// Looks up an operation (one interner hash to resolve `rid`, then
+    /// pure index arithmetic — see [`OpMap::get_dense`]).
     pub fn get(&self, rid: RequestId, opnum: OpNum) -> Option<(usize, SeqNum)> {
-        self.map.get(&(rid, opnum)).copied()
+        let idx = self.interner.index_of(rid)?;
+        self.get_dense(idx, opnum)
+    }
+
+    /// Looks up an operation by dense request index: two array reads,
+    /// zero hashing. `idx` must come from [`OpMap::interner`].
+    pub fn get_dense(&self, idx: u32, opnum: OpNum) -> Option<(usize, SeqNum)> {
+        if opnum.0 == 0 || opnum.is_infinity() {
+            return None;
+        }
+        let start = self.offsets[idx as usize];
+        let m = self.offsets[idx as usize + 1] - start;
+        if opnum.0 > m {
+            return None;
+        }
+        let (obj, seq) = self.slots[(start + opnum.0 - 1) as usize];
+        (obj != UNSET).then_some((obj as usize, seq))
+    }
+
+    /// The dense requestID interning this OpMap (and the whole audit)
+    /// indexes by.
+    pub fn interner(&self) -> &Arc<RidInterner> {
+        &self.interner
     }
 
     /// Number of indexed operations.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.filled
     }
 
     /// True if no operations are indexed.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.filled == 0
     }
 }
 
-/// The audit graph `G` over dense node ids.
+/// The audit graph `G` over dense node ids, in compressed-sparse-row
+/// (CSR) form.
 ///
-/// Node numbering per request `rid` (with `m = M(rid)`): slot 0 is
-/// `(rid, 0)`, slots `1..=m` are the operations, slot `m + 1` is
-/// `(rid, ∞)`.
+/// Node numbering per dense request index `idx` (with `m = M(rid)`):
+/// the request owns the contiguous id range `base[idx]..base[idx + 1]`
+/// — slot 0 is `(rid, 0)`, slots `1..=m` are the operations, slot
+/// `m + 1` is `(rid, ∞)`. Requests are numbered in arrival order (the
+/// interner's dense order), so the whole graph layout is determined by
+/// the trace and `M` alone.
+///
+/// Out-edges of node `v` are `col[row_start[v]..row_start[v + 1]]`; the
+/// builder also accumulates `indegree` during the fill pass so Kahn's
+/// check never re-counts edges.
 #[derive(Debug)]
 pub struct AuditGraph {
-    /// Requests in a fixed order.
-    rids: Vec<RequestId>,
-    rid_index: HashMap<RequestId, usize>,
-    /// Prefix offsets into the dense node id space.
+    interner: Arc<RidInterner>,
+    /// Node-id base per dense request; length `X + 1`.
     base: Vec<u32>,
-    /// `M(rid)` per rid (same order as `rids`).
-    op_counts: Vec<u32>,
-    /// Adjacency list.
-    adj: Vec<Vec<u32>>,
-    edge_count: usize,
+    /// CSR row offsets; length `num_nodes + 1`.
+    row_start: Vec<u32>,
+    /// CSR column (edge target) array; length `num_edges`.
+    col: Vec<u32>,
+    /// Per-node indegree, accumulated during the fill pass.
+    indegree: Vec<u32>,
+    /// Wall time of the two-pass CSR build (count + prefix-sum + fill).
+    build_wall: Duration,
 }
 
 impl AuditGraph {
-    fn new(trace: &BalancedTrace, reports: &Reports) -> Self {
-        let mut rids: Vec<RequestId> = trace.request_ids().collect();
-        rids.sort();
-        let rid_index: HashMap<RequestId, usize> =
-            rids.iter().enumerate().map(|(i, r)| (*r, i)).collect();
-        let op_counts: Vec<u32> = rids.iter().map(|r| reports.op_count(*r)).collect();
-        let mut base = Vec::with_capacity(rids.len() + 1);
-        let mut acc: u32 = 0;
-        for m in &op_counts {
-            base.push(acc);
-            acc += m + 2;
-        }
-        base.push(acc);
-        AuditGraph {
-            rids,
-            rid_index,
-            base,
-            op_counts,
-            adj: vec![Vec::new(); acc as usize],
-            edge_count: 0,
-        }
-    }
-
     /// Total nodes (`2X + Y`).
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.row_start.len() - 1
     }
 
     /// Total edges.
     pub fn num_edges(&self) -> usize {
-        self.edge_count
+        self.col.len()
     }
 
-    fn node(&self, rid: RequestId, opnum: OpNum) -> u32 {
-        let idx = self.rid_index[&rid];
-        let m = self.op_counts[idx];
-        let slot = if opnum.is_infinity() {
-            m + 1
-        } else {
-            debug_assert!(opnum.0 <= m, "opnum within M");
-            opnum.0
-        };
-        self.base[idx] + slot
+    /// Wall time the two-pass CSR build took (the harness surfaces this
+    /// as the graph-build share of the "ProcOpRep" phase).
+    pub fn build_wall(&self) -> Duration {
+        self.build_wall
     }
 
-    fn add_edge(&mut self, from: u32, to: u32) {
-        self.adj[from as usize].push(to);
-        self.edge_count += 1;
-    }
-
-    /// Kahn's algorithm: true if the graph is acyclic.
-    fn is_acyclic(&self) -> bool {
-        let n = self.adj.len();
-        let mut indegree = vec![0u32; n];
-        for outs in &self.adj {
-            for &to in outs {
-                indegree[to as usize] += 1;
-            }
-        }
-        let mut queue: Vec<u32> = (0..n as u32)
-            .filter(|&i| indegree[i as usize] == 0)
+    /// Kahn's algorithm over the flat CSR arrays: copies the
+    /// precomputed indegrees into `indegree_scratch` (cleared and
+    /// refilled — callers can reuse one allocation across graphs and
+    /// queries), seeds a stack with the zero-indegree nodes, and visits
+    /// nodes as their last incoming edge is retired. Returns true iff
+    /// every node was visited, i.e. the graph is acyclic.
+    fn kahn(&self, indegree_scratch: &mut Vec<u32>, mut visit: impl FnMut(u32)) -> bool {
+        let n = self.num_nodes();
+        indegree_scratch.clear();
+        indegree_scratch.extend_from_slice(&self.indegree);
+        let mut stack: Vec<u32> = (0..n as u32)
+            .filter(|&v| indegree_scratch[v as usize] == 0)
             .collect();
         let mut visited = 0usize;
-        while let Some(cur) = queue.pop() {
+        while let Some(cur) = stack.pop() {
             visited += 1;
-            for &to in &self.adj[cur as usize] {
-                indegree[to as usize] -= 1;
-                if indegree[to as usize] == 0 {
-                    queue.push(to);
+            visit(cur);
+            let row =
+                self.row_start[cur as usize] as usize..self.row_start[cur as usize + 1] as usize;
+            for &to in &self.col[row] {
+                indegree_scratch[to as usize] -= 1;
+                if indegree_scratch[to as usize] == 0 {
+                    stack.push(to);
                 }
             }
         }
         visited == n
     }
 
+    /// True if the graph is acyclic (Kahn's algorithm).
+    pub fn is_acyclic(&self) -> bool {
+        self.is_acyclic_with(&mut Vec::new())
+    }
+
+    /// [`AuditGraph::is_acyclic`] with a caller-provided indegree
+    /// scratch buffer, for repeated checks (the cycle-check microbench
+    /// in the `timeprec` bench reuses one allocation across
+    /// iterations).
+    pub fn is_acyclic_with(&self, indegree_scratch: &mut Vec<u32>) -> bool {
+        self.kahn(indegree_scratch, |_| {})
+    }
+
     /// A topological order of the nodes as `(rid, opnum)` pairs, if the
     /// graph is acyclic. Used by the out-of-order audit oracle (§A.4).
     pub fn topological_order(&self) -> Option<Vec<(RequestId, OpNum)>> {
-        let n = self.adj.len();
-        let mut indegree = vec![0u32; n];
-        for outs in &self.adj {
-            for &to in outs {
-                indegree[to as usize] += 1;
-            }
-        }
-        let mut queue: Vec<u32> = (0..n as u32)
-            .filter(|&i| indegree[i as usize] == 0)
-            .collect();
-        let mut order = Vec::with_capacity(n);
-        while let Some(cur) = queue.pop() {
-            order.push(cur);
-            for &to in &self.adj[cur as usize] {
-                indegree[to as usize] -= 1;
-                if indegree[to as usize] == 0 {
-                    queue.push(to);
-                }
-            }
-        }
-        if order.len() != n {
+        let mut order = Vec::with_capacity(self.num_nodes());
+        if !self.kahn(&mut Vec::new(), |v| order.push(v)) {
             return None;
         }
-        Some(order.into_iter().map(|id| self.label(id)).collect())
+        Some(order.into_iter().map(|v| self.label(v)).collect())
+    }
+
+    /// Iterates every edge as labeled `((rid, opnum), (rid, opnum))`
+    /// pairs, in CSR row order. This is the oracle surface: the
+    /// property suite compares it against the [`two_phase`] reference
+    /// construction.
+    pub fn edges(&self) -> impl Iterator<Item = ((RequestId, OpNum), (RequestId, OpNum))> + '_ {
+        (0..self.num_nodes() as u32).flat_map(move |from| {
+            let row =
+                self.row_start[from as usize] as usize..self.row_start[from as usize + 1] as usize;
+            self.col[row]
+                .iter()
+                .map(move |&to| (self.label(from), self.label(to)))
+        })
     }
 
     fn label(&self, node: u32) -> (RequestId, OpNum) {
-        // Binary search the base offsets for the owning request.
-        let idx = match self.base.binary_search(&node) {
-            Ok(mut i) => {
-                // `node` may equal several bases when a request has no
-                // nodes; pick the slot whose range contains it.
-                while i + 1 < self.base.len() && self.base[i + 1] == node {
-                    i += 1;
-                }
-                i.min(self.rids.len() - 1)
-            }
-            Err(i) => i - 1,
-        };
+        // Every request owns at least two nodes, so `base` is strictly
+        // increasing and the owner is the last base at or below `node`.
+        let idx = self.base.partition_point(|&b| b <= node) - 1;
         let slot = node - self.base[idx];
-        let m = self.op_counts[idx];
+        let m = self.base[idx + 1] - self.base[idx] - 2;
         let opnum = if slot == m + 1 {
             OpNum::INFINITY
         } else {
             OpNum(slot)
         };
-        (self.rids[idx], opnum)
+        (self.interner.rid(idx as u32), opnum)
     }
 }
 
 /// `ProcessOpReports` (Fig. 5): validates the logs against `M` and the
 /// trace, constructs the OpMap, builds `G`, and checks acyclicity.
+///
+/// One interning pass resolves every requestID the function will ever
+/// touch (trace events and log entries) into dense indices; every loop
+/// after it — the missing-operation scan, the three edge streams, the
+/// two-pass CSR build, Kahn's check — is flat index arithmetic with
+/// zero hash-map or hash-set operations.
+///
+/// # Examples
+///
+/// ```
+/// use orochi_common::ids::RequestId;
+/// use orochi_core::graph::process_op_reports;
+/// use orochi_core::reports::Reports;
+/// use orochi_trace::{Event, HttpRequest, HttpResponse, Trace};
+///
+/// // Two sequential requests that issued no state operations.
+/// let (r1, r2) = (RequestId(1), RequestId(2));
+/// let trace = Trace { events: vec![
+///     Event::Request(r1, HttpRequest::get("/a", &[])),
+///     Event::Response(r1, HttpResponse::ok(r1, "x")),
+///     Event::Request(r2, HttpRequest::get("/b", &[])),
+///     Event::Response(r2, HttpResponse::ok(r2, "y")),
+/// ]}.ensure_balanced().unwrap();
+/// let reports = Reports {
+///     op_counts: [(r1, 0), (r2, 0)].into_iter().collect(),
+///     ..Reports::new()
+/// };
+/// let (graph, opmap) = process_op_reports(&trace, &reports).unwrap();
+/// // Nodes: per request, arrival + departure. Edges: one program edge
+/// // per request plus the split time edge (r1, ∞) -> (r2, 0).
+/// assert_eq!(graph.num_nodes(), 4);
+/// assert_eq!(graph.num_edges(), 3);
+/// assert!(opmap.is_empty());
+/// assert!(graph.is_acyclic());
+/// ```
 pub fn process_op_reports(
     trace: &BalancedTrace,
     reports: &Reports,
 ) -> Result<(AuditGraph, OpMap), GraphRejection> {
-    // Reject aliased logs up front: one log per object name.
+    // Reject aliased logs up front: one log per object name. This
+    // happens before (and its hash set is part of) the interning pass;
+    // walking in log order keeps the reported name — the first
+    // duplicate encountered — identical to [`two_phase`]'s.
     {
         let mut seen = std::collections::HashSet::new();
         for (_, name, _) in reports.op_logs.iter() {
-            if !seen.insert(name.as_str().to_string()) {
+            if !seen.insert(name.as_str()) {
                 return Err(GraphRejection::DuplicateObjectName {
                     name: name.as_str().to_string(),
                 });
@@ -289,88 +376,379 @@ pub fn process_op_reports(
         }
     }
 
-    let mut graph = AuditGraph::new(trace, reports);
-
-    // SplitNodes: time-precedence edges (r1, ∞) -> (r2, 0).
-    let gtr = create_time_precedence_graph(trace);
-    for (r1, r2) in &gtr.edges {
-        let from = graph.node(*r1, OpNum::INFINITY);
-        let to = graph.node(*r2, OpNum(0));
-        graph.add_edge(from, to);
+    // ---- The one-time interning pass. --------------------------------
+    // Dense requestIDs, the OpMap offset table, and the node-id bases.
+    let interner = Arc::new(trace.intern_rids());
+    let x = interner.num_requests();
+    let mut offsets: Vec<u32> = Vec::with_capacity(x + 1);
+    let mut base: Vec<u32> = Vec::with_capacity(x + 1);
+    let (mut ops_acc, mut node_acc) = (0u32, 0u32);
+    for idx in 0..x {
+        offsets.push(ops_acc);
+        base.push(node_acc);
+        let m = reports.op_count(interner.rid(idx as u32));
+        ops_acc += m;
+        node_acc += m + 2;
     }
+    offsets.push(ops_acc);
+    base.push(node_acc);
 
-    // AddProgramEdges: (rid, k-1) -> (rid, k), then (rid, M) -> (rid, ∞).
-    for (idx, rid) in graph.rids.clone().into_iter().enumerate() {
-        let m = graph.op_counts[idx];
-        for opnum in 1..=m {
-            let from = graph.node(rid, OpNum(opnum - 1));
-            let to = graph.node(rid, OpNum(opnum));
-            graph.add_edge(from, to);
-        }
-        let from = graph.node(rid, OpNum(m));
-        let to = graph.node(rid, OpNum::INFINITY);
-        graph.add_edge(from, to);
-    }
-
-    // CheckLogs: validate entries and build the OpMap.
-    let mut opmap = OpMap::default();
+    // CheckLogs — still the interning pass: each log entry's requestID
+    // is resolved through the interner exactly once, into flat per-log
+    // index arrays the edge passes reuse. Validation and the OpMap fill
+    // happen per entry, in log order, so the first defect found matches
+    // a straight Fig. 5 walk.
+    let mut slots: Vec<(u32, SeqNum)> = vec![(UNSET, SeqNum(0)); ops_acc as usize];
+    let mut filled = 0usize;
+    let mut resolved: Vec<Vec<u32>> = Vec::with_capacity(reports.op_logs.len());
     for (i, _, log) in reports.op_logs.iter() {
+        let mut dense = Vec::with_capacity(log.len());
         for (seq, entry) in log.iter() {
-            if !trace.contains(entry.rid) {
+            let Some(idx) = interner.index_of(entry.rid) else {
                 return Err(GraphRejection::LogEntryUnknownRequest { rid: entry.rid });
-            }
-            let m = reports.op_count(entry.rid);
+            };
+            let m = offsets[idx as usize + 1] - offsets[idx as usize];
             if entry.opnum.0 == 0 || entry.opnum.is_infinity() || entry.opnum.0 > m {
                 return Err(GraphRejection::LogEntryBadOpnum {
                     rid: entry.rid,
                     opnum: entry.opnum,
                 });
             }
-            if opmap
-                .map
-                .insert((entry.rid, entry.opnum), (i, seq))
-                .is_some()
-            {
+            let slot = (offsets[idx as usize] + entry.opnum.0 - 1) as usize;
+            if slots[slot].0 != UNSET {
                 return Err(GraphRejection::DuplicateOperation {
                     rid: entry.rid,
                     opnum: entry.opnum,
                 });
             }
+            slots[slot] = (i as u32, seq);
+            filled += 1;
+            dense.push(idx);
         }
+        resolved.push(dense);
     }
-    for (idx, rid) in graph.rids.iter().enumerate() {
-        let m = graph.op_counts[idx];
-        for opnum in 1..=m {
-            if opmap.get(*rid, OpNum(opnum)).is_none() {
+    // ---- Everything below is index arithmetic: zero hashing. --------
+
+    // Every operation promised by M must be logged (dense order).
+    for idx in 0..x {
+        let (s, e) = (offsets[idx] as usize, offsets[idx + 1] as usize);
+        for (k, slot) in slots[s..e].iter().enumerate() {
+            if slot.0 == UNSET {
                 return Err(GraphRejection::MissingOperation {
-                    rid: *rid,
-                    opnum: OpNum(opnum),
+                    rid: interner.rid(idx as u32),
+                    opnum: OpNum(k as u32 + 1),
                 });
             }
         }
     }
 
-    // AddStateEdges: adjacent log entries from different requests get an
-    // edge; same-request adjacency must have increasing opnums.
-    for (_, _, log) in reports.op_logs.iter() {
-        let entries = log.entries();
-        for pair in entries.windows(2) {
-            let (prev, curr) = (&pair[0], &pair[1]);
-            if prev.rid != curr.rid {
-                let from = graph.node(prev.rid, prev.opnum);
-                let to = graph.node(curr.rid, curr.opnum);
-                graph.add_edge(from, to);
-            } else if prev.opnum >= curr.opnum {
-                return Err(GraphRejection::LogOrderViolation { rid: curr.rid });
+    // Same-request log adjacency must be in increasing opnum order
+    // (different-request adjacency becomes a log-order edge below).
+    for ((_, _, log), dense) in reports.op_logs.iter().zip(&resolved) {
+        for (k, pair) in log.entries().windows(2).enumerate() {
+            if dense[k] == dense[k + 1] && pair[0].opnum >= pair[1].opnum {
+                return Err(GraphRejection::LogOrderViolation { rid: pair[1].rid });
             }
         }
     }
+
+    // Two-pass CSR build over one edge stream. `each_edge` replays the
+    // three Fig. 5 edge sources in a fixed order — Fig. 6 frontier
+    // (split) edges streamed straight from the interner, program edges,
+    // log-order edges — first counting out-degrees, then filling the
+    // column array (and the indegrees Kahn's check will consume).
+    let t_build = Instant::now();
+    let num_nodes = node_acc as usize;
+    let each_edge = |emit: &mut dyn FnMut(u32, u32)| {
+        // SplitNodes: time-precedence edges (r1, ∞) -> (r2, 0).
+        for_each_frontier_edge(&interner, |from, to| {
+            emit(base[from as usize + 1] - 1, base[to as usize]);
+        });
+        // AddProgramEdges: (rid, k-1) -> (rid, k), …, (rid, M) -> (rid, ∞)
+        // — each node in the request's range points at its successor.
+        for idx in 0..x {
+            for node in base[idx]..base[idx + 1] - 1 {
+                emit(node, node + 1);
+            }
+        }
+        // AddStateEdges: adjacent log entries of different requests.
+        for ((_, _, log), dense) in reports.op_logs.iter().zip(&resolved) {
+            for (k, pair) in log.entries().windows(2).enumerate() {
+                if dense[k] != dense[k + 1] {
+                    emit(
+                        base[dense[k] as usize] + pair[0].opnum.0,
+                        base[dense[k + 1] as usize] + pair[1].opnum.0,
+                    );
+                }
+            }
+        }
+    };
+    let mut row_start = vec![0u32; num_nodes + 1];
+    each_edge(&mut |from, _| row_start[from as usize + 1] += 1);
+    for v in 0..num_nodes {
+        row_start[v + 1] += row_start[v];
+    }
+    let mut cursor: Vec<u32> = row_start[..num_nodes].to_vec();
+    let mut col = vec![0u32; row_start[num_nodes] as usize];
+    let mut indegree = vec![0u32; num_nodes];
+    each_edge(&mut |from, to| {
+        let c = &mut cursor[from as usize];
+        col[*c as usize] = to;
+        *c += 1;
+        indegree[to as usize] += 1;
+    });
+    let graph = AuditGraph {
+        interner: Arc::clone(&interner),
+        base,
+        row_start,
+        col,
+        indegree,
+        build_wall: t_build.elapsed(),
+    };
 
     // CycleDetect.
     if !graph.is_acyclic() {
         return Err(GraphRejection::CycleDetected);
     }
-    Ok((graph, opmap))
+    Ok((
+        graph,
+        OpMap {
+            interner,
+            offsets,
+            slots,
+            filled,
+        },
+    ))
+}
+
+pub mod two_phase {
+    //! The pre-CSR construction, preserved as a baseline and oracle.
+    //!
+    //! This is the shape the streamed builder replaced: materialize the
+    //! Fig. 6 edge list as `(RequestId, RequestId)` pairs, re-hash every
+    //! endpoint through a `rid -> index` map, buffer adjacency as
+    //! `Vec<Vec<u32>>`, build the OpMap as a `HashMap`, and recount
+    //! indegrees with an O(E) sweep before Kahn's check. It is kept —
+    //! not called by the audit — for two jobs:
+    //!
+    //! * the `timeprec` bench's graph-layer ablation times it against
+    //!   [`super::process_op_reports`] (streamed CSR must win);
+    //! * the property suite runs both on fuzzed traces/reports and
+    //!   demands the same verdict, the same diagnostic, and the same
+    //!   edge multiset.
+
+    use super::GraphRejection;
+    use crate::precedence::create_time_precedence_graph;
+    use crate::reports::Reports;
+    use orochi_common::ids::{OpNum, RequestId, SeqNum};
+    use orochi_trace::record::BalancedTrace;
+    use std::collections::HashMap;
+
+    /// The audit graph in its pre-CSR form: `Vec<Vec<u32>>` adjacency
+    /// over the same node numbering as [`super::AuditGraph`].
+    #[derive(Debug)]
+    pub struct ReferenceGraph {
+        rids: Vec<RequestId>,
+        rid_index: HashMap<RequestId, usize>,
+        base: Vec<u32>,
+        op_counts: Vec<u32>,
+        adj: Vec<Vec<u32>>,
+        edge_count: usize,
+    }
+
+    impl ReferenceGraph {
+        fn new(trace: &BalancedTrace, reports: &Reports) -> Self {
+            let rids: Vec<RequestId> = trace.request_ids().collect();
+            let rid_index: HashMap<RequestId, usize> =
+                rids.iter().enumerate().map(|(i, r)| (*r, i)).collect();
+            let op_counts: Vec<u32> = rids.iter().map(|r| reports.op_count(*r)).collect();
+            let mut base = Vec::with_capacity(rids.len() + 1);
+            let mut acc: u32 = 0;
+            for m in &op_counts {
+                base.push(acc);
+                acc += m + 2;
+            }
+            base.push(acc);
+            ReferenceGraph {
+                rids,
+                rid_index,
+                base,
+                op_counts,
+                adj: vec![Vec::new(); acc as usize],
+                edge_count: 0,
+            }
+        }
+
+        /// Total nodes (`2X + Y`).
+        pub fn num_nodes(&self) -> usize {
+            self.adj.len()
+        }
+
+        /// Total edges.
+        pub fn num_edges(&self) -> usize {
+            self.edge_count
+        }
+
+        fn node(&self, rid: RequestId, opnum: OpNum) -> u32 {
+            let idx = self.rid_index[&rid];
+            let m = self.op_counts[idx];
+            let slot = if opnum.is_infinity() { m + 1 } else { opnum.0 };
+            self.base[idx] + slot
+        }
+
+        fn add_edge(&mut self, from: u32, to: u32) {
+            self.adj[from as usize].push(to);
+            self.edge_count += 1;
+        }
+
+        /// Kahn's algorithm with the O(E) indegree recount the CSR
+        /// builder eliminated.
+        pub fn is_acyclic(&self) -> bool {
+            let n = self.adj.len();
+            let mut indegree = vec![0u32; n];
+            for outs in &self.adj {
+                for &to in outs {
+                    indegree[to as usize] += 1;
+                }
+            }
+            let mut stack: Vec<u32> = (0..n as u32)
+                .filter(|&i| indegree[i as usize] == 0)
+                .collect();
+            let mut visited = 0usize;
+            while let Some(cur) = stack.pop() {
+                visited += 1;
+                for &to in &self.adj[cur as usize] {
+                    indegree[to as usize] -= 1;
+                    if indegree[to as usize] == 0 {
+                        stack.push(to);
+                    }
+                }
+            }
+            visited == n
+        }
+
+        /// Every edge as labeled `((rid, opnum), (rid, opnum))` pairs,
+        /// for multiset comparison against [`super::AuditGraph::edges`].
+        pub fn edges(&self) -> Vec<((RequestId, OpNum), (RequestId, OpNum))> {
+            let mut out = Vec::with_capacity(self.edge_count);
+            for (from, outs) in self.adj.iter().enumerate() {
+                for &to in outs {
+                    out.push((self.label(from as u32), self.label(to)));
+                }
+            }
+            out
+        }
+
+        fn label(&self, node: u32) -> (RequestId, OpNum) {
+            let idx = self.base.partition_point(|&b| b <= node) - 1;
+            let slot = node - self.base[idx];
+            let m = self.op_counts[idx];
+            let opnum = if slot == m + 1 {
+                OpNum::INFINITY
+            } else {
+                OpNum(slot)
+            };
+            (self.rids[idx], opnum)
+        }
+    }
+
+    /// The original two-phase `ProcessOpReports`: identical verdicts
+    /// and diagnostics to [`super::process_op_reports`], produced the
+    /// pre-CSR way.
+    pub fn process_op_reports(
+        trace: &BalancedTrace,
+        reports: &Reports,
+    ) -> Result<(ReferenceGraph, usize), GraphRejection> {
+        {
+            let mut seen = std::collections::HashSet::new();
+            for (_, name, _) in reports.op_logs.iter() {
+                if !seen.insert(name.as_str()) {
+                    return Err(GraphRejection::DuplicateObjectName {
+                        name: name.as_str().to_string(),
+                    });
+                }
+            }
+        }
+
+        let mut graph = ReferenceGraph::new(trace, reports);
+
+        // SplitNodes: materialize the Fig. 6 edge list, then re-hash
+        // every endpoint through `node()`.
+        let gtr = create_time_precedence_graph(trace);
+        for (r1, r2) in &gtr.edges {
+            let from = graph.node(*r1, OpNum::INFINITY);
+            let to = graph.node(*r2, OpNum(0));
+            graph.add_edge(from, to);
+        }
+
+        // AddProgramEdges.
+        for (idx, rid) in graph.rids.clone().into_iter().enumerate() {
+            let m = graph.op_counts[idx];
+            for opnum in 1..=m {
+                let from = graph.node(rid, OpNum(opnum - 1));
+                let to = graph.node(rid, OpNum(opnum));
+                graph.add_edge(from, to);
+            }
+            let from = graph.node(rid, OpNum(m));
+            let to = graph.node(rid, OpNum::INFINITY);
+            graph.add_edge(from, to);
+        }
+
+        // CheckLogs with the OpMap as a HashMap.
+        let mut opmap: HashMap<(RequestId, OpNum), (usize, SeqNum)> = HashMap::new();
+        for (i, _, log) in reports.op_logs.iter() {
+            for (seq, entry) in log.iter() {
+                if !trace.contains(entry.rid) {
+                    return Err(GraphRejection::LogEntryUnknownRequest { rid: entry.rid });
+                }
+                let m = reports.op_count(entry.rid);
+                if entry.opnum.0 == 0 || entry.opnum.is_infinity() || entry.opnum.0 > m {
+                    return Err(GraphRejection::LogEntryBadOpnum {
+                        rid: entry.rid,
+                        opnum: entry.opnum,
+                    });
+                }
+                if opmap.insert((entry.rid, entry.opnum), (i, seq)).is_some() {
+                    return Err(GraphRejection::DuplicateOperation {
+                        rid: entry.rid,
+                        opnum: entry.opnum,
+                    });
+                }
+            }
+        }
+        for (idx, rid) in graph.rids.iter().enumerate() {
+            let m = graph.op_counts[idx];
+            for opnum in 1..=m {
+                if !opmap.contains_key(&(*rid, OpNum(opnum))) {
+                    return Err(GraphRejection::MissingOperation {
+                        rid: *rid,
+                        opnum: OpNum(opnum),
+                    });
+                }
+            }
+        }
+
+        // AddStateEdges.
+        for (_, _, log) in reports.op_logs.iter() {
+            for pair in log.entries().windows(2) {
+                let (prev, curr) = (&pair[0], &pair[1]);
+                if prev.rid != curr.rid {
+                    let from = graph.node(prev.rid, prev.opnum);
+                    let to = graph.node(curr.rid, curr.opnum);
+                    graph.add_edge(from, to);
+                } else if prev.opnum >= curr.opnum {
+                    return Err(GraphRejection::LogOrderViolation { rid: curr.rid });
+                }
+            }
+        }
+
+        // CycleDetect.
+        if !graph.is_acyclic() {
+            return Err(GraphRejection::CycleDetected);
+        }
+        let len = opmap.len();
+        Ok((graph, len))
+    }
 }
 
 #[cfg(test)]
@@ -513,6 +891,67 @@ mod tests {
     }
 
     #[test]
+    fn streamed_csr_matches_two_phase_reference() {
+        // Same trace/reports through both constructions: identical
+        // node count and edge multiset.
+        let trace = Trace {
+            events: vec![req(1), req(2), resp(1), resp(2), req(3), resp(3)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        let reports = reports_with(
+            vec![
+                (
+                    ObjectName(String::from("reg:A")),
+                    vec![write(1, 1), read(2, 2), read(3, 1)],
+                ),
+                (
+                    ObjectName(String::from("reg:B")),
+                    vec![write(2, 1), read(1, 2)],
+                ),
+            ],
+            &[(1, 2), (2, 2), (3, 1)],
+        );
+        let (graph, opmap) = process_op_reports(&trace, &reports).unwrap();
+        let (reference, ref_opmap_len) = two_phase::process_op_reports(&trace, &reports).unwrap();
+        assert_eq!(graph.num_nodes(), reference.num_nodes());
+        assert_eq!(graph.num_edges(), reference.num_edges());
+        assert_eq!(opmap.len(), ref_opmap_len);
+        let mut csr_edges: Vec<_> = graph.edges().collect();
+        let mut ref_edges = reference.edges();
+        csr_edges.sort();
+        ref_edges.sort();
+        assert_eq!(csr_edges, ref_edges);
+    }
+
+    #[test]
+    fn opmap_dense_lookup_matches_rid_lookup() {
+        let trace = Trace {
+            events: vec![req(1), req(2), resp(1), resp(2)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        let reports = reports_with(
+            vec![(
+                ObjectName(String::from("reg:A")),
+                vec![write(1, 1), read(2, 1)],
+            )],
+            &[(1, 1), (2, 1)],
+        );
+        let (_, opmap) = process_op_reports(&trace, &reports).unwrap();
+        for rid in [RequestId(1), RequestId(2)] {
+            let idx = opmap.interner().index_of(rid).unwrap();
+            assert_eq!(opmap.get(rid, OpNum(1)), opmap.get_dense(idx, OpNum(1)));
+            assert!(opmap.get(rid, OpNum(1)).is_some());
+            // Out-of-range opnums and the sentinels miss cleanly.
+            assert_eq!(opmap.get(rid, OpNum(0)), None);
+            assert_eq!(opmap.get(rid, OpNum(2)), None);
+            assert_eq!(opmap.get(rid, OpNum::INFINITY), None);
+        }
+        assert_eq!(opmap.get(RequestId(99), OpNum(1)), None);
+    }
+
+    #[test]
     fn rejects_unknown_request_in_log() {
         let trace = Trace {
             events: vec![req(1), resp(1)],
@@ -624,6 +1063,36 @@ mod tests {
             process_op_reports(&trace, &reports).unwrap_err(),
             GraphRejection::DuplicateObjectName { .. }
         ));
+    }
+
+    #[test]
+    fn duplicate_name_diagnostic_is_first_in_log_order() {
+        // Two duplicated names: the reported one must be the first
+        // duplicate *encountered in log order* (here "reg:z", even
+        // though "reg:a" sorts first) — and identical across the
+        // streamed and two-phase constructions.
+        let trace = Trace {
+            events: vec![req(1), resp(1)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        let reports = reports_with(
+            vec![
+                (ObjectName(String::from("reg:z")), vec![]),
+                (ObjectName(String::from("reg:z")), vec![]),
+                (ObjectName(String::from("reg:a")), vec![]),
+                (ObjectName(String::from("reg:a")), vec![]),
+            ],
+            &[(1, 0)],
+        );
+        let expected = GraphRejection::DuplicateObjectName {
+            name: String::from("reg:z"),
+        };
+        assert_eq!(process_op_reports(&trace, &reports).unwrap_err(), expected);
+        assert_eq!(
+            two_phase::process_op_reports(&trace, &reports).unwrap_err(),
+            expected
+        );
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //! by a topological sort of `G`. The test suite uses it as a differential
 //! oracle against the grouped audit ([`crate::audit::audit`]): the two
 //! must always agree.
+//!
+//! The topological sort comes from [`crate::graph::AuditGraph`]'s flat
+//! CSR arrays (Kahn's algorithm over the precomputed indegrees). Since
+//! the graph layer's edge stream is deterministic — the Fig. 6 frontier
+//! is an index-ordered set, and node numbering follows the trace's
+//! arrival order — the op schedule, and therefore this oracle's request
+//! order, is identical run to run.
 
 use crate::audit::{audit, AuditConfig, AuditOutcome, Rejection};
 use crate::exec::GroupExecutor;

@@ -385,6 +385,14 @@ pub struct Fig9Row {
     pub app: &'static str,
     /// "ProcOpRep": Figs. 5/6 processing.
     pub proc_op_rep: Duration,
+    /// The slice of "ProcOpRep" spent in the streamed two-pass CSR
+    /// graph build (the graph-layer cost the `timeprec` ablation
+    /// isolates).
+    pub graph_build: Duration,
+    /// Nodes in the audit graph (`2X + Y`).
+    pub graph_nodes: usize,
+    /// Edges in the audit graph.
+    pub graph_edges: usize,
     /// "DB redo": versioned store construction.
     pub db_redo: Duration,
     /// "DB query": simulated reads during re-execution.
@@ -407,10 +415,14 @@ pub fn fig9_decomposition(scale: f64, seed: u64) -> Vec<Fig9Row> {
             .unwrap_or_else(|r| panic!("{name}: audit rejected: {r}"));
         let simple = run_audit(&served.bundle, &work, false, false)
             .unwrap_or_else(|r| panic!("{name}: baseline audit rejected: {r}"));
-        let phases = &orochi.outcome.stats.phases;
+        let stats = &orochi.outcome.stats;
+        let phases = &stats.phases;
         rows.push(Fig9Row {
             app: name,
             proc_op_rep: phases.get("ProcOpRep"),
+            graph_build: stats.graph_build,
+            graph_nodes: stats.graph_nodes,
+            graph_edges: stats.graph_edges,
             db_redo: phases.get("DB redo"),
             db_query: phases.get("DB query"),
             php: phases.get("ReExec"),
@@ -421,22 +433,34 @@ pub fn fig9_decomposition(scale: f64, seed: u64) -> Vec<Fig9Row> {
     rows
 }
 
-/// Renders Fig. 9.
+/// Renders Fig. 9 (the "graph" column is the CSR-build slice of
+/// "ProcOpRep", with the graph's node/edge counts alongside).
 pub fn print_fig9(rows: &[Fig9Row]) {
     println!(
-        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
-        "app", "ProcOpRep", "DB redo", "DB query", "PHP", "Other", "baseline"
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>18}",
+        "app",
+        "ProcOpRep",
+        "graph",
+        "DB redo",
+        "DB query",
+        "PHP",
+        "Other",
+        "baseline",
+        "graph nodes/edges"
     );
     for r in rows {
         println!(
-            "{:<10} {:>9.2}s {:>9.2}s {:>9.2}s {:>9.2}s {:>9.2}s {:>11.2}s",
+            "{:<10} {:>9.2}s {:>8.2}ms {:>9.2}s {:>9.2}s {:>9.2}s {:>9.2}s {:>11.2}s {:>8}/{}",
             r.app,
             r.proc_op_rep.as_secs_f64(),
+            r.graph_build.as_secs_f64() * 1000.0,
             r.db_redo.as_secs_f64(),
             r.db_query.as_secs_f64(),
             r.php.as_secs_f64(),
             r.other.as_secs_f64(),
             r.baseline_total.as_secs_f64(),
+            r.graph_nodes,
+            r.graph_edges,
         );
     }
 }

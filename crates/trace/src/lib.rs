@@ -24,4 +24,4 @@ pub mod record;
 
 pub use collector::{Collector, COLLECTOR_STRIPES};
 pub use event::{HttpRequest, HttpResponse};
-pub use record::{BalanceError, BalancedTrace, Event, Trace};
+pub use record::{BalanceError, BalancedTrace, DenseEvent, Event, RidInterner, Trace};

@@ -288,6 +288,123 @@ impl BalancedTrace {
     pub fn as_trace(&self) -> &Trace {
         &self.trace
     }
+
+    /// Interns every requestID into a dense `u32` index (arrival order)
+    /// and records the event stream in terms of those indices.
+    ///
+    /// This is the audit's *one-time interning pass*: everything
+    /// downstream of it — the Fig. 6 frontier, the CSR graph build, the
+    /// flat OpMap — works in index arithmetic over the dense ids and
+    /// never hashes a [`RequestId`] again. See [`RidInterner`].
+    pub fn intern_rids(&self) -> RidInterner {
+        RidInterner::new(self)
+    }
+}
+
+/// One trace event with its requestID replaced by a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenseEvent {
+    /// A request arrived; its dense index equals its arrival rank, so
+    /// `Request(k)` events appear in increasing `k` order.
+    Request(u32),
+    /// The response for the request with this dense index departed.
+    Response(u32),
+}
+
+/// Dense interning of a balanced trace's requestIDs.
+///
+/// Index `k` names the `k`-th request *in arrival order*; the interner
+/// keeps the forward table (`rid -> index`, the only hash map), the
+/// reverse table (`index -> rid`, a flat array), and the event stream
+/// re-expressed over the dense indices so consumers can replay the
+/// trace without touching the original events (or a hash) again.
+///
+/// Built once per audit by [`BalancedTrace::intern_rids`] and shared —
+/// via the audit's `OpMap`/`AuditShared` — by every phase that needs
+/// per-request state: the frontier algorithm streams
+/// [`RidInterner::dense_events`], the CSR audit graph numbers its nodes
+/// by dense index, and the re-execution workers keep their per-request
+/// cursors in flat arrays indexed by it.
+#[derive(Debug, Clone)]
+pub struct RidInterner {
+    /// Dense index -> requestID, in arrival order.
+    rids: Vec<RequestId>,
+    /// RequestID -> dense index: the one hash table, consulted only
+    /// during interning-time resolution (and when a public API takes a
+    /// `RequestId` from outside the dense world).
+    index: HashMap<RequestId, u32>,
+    /// The event stream over dense indices: `(index << 1) | is_response`.
+    dense_events: Vec<u32>,
+}
+
+impl RidInterner {
+    fn new(trace: &BalancedTrace) -> Self {
+        let events = trace.events();
+        let mut rids = Vec::with_capacity(trace.num_requests());
+        let mut index: HashMap<RequestId, u32> = HashMap::with_capacity(trace.num_requests());
+        let mut dense_events = Vec::with_capacity(events.len());
+        for event in events {
+            match event {
+                Event::Request(rid, _) => {
+                    let idx = rids.len() as u32;
+                    rids.push(*rid);
+                    index.insert(*rid, idx);
+                    dense_events.push(idx << 1);
+                }
+                Event::Response(rid, _) => {
+                    // Balanced: every response follows its request.
+                    let idx = index[rid];
+                    dense_events.push((idx << 1) | 1);
+                }
+            }
+        }
+        RidInterner {
+            rids,
+            index,
+            dense_events,
+        }
+    }
+
+    /// Number of interned requests (`X`).
+    pub fn num_requests(&self) -> usize {
+        self.rids.len()
+    }
+
+    /// True if the trace had no requests.
+    pub fn is_empty(&self) -> bool {
+        self.rids.is_empty()
+    }
+
+    /// The requestID at dense index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn rid(&self, idx: u32) -> RequestId {
+        self.rids[idx as usize]
+    }
+
+    /// All requestIDs in arrival (= dense index) order.
+    pub fn rids(&self) -> &[RequestId] {
+        &self.rids
+    }
+
+    /// The dense index of `rid`, if the trace contains it (one hash
+    /// lookup — the only operation that ever re-hashes a requestID).
+    pub fn index_of(&self, rid: RequestId) -> Option<u32> {
+        self.index.get(&rid).copied()
+    }
+
+    /// Replays the trace's events over dense indices, in trace order.
+    pub fn dense_events(&self) -> impl Iterator<Item = DenseEvent> + '_ {
+        self.dense_events.iter().map(|&packed| {
+            if packed & 1 == 0 {
+                DenseEvent::Request(packed >> 1)
+            } else {
+                DenseEvent::Response(packed >> 1)
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -395,6 +512,40 @@ mod tests {
         };
         let bytes = t.to_wire_bytes();
         assert_eq!(Trace::from_wire_bytes(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn interner_is_arrival_ordered() {
+        // Arrival order r5, r2, r9 — dense indices follow arrivals, not
+        // the numeric rid order.
+        let t = Trace {
+            events: vec![req(5), req(2), resp(2), req(9), resp(5), resp(9)],
+        };
+        let interner = t.ensure_balanced().unwrap().intern_rids();
+        assert_eq!(interner.num_requests(), 3);
+        assert_eq!(interner.rids(), &[RequestId(5), RequestId(2), RequestId(9)]);
+        assert_eq!(interner.index_of(RequestId(2)), Some(1));
+        assert_eq!(interner.index_of(RequestId(7)), None);
+        assert_eq!(interner.rid(2), RequestId(9));
+        let events: Vec<DenseEvent> = interner.dense_events().collect();
+        assert_eq!(
+            events,
+            vec![
+                DenseEvent::Request(0),
+                DenseEvent::Request(1),
+                DenseEvent::Response(1),
+                DenseEvent::Request(2),
+                DenseEvent::Response(0),
+                DenseEvent::Response(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn interner_of_empty_trace() {
+        let interner = Trace::new().ensure_balanced().unwrap().intern_rids();
+        assert!(interner.is_empty());
+        assert_eq!(interner.dense_events().count(), 0);
     }
 
     #[test]

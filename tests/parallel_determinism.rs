@@ -10,6 +10,7 @@
 
 use orochi::accphp::AccPhpExecutor;
 use orochi::core::audit::{audit, audit_parallel, AuditConfig, AuditOutcome, Rejection};
+use orochi::core::precedence::create_time_precedence_graph;
 use orochi::core::reports::Reports;
 use orochi::php::CompiledScript;
 use orochi::server::server::AuditBundle;
@@ -145,6 +146,69 @@ fn assert_determinism(
                 p.as_ref().err().map(|e| e.to_string()),
             ),
         }
+    }
+}
+
+/// The Fig. 6 frontier is an index-ordered set, so the time-precedence
+/// edge list must be identical across constructions — the old hash-set
+/// frontier emitted edges in per-run-random order, which this test
+/// exists to keep dead. Also pins the ordering contract itself: edges
+/// arrive grouped by the arriving request in trace order, with each
+/// group's sources ascending by arrival index.
+#[test]
+fn time_precedence_edge_order_is_deterministic() {
+    use orochi::trace::{HttpRequest as Req, HttpResponse as Resp};
+    // A synthetic trace with real concurrency: staggered epochs of
+    // varying width, plus one long-running request spanning them all.
+    let mut events = Vec::new();
+    let straggler = RequestId(10_000);
+    events.push(Event::Request(straggler, Req::get("/slow", &[])));
+    let mut next = 1u64;
+    for epoch in 0..40u64 {
+        let width = epoch % 7 + 1;
+        let base = next;
+        for i in 0..width {
+            events.push(Event::Request(RequestId(base + i), Req::get("/x", &[])));
+        }
+        // Close the epoch's requests in reverse arrival order so the
+        // frontier insert order differs from index order.
+        for i in (0..width).rev() {
+            let rid = RequestId(base + i);
+            events.push(Event::Response(rid, Resp::ok(rid, "ok")));
+        }
+        next += width;
+    }
+    events.push(Event::Response(straggler, Resp::ok(straggler, "ok")));
+    let balanced = orochi::trace::Trace { events }.ensure_balanced().unwrap();
+
+    let first = create_time_precedence_graph(&balanced);
+    assert!(
+        !first.edges.is_empty(),
+        "the trace must exercise the frontier"
+    );
+    let pos: HashMap<RequestId, usize> = balanced
+        .request_ids()
+        .enumerate()
+        .map(|(i, r)| (r, i))
+        .collect();
+    let mut prev: Option<(usize, usize)> = None;
+    for (from, to) in &first.edges {
+        let (f, t) = (pos[from], pos[to]);
+        if let Some((pf, pt)) = prev {
+            assert!(
+                pt < t || (pt == t && pf < f),
+                "edges must be grouped by arrival with ascending sources: \
+                 ({pf},{pt}) then ({f},{t})"
+            );
+        }
+        prev = Some((f, t));
+    }
+    for _ in 0..4 {
+        assert_eq!(
+            create_time_precedence_graph(&balanced).edges,
+            first.edges,
+            "edge order drifted between runs"
+        );
     }
 }
 

@@ -11,11 +11,13 @@
 //! * End-to-end completeness: honest random workloads always pass the
 //!   audit (the Completeness property of §2, fuzzed).
 
+use orochi::core::graph::{process_op_reports, two_phase};
 use orochi::core::precedence::{create_time_precedence_graph, dense_time_precedence};
+use orochi::core::reports::Reports;
 use orochi::php::{ArrayKey, PhpArray, Value};
 use orochi::sqldb::{Database, VersionedDb, MAXQ};
-use orochi::state::{ObjectName, OpContents, OpLog, OpLogEntry, VersionedKv};
-use orochi::trace::{Event, HttpRequest, HttpResponse, Trace};
+use orochi::state::{ObjectName, OpContents, OpLog, OpLogEntry, OpLogs, VersionedKv};
+use orochi::trace::{BalancedTrace, Event, HttpRequest, HttpResponse, Trace};
 use orochi_common::codec::Wire;
 use orochi_common::ids::{OpNum, RequestId, SeqNum};
 use proptest::prelude::*;
@@ -73,6 +75,129 @@ proptest! {
         prop_assert!(fast.edges.len() <= dense.edges.len());
         for (a, b) in &fast.edges {
             prop_assert!(balanced.precedes(*a, *b));
+        }
+    }
+
+    /// Lemma 12, exactly: on an epoch trace (each epoch's requests
+    /// mutually concurrent, adjacent epochs fully ordered) the minimum
+    /// edge set is the union of the complete bipartite graphs between
+    /// adjacent epochs — and the frontier algorithm emits precisely
+    /// that many edges, for randomized epoch widths.
+    #[test]
+    fn lemma12_frontier_edge_count_is_bipartite_minimum(
+        widths in proptest::collection::vec(1usize..6, 1..8)
+    ) {
+        let mut events = Vec::new();
+        let mut next = 1u64;
+        for &w in &widths {
+            let base = next;
+            for i in 0..w as u64 {
+                events.push(Event::Request(RequestId(base + i), HttpRequest::get("/x", &[])));
+            }
+            for i in 0..w as u64 {
+                let rid = RequestId(base + i);
+                events.push(Event::Response(rid, HttpResponse::ok(rid, "ok")));
+            }
+            next += w as u64;
+        }
+        let balanced = Trace { events }.ensure_balanced().unwrap();
+        let g = create_time_precedence_graph(&balanced);
+        let minimum: usize = widths.windows(2).map(|w| w[0] * w[1]).sum();
+        prop_assert_eq!(g.edges.len(), minimum);
+    }
+}
+
+/// Builds fuzzed (often hostile) reports for a trace: random per-request
+/// op counts, the operations dealt across two register logs by `picks`,
+/// and an optional tampering that pushes the graph layer down one of its
+/// rejection paths.
+fn fuzzed_reports(balanced: &BalancedTrace, picks: &[u8], tamper: u8) -> Reports {
+    let rids: Vec<RequestId> = balanced.request_ids().collect();
+    let mut op_counts = std::collections::HashMap::new();
+    let mut logs: Vec<Vec<OpLogEntry>> = vec![Vec::new(), Vec::new()];
+    let mut j = 0usize;
+    for (i, rid) in rids.iter().enumerate() {
+        let m = (picks.get(i).copied().unwrap_or(1) % 3) as u32;
+        op_counts.insert(*rid, m);
+        for opnum in 1..=m {
+            let which = (picks.get(j % picks.len().max(1)).copied().unwrap_or(0) / 3 % 2) as usize;
+            logs[which].push(OpLogEntry {
+                rid: *rid,
+                opnum: OpNum(opnum),
+                contents: OpContents::RegisterWrite {
+                    value: vec![opnum as u8],
+                },
+            });
+            j += 1;
+        }
+    }
+    match tamper {
+        1 => {
+            // Drop an entry: MissingOperation.
+            logs[0].pop();
+        }
+        2 => {
+            // Replay an entry: DuplicateOperation or LogOrderViolation.
+            if let Some(e) = logs[0].first().cloned() {
+                logs[0].push(e);
+            }
+        }
+        // Swap adjacent entries: LogOrderViolation or a cycle.
+        3 if logs[0].len() >= 2 => logs[0].swap(0, 1),
+        _ => {}
+    }
+    Reports {
+        groupings: vec![(orochi_common::ids::CtlFlowTag(1), rids)],
+        op_logs: OpLogs::from_pairs(vec![
+            (
+                ObjectName(String::from("reg:A")),
+                OpLog::from_entries(logs.remove(0)),
+            ),
+            (
+                ObjectName(String::from("reg:B")),
+                OpLog::from_entries(logs.remove(0)),
+            ),
+        ]),
+        op_counts,
+        nondet: Default::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The streamed two-pass CSR builder is observationally identical
+    /// to the preserved two-phase construction: same verdict, same
+    /// diagnostic, and — on acceptance — the same node count and edge
+    /// multiset, for fuzzed traces and (often hostile) reports.
+    #[test]
+    fn streamed_csr_equals_two_phase_construction(
+        trace in balanced_trace_strategy(10),
+        picks in proptest::collection::vec(any::<u8>(), 1..24),
+        tamper in 0u8..4,
+    ) {
+        let balanced = trace.ensure_balanced().unwrap();
+        let reports = fuzzed_reports(&balanced, &picks, tamper);
+        let streamed = process_op_reports(&balanced, &reports);
+        let reference = two_phase::process_op_reports(&balanced, &reports);
+        match (streamed, reference) {
+            (Ok((graph, opmap)), Ok((ref_graph, ref_opmap_len))) => {
+                prop_assert_eq!(graph.num_nodes(), ref_graph.num_nodes());
+                prop_assert_eq!(graph.num_edges(), ref_graph.num_edges());
+                prop_assert_eq!(opmap.len(), ref_opmap_len);
+                let mut csr_edges: Vec<_> = graph.edges().collect();
+                let mut ref_edges = ref_graph.edges();
+                csr_edges.sort();
+                ref_edges.sort();
+                prop_assert_eq!(csr_edges, ref_edges);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(
+                false,
+                "verdicts diverged: streamed {:?} vs two-phase {:?}",
+                a.map(|_| "accept").map_err(|e| e.to_string()),
+                b.map(|_| "accept").map_err(|e| e.to_string()),
+            ),
         }
     }
 }
