@@ -15,7 +15,7 @@
 //! Fig. 11 (group size, univalent-instruction proportion, instruction
 //! count).
 
-use crate::groupvm::{run_group, GroupRunError};
+use crate::groupvm::{self, GroupOutcome, GroupRunError};
 use orochi_common::ids::RequestId;
 use orochi_core::audit::{AuditContext, Rejection};
 use orochi_core::exec::{DbQueryResult, DbTxnHandle, GroupExecutor, SimResult};
@@ -29,6 +29,22 @@ use orochi_sqldb::{ExecOutcome, SqlValue};
 use orochi_state::object::ObjectName;
 use orochi_trace::{HttpRequest, HttpResponse};
 use std::collections::HashMap;
+
+/// Which PHP bytecode engine the executor re-executes requests on.
+///
+/// Both engines produce identical outputs, state operations, and
+/// control-flow digests; the register engine is the default because its
+/// fixed-width instructions and pooled register windows dispatch faster.
+/// The stack engine is kept as the differential baseline (property
+/// tests, `fig10_instructions`, the `OROCHI_VM_ENGINE=stack` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VmEngine {
+    /// Fixed-width 32-bit register bytecode (the default).
+    #[default]
+    Register,
+    /// The legacy stack bytecode interpreter.
+    Stack,
+}
 
 /// Per-group statistics: the Fig. 11 bubble for one group.
 #[derive(Debug, Clone, Copy)]
@@ -100,6 +116,8 @@ pub struct AccPhpExecutor {
     /// Maximum group size per superposed execution (OROCHI caps at
     /// 3,000 to avoid thrashing, §4.7); larger groups split.
     pub max_group: usize,
+    /// Which bytecode engine re-executes requests.
+    pub engine: VmEngine,
     /// Statistics for the evaluation harness.
     pub stats: ExecutorStats,
 }
@@ -118,6 +136,7 @@ impl AccPhpExecutor {
             scripts,
             force_scalar: false,
             max_group: 3000,
+            engine: VmEngine::default(),
             stats: ExecutorStats::default(),
         }
     }
@@ -158,12 +177,36 @@ impl AccPhpExecutor {
             txn: None,
             rejection: None,
         };
-        match run_request(script, &mut backend, input) {
-            Ok(result) => Ok(result.output),
+        let result = match self.engine {
+            VmEngine::Register => run_request(script, &mut backend, input),
+            VmEngine::Stack => orochi_php::vm::stack::run_request(script, &mut backend, input),
+        };
+        match result {
+            Ok(result) => {
+                // Scalar execution dispatches every instruction once:
+                // total and executed coincide.
+                backend
+                    .ctx
+                    .record_vm_dispatches(result.stats.instructions, result.stats.instructions);
+                Ok(result.output)
+            }
             Err(msg) => Err(backend
                 .rejection
                 .take()
                 .unwrap_or(Rejection::ExecFailure(msg))),
+        }
+    }
+
+    fn run_group(
+        &self,
+        script: &CompiledScript,
+        rids: &[RequestId],
+        inputs: &[RequestInput],
+        ctx: &mut AuditContext<'_>,
+    ) -> Result<GroupOutcome, GroupRunError> {
+        match self.engine {
+            VmEngine::Register => groupvm::run_group(script, rids, inputs, ctx),
+            VmEngine::Stack => groupvm::stack::run_group(script, rids, inputs, ctx),
         }
     }
 }
@@ -198,7 +241,7 @@ impl GroupExecutor for AccPhpExecutor {
             let mut diverged = false;
             let mut chunk_outputs = Vec::with_capacity(requests.len());
             for (rid_chunk, input_chunk) in rids.chunks(chunk).zip(inputs.chunks(chunk)) {
-                match run_group(&script, rid_chunk, input_chunk, ctx) {
+                match self.run_group(&script, rid_chunk, input_chunk, ctx) {
                     Ok(outcome) => {
                         self.stats.grouped += 1;
                         self.stats.group_stats.push(GroupStat {
@@ -206,6 +249,14 @@ impl GroupExecutor for AccPhpExecutor {
                             univalent: outcome.univalent,
                             multivalent: outcome.multivalent,
                         });
+                        // A fully scalar audit would dispatch every
+                        // group instruction once per lane; superposed
+                        // execution pays univalent instructions once.
+                        let n = rid_chunk.len() as u64;
+                        ctx.record_vm_dispatches(
+                            n * (outcome.univalent + outcome.multivalent),
+                            outcome.univalent + n * outcome.multivalent,
+                        );
                         for (rid, out) in rid_chunk.iter().zip(outcome.outputs) {
                             chunk_outputs.push((*rid, Self::to_response(*rid, out)));
                         }

@@ -1,7 +1,9 @@
 //! The multivalue VM: superposed execution of one control-flow group.
 //!
-//! Runs the same bytecode as the scalar runtime, but every stack slot,
-//! local, and global holds an [`MVal`]. The execution discipline follows
+//! Runs the same register bytecode as the scalar runtime, but every
+//! register and global holds an [`MVal`] — the multivalue lanes are
+//! widened *over the register file*, so one 32-bit instruction executes
+//! across all member requests at once. The execution discipline follows
 //! §3.1/§4.3:
 //!
 //! * instructions with univalue operands execute **once**;
@@ -17,6 +19,10 @@
 //! * pure builtins with multivalue arguments split into per-lane calls
 //!   of the *same* implementations the scalar VM uses (§4.3 "built-in
 //!   functions").
+//!
+//! The previous stack-bytecode group engine survives as [`stack`] — the
+//! differential baseline `fig10_instructions` and the property tests
+//! compare against.
 
 use crate::mval::MVal;
 use orochi_common::codec::Wire;
@@ -26,11 +32,13 @@ use orochi_core::exec::{DbQueryResult, DbTxnHandle};
 use orochi_core::nondet::NondetValue;
 use orochi_php::backend::{DbResult, DbScalar};
 use orochi_php::builtins::{self, Host};
-use orochi_php::bytecode::{CompiledScript, Op};
+use orochi_php::bytecode::{rinsn, CompiledScript, Op, ROp};
 use orochi_php::value::{ArrayKey, Value};
 use orochi_php::vm::{ops, RequestInput, RequestOutput, VmError};
 use orochi_sqldb::{ExecOutcome, SqlValue};
 use orochi_state::object::ObjectName;
+
+pub mod stack;
 
 /// Why grouped execution stopped without producing outputs.
 #[derive(Debug)]
@@ -74,14 +82,6 @@ enum GroupIter {
     PerLane {
         lanes: Vec<(Vec<(ArrayKey, Value)>, usize)>,
     },
-}
-
-struct Frame {
-    func: FnRef,
-    pc: usize,
-    locals: Vec<MVal>,
-    iters: Vec<GroupIter>,
-    stack_base: usize,
 }
 
 /// Internal control signals of the superposed interpreter.
@@ -202,104 +202,6 @@ fn is_impure(name: &str) -> bool {
     )
 }
 
-struct GroupVm<'c, 'a> {
-    script: &'c CompiledScript,
-    ctx: &'c mut AuditContext<'a>,
-    rids: Vec<RequestId>,
-    lanes: usize,
-    globals: Vec<MVal>,
-    stack: Vec<MVal>,
-    frames: Vec<Frame>,
-    // Per-lane request effects.
-    outputs: Vec<String>,
-    headers: Vec<Vec<(String, String)>>,
-    statuses: Vec<u16>,
-    session_started: bool,
-    session_cookies: Vec<Option<String>>,
-    last_insert_id: Vec<i64>,
-    last_affected: Vec<i64>,
-    txns: Vec<Option<DbTxnHandle>>,
-    univalent: u64,
-    multivalent: u64,
-    steps: u64,
-}
-
-/// Runs one control-flow group's superposed execution.
-pub fn run_group(
-    script: &CompiledScript,
-    rids: &[RequestId],
-    inputs: &[RequestInput],
-    ctx: &mut AuditContext<'_>,
-) -> Result<GroupOutcome, GroupRunError> {
-    debug_assert_eq!(rids.len(), inputs.len(), "one input per rid");
-    let lanes = rids.len();
-    let mut vm = GroupVm {
-        script,
-        ctx,
-        rids: rids.to_vec(),
-        lanes,
-        globals: init_globals(script, inputs, lanes),
-        stack: Vec::with_capacity(64),
-        frames: Vec::new(),
-        outputs: vec![String::new(); lanes],
-        headers: vec![Vec::new(); lanes],
-        statuses: vec![200; lanes],
-        session_started: false,
-        session_cookies: inputs
-            .iter()
-            .map(|i| i.session_cookie().map(str::to_string))
-            .collect(),
-        last_insert_id: vec![0; lanes],
-        last_affected: vec![0; lanes],
-        txns: (0..lanes).map(|_| None).collect(),
-        univalent: 0,
-        multivalent: 0,
-        steps: 0,
-    };
-    vm.frames.push(Frame {
-        func: FnRef::Main,
-        pc: 0,
-        locals: vec![MVal::Uni(Value::Null); script.main.num_locals as usize],
-        iters: Vec::new(),
-        stack_base: 0,
-    });
-    match vm.interp() {
-        Ok(()) => {
-            if vm.close_leaked_txns()? {
-                return vm.uniform_fatal_outcome("script ended with open transaction");
-            }
-            vm.write_sessions_back()?;
-            Ok(vm.into_outcome())
-        }
-        Err(Flow::Exit) => {
-            if vm.close_leaked_txns()? {
-                return vm.uniform_fatal_outcome("script ended with open transaction");
-            }
-            vm.write_sessions_back()?;
-            Ok(vm.into_outcome())
-        }
-        Err(Flow::GroupFatal(m)) => {
-            // Uniform fatal: all lanes produce the identical 500 page
-            // (no headers, no session write) — exactly what the scalar
-            // runtime does per request.
-            let body = format!("Fatal error: {m}");
-            Ok(GroupOutcome {
-                outputs: (0..vm.lanes)
-                    .map(|_| RequestOutput {
-                        status: 500,
-                        headers: Vec::new(),
-                        body: body.clone(),
-                    })
-                    .collect(),
-                univalent: vm.univalent,
-                multivalent: vm.multivalent,
-            })
-        }
-        Err(Flow::Diverged(why)) => Err(GroupRunError::Diverged(why)),
-        Err(Flow::Reject(r)) => Err(GroupRunError::Reject(r)),
-    }
-}
-
 fn init_globals(script: &CompiledScript, inputs: &[RequestInput], lanes: usize) -> Vec<MVal> {
     let mut globals = vec![MVal::Uni(Value::Null); script.global_names.len()];
     let lane_vals =
@@ -322,6 +224,182 @@ fn init_globals(script: &CompiledScript, inputs: &[RequestInput], lanes: usize) 
     });
     let _ = lanes;
     globals
+}
+
+/// `++`/`--` on a multivalue slot; returns (new slot value, expression
+/// result).
+fn incdec_mval(cur: &MVal, scalar_op: Op, lanes: usize) -> Result<(MVal, MVal), VmError> {
+    match cur {
+        MVal::Uni(v) => {
+            let mut slot = v.clone();
+            let result = ops::incdec(&mut slot, scalar_op)?;
+            Ok((MVal::Uni(slot), MVal::Uni(result)))
+        }
+        MVal::Multi(vs) => {
+            let mut new_lanes = Vec::with_capacity(lanes);
+            let mut results = Vec::with_capacity(lanes);
+            for v in vs.iter() {
+                let mut slot = v.clone();
+                results.push(ops::incdec(&mut slot, scalar_op)?);
+                new_lanes.push(slot);
+            }
+            Ok((MVal::from_lanes(new_lanes), MVal::from_lanes(results)))
+        }
+    }
+}
+
+/// Converts an audit-side query result into the PHP-visible value,
+/// mirroring the scalar backend's conversion exactly.
+fn db_query_result_to_value(result: DbQueryResult, last_id: &mut i64, last_aff: &mut i64) -> Value {
+    match result {
+        DbQueryResult::Failed => Value::Bool(false),
+        DbQueryResult::Ok(ExecOutcome::Rows { columns, rows }) => {
+            let converted: Vec<Vec<(String, DbScalar)>> = rows
+                .into_iter()
+                .map(|row| {
+                    columns
+                        .iter()
+                        .cloned()
+                        .zip(row.into_iter().map(sql_to_dbscalar))
+                        .collect()
+                })
+                .collect();
+            builtins::db_result_to_value(DbResult::Rows(converted), last_id, last_aff)
+        }
+        DbQueryResult::Ok(ExecOutcome::Write(w)) => builtins::db_result_to_value(
+            DbResult::Write {
+                affected: w.affected,
+                insert_id: w.last_insert_id,
+            },
+            last_id,
+            last_aff,
+        ),
+    }
+}
+
+fn sql_to_dbscalar(v: SqlValue) -> DbScalar {
+    match v {
+        SqlValue::Null => DbScalar::Null,
+        SqlValue::Int(i) => DbScalar::Int(i),
+        SqlValue::Float(f) => DbScalar::Float(f),
+        SqlValue::Text(s) => DbScalar::Text(s),
+    }
+}
+
+/// Maps a register opcode to the scalar-op selector used by the shared
+/// `ops` helpers.
+fn scalar_binop(op: ROp) -> Op {
+    match op {
+        ROp::Add => Op::Add,
+        ROp::Sub => Op::Sub,
+        ROp::Mul => Op::Mul,
+        ROp::Div => Op::Div,
+        ROp::Mod => Op::Mod,
+        ROp::Concat => Op::Concat,
+        ROp::Lt => Op::Lt,
+        ROp::Le => Op::Le,
+        ROp::Gt => Op::Gt,
+        ROp::Ge => Op::Ge,
+        other => unreachable!("not a shared scalar op: {other:?}"),
+    }
+}
+
+fn incdec_variant(c: usize) -> Op {
+    match c {
+        0 => Op::PreIncLocal(0),
+        1 => Op::PostIncLocal(0),
+        2 => Op::PreDecLocal(0),
+        _ => Op::PostDecLocal(0),
+    }
+}
+
+/// A pooled activation record over the multivalue register file.
+struct RFrame {
+    func: FnRef,
+    pc: usize,
+    base: usize,
+    top: usize,
+    ret_abs: usize,
+    iters: Vec<GroupIter>,
+}
+
+struct GroupVm<'c, 'a> {
+    script: &'c CompiledScript,
+    ctx: &'c mut AuditContext<'a>,
+    rids: Vec<RequestId>,
+    lanes: usize,
+    globals: Vec<MVal>,
+    /// The flat multivalue register file; frame windows are disjoint.
+    regs: Vec<MVal>,
+    frames: Vec<RFrame>,
+    depth: usize,
+    // Per-lane request effects.
+    outputs: Vec<String>,
+    headers: Vec<Vec<(String, String)>>,
+    statuses: Vec<u16>,
+    session_started: bool,
+    session_cookies: Vec<Option<String>>,
+    last_insert_id: Vec<i64>,
+    last_affected: Vec<i64>,
+    txns: Vec<Option<DbTxnHandle>>,
+    univalent: u64,
+    multivalent: u64,
+    steps: u64,
+}
+
+/// Runs one control-flow group's superposed execution (register engine).
+pub fn run_group(
+    script: &CompiledScript,
+    rids: &[RequestId],
+    inputs: &[RequestInput],
+    ctx: &mut AuditContext<'_>,
+) -> Result<GroupOutcome, GroupRunError> {
+    debug_assert_eq!(rids.len(), inputs.len(), "one input per rid");
+    let lanes = rids.len();
+    let mut vm = GroupVm {
+        script,
+        ctx,
+        rids: rids.to_vec(),
+        lanes,
+        globals: init_globals(script, inputs, lanes),
+        regs: Vec::new(),
+        frames: Vec::new(),
+        depth: 0,
+        outputs: vec![String::new(); lanes],
+        headers: vec![Vec::new(); lanes],
+        statuses: vec![200; lanes],
+        session_started: false,
+        session_cookies: inputs
+            .iter()
+            .map(|i| i.session_cookie().map(str::to_string))
+            .collect(),
+        last_insert_id: vec![0; lanes],
+        last_affected: vec![0; lanes],
+        txns: (0..lanes).map(|_| None).collect(),
+        univalent: 0,
+        multivalent: 0,
+        steps: 0,
+    };
+    let top = script.main.register_count as usize;
+    vm.regs.resize(top, MVal::Uni(Value::Null));
+    vm.push_frame(FnRef::Main, 0, top, 0);
+    match vm.interp() {
+        Ok(()) | Err(Flow::Exit) => {
+            if vm.close_leaked_txns()? {
+                return vm.uniform_fatal_outcome("script ended with open transaction");
+            }
+            vm.write_sessions_back()?;
+            Ok(vm.into_outcome())
+        }
+        Err(Flow::GroupFatal(m)) => {
+            // Uniform fatal: all lanes produce the identical 500 page
+            // (no headers, no session write) — exactly what the scalar
+            // runtime does per request.
+            vm.uniform_fatal_outcome(&m)
+        }
+        Err(Flow::Diverged(why)) => Err(GroupRunError::Diverged(why)),
+        Err(Flow::Reject(r)) => Err(GroupRunError::Reject(r)),
+    }
 }
 
 impl GroupVm<'_, '_> {
@@ -386,10 +464,6 @@ impl GroupVm<'_, '_> {
         Ok(())
     }
 
-    fn pop(&mut self) -> MVal {
-        self.stack.pop().expect("compiler guarantees stack depth")
-    }
-
     /// Counts an instruction as univalent or multivalent.
     fn account(&mut self, multivalent: bool) {
         if multivalent {
@@ -399,112 +473,153 @@ impl GroupVm<'_, '_> {
         }
     }
 
+    fn push_frame(&mut self, func: FnRef, base: usize, top: usize, ret_abs: usize) {
+        if self.depth == self.frames.len() {
+            self.frames.push(RFrame {
+                func,
+                pc: 0,
+                base,
+                top,
+                ret_abs,
+                iters: Vec::new(),
+            });
+        } else {
+            let f = &mut self.frames[self.depth];
+            f.func = func;
+            f.pc = 0;
+            f.base = base;
+            f.top = top;
+            f.ret_abs = ret_abs;
+            f.iters.clear();
+        }
+        self.depth += 1;
+    }
+
+    /// Applies a two-operand scalar op lane-wise; errors lift per the
+    /// uni/multi discipline.
+    fn map2_op(&mut self, sop: Op, a: usize, b: usize, c: usize) -> Result<(), Flow> {
+        let x = self.regs[b].clone();
+        let y = self.regs[c].clone();
+        let multi = !x.is_uni() || !y.is_uni();
+        self.account(multi);
+        let r = MVal::map2(&x, &y, self.lanes, |p, q| ops::binary(sop, p, q))
+            .map_err(if multi { lane_err } else { uni_err })?;
+        self.regs[a] = r;
+        Ok(())
+    }
+
+    /// Read-modify-write of a register/global slot through an index
+    /// path, univalently when every participant is a univalue.
+    fn modify_path(
+        &mut self,
+        cur: &MVal,
+        keys: &[MVal],
+        value: Option<&MVal>,
+        f: impl Fn(&mut Value, &[Value], Value) -> Result<(), VmError>,
+    ) -> Result<MVal, Flow> {
+        let multi =
+            !cur.is_uni() || keys.iter().any(|k| !k.is_uni()) || value.is_some_and(|v| !v.is_uni());
+        self.account(multi);
+        if !multi {
+            let mut v = cur.lane(0).clone();
+            let lane_keys: Vec<Value> = keys.iter().map(|k| k.lane(0).clone()).collect();
+            let val = value.map(|m| m.lane(0).clone()).unwrap_or(Value::Null);
+            f(&mut v, &lane_keys, val).map_err(uni_err)?;
+            Ok(MVal::Uni(v))
+        } else {
+            let mut out = Vec::with_capacity(self.lanes);
+            for l in 0..self.lanes {
+                let mut v = cur.lane(l).clone();
+                let lane_keys: Vec<Value> = keys.iter().map(|k| k.lane(l).clone()).collect();
+                let val = value.map(|m| m.lane(l).clone()).unwrap_or(Value::Null);
+                f(&mut v, &lane_keys, val).map_err(lane_err)?;
+                out.push(v);
+            }
+            Ok(MVal::from_lanes(out))
+        }
+    }
+
     fn interp(&mut self) -> Result<(), Flow> {
         loop {
             self.steps += 1;
             if self.steps > 2_000_000_000 {
                 return Err(Flow::GroupFatal("execution step limit exceeded".into()));
             }
-            let frame = self.frames.last_mut().expect("frame present while running");
-            let code = match frame.func {
-                FnRef::Main => &self.script.main.code,
-                FnRef::User(i) => &self.script.functions[i as usize].code,
+            let fi = self.depth - 1;
+            let (func, base) = {
+                let f = &self.frames[fi];
+                (f.func, f.base)
             };
-            let pc = frame.pc;
-            let op = code[pc];
-            frame.pc += 1;
-            match op {
-                Op::Const(i) => {
-                    self.account(false);
-                    self.stack
-                        .push(MVal::Uni(self.script.consts[i as usize].clone()));
-                }
-                Op::LoadLocal(s) => {
-                    let frame = self.frames.last().expect("running frame");
-                    let v = frame.locals[s as usize].clone();
+            let code = match func {
+                FnRef::Main => &self.script.main.reg_code,
+                FnRef::User(i) => &self.script.functions[i as usize].reg_code,
+            };
+            let pc = self.frames[fi].pc;
+            let insn = code[pc];
+            self.frames[fi].pc = pc + 1;
+            let a = base + rinsn::a(insn);
+            match rinsn::op(insn) {
+                ROp::Move => {
+                    let v = self.regs[base + rinsn::b(insn)].clone();
                     self.account(!v.is_uni());
-                    self.stack.push(v);
+                    self.regs[a] = v;
                 }
-                Op::StoreLocal(s) => {
-                    let v = self.pop();
-                    self.account(!v.is_uni());
-                    let frame = self.frames.last_mut().expect("running frame");
-                    frame.locals[s as usize] = v;
-                }
-                Op::LoadGlobal(s) => {
-                    let v = self.globals[s as usize].clone();
-                    self.account(!v.is_uni());
-                    self.stack.push(v);
-                }
-                Op::StoreGlobal(s) => {
-                    let v = self.pop();
-                    self.account(!v.is_uni());
-                    self.globals[s as usize] = v;
-                }
-                Op::Pop => {
+                ROp::LoadConst => {
                     self.account(false);
-                    self.pop();
+                    self.regs[a] = MVal::Uni(self.script.consts[rinsn::bx(insn)].clone());
                 }
-                Op::Dup => {
-                    self.account(false);
-                    let v = self.stack.last().expect("dup target").clone();
-                    self.stack.push(v);
+                ROp::LoadGlobal => {
+                    let v = self.globals[rinsn::b(insn)].clone();
+                    self.account(!v.is_uni());
+                    self.regs[a] = v;
                 }
-                Op::Swap => {
-                    self.account(false);
-                    let n = self.stack.len();
-                    self.stack.swap(n - 1, n - 2);
+                ROp::StoreGlobal => {
+                    let v = self.regs[base + rinsn::b(insn)].clone();
+                    self.account(!v.is_uni());
+                    self.globals[rinsn::a(insn)] = v;
                 }
-                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod | Op::Concat => {
-                    let b = self.pop();
-                    let a = self.pop();
-                    let multi = !a.is_uni() || !b.is_uni();
-                    self.account(multi);
-                    let r = if multi {
-                        MVal::map2(&a, &b, self.lanes, |x, y| ops::binary(op, x, y))
-                            .map_err(lane_err)?
-                    } else {
-                        MVal::map2(&a, &b, self.lanes, |x, y| ops::binary(op, x, y))
-                            .map_err(uni_err)?
-                    };
-                    self.stack.push(r);
+                ROp::Add | ROp::Sub | ROp::Mul | ROp::Div | ROp::Mod | ROp::Concat => {
+                    let sop = scalar_binop(rinsn::op(insn));
+                    self.map2_op(sop, a, base + rinsn::b(insn), base + rinsn::c(insn))?;
                 }
-                Op::Eq | Op::Ne | Op::Identical | Op::NotIdentical => {
-                    let b = self.pop();
-                    let a = self.pop();
-                    self.account(!a.is_uni() || !b.is_uni());
-                    let r = MVal::map2::<VmError>(&a, &b, self.lanes, |x, y| {
-                        Ok(Value::Bool(match op {
-                            Op::Eq => x.loose_eq(y),
-                            Op::Ne => !x.loose_eq(y),
-                            Op::Identical => x.identical(y),
-                            Op::NotIdentical => !x.identical(y),
+                ROp::Eq | ROp::Ne | ROp::Identical | ROp::NotIdentical => {
+                    let rop = rinsn::op(insn);
+                    let x = self.regs[base + rinsn::b(insn)].clone();
+                    let y = self.regs[base + rinsn::c(insn)].clone();
+                    self.account(!x.is_uni() || !y.is_uni());
+                    let r = MVal::map2::<VmError>(&x, &y, self.lanes, |p, q| {
+                        Ok(Value::Bool(match rop {
+                            ROp::Eq => p.loose_eq(q),
+                            ROp::Ne => !p.loose_eq(q),
+                            ROp::Identical => p.identical(q),
+                            ROp::NotIdentical => !p.identical(q),
                             _ => unreachable!("equality subset"),
                         }))
                     })
                     .expect("equality is infallible");
-                    self.stack.push(r);
+                    self.regs[a] = r;
                 }
-                Op::Lt | Op::Le | Op::Gt | Op::Ge => {
-                    let b = self.pop();
-                    let a = self.pop();
-                    self.account(!a.is_uni() || !b.is_uni());
-                    let r = MVal::map2::<VmError>(&a, &b, self.lanes, |x, y| {
-                        Ok(Value::Bool(ops::relational(op, x, y)))
+                ROp::Lt | ROp::Le | ROp::Gt | ROp::Ge => {
+                    let sop = scalar_binop(rinsn::op(insn));
+                    let x = self.regs[base + rinsn::b(insn)].clone();
+                    let y = self.regs[base + rinsn::c(insn)].clone();
+                    self.account(!x.is_uni() || !y.is_uni());
+                    let r = MVal::map2::<VmError>(&x, &y, self.lanes, |p, q| {
+                        Ok(Value::Bool(ops::relational(sop, p, q)))
                     })
                     .expect("relational is infallible");
-                    self.stack.push(r);
+                    self.regs[a] = r;
                 }
-                Op::Not => {
-                    let v = self.pop();
+                ROp::Not => {
+                    let v = self.regs[base + rinsn::b(insn)].clone();
                     self.account(!v.is_uni());
                     let r = v
                         .map1::<VmError>(self.lanes, |x| Ok(Value::Bool(!x.is_truthy())))
                         .expect("not is infallible");
-                    self.stack.push(r);
+                    self.regs[a] = r;
                 }
-                Op::Neg => {
-                    let v = self.pop();
+                ROp::Neg => {
+                    let v = self.regs[base + rinsn::b(insn)].clone();
                     let multi = !v.is_uni();
                     self.account(multi);
                     let r = v.map1(self.lanes, ops::negate).map_err(if multi {
@@ -512,49 +627,49 @@ impl GroupVm<'_, '_> {
                     } else {
                         uni_err
                     })?;
-                    self.stack.push(r);
+                    self.regs[a] = r;
                 }
-                Op::Jump(t) => {
+                ROp::Jump => {
                     self.account(false);
-                    self.frames.last_mut().expect("running frame").pc = t as usize;
+                    self.frames[fi].pc = rinsn::bx(insn);
                 }
-                Op::JumpIfFalse(t) | Op::JumpIfTrue(t) => {
-                    let v = self.pop();
+                ROp::JumpIfFalse | ROp::JumpIfTrue => {
+                    let v = self.regs[a].clone();
                     self.account(!v.is_uni());
                     let truth = v
                         .uniform_truthiness(self.lanes)
                         .map_err(|()| Flow::Diverged("non-uniform branch"))?;
-                    let take = match op {
-                        Op::JumpIfFalse(_) => !truth,
+                    let take = match rinsn::op(insn) {
+                        ROp::JumpIfFalse => !truth,
                         _ => truth,
                     };
                     if take {
-                        self.frames.last_mut().expect("running frame").pc = t as usize;
+                        self.frames[fi].pc = rinsn::bx(insn);
                     }
                 }
-                Op::NewArray => {
+                ROp::NewArray => {
                     self.account(false);
-                    self.stack.push(MVal::Uni(Value::empty_array()));
+                    self.regs[a] = MVal::Uni(Value::empty_array());
                 }
-                Op::AppendStack => {
-                    let v = self.pop();
-                    let arr = self.pop();
+                ROp::ArrayAppend => {
+                    let arr = self.regs[a].clone();
+                    let v = self.regs[base + rinsn::b(insn)].clone();
                     let multi = !v.is_uni() || !arr.is_uni();
                     self.account(multi);
-                    let r = MVal::map2(&arr, &v, self.lanes, |a, x| {
-                        ops::array_append(a.clone(), x.clone())
+                    let r = MVal::map2(&arr, &v, self.lanes, |x, y| {
+                        ops::array_append(x.clone(), y.clone())
                     })
                     .map_err(if multi { lane_err } else { uni_err })?;
-                    self.stack.push(r);
+                    self.regs[a] = r;
                 }
-                Op::InsertStack => {
-                    let v = self.pop();
-                    let k = self.pop();
-                    let arr = self.pop();
+                ROp::ArrayInsert => {
+                    let arr = self.regs[a].clone();
+                    let k = self.regs[base + rinsn::b(insn)].clone();
+                    let v = self.regs[base + rinsn::c(insn)].clone();
                     let multi = !v.is_uni() || !k.is_uni() || !arr.is_uni();
                     self.account(multi);
-                    let mut out = Vec::with_capacity(self.lanes);
                     if multi {
+                        let mut out = Vec::with_capacity(self.lanes);
                         for l in 0..self.lanes {
                             out.push(
                                 ops::array_insert(
@@ -565,130 +680,144 @@ impl GroupVm<'_, '_> {
                                 .map_err(lane_err)?,
                             );
                         }
-                        self.stack.push(MVal::from_lanes(out));
+                        self.regs[a] = MVal::from_lanes(out);
                     } else {
                         let r =
                             ops::array_insert(arr.lane(0).clone(), k.lane(0), v.lane(0).clone())
                                 .map_err(uni_err)?;
-                        self.stack.push(MVal::Uni(r));
+                        self.regs[a] = MVal::Uni(r);
                     }
                 }
-                Op::IndexGet => {
-                    let k = self.pop();
-                    let base = self.pop();
-                    self.account(!k.is_uni() || !base.is_uni());
-                    let r = MVal::map2::<VmError>(&base, &k, self.lanes, |b, key| {
-                        Ok(ops::index_get(b, key))
+                ROp::IndexGet => {
+                    let b = self.regs[base + rinsn::b(insn)].clone();
+                    let k = self.regs[base + rinsn::c(insn)].clone();
+                    self.account(!k.is_uni() || !b.is_uni());
+                    let r = MVal::map2::<VmError>(&b, &k, self.lanes, |x, key| {
+                        Ok(ops::index_get(x, key))
                     })
                     .expect("index_get is infallible");
-                    self.stack.push(r);
+                    self.regs[a] = r;
                 }
-                Op::SetPathLocal(slot, n) | Op::SetPathGlobal(slot, n) => {
-                    let keys: Vec<MVal> = self.pop_keys(n as usize);
-                    let value = self.pop();
-                    let is_local = matches!(op, Op::SetPathLocal(..));
-                    self.modify_path(is_local, slot, &keys, ops::set_path, Some(value.clone()))?;
-                    self.stack.push(value);
-                }
-                Op::AppendPathLocal(slot, n) | Op::AppendPathGlobal(slot, n) => {
-                    let keys: Vec<MVal> = self.pop_keys(n as usize - 1);
-                    let value = self.pop();
-                    let is_local = matches!(op, Op::AppendPathLocal(..));
-                    self.modify_path(is_local, slot, &keys, ops::append_path, Some(value.clone()))?;
-                    self.stack.push(value);
-                }
-                Op::UnsetPathLocal(slot, n) | Op::UnsetPathGlobal(slot, n) => {
-                    let keys: Vec<MVal> = self.pop_keys(n as usize);
-                    let is_local = matches!(op, Op::UnsetPathLocal(..));
-                    self.modify_path(
-                        is_local,
-                        slot,
-                        &keys,
-                        |cur, lane_keys, _v| {
-                            ops::unset_path(cur, lane_keys);
-                            Ok(())
-                        },
-                        None,
-                    )?;
-                }
-                Op::IssetPathLocal(slot, n) | Op::IssetPathGlobal(slot, n) => {
-                    let keys: Vec<MVal> = self.pop_keys(n as usize);
-                    let is_local = matches!(op, Op::IssetPathLocal(..));
-                    let base = if is_local {
-                        self.frames.last().expect("running frame").locals[slot as usize].clone()
+                ROp::SetPathLocal | ROp::SetPathGlobal => {
+                    let n = rinsn::c(insn);
+                    let is_local = rinsn::op(insn) == ROp::SetPathLocal;
+                    let value = self.regs[a].clone();
+                    let keys: Vec<MVal> = self.regs[a + 1..a + 1 + n].to_vec();
+                    let cur = if is_local {
+                        self.regs[base + rinsn::b(insn)].clone()
                     } else {
-                        self.globals[slot as usize].clone()
+                        self.globals[rinsn::b(insn)].clone()
                     };
-                    let multi = !base.is_uni() || keys.iter().any(|k| !k.is_uni());
+                    let new = self.modify_path(&cur, &keys, Some(&value), ops::set_path)?;
+                    if is_local {
+                        self.regs[base + rinsn::b(insn)] = new;
+                    } else {
+                        self.globals[rinsn::b(insn)] = new;
+                    }
+                }
+                ROp::AppendPathLocal | ROp::AppendPathGlobal => {
+                    let n = rinsn::c(insn);
+                    let is_local = rinsn::op(insn) == ROp::AppendPathLocal;
+                    let value = self.regs[a].clone();
+                    let keys: Vec<MVal> = self.regs[a + 1..a + n].to_vec();
+                    let cur = if is_local {
+                        self.regs[base + rinsn::b(insn)].clone()
+                    } else {
+                        self.globals[rinsn::b(insn)].clone()
+                    };
+                    let new = self.modify_path(&cur, &keys, Some(&value), ops::append_path)?;
+                    if is_local {
+                        self.regs[base + rinsn::b(insn)] = new;
+                    } else {
+                        self.globals[rinsn::b(insn)] = new;
+                    }
+                }
+                ROp::UnsetPathLocal | ROp::UnsetPathGlobal => {
+                    let n = rinsn::c(insn);
+                    let is_local = rinsn::op(insn) == ROp::UnsetPathLocal;
+                    let keys: Vec<MVal> = self.regs[a..a + n].to_vec();
+                    let cur = if is_local {
+                        self.regs[base + rinsn::b(insn)].clone()
+                    } else {
+                        self.globals[rinsn::b(insn)].clone()
+                    };
+                    let new = self.modify_path(&cur, &keys, None, |c, lane_keys, _v| {
+                        ops::unset_path(c, lane_keys);
+                        Ok(())
+                    })?;
+                    if is_local {
+                        self.regs[base + rinsn::b(insn)] = new;
+                    } else {
+                        self.globals[rinsn::b(insn)] = new;
+                    }
+                }
+                ROp::IssetPathLocal | ROp::IssetPathGlobal => {
+                    let n = rinsn::c(insn);
+                    let is_local = rinsn::op(insn) == ROp::IssetPathLocal;
+                    let keys: Vec<MVal> = self.regs[a..a + n].to_vec();
+                    let cur = if is_local {
+                        self.regs[base + rinsn::b(insn)].clone()
+                    } else {
+                        self.globals[rinsn::b(insn)].clone()
+                    };
+                    let multi = !cur.is_uni() || keys.iter().any(|k| !k.is_uni());
                     self.account(multi);
-                    let mut out = Vec::with_capacity(self.lanes);
                     let lane_count = if multi { self.lanes } else { 1 };
+                    let mut out = Vec::with_capacity(lane_count);
                     for l in 0..lane_count {
                         let lane_keys: Vec<Value> =
                             keys.iter().map(|k| k.lane(l).clone()).collect();
-                        out.push(Value::Bool(ops::isset_path(base.lane(l), &lane_keys)));
+                        out.push(Value::Bool(ops::isset_path(cur.lane(l), &lane_keys)));
                     }
-                    self.stack.push(if multi {
+                    self.regs[a] = if multi {
                         MVal::from_lanes(out)
                     } else {
                         MVal::Uni(out.into_iter().next().expect("one lane"))
-                    });
+                    };
                 }
-                Op::PreIncLocal(s)
-                | Op::PostIncLocal(s)
-                | Op::PreDecLocal(s)
-                | Op::PostDecLocal(s) => {
-                    let frame = self.frames.last_mut().expect("running frame");
-                    let cur = frame.locals[s as usize].clone();
+                ROp::IncDecLocal | ROp::IncDecGlobal => {
+                    let is_local = rinsn::op(insn) == ROp::IncDecLocal;
+                    let cur = if is_local {
+                        self.regs[base + rinsn::b(insn)].clone()
+                    } else {
+                        self.globals[rinsn::b(insn)].clone()
+                    };
                     let multi = !cur.is_uni();
                     self.account(multi);
-                    // Rebind the local-variant op for the shared scalar helper.
-                    let scalar_op = match op {
-                        Op::PreIncLocal(_) => Op::PreIncLocal(0),
-                        Op::PostIncLocal(_) => Op::PostIncLocal(0),
-                        Op::PreDecLocal(_) => Op::PreDecLocal(0),
-                        _ => Op::PostDecLocal(0),
-                    };
-                    let (new_slot, result) = incdec_mval(&cur, scalar_op, self.lanes)
+                    let sop = incdec_variant(rinsn::c(insn));
+                    let (new_slot, result) = incdec_mval(&cur, sop, self.lanes)
                         .map_err(if multi { lane_err } else { uni_err })?;
-                    let frame = self.frames.last_mut().expect("running frame");
-                    frame.locals[s as usize] = new_slot;
-                    self.stack.push(result);
+                    if is_local {
+                        self.regs[base + rinsn::b(insn)] = new_slot;
+                    } else {
+                        self.globals[rinsn::b(insn)] = new_slot;
+                    }
+                    self.regs[a] = result;
                 }
-                Op::PreIncGlobal(s)
-                | Op::PostIncGlobal(s)
-                | Op::PreDecGlobal(s)
-                | Op::PostDecGlobal(s) => {
-                    let cur = self.globals[s as usize].clone();
-                    let multi = !cur.is_uni();
-                    self.account(multi);
-                    let scalar_op = match op {
-                        Op::PreIncGlobal(_) => Op::PreIncLocal(0),
-                        Op::PostIncGlobal(_) => Op::PostIncLocal(0),
-                        Op::PreDecGlobal(_) => Op::PreDecLocal(0),
-                        _ => Op::PostDecLocal(0),
-                    };
-                    let (new_slot, result) = incdec_mval(&cur, scalar_op, self.lanes)
-                        .map_err(if multi { lane_err } else { uni_err })?;
-                    self.globals[s as usize] = new_slot;
-                    self.stack.push(result);
-                }
-                Op::Call(fidx, argc) => {
+                ROp::Call => {
                     self.account(false);
+                    let fidx = rinsn::a(insn) as u16;
                     let func = &self.script.functions[fidx as usize];
-                    let argc = argc as usize;
-                    let mut locals = vec![MVal::Uni(Value::Null); func.num_locals as usize];
-                    let args_start = self.stack.len() - argc;
-                    for (i, v) in self.stack.drain(args_start..).enumerate() {
-                        if i < func.num_params as usize {
-                            locals[i] = v;
+                    let argc = rinsn::c(insn);
+                    let args_abs = base + rinsn::b(insn);
+                    let callee_base = self.frames[fi].top;
+                    let callee_top = callee_base + func.register_count as usize;
+                    if self.regs.len() < callee_top {
+                        self.regs.resize(callee_top, MVal::Uni(Value::Null));
+                    }
+                    let num_params = func.num_params as usize;
+                    for i in 0..argc {
+                        let v =
+                            std::mem::replace(&mut self.regs[args_abs + i], MVal::Uni(Value::Null));
+                        if i < num_params {
+                            self.regs[callee_base + i] = v;
                         }
                     }
-                    #[allow(clippy::needless_range_loop)]
-                    for p in argc..func.num_params as usize {
+                    for p in argc..num_params {
                         match func.defaults[p] {
                             Some(cidx) => {
-                                locals[p] = MVal::Uni(self.script.consts[cidx as usize].clone())
+                                self.regs[callee_base + p] =
+                                    MVal::Uni(self.script.consts[cidx as usize].clone())
                             }
                             None => {
                                 return Err(Flow::GroupFatal(format!(
@@ -698,41 +827,41 @@ impl GroupVm<'_, '_> {
                             }
                         }
                     }
-                    if self.frames.len() >= 200 {
+                    if self.depth >= 200 {
                         return Err(Flow::GroupFatal("call stack depth exceeded".into()));
                     }
-                    self.frames.push(Frame {
-                        func: FnRef::User(fidx),
-                        pc: 0,
-                        locals,
-                        iters: Vec::new(),
-                        stack_base: self.stack.len(),
-                    });
+                    for r in &mut self.regs[callee_base + num_params..callee_top] {
+                        *r = MVal::Uni(Value::Null);
+                    }
+                    self.push_frame(FnRef::User(fidx), callee_base, callee_top, args_abs);
                 }
-                Op::CallBuiltin(bidx, argc) => {
-                    self.builtin(bidx, argc as usize)?;
+                ROp::CallBuiltin => {
+                    let bidx = rinsn::a(insn) as u16;
+                    let argc = rinsn::c(insn);
+                    let abs = base + rinsn::b(insn);
+                    self.builtin(bidx, abs, argc)?;
                 }
-                Op::Return => {
+                ROp::Return => {
                     self.account(false);
-                    let value = self.pop();
-                    let frame = self.frames.pop().expect("returning frame");
-                    if self.frames.is_empty() {
+                    let value = std::mem::replace(&mut self.regs[a], MVal::Uni(Value::Null));
+                    let ret_abs = self.frames[fi].ret_abs;
+                    self.depth -= 1;
+                    if self.depth == 0 {
                         return Ok(());
                     }
-                    self.stack.truncate(frame.stack_base);
-                    self.stack.push(value);
+                    self.regs[ret_abs] = value;
                 }
-                Op::ReturnNull => {
+                ROp::ReturnNull => {
                     self.account(false);
-                    let frame = self.frames.pop().expect("returning frame");
-                    if self.frames.is_empty() {
+                    let ret_abs = self.frames[fi].ret_abs;
+                    self.depth -= 1;
+                    if self.depth == 0 {
                         return Ok(());
                     }
-                    self.stack.truncate(frame.stack_base);
-                    self.stack.push(MVal::Uni(Value::Null));
+                    self.regs[ret_abs] = MVal::Uni(Value::Null);
                 }
-                Op::Echo => {
-                    let v = self.pop();
+                ROp::Echo => {
+                    let v = self.regs[a].clone();
                     self.account(!v.is_uni());
                     match &v {
                         MVal::Uni(val) => {
@@ -748,12 +877,12 @@ impl GroupVm<'_, '_> {
                         }
                     }
                 }
-                Op::IterInit => {
-                    let arr = self.pop();
+                ROp::IterInit => {
+                    let arr = self.regs[a].clone();
                     self.account(!arr.is_uni());
                     let iter = match &arr {
-                        MVal::Uni(Value::Array(a)) => GroupIter::Uni {
-                            pairs: a.to_pairs(),
+                        MVal::Uni(Value::Array(p)) => GroupIter::Uni {
+                            pairs: p.to_pairs(),
                             pos: 0,
                         },
                         MVal::Uni(_) => GroupIter::Uni {
@@ -764,22 +893,19 @@ impl GroupVm<'_, '_> {
                             lanes: vals
                                 .iter()
                                 .map(|v| match v {
-                                    Value::Array(a) => (a.to_pairs(), 0),
+                                    Value::Array(p) => (p.to_pairs(), 0),
                                     _ => (Vec::new(), 0),
                                 })
                                 .collect(),
                         },
                     };
-                    self.frames
-                        .last_mut()
-                        .expect("running frame")
-                        .iters
-                        .push(iter);
+                    self.frames[fi].iters.push(iter);
                 }
-                Op::IterNext(t) | Op::IterNextKV(t) => {
-                    let want_key = matches!(op, Op::IterNextKV(_));
+                ROp::IterNext | ROp::IterNextKV => {
+                    let want_key = rinsn::op(insn) == ROp::IterNextKV;
                     let lanes = self.lanes;
-                    let frame = self.frames.last_mut().expect("running frame");
+                    let t = rinsn::bx(insn);
+                    let frame = &mut self.frames[fi];
                     let iter = frame.iters.last_mut().expect("IterInit precedes IterNext");
                     match iter {
                         GroupIter::Uni { pairs, pos } => {
@@ -788,11 +914,13 @@ impl GroupVm<'_, '_> {
                                 let (k, v) = pairs[*pos].clone();
                                 *pos += 1;
                                 if want_key {
-                                    self.stack.push(MVal::Uni(k.to_value()));
+                                    self.regs[a] = MVal::Uni(k.to_value());
+                                    self.regs[a + 1] = MVal::Uni(v);
+                                } else {
+                                    self.regs[a] = MVal::Uni(v);
                                 }
-                                self.stack.push(MVal::Uni(v));
                             } else {
-                                frame.pc = t as usize;
+                                frame.pc = t;
                             }
                         }
                         GroupIter::PerLane { lanes: iters } => {
@@ -813,127 +941,81 @@ impl GroupVm<'_, '_> {
                                     vals.push(v);
                                 }
                                 if want_key {
-                                    self.stack.push(MVal::from_lanes(keys));
+                                    self.regs[a] = MVal::from_lanes(keys);
+                                    self.regs[a + 1] = MVal::from_lanes(vals);
+                                } else {
+                                    self.regs[a] = MVal::from_lanes(vals);
                                 }
-                                self.stack.push(MVal::from_lanes(vals));
                             } else {
-                                frame.pc = t as usize;
+                                frame.pc = t;
                             }
                         }
                     }
                 }
-                Op::IterPop => {
+                ROp::IterPop => {
                     self.account(false);
-                    self.frames.last_mut().expect("running frame").iters.pop();
+                    self.frames[fi].iters.pop();
                 }
             }
         }
     }
 
-    fn pop_keys(&mut self, n: usize) -> Vec<MVal> {
-        if n == 0 {
-            return Vec::new();
-        }
-        self.stack.split_off(self.stack.len() - n)
-    }
-
-    /// Read-modify-write of a local/global slot through an index path,
-    /// univalently when every participant is a univalue.
-    fn modify_path(
-        &mut self,
-        is_local: bool,
-        slot: u16,
-        keys: &[MVal],
-        f: impl Fn(&mut Value, &[Value], Value) -> Result<(), VmError>,
-        value: Option<MVal>,
-    ) -> Result<(), Flow> {
-        let cur = if is_local {
-            self.frames.last().expect("running frame").locals[slot as usize].clone()
-        } else {
-            self.globals[slot as usize].clone()
-        };
-        let multi = !cur.is_uni()
-            || keys.iter().any(|k| !k.is_uni())
-            || value.as_ref().is_some_and(|v| !v.is_uni());
-        self.account(multi);
-        let new = if !multi {
-            let mut v = cur.lane(0).clone();
-            let lane_keys: Vec<Value> = keys.iter().map(|k| k.lane(0).clone()).collect();
-            let val = value.map(|m| m.lane(0).clone()).unwrap_or(Value::Null);
-            f(&mut v, &lane_keys, val).map_err(uni_err)?;
-            MVal::Uni(v)
-        } else {
-            let mut out = Vec::with_capacity(self.lanes);
-            for l in 0..self.lanes {
-                let mut v = cur.lane(l).clone();
-                let lane_keys: Vec<Value> = keys.iter().map(|k| k.lane(l).clone()).collect();
-                let val = value
-                    .as_ref()
-                    .map(|m| m.lane(l).clone())
-                    .unwrap_or(Value::Null);
-                f(&mut v, &lane_keys, val).map_err(lane_err)?;
-                out.push(v);
-            }
-            MVal::from_lanes(out)
-        };
-        if is_local {
-            self.frames.last_mut().expect("running frame").locals[slot as usize] = new;
-        } else {
-            self.globals[slot as usize] = new;
-        }
-        Ok(())
-    }
-
     /// Builtin calls: pure builtins split per lane when any argument is
     /// a multivalue (§4.3); impure builtins route through the audit
-    /// context per lane.
-    fn builtin(&mut self, bidx: u16, argc: usize) -> Result<(), Flow> {
+    /// context per lane. The result lands in `regs[abs]` (byref
+    /// builtins also write the new target, at `abs`, with the return at
+    /// `abs + 1`).
+    fn builtin(&mut self, bidx: u16, abs: usize, argc: usize) -> Result<(), Flow> {
         let name = builtins::NAMES[bidx as usize];
-        let args_start = self.stack.len() - argc;
-        let args: Vec<MVal> = self.stack.drain(args_start..).collect();
+        let args: Vec<MVal> = self.regs[abs..abs + argc].to_vec();
         if is_impure(name) {
-            return self.impure_builtin(name, &args);
+            let r = self.impure_builtin(name, &args)?;
+            self.regs[abs] = r;
+            return Ok(());
         }
         let all_uni = args.iter().all(MVal::is_uni);
         self.account(!all_uni);
         if builtins::is_byref(bidx) {
             if all_uni {
-                let lane_args: Vec<Value> = args.iter().map(|a| a.lane(0).clone()).collect();
-                let (target, ret) = builtins::dispatch_byref(bidx, lane_args).map_err(uni_err)?;
-                self.stack.push(MVal::Uni(target));
-                self.stack.push(MVal::Uni(ret));
+                let mut lane_args: Vec<Value> = args.iter().map(|v| v.lane(0).clone()).collect();
+                let (target, ret) =
+                    builtins::dispatch_byref(bidx, &mut lane_args).map_err(uni_err)?;
+                self.regs[abs] = MVal::Uni(target);
+                self.regs[abs + 1] = MVal::Uni(ret);
             } else {
                 let mut targets = Vec::with_capacity(self.lanes);
                 let mut rets = Vec::with_capacity(self.lanes);
                 for l in 0..self.lanes {
-                    let lane_args: Vec<Value> = args.iter().map(|a| a.lane(l).clone()).collect();
-                    let (t, r) = builtins::dispatch_byref(bidx, lane_args).map_err(lane_err)?;
+                    let mut lane_args: Vec<Value> =
+                        args.iter().map(|v| v.lane(l).clone()).collect();
+                    let (t, r) =
+                        builtins::dispatch_byref(bidx, &mut lane_args).map_err(lane_err)?;
                     targets.push(t);
                     rets.push(r);
                 }
-                self.stack.push(MVal::from_lanes(targets));
-                self.stack.push(MVal::from_lanes(rets));
+                self.regs[abs] = MVal::from_lanes(targets);
+                self.regs[abs + 1] = MVal::from_lanes(rets);
             }
             return Ok(());
         }
         if all_uni {
-            let lane_args: Vec<Value> = args.iter().map(|a| a.lane(0).clone()).collect();
-            let r = builtins::dispatch(bidx, lane_args, &mut NoHost).map_err(uni_err)?;
-            self.stack.push(MVal::Uni(r));
+            let lane_args: Vec<Value> = args.iter().map(|v| v.lane(0).clone()).collect();
+            let r = builtins::dispatch(bidx, &lane_args, &mut NoHost).map_err(uni_err)?;
+            self.regs[abs] = MVal::Uni(r);
         } else {
             // Split execution: clone arguments per lane and run the
             // scalar implementation n times (§4.3).
             let mut out = Vec::with_capacity(self.lanes);
             for l in 0..self.lanes {
-                let lane_args: Vec<Value> = args.iter().map(|a| a.lane(l).clone()).collect();
-                out.push(builtins::dispatch(bidx, lane_args, &mut NoHost).map_err(lane_err)?);
+                let lane_args: Vec<Value> = args.iter().map(|v| v.lane(l).clone()).collect();
+                out.push(builtins::dispatch(bidx, &lane_args, &mut NoHost).map_err(lane_err)?);
             }
-            self.stack.push(MVal::from_lanes(out));
+            self.regs[abs] = MVal::from_lanes(out);
         }
         Ok(())
     }
 
-    fn impure_builtin(&mut self, name: &str, args: &[MVal]) -> Result<(), Flow> {
+    fn impure_builtin(&mut self, name: &str, args: &[MVal]) -> Result<MVal, Flow> {
         // Impure builtins count as multivalent when their arguments (or
         // their per-lane results) differ.
         match name {
@@ -944,8 +1026,7 @@ impl GroupVm<'_, '_> {
                     let s = v.lane(l).to_php_string();
                     self.outputs[l].push_str(&s);
                 }
-                self.stack.push(MVal::Uni(Value::Int(1)));
-                Ok(())
+                Ok(MVal::Uni(Value::Int(1)))
             }
             "exit" | "die" => {
                 self.account(false);
@@ -977,8 +1058,7 @@ impl GroupVm<'_, '_> {
                         }
                     }
                 }
-                self.stack.push(MVal::Uni(Value::Null));
-                Ok(())
+                Ok(MVal::Uni(Value::Null))
             }
             "http_response_code" => {
                 let c = args.first().cloned().unwrap_or(MVal::Uni(Value::Null));
@@ -994,8 +1074,7 @@ impl GroupVm<'_, '_> {
                     }
                     self.statuses[l] = code as u16;
                 }
-                self.stack.push(MVal::Uni(Value::Bool(true)));
-                Ok(())
+                Ok(MVal::Uni(Value::Bool(true)))
             }
             "setcookie" => {
                 let n = args.first().cloned().unwrap_or(MVal::Uni(Value::Null));
@@ -1011,8 +1090,7 @@ impl GroupVm<'_, '_> {
                         ),
                     ));
                 }
-                self.stack.push(MVal::Uni(Value::Bool(true)));
-                Ok(())
+                Ok(MVal::Uni(Value::Bool(true)))
             }
             "session_start" => {
                 self.account(true);
@@ -1043,8 +1121,7 @@ impl GroupVm<'_, '_> {
                     }
                     self.globals[3] = MVal::from_lanes(sessions);
                 }
-                self.stack.push(MVal::Uni(Value::Bool(true)));
-                Ok(())
+                Ok(MVal::Uni(Value::Bool(true)))
             }
             "apc_fetch" => {
                 let key = args.first().cloned().unwrap_or(MVal::Uni(Value::Null));
@@ -1066,8 +1143,7 @@ impl GroupVm<'_, '_> {
                         None => Value::Bool(false),
                     });
                 }
-                self.stack.push(MVal::from_lanes(out));
-                Ok(())
+                Ok(MVal::from_lanes(out))
             }
             "apc_store" | "apc_delete" => {
                 let key = args.first().cloned().unwrap_or(MVal::Uni(Value::Null));
@@ -1088,8 +1164,7 @@ impl GroupVm<'_, '_> {
                         .kv_set(self.rids[l], &ObjectName("kv:apc".into()), &k, bytes)
                         .map_err(Flow::Reject)?;
                 }
-                self.stack.push(MVal::Uni(Value::Bool(true)));
-                Ok(())
+                Ok(MVal::Uni(Value::Bool(true)))
             }
             "db_begin" => {
                 self.account(true);
@@ -1103,8 +1178,7 @@ impl GroupVm<'_, '_> {
                         .map_err(Flow::Reject)?;
                     self.txns[l] = Some(h);
                 }
-                self.stack.push(MVal::Uni(Value::Bool(true)));
-                Ok(())
+                Ok(MVal::Uni(Value::Bool(true)))
             }
             "db_query" => {
                 let sql = args.first().cloned().unwrap_or(MVal::Uni(Value::Null));
@@ -1134,8 +1208,7 @@ impl GroupVm<'_, '_> {
                         &mut self.last_affected[l],
                     ));
                 }
-                self.stack.push(MVal::from_lanes(out));
-                Ok(())
+                Ok(MVal::from_lanes(out))
             }
             "db_commit" | "db_rollback" => {
                 self.account(true);
@@ -1154,20 +1227,17 @@ impl GroupVm<'_, '_> {
                         .map_err(Flow::Reject)?;
                     out.push(Value::Bool(if committed { ok } else { true }));
                 }
-                self.stack.push(MVal::from_lanes(out));
-                Ok(())
+                Ok(MVal::from_lanes(out))
             }
             "db_insert_id" => {
                 self.account(true);
                 let vals = self.last_insert_id.iter().map(|i| Value::Int(*i)).collect();
-                self.stack.push(MVal::from_lanes(vals));
-                Ok(())
+                Ok(MVal::from_lanes(vals))
             }
             "db_affected_rows" => {
                 self.account(true);
                 let vals = self.last_affected.iter().map(|i| Value::Int(*i)).collect();
-                self.stack.push(MVal::from_lanes(vals));
-                Ok(())
+                Ok(MVal::from_lanes(vals))
             }
             "time" | "microtime" | "getpid" | "uniqid" => {
                 self.account(true);
@@ -1187,8 +1257,7 @@ impl GroupVm<'_, '_> {
                         }
                     });
                 }
-                self.stack.push(MVal::from_lanes(out));
-                Ok(())
+                Ok(MVal::from_lanes(out))
             }
             "mt_rand" | "rand" => {
                 self.account(true);
@@ -1206,75 +1275,14 @@ impl GroupVm<'_, '_> {
                             }))
                         }
                     };
-                    let lane_args: Vec<Value> = args.iter().map(|a| a.lane(l).clone()).collect();
+                    let lane_args: Vec<Value> = args.iter().map(|v| v.lane(l).clone()).collect();
                     out.push(builtins::mt_rand_reduce(raw, &lane_args).map_err(lane_err)?);
                 }
-                self.stack.push(MVal::from_lanes(out));
-                Ok(())
+                Ok(MVal::from_lanes(out))
             }
             other => Err(Flow::GroupFatal(format!(
                 "impure builtin {other}() not handled in grouped mode"
             ))),
         }
-    }
-}
-
-/// `++`/`--` on a multivalue slot; returns (new slot value, expression
-/// result).
-fn incdec_mval(cur: &MVal, scalar_op: Op, lanes: usize) -> Result<(MVal, MVal), VmError> {
-    match cur {
-        MVal::Uni(v) => {
-            let mut slot = v.clone();
-            let result = ops::incdec(&mut slot, scalar_op)?;
-            Ok((MVal::Uni(slot), MVal::Uni(result)))
-        }
-        MVal::Multi(vs) => {
-            let mut new_lanes = Vec::with_capacity(lanes);
-            let mut results = Vec::with_capacity(lanes);
-            for v in vs.iter() {
-                let mut slot = v.clone();
-                results.push(ops::incdec(&mut slot, scalar_op)?);
-                new_lanes.push(slot);
-            }
-            Ok((MVal::from_lanes(new_lanes), MVal::from_lanes(results)))
-        }
-    }
-}
-
-/// Converts an audit-side query result into the PHP-visible value,
-/// mirroring the scalar backend's conversion exactly.
-fn db_query_result_to_value(result: DbQueryResult, last_id: &mut i64, last_aff: &mut i64) -> Value {
-    match result {
-        DbQueryResult::Failed => Value::Bool(false),
-        DbQueryResult::Ok(ExecOutcome::Rows { columns, rows }) => {
-            let converted: Vec<Vec<(String, DbScalar)>> = rows
-                .into_iter()
-                .map(|row| {
-                    columns
-                        .iter()
-                        .cloned()
-                        .zip(row.into_iter().map(sql_to_dbscalar))
-                        .collect()
-                })
-                .collect();
-            builtins::db_result_to_value(DbResult::Rows(converted), last_id, last_aff)
-        }
-        DbQueryResult::Ok(ExecOutcome::Write(w)) => builtins::db_result_to_value(
-            DbResult::Write {
-                affected: w.affected,
-                insert_id: w.last_insert_id,
-            },
-            last_id,
-            last_aff,
-        ),
-    }
-}
-
-fn sql_to_dbscalar(v: SqlValue) -> DbScalar {
-    match v {
-        SqlValue::Null => DbScalar::Null,
-        SqlValue::Int(i) => DbScalar::Int(i),
-        SqlValue::Float(f) => DbScalar::Float(f),
-        SqlValue::Text(s) => DbScalar::Text(s),
     }
 }

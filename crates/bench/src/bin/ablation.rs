@@ -9,16 +9,18 @@ fn main() {
     let scale = scale_from_env();
     println!("== Ablation: sources of acceleration (wiki, scale {scale}) ==");
     println!(
-        "{:<16} {:>10} {:>10} {:>10}",
-        "arm", "wall(s)", "deduped", "issued"
+        "{:<20} {:>10} {:>10} {:>10} {:>14} {:>14}",
+        "arm", "wall(s)", "deduped", "issued", "vm-dispatched", "vm-executed"
     );
     for arm in ablation(scale, 42) {
         println!(
-            "{:<16} {:>10.3} {:>10} {:>10}",
+            "{:<20} {:>10.3} {:>10} {:>10} {:>14} {:>14}",
             arm.label,
             arm.wall.as_secs_f64(),
             arm.deduped,
-            arm.issued
+            arm.issued,
+            arm.vm_dispatch_total,
+            arm.vm_dispatch_executed,
         );
     }
 }

@@ -1,14 +1,24 @@
 //! Regenerates the Fig. 10 instruction-cost table: per-category cost
 //! under unmodified PHP, acc-PHP univalent execution, and acc-PHP
 //! multivalent execution decomposed into fixed and marginal components
-//! (derived from two lane counts).
+//! (derived from two lane counts) — plus the engine comparison the CI
+//! pipeline tracks: grouped re-execution throughput of the register
+//! bytecode VM against the retained stack-bytecode baseline on a
+//! call-heavy script.
 //!
-//! Usage: `cargo run --release -p orochi-bench --bin fig10_instructions`
+//! Usage: `cargo run --release -p orochi_bench --bin fig10_instructions`
+//!
+//! * `OROCHI_BENCH_JSON=path` — also write the engine comparison as
+//!   JSON for the `bench-smoke` CI artifact.
+//! * `OROCHI_FULL=1` — raise the iteration counts to full scale.
 
-use orochi_bench::{fig10_script, run_fig10_scalar, Fig10Group, FIG10_CATEGORIES};
+use orochi_accphp::VmEngine;
+use orochi_bench::json::Json;
+use orochi_bench::{
+    fig10_call_heavy_script, fig10_script, run_fig10_scalar, Fig10Group, FIG10_CATEGORIES,
+};
 use std::time::Instant;
 
-const ITERS: usize = 20_000;
 const REPS: usize = 5;
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -16,41 +26,46 @@ fn median(mut xs: Vec<f64>) -> f64 {
     xs[xs.len() / 2]
 }
 
-fn time_ns(mut f: impl FnMut()) -> f64 {
+/// Median of `REPS` wall times of `f`, in nanoseconds.
+fn wall_ns(mut f: impl FnMut()) -> f64 {
     let samples: Vec<f64> = (0..REPS)
         .map(|_| {
             let t0 = Instant::now();
             f();
-            t0.elapsed().as_nanos() as f64 / ITERS as f64
+            t0.elapsed().as_nanos() as f64
         })
         .collect();
     median(samples)
 }
 
 fn main() {
-    println!("== Fig. 10: per-instruction cost (ns/op; {ITERS} ops/run) ==");
+    let full =
+        matches!(std::env::var("OROCHI_FULL"), Ok(v) if v == "1" || v.eq_ignore_ascii_case("true"));
+    let iters = if full { 100_000 } else { 20_000 };
+
+    println!("== Fig. 10: per-instruction cost (ns/op; {iters} ops/run) ==");
     println!(
         "{:<10} {:>12} {:>12} {:>14} {:>16}",
         "category", "unmodified", "univalent", "multi-fixed", "multi-marginal"
     );
     for (name, body) in FIG10_CATEGORIES {
-        let nondet = if *name == "Microtime" { ITERS } else { 0 };
-        let script = fig10_script(body, ITERS);
-        let unmodified = time_ns(|| run_fig10_scalar(&script, "7", "9"));
+        let nondet = if *name == "Microtime" { iters } else { 0 };
+        let script = fig10_script(body, iters);
+        let unmodified = wall_ns(|| run_fig10_scalar(&script, "7", "9")) / iters as f64;
         let uni_group = Fig10Group::new(4, true, nondet);
-        let univalent = time_ns(|| {
+        let univalent = wall_ns(|| {
             uni_group.run(&script);
-        });
+        }) / iters as f64;
         // Multivalent at two lane counts: cost(L) = fixed + marginal*L.
         let (l1, l2) = (2usize, 8usize);
         let g1 = Fig10Group::new(l1, false, nondet);
         let g2 = Fig10Group::new(l2, false, nondet);
-        let t1 = time_ns(|| {
+        let t1 = wall_ns(|| {
             g1.run(&script);
-        });
-        let t2 = time_ns(|| {
+        }) / iters as f64;
+        let t2 = wall_ns(|| {
             g2.run(&script);
-        });
+        }) / iters as f64;
         let marginal = (t2 - t1) / (l2 - l1) as f64;
         let fixed = t1 - marginal * l1 as f64;
         println!(
@@ -62,4 +77,80 @@ fn main() {
         "\nExpected shape (§5.2): multivalent cost exceeds unmodified — the gain \
          comes from collapsing, not vectorization."
     );
+
+    // Engine comparison: grouped re-execution of a call-heavy script
+    // (function frames dominate) under the register VM vs the stack
+    // baseline, univalent (8 identical lanes) and multivalent (8
+    // distinct lanes).
+    let lanes = 8usize;
+    let script = fig10_call_heavy_script(iters);
+    let uni = Fig10Group::new(lanes, true, 0);
+    let multi = Fig10Group::new(lanes, false, 0);
+    let mut walls = Vec::new();
+    println!("\n== Engine comparison: grouped re-execution, call-heavy script ({lanes} lanes) ==");
+    println!(
+        "{:<14} {:>14} {:>14} {:>10}",
+        "group", "register", "stack", "speedup"
+    );
+    for (label, group) in [("univalent", &uni), ("multivalent", &multi)] {
+        let reg = wall_ns(|| {
+            group.run_with(&script, VmEngine::Register);
+        });
+        let stack = wall_ns(|| {
+            group.run_with(&script, VmEngine::Stack);
+        });
+        println!(
+            "{:<14} {:>12.2}ms {:>12.2}ms {:>9.2}x",
+            label,
+            reg / 1e6,
+            stack / 1e6,
+            stack / reg,
+        );
+        walls.push((label, reg, stack));
+    }
+    let outcome = uni.run_with(&script, VmEngine::Register);
+    let (u, m) = (outcome.univalent, outcome.multivalent);
+    let n = lanes as u64;
+    println!(
+        "dispatch accounting (univalent group): {} represented, {} executed ({:.2}x dedup)",
+        n * (u + m),
+        u + n * m,
+        (n * (u + m)) as f64 / (u + n * m) as f64,
+    );
+
+    if let Ok(path) = std::env::var("OROCHI_BENCH_JSON") {
+        let mut fields = vec![
+            ("experiment", Json::str("fig10_instructions")),
+            ("iters", Json::from(iters)),
+            ("lanes", Json::from(lanes)),
+            ("dispatch_total", Json::from(n * (u + m))),
+            ("dispatch_executed", Json::from(u + n * m)),
+        ];
+        for (label, reg, stack) in &walls {
+            fields.push((
+                match *label {
+                    "univalent" => "register_uni_wall_s",
+                    _ => "register_multi_wall_s",
+                },
+                Json::Num(reg / 1e9),
+            ));
+            fields.push((
+                match *label {
+                    "univalent" => "stack_uni_wall_s",
+                    _ => "stack_multi_wall_s",
+                },
+                Json::Num(stack / 1e9),
+            ));
+            fields.push((
+                match *label {
+                    "univalent" => "register_uni_speedup",
+                    _ => "register_multi_speedup",
+                },
+                Json::Num(stack / reg),
+            ));
+        }
+        let doc = Json::obj(fields);
+        std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
 }

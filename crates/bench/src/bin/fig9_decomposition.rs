@@ -42,6 +42,9 @@ fn json_doc(scale: f64, rows: &[Fig9Row], par: &[ParallelRow], threads: usize) -
                                 "baseline_total_s",
                                 Json::Num(r.baseline_total.as_secs_f64()),
                             ),
+                            ("vm_dispatch_total", Json::from(r.vm_dispatch_total)),
+                            ("vm_dispatch_executed", Json::from(r.vm_dispatch_executed)),
+                            ("vm_dispatch_dedup", Json::Num(r.dispatch_dedup())),
                         ])
                     })
                     .collect(),

@@ -14,13 +14,17 @@
 //!   per-endpoint hashing, `Vec<Vec>` adjacency, O(E) indegree recount;
 //! * streamed_csr — the full Fig. 5 graph via `process_op_reports`
 //!   (frontier edges streamed into the two-pass CSR builder);
+//! * csr_par — the same build with the fill pass parallelized
+//!   (`process_op_reports_with` at the machine's core count); the count
+//!   pass fixes every row extent, so sources fill disjoint slots and
+//!   the output stays byte-identical to the sequential build;
 //! * cycle_check — Kahn's algorithm alone over the prebuilt CSR graph.
 //!
 //! `OROCHI_FULL=1` raises the trace to the paper-scale request count.
 
 use orochi_bench::json::Json;
 use orochi_bench::{epoch_trace, zero_op_reports};
-use orochi_core::graph::{process_op_reports, two_phase};
+use orochi_core::graph::{process_op_reports, process_op_reports_with, two_phase};
 use orochi_core::precedence::{create_time_precedence_graph, dense_time_precedence};
 use std::time::{Duration, Instant};
 
@@ -64,6 +68,10 @@ fn main() {
     let csr = min_wall(runs, || {
         process_op_reports(&balanced, &reports).unwrap();
     });
+    let fill_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let csr_par = min_wall(runs, || {
+        process_op_reports_with(&balanced, &reports, fill_threads).unwrap();
+    });
     let (graph, _) = process_op_reports(&balanced, &reports).unwrap();
     let mut scratch = Vec::new();
     let cycle = min_wall(runs, || {
@@ -76,6 +84,7 @@ fn main() {
         ("frontier (Fig. 6)", frontier),
         ("two_phase (pre-CSR)", two_phase_wall),
         ("streamed_csr", csr),
+        ("csr_par (fill)", csr_par),
         ("cycle_check (Kahn)", cycle),
     ];
     println!("{:<22} {:>12}", "arm", "wall");
@@ -84,9 +93,11 @@ fn main() {
     }
     let frontier_speedup = dense.as_secs_f64() / frontier.as_secs_f64().max(1e-9);
     let csr_speedup = two_phase_wall.as_secs_f64() / csr.as_secs_f64().max(1e-9);
+    let par_speedup = csr.as_secs_f64() / csr_par.as_secs_f64().max(1e-9);
     println!(
         "frontier beats dense {frontier_speedup:.1}x; \
-         streamed CSR beats two-phase {csr_speedup:.2}x \
+         streamed CSR beats two-phase {csr_speedup:.2}x; \
+         parallel fill at {fill_threads} threads {par_speedup:.2}x over sequential \
          ({} time-precedence edges, {} graph nodes, {} graph edges)",
         edges,
         graph.num_nodes(),
@@ -105,9 +116,12 @@ fn main() {
             ("frontier_wall_s", Json::Num(frontier.as_secs_f64())),
             ("two_phase_wall_s", Json::Num(two_phase_wall.as_secs_f64())),
             ("csr_wall_s", Json::Num(csr.as_secs_f64())),
+            ("csr_par_wall_s", Json::Num(csr_par.as_secs_f64())),
+            ("csr_par_threads", Json::from(fill_threads)),
             ("cycle_check_wall_s", Json::Num(cycle.as_secs_f64())),
             ("frontier_speedup", Json::Num(frontier_speedup)),
             ("csr_speedup", Json::Num(csr_speedup)),
+            ("csr_par_speedup", Json::Num(par_speedup)),
         ]);
         std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("wrote {path}");

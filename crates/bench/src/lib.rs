@@ -8,7 +8,8 @@
 pub mod cli;
 pub mod json;
 
-use orochi_accphp::groupvm::{run_group, GroupOutcome};
+use orochi_accphp::groupvm::{self, run_group, GroupOutcome};
+use orochi_accphp::VmEngine;
 use orochi_common::ids::{CtlFlowTag, RequestId};
 use orochi_core::audit::{AuditConfig, AuditContext};
 use orochi_core::nondet::{NondetLog, NondetValue};
@@ -132,16 +133,53 @@ impl Fig10Group {
     /// Runs the script once over the group; panics on divergence (bench
     /// scripts are divergence-free by construction).
     pub fn run(&self, script: &CompiledScript) -> GroupOutcome {
+        self.run_with(script, VmEngine::Register)
+    }
+
+    /// [`Fig10Group::run`] with an explicit engine — the register VM or
+    /// the retained stack baseline — so the engine comparison can time
+    /// both on identical groups.
+    pub fn run_with(&self, script: &CompiledScript, engine: VmEngine) -> GroupOutcome {
         let mut ctx = AuditContext::prepare(&self.trace, &self.reports, &self.config)
             .expect("bench reports are well-formed");
-        run_group(script, &self.rids, &self.inputs, &mut ctx)
-            .unwrap_or_else(|e| panic!("bench group failed: {e:?}"))
+        match engine {
+            VmEngine::Register => run_group(script, &self.rids, &self.inputs, &mut ctx),
+            VmEngine::Stack => {
+                groupvm::stack::run_group(script, &self.rids, &self.inputs, &mut ctx)
+            }
+        }
+        .unwrap_or_else(|e| panic!("bench group failed: {e:?}"))
     }
 
     /// Lane count.
     pub fn lanes(&self) -> usize {
         self.rids.len()
     }
+}
+
+/// Compiles the call-heavy engine-comparison script: `iters` iterations
+/// of a loop whose body is two user-function calls (one nested). Call
+/// frames dominate, which is where the register VM's pooled register
+/// windows pay off against the stack VM's per-call local tables.
+pub fn fig10_call_heavy_script(iters: usize) -> CompiledScript {
+    let src = format!(
+        "<?php
+         function mix($x, $y) {{
+             return ($x * 31 + $y) % 65521;
+         }}
+         function step($acc, $i, $a) {{
+             $acc = mix($acc, $i);
+             return mix($acc, $a);
+         }}
+         $a = $_GET['a'];
+         $b = $_GET['b'];
+         $acc = 0;
+         for ($n = 0; $n < {iters}; $n++) {{
+             $acc = step($acc, $n, $a);
+         }}
+         echo $acc . ' ' . $b;"
+    );
+    compile("/bench.php", &parse_script(&src).unwrap()).unwrap()
 }
 
 /// Zero-operation reports covering every request of `trace`: what an

@@ -37,7 +37,7 @@
 //! hit/miss split) may vary with the thread count.
 
 use crate::exec::{DbQueryResult, DbTxnHandle, GroupExecutor, SimResult};
-use crate::graph::{process_op_reports, GraphRejection, OpMap};
+use crate::graph::{process_op_reports, process_op_reports_with, GraphRejection, OpMap};
 use crate::nondet::NondetValue;
 use crate::reports::Reports;
 use orochi_common::ids::{CtlFlowTag, OpNum, RequestId, SeqNum};
@@ -313,6 +313,14 @@ pub struct AuditStats {
     pub db_queries_deduped: u64,
     /// SELECTs actually issued to the versioned store.
     pub db_queries_issued: u64,
+    /// VM instruction dispatches the audit *would* have performed had
+    /// every request re-executed scalar: `Σ n_c × ℓ_c` over groups plus
+    /// the scalar path's own instruction counts (Fig. 10's "total").
+    pub vm_dispatch_total: u64,
+    /// VM instruction dispatches actually performed: univalent
+    /// instructions once per group, multivalent ones per lane
+    /// (Fig. 10's deduplicated re-execution work).
+    pub vm_dispatch_executed: u64,
     /// Aggregate redo statistics across database objects.
     pub redo: RedoStats,
     /// Bytes held by the audit-time versioned database(s) (Fig. 8
@@ -347,6 +355,8 @@ impl AuditStats {
         self.db_queries += other.db_queries;
         self.db_queries_deduped += other.db_queries_deduped;
         self.db_queries_issued += other.db_queries_issued;
+        self.vm_dispatch_total += other.vm_dispatch_total;
+        self.vm_dispatch_executed += other.vm_dispatch_executed;
     }
 }
 
@@ -1027,6 +1037,15 @@ impl<'a> AuditContext<'a> {
         Ok(result)
     }
 
+    /// Records VM instruction-dispatch work done by the executor:
+    /// `total` is the dispatch count a fully scalar re-execution would
+    /// have paid, `executed` what the (possibly grouped) engine actually
+    /// dispatched. The gap is deduplicated re-execution's saving.
+    pub fn record_vm_dispatches(&mut self, total: u64, executed: u64) {
+        self.stats.vm_dispatch_total += total;
+        self.stats.vm_dispatch_executed += executed;
+    }
+
     /// Feeds the next recorded nondeterministic value for `rid`,
     /// checking its kind matches the call site (§4.6).
     pub fn nondet(&mut self, rid: RequestId, kind: &str) -> Result<NondetValue, Rejection> {
@@ -1221,7 +1240,9 @@ fn prologue<'a>(
         .map_err(Rejection::Unbalanced)?;
 
     // Phase 2: ProcessOpReports (Fig. 5) + nondeterminism sanity (§4.6).
-    let (graph, opmap) = phases.time("ProcOpRep", || process_op_reports(&balanced, reports))?;
+    let (graph, opmap) = phases.time("ProcOpRep", || {
+        process_op_reports_with(&balanced, reports, threads)
+    })?;
     reports
         .nondet
         .validate()

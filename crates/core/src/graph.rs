@@ -361,6 +361,34 @@ pub fn process_op_reports(
     trace: &BalancedTrace,
     reports: &Reports,
 ) -> Result<(AuditGraph, OpMap), GraphRejection> {
+    process_op_reports_with(trace, reports, 1)
+}
+
+/// [`process_op_reports`] with a worker pool for the CSR fill pass.
+///
+/// The count pass fixes every row's extent, and the three edge sources
+/// then target *disjoint, precomputable* slots within those extents:
+///
+/// * departure nodes emit only Fig. 6 frontier edges, so their rows
+///   belong to a single frontier task that fills them in stream order;
+/// * every non-departure node emits exactly one program edge, always at
+///   its row's first slot;
+/// * a node emits at most one log-order edge — each `(rid, opnum)`
+///   operation lives in exactly one object log and is the left end of
+///   at most one adjacent pair — always at its row's second slot.
+///
+/// Workers (one frontier task, request-chunk program tasks, one task
+/// per object log, claimed off a shared counter) therefore write
+/// disjoint `col` slots with no per-row cursor synchronization, and the
+/// CSR produced at any thread count is **byte-identical** to the
+/// sequential fill. Indegrees accumulate with relaxed atomic adds
+/// (sums are order-independent). Validation, interning, and the count
+/// pass stay sequential: they are one streamed O(X + Y) walk.
+pub fn process_op_reports_with(
+    trace: &BalancedTrace,
+    reports: &Reports,
+    threads: usize,
+) -> Result<(AuditGraph, OpMap), GraphRejection> {
     // Reject aliased logs up front: one log per object name. This
     // happens before (and its hash set is part of) the interning pass;
     // walking in log order keeps the reported name — the first
@@ -488,15 +516,20 @@ pub fn process_op_reports(
     for v in 0..num_nodes {
         row_start[v + 1] += row_start[v];
     }
-    let mut cursor: Vec<u32> = row_start[..num_nodes].to_vec();
-    let mut col = vec![0u32; row_start[num_nodes] as usize];
-    let mut indegree = vec![0u32; num_nodes];
-    each_edge(&mut |from, to| {
-        let c = &mut cursor[from as usize];
-        col[*c as usize] = to;
-        *c += 1;
-        indegree[to as usize] += 1;
-    });
+    let (col, indegree) = if threads <= 1 {
+        let mut cursor: Vec<u32> = row_start[..num_nodes].to_vec();
+        let mut col = vec![0u32; row_start[num_nodes] as usize];
+        let mut indegree = vec![0u32; num_nodes];
+        each_edge(&mut |from, to| {
+            let c = &mut cursor[from as usize];
+            col[*c as usize] = to;
+            *c += 1;
+            indegree[to as usize] += 1;
+        });
+        (col, indegree)
+    } else {
+        fill_csr_parallel(&interner, reports, &resolved, &base, &row_start, threads)
+    };
     let graph = AuditGraph {
         interner: Arc::clone(&interner),
         base,
@@ -519,6 +552,92 @@ pub fn process_op_reports(
             filled,
         },
     ))
+}
+
+/// The fill pass of the two-pass CSR build, parallelized. See
+/// [`process_op_reports_with`] for the slot-disjointness argument that
+/// makes the output byte-identical to the sequential fill.
+fn fill_csr_parallel(
+    interner: &RidInterner,
+    reports: &Reports,
+    resolved: &[Vec<u32>],
+    base: &[u32],
+    row_start: &[u32],
+    threads: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+    let num_nodes = row_start.len() - 1;
+    let num_edges = row_start[num_nodes] as usize;
+    let x = base.len() - 1;
+    let col: Vec<AtomicU32> = std::iter::repeat_with(|| AtomicU32::new(0))
+        .take(num_edges)
+        .collect();
+    let indegree: Vec<AtomicU32> = std::iter::repeat_with(|| AtomicU32::new(0))
+        .take(num_nodes)
+        .collect();
+    // Every slot is written exactly once, at a position fixed by the
+    // count pass; only the indegree sums race (and commute).
+    let place = |pos: usize, to: u32| {
+        col[pos].store(to, Ordering::Relaxed);
+        indegree[to as usize].fetch_add(1, Ordering::Relaxed);
+    };
+    // Task queue: task 0 streams the frontier; then request chunks of
+    // program edges; then one task per object log.
+    const CHUNK: usize = 2048;
+    let prog_tasks = x.div_ceil(CHUNK);
+    let total = 1 + prog_tasks + reports.op_logs.len();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= total {
+                    break;
+                }
+                if t == 0 {
+                    // Frontier edges own the departure rows; a local
+                    // cursor tracks the fill within each row.
+                    let mut cursor: Vec<u32> = row_start[..num_nodes].to_vec();
+                    for_each_frontier_edge(interner, |from, to| {
+                        let node = (base[from as usize + 1] - 1) as usize;
+                        let c = &mut cursor[node];
+                        place(*c as usize, base[to as usize]);
+                        *c += 1;
+                    });
+                } else if t <= prog_tasks {
+                    // Program edges: the first slot of every
+                    // non-departure row.
+                    let lo = (t - 1) * CHUNK;
+                    let hi = (lo + CHUNK).min(x);
+                    for idx in lo..hi {
+                        for node in base[idx]..base[idx + 1] - 1 {
+                            place(row_start[node as usize] as usize, node + 1);
+                        }
+                    }
+                } else {
+                    // Log-order edges: the second slot of the left
+                    // entry's row (after its program edge).
+                    let li = t - 1 - prog_tasks;
+                    let log = reports.op_logs.log(li).expect("task bound");
+                    let dense = &resolved[li];
+                    for (k, pair) in log.entries().windows(2).enumerate() {
+                        if dense[k] != dense[k + 1] {
+                            let from = (base[dense[k] as usize] + pair[0].opnum.0) as usize;
+                            place(
+                                row_start[from] as usize + 1,
+                                base[dense[k + 1] as usize] + pair[1].opnum.0,
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("CSR fill workers never panic");
+    (
+        col.into_iter().map(AtomicU32::into_inner).collect(),
+        indegree.into_iter().map(AtomicU32::into_inner).collect(),
+    )
 }
 
 pub mod two_phase {
@@ -922,6 +1041,39 @@ mod tests {
         csr_edges.sort();
         ref_edges.sort();
         assert_eq!(csr_edges, ref_edges);
+    }
+
+    #[test]
+    fn parallel_csr_fill_is_byte_identical() {
+        // The parallel fill writes every edge at a precomputed slot, so
+        // the resulting arrays must match the sequential build exactly —
+        // not just as an edge multiset.
+        let trace = Trace {
+            events: vec![req(1), req(2), resp(1), resp(2), req(3), resp(3)],
+        }
+        .ensure_balanced()
+        .unwrap();
+        let reports = reports_with(
+            vec![
+                (
+                    ObjectName(String::from("reg:A")),
+                    vec![write(1, 1), read(2, 2), read(3, 1)],
+                ),
+                (
+                    ObjectName(String::from("reg:B")),
+                    vec![write(2, 1), read(1, 2)],
+                ),
+            ],
+            &[(1, 2), (2, 2), (3, 1)],
+        );
+        let (seq, _) = process_op_reports_with(&trace, &reports, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let (par, _) = process_op_reports_with(&trace, &reports, threads).unwrap();
+            assert_eq!(seq.base, par.base);
+            assert_eq!(seq.row_start, par.row_start);
+            assert_eq!(seq.col, par.col, "col mismatch at {threads} threads");
+            assert_eq!(seq.indegree, par.indegree);
+        }
     }
 
     #[test]

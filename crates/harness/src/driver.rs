@@ -6,7 +6,7 @@
 //! queue feeding a fixed worker pool. `OROCHI_SERVE_THREADS` and
 //! `OROCHI_SERVE_QUEUE` configure the pool and queue depth everywhere.
 
-use orochi_accphp::executor::ExecutorStats;
+use orochi_accphp::executor::{ExecutorStats, VmEngine};
 use orochi_accphp::AccPhpExecutor;
 use orochi_apps::AppDefinition;
 use orochi_core::audit::{audit, audit_parallel, AuditConfig, AuditOutcome, Rejection};
@@ -305,6 +305,8 @@ pub struct AuditOptions {
     pub dedup: bool,
     /// Re-execution worker threads; 1 = the sequential audit.
     pub threads: usize,
+    /// Which PHP bytecode engine re-executes requests.
+    pub engine: VmEngine,
 }
 
 impl Default for AuditOptions {
@@ -313,7 +315,20 @@ impl Default for AuditOptions {
             grouped: true,
             dedup: true,
             threads: 1,
+            engine: vm_engine_from_env(),
         }
+    }
+}
+
+/// VM engine from the `OROCHI_VM_ENGINE` environment variable: unset or
+/// `register` selects the register bytecode engine; `stack` selects the
+/// legacy stack interpreter (the differential baseline).
+pub fn vm_engine_from_env() -> VmEngine {
+    match std::env::var("OROCHI_VM_ENGINE") {
+        Ok(v) if v.eq_ignore_ascii_case("stack") => VmEngine::Stack,
+        Ok(v) if v.eq_ignore_ascii_case("register") || v.is_empty() => VmEngine::Register,
+        Ok(v) => panic!("OROCHI_VM_ENGINE must be 'register' or 'stack', got {v:?}"),
+        Err(_) => VmEngine::Register,
     }
 }
 
@@ -360,7 +375,7 @@ pub fn run_audit(
         &AuditOptions {
             grouped,
             dedup,
-            threads: 1,
+            ..Default::default()
         },
     )
 }
@@ -382,6 +397,7 @@ pub fn run_audit_with(
         .map(|_| {
             let mut e = AccPhpExecutor::new(scripts.clone());
             e.force_scalar = !opts.grouped;
+            e.engine = opts.engine;
             e
         })
         .collect();

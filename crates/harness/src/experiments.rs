@@ -6,6 +6,7 @@ use crate::driver::{
     AppWorkload, AuditOptions, OpenLoopOptions, ServeOptions,
 };
 use crate::tamper;
+use orochi_accphp::VmEngine;
 use orochi_common::metrics::percentile;
 use orochi_server::server::AuditBundle;
 use orochi_trace::Event;
@@ -403,6 +404,20 @@ pub struct Fig9Row {
     pub other: Duration,
     /// Baseline (simple re-execution) total for the same bundle.
     pub baseline_total: Duration,
+    /// VM dispatches the trace represents: Σ over groups of
+    /// `n_c × ℓ_c` (what scalar re-execution would run).
+    pub vm_dispatch_total: u64,
+    /// VM dispatches actually executed after deduplication: univalent
+    /// instructions once per group, multivalent ones per lane.
+    pub vm_dispatch_executed: u64,
+}
+
+impl Fig9Row {
+    /// The Fig. 10 dedup ratio: represented over executed dispatches
+    /// (≥ 1; higher means grouping saved more work).
+    pub fn dispatch_dedup(&self) -> f64 {
+        self.vm_dispatch_total as f64 / (self.vm_dispatch_executed as f64).max(1.0)
+    }
 }
 
 /// Experiment E3: audit-time CPU decomposition (Fig. 9).
@@ -428,6 +443,8 @@ pub fn fig9_decomposition(scale: f64, seed: u64) -> Vec<Fig9Row> {
             php: phases.get("ReExec"),
             other: phases.get("Balance") + phases.get("Output"),
             baseline_total: simple.wall,
+            vm_dispatch_total: stats.vm_dispatch_total,
+            vm_dispatch_executed: stats.vm_dispatch_executed,
         });
     }
     rows
@@ -461,6 +478,15 @@ pub fn print_fig9(rows: &[Fig9Row]) {
             r.baseline_total.as_secs_f64(),
             r.graph_nodes,
             r.graph_edges,
+        );
+    }
+    for r in rows {
+        println!(
+            "{:<10} vm dispatches: {} represented, {} executed ({:.2}x dedup)",
+            r.app,
+            r.vm_dispatch_total,
+            r.vm_dispatch_executed,
+            r.dispatch_dedup(),
         );
     }
 }
@@ -656,10 +682,18 @@ pub struct AblationArm {
     pub deduped: u64,
     /// SELECTs actually issued.
     pub issued: u64,
+    /// VM dispatches the trace represents (Σ `n_c × ℓ_c`).
+    pub vm_dispatch_total: u64,
+    /// VM dispatches executed after grouping collapsed the univalent
+    /// share.
+    pub vm_dispatch_executed: u64,
 }
 
 /// Experiment E7: {SIMD on/off} × {query dedup on/off} on the wiki
-/// workload.
+/// workload, plus the stack-engine baseline of the best arm (the
+/// engine axis: same grouping, different bytecode ISA — note ℓ_c
+/// differs between ISAs, so dispatch counts are comparable within an
+/// engine, not across).
 pub fn ablation(scale: f64, seed: u64) -> Vec<AblationArm> {
     let work = AppWorkload {
         app: orochi_apps::wiki::app(),
@@ -668,20 +702,29 @@ pub fn ablation(scale: f64, seed: u64) -> Vec<AblationArm> {
     };
     let served = serve(&work, &ServeOptions::default());
     let arms = [
-        ("grouped+dedup", true, true),
-        ("grouped", true, false),
-        ("scalar+dedup", false, true),
-        ("scalar", false, false),
+        ("grouped+dedup", true, true, VmEngine::Register),
+        ("grouped", true, false, VmEngine::Register),
+        ("scalar+dedup", false, true, VmEngine::Register),
+        ("scalar", false, false, VmEngine::Register),
+        ("grouped+dedup/stack", true, true, VmEngine::Stack),
     ];
     arms.iter()
-        .map(|(label, grouped, dedup)| {
-            let run = run_audit(&served.bundle, &work, *grouped, *dedup)
+        .map(|(label, grouped, dedup, engine)| {
+            let opts = AuditOptions {
+                grouped: *grouped,
+                dedup: *dedup,
+                threads: 1,
+                engine: *engine,
+            };
+            let run = run_audit_with(&served.bundle, &work, &opts)
                 .unwrap_or_else(|r| panic!("{label}: audit rejected: {r}"));
             AblationArm {
                 label,
                 wall: run.wall,
                 deduped: run.outcome.stats.db_queries_deduped,
                 issued: run.outcome.stats.db_queries_issued,
+                vm_dispatch_total: run.outcome.stats.vm_dispatch_total,
+                vm_dispatch_executed: run.outcome.stats.vm_dispatch_executed,
             }
         })
         .collect()
@@ -1010,10 +1053,17 @@ mod tests {
     #[test]
     fn ablation_runs_all_arms() {
         let arms = ablation(0.01, 5);
-        assert_eq!(arms.len(), 4);
+        assert_eq!(arms.len(), 5);
         // Dedup arms must answer some SELECTs from cache.
         assert!(arms[0].deduped > 0);
         // No-dedup arms must not.
         assert_eq!(arms[1].deduped, 0);
+        // Grouping must execute fewer dispatches than it represents;
+        // the scalar arms run everything.
+        assert!(arms[0].vm_dispatch_executed < arms[0].vm_dispatch_total);
+        assert_eq!(arms[3].vm_dispatch_executed, arms[3].vm_dispatch_total);
+        // The stack baseline groups just as well (its ℓ_c differs, so
+        // only the ratio is comparable).
+        assert!(arms[4].vm_dispatch_executed < arms[4].vm_dispatch_total);
     }
 }

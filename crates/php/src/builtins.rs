@@ -230,17 +230,18 @@ pub fn db_result_to_value(result: DbResult, last_id: &mut i64, last_aff: &mut i6
     }
 }
 
-/// Calls a value builtin.
-pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value, VmError> {
+/// Calls a value builtin. Args are borrowed so the register VM can pass
+/// its marshalling buffer (and a group VM a lane slice) without moving.
+pub fn dispatch(id: u16, args: &[Value], host: &mut dyn Host) -> Result<Value, VmError> {
     let name = NAMES[id as usize];
     Ok(match name {
         // ------------------------------------------------ strings
-        "strlen" => Value::Int(arg_str(&args, 0).len() as i64),
+        "strlen" => Value::Int(arg_str(args, 0).len() as i64),
         "substr" => {
-            let s = arg_str(&args, 0);
+            let s = arg_str(args, 0);
             let chars: Vec<char> = s.chars().collect();
             let n = chars.len() as i64;
-            let mut start = arg_int(&args, 1);
+            let mut start = arg_int(args, 1);
             if start < 0 {
                 start = (n + start).max(0);
             }
@@ -260,9 +261,9 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::str(chars[start..start + len].iter().collect::<String>())
         }
         "strpos" => {
-            let hay = arg_str(&args, 0);
-            let needle = arg_str(&args, 1);
-            let offset = arg_int(&args, 2).max(0) as usize;
+            let hay = arg_str(args, 0);
+            let needle = arg_str(args, 1);
+            let offset = arg_int(args, 2).max(0) as usize;
             if needle.is_empty() || offset > hay.len() {
                 Value::Bool(false)
             } else {
@@ -273,8 +274,8 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             }
         }
         "str_replace" => {
-            let subject = arg_str(&args, 2);
-            let result = match (arg(&args, 0), arg(&args, 1)) {
+            let subject = arg_str(args, 2);
+            let result = match (arg(args, 0), arg(args, 1)) {
                 (Value::Array(searches), Value::Array(replaces)) => {
                     let reps: Vec<Value> = replaces.iter().map(|(_, v)| v.clone()).collect();
                     let mut s = subject;
@@ -296,32 +297,32 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             };
             Value::str(result)
         }
-        "strtolower" => Value::str(arg_str(&args, 0).to_lowercase()),
-        "strtoupper" => Value::str(arg_str(&args, 0).to_uppercase()),
+        "strtolower" => Value::str(arg_str(args, 0).to_lowercase()),
+        "strtoupper" => Value::str(arg_str(args, 0).to_uppercase()),
         "ucfirst" => {
-            let s = arg_str(&args, 0);
+            let s = arg_str(args, 0);
             let mut chars = s.chars();
             Value::str(match chars.next() {
                 Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
                 None => s,
             })
         }
-        "trim" => Value::str(arg_str(&args, 0).trim().to_string()),
-        "ltrim" => Value::str(arg_str(&args, 0).trim_start().to_string()),
-        "rtrim" => Value::str(arg_str(&args, 0).trim_end().to_string()),
+        "trim" => Value::str(arg_str(args, 0).trim().to_string()),
+        "ltrim" => Value::str(arg_str(args, 0).trim_start().to_string()),
+        "rtrim" => Value::str(arg_str(args, 0).trim_end().to_string()),
         "explode" => {
-            let delim = arg_str(&args, 0);
+            let delim = arg_str(args, 0);
             if delim.is_empty() {
                 return Err(VmError::Fatal("explode(): empty delimiter".into()));
             }
-            let s = arg_str(&args, 1);
+            let s = arg_str(args, 1);
             Value::array(PhpArray::from_values(
                 s.split(&delim).map(Value::str).collect(),
             ))
         }
         "implode" | "join" => {
             // Both implode(glue, arr) and implode(arr).
-            let (glue, arr) = match (arg(&args, 0), arg(&args, 1)) {
+            let (glue, arr) = match (arg(args, 0), arg(args, 1)) {
                 (Value::Array(a), _) => (String::new(), a),
                 (g, Value::Array(a)) => (g.to_php_string(), a),
                 _ => return Err(VmError::Fatal("implode(): no array given".into())),
@@ -334,25 +335,25 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::str(joined)
         }
         "str_repeat" => {
-            let s = arg_str(&args, 0);
-            let n = arg_int(&args, 1).max(0) as usize;
+            let s = arg_str(args, 0);
+            let n = arg_int(args, 1).max(0) as usize;
             if s.len().saturating_mul(n) > 16 << 20 {
                 return Err(VmError::Fatal("str_repeat(): result too large".into()));
             }
             Value::str(s.repeat(n))
         }
-        "sprintf" => Value::str(sprintf(&arg_str(&args, 0), &args[1..])?),
+        "sprintf" => Value::str(sprintf(&arg_str(args, 0), &args[1..])?),
         "number_format" => {
-            let n = arg(&args, 0).to_php_float();
+            let n = arg(args, 0).to_php_float();
             let decimals = if args.len() > 1 {
-                arg_int(&args, 1).clamp(0, 12) as usize
+                arg_int(args, 1).clamp(0, 12) as usize
             } else {
                 0
             };
             Value::str(number_format(n, decimals))
         }
         "htmlspecialchars" => {
-            let s = arg_str(&args, 0);
+            let s = arg_str(args, 0);
             let mut out = String::with_capacity(s.len());
             for c in s.chars() {
                 match c {
@@ -367,7 +368,7 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::str(out)
         }
         "strcmp" => {
-            let (a, b) = (arg_str(&args, 0), arg_str(&args, 1));
+            let (a, b) = (arg_str(args, 0), arg_str(args, 1));
             Value::Int(match a.cmp(&b) {
                 std::cmp::Ordering::Less => -1,
                 std::cmp::Ordering::Equal => 0,
@@ -375,10 +376,10 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             })
         }
         "str_pad" => {
-            let s = arg_str(&args, 0);
-            let len = arg_int(&args, 1).max(0) as usize;
+            let s = arg_str(args, 0);
+            let len = arg_int(args, 1).max(0) as usize;
             let pad = if args.len() > 2 {
-                arg_str(&args, 2)
+                arg_str(args, 2)
             } else {
                 " ".to_string()
             };
@@ -393,11 +394,11 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
                 Value::str(out)
             }
         }
-        "nl2br" => Value::str(arg_str(&args, 0).replace('\n', "<br />\n")),
+        "nl2br" => Value::str(arg_str(args, 0).replace('\n', "<br />\n")),
         "md5" => {
             // Deterministic stand-in, NOT cryptographic: two FNV-1a
             // passes rendered as 32 hex digits (documented in DESIGN.md).
-            let s = arg_str(&args, 0);
+            let s = arg_str(args, 0);
             let h1 = crate::vm::fnv1a(s.as_bytes());
             let mut salted = s.into_bytes();
             salted.push(0x5c);
@@ -405,7 +406,7 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::str(format!("{h1:016x}{h2:016x}"))
         }
         "urlencode" => {
-            let s = arg_str(&args, 0);
+            let s = arg_str(args, 0);
             let mut out = String::new();
             for b in s.bytes() {
                 match b {
@@ -419,34 +420,34 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::str(out)
         }
         "substr_count" => {
-            let hay = arg_str(&args, 0);
-            let needle = arg_str(&args, 1);
+            let hay = arg_str(args, 0);
+            let needle = arg_str(args, 1);
             if needle.is_empty() {
                 return Err(VmError::Fatal("substr_count(): empty needle".into()));
             }
             Value::Int(hay.matches(&needle).count() as i64)
         }
         // ------------------------------------------------ arrays
-        "count" | "sizeof" => match arg(&args, 0) {
+        "count" | "sizeof" => match arg(args, 0) {
             Value::Array(a) => Value::Int(a.len() as i64),
             Value::Null => Value::Int(0),
             _ => Value::Int(1),
         },
         "array_keys" => {
-            let a = arg_array(&args, 0, "array_keys")?;
+            let a = arg_array(args, 0, "array_keys")?;
             Value::array(PhpArray::from_values(
                 a.iter().map(|(k, _)| k.to_value()).collect(),
             ))
         }
         "array_values" => {
-            let a = arg_array(&args, 0, "array_values")?;
+            let a = arg_array(args, 0, "array_values")?;
             Value::array(PhpArray::from_values(
                 a.iter().map(|(_, v)| v.clone()).collect(),
             ))
         }
         "array_merge" => {
             let mut out = PhpArray::new();
-            for v in &args {
+            for v in args {
                 match v {
                     Value::Array(a) => {
                         for (k, v) in a.iter() {
@@ -464,10 +465,10 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::array(out)
         }
         "array_slice" => {
-            let a = arg_array(&args, 0, "array_slice")?;
+            let a = arg_array(args, 0, "array_slice")?;
             let pairs = a.to_pairs();
             let n = pairs.len() as i64;
-            let mut offset = arg_int(&args, 1);
+            let mut offset = arg_int(args, 1);
             if offset < 0 {
                 offset = (n + offset).max(0);
             }
@@ -495,7 +496,7 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::array(out)
         }
         "array_reverse" => {
-            let a = arg_array(&args, 0, "array_reverse")?;
+            let a = arg_array(args, 0, "array_reverse")?;
             let mut pairs = a.to_pairs();
             pairs.reverse();
             let mut out = PhpArray::new();
@@ -510,9 +511,9 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::array(out)
         }
         "in_array" => {
-            let needle = arg(&args, 0);
-            let hay = arg_array(&args, 1, "in_array")?;
-            let strict = arg(&args, 2).is_truthy();
+            let needle = arg(args, 0);
+            let hay = arg_array(args, 1, "in_array")?;
+            let strict = arg(args, 2).is_truthy();
             let found = hay.iter().any(|(_, v)| {
                 if strict {
                     needle.identical(v)
@@ -523,13 +524,13 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::Bool(found)
         }
         "array_key_exists" => {
-            let key = ArrayKey::from_value(&arg(&args, 0));
-            let a = arg_array(&args, 1, "array_key_exists")?;
+            let key = ArrayKey::from_value(&arg(args, 0));
+            let a = arg_array(args, 1, "array_key_exists")?;
             Value::Bool(a.has_key(&key))
         }
         "array_search" => {
-            let needle = arg(&args, 0);
-            let hay = arg_array(&args, 1, "array_search")?;
+            let needle = arg(args, 0);
+            let hay = arg_array(args, 1, "array_search")?;
             let found = hay
                 .iter()
                 .find(|(_, v)| needle.loose_eq(v))
@@ -537,7 +538,7 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             found.unwrap_or(Value::Bool(false))
         }
         "array_sum" => {
-            let a = arg_array(&args, 0, "array_sum")?;
+            let a = arg_array(args, 0, "array_sum")?;
             let mut int_sum = 0i64;
             let mut float_sum = 0f64;
             let mut is_float = false;
@@ -563,9 +564,9 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             }
         }
         "range" => {
-            let (a, b) = (arg_int(&args, 0), arg_int(&args, 1));
+            let (a, b) = (arg_int(args, 0), arg_int(args, 1));
             let step = if args.len() > 2 {
-                arg_int(&args, 2).abs().max(1)
+                arg_int(args, 2).abs().max(1)
             } else {
                 1
             };
@@ -589,7 +590,7 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::array(PhpArray::from_values(vals))
         }
         "array_unique" => {
-            let a = arg_array(&args, 0, "array_unique")?;
+            let a = arg_array(args, 0, "array_unique")?;
             let mut seen = std::collections::HashSet::new();
             let mut out = PhpArray::new();
             for (k, v) in a.iter() {
@@ -600,7 +601,7 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::array(out)
         }
         "array_flip" => {
-            let a = arg_array(&args, 0, "array_flip")?;
+            let a = arg_array(args, 0, "array_flip")?;
             let mut out = PhpArray::new();
             for (k, v) in a.iter() {
                 match v {
@@ -614,12 +615,12 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::array(out)
         }
         "array_fill" => {
-            let start = arg_int(&args, 0);
-            let num = arg_int(&args, 1).max(0);
+            let start = arg_int(args, 0);
+            let num = arg_int(args, 1).max(0);
             if num > 1 << 22 {
                 return Err(VmError::Fatal("array_fill(): result too large".into()));
             }
-            let v = arg(&args, 2);
+            let v = arg(args, 2);
             let mut out = PhpArray::new();
             for i in 0..num {
                 out.set(ArrayKey::Int(start + i), v.clone());
@@ -627,15 +628,15 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::array(out)
         }
         // ------------------------------------------------ math / types
-        "abs" => match arg(&args, 0) {
+        "abs" => match arg(args, 0) {
             Value::Int(i) => Value::Int(i.wrapping_abs()),
             other => Value::Float(other.to_php_float().abs()),
         },
         "max" | "min" => {
             let want_max = name == "max";
-            let candidates: Vec<Value> = match (args.len(), arg(&args, 0)) {
+            let candidates: Vec<Value> = match (args.len(), arg(args, 0)) {
                 (1, Value::Array(a)) => a.iter().map(|(_, v)| v.clone()).collect(),
-                _ => args.clone(),
+                _ => args.to_vec(),
             };
             let mut best: Option<Value> = None;
             for c in candidates {
@@ -657,12 +658,12 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             }
             best.unwrap_or(Value::Bool(false))
         }
-        "floor" => Value::Float(arg(&args, 0).to_php_float().floor()),
-        "ceil" => Value::Float(arg(&args, 0).to_php_float().ceil()),
+        "floor" => Value::Float(arg(args, 0).to_php_float().floor()),
+        "ceil" => Value::Float(arg(args, 0).to_php_float().ceil()),
         "round" => {
-            let n = arg(&args, 0).to_php_float();
+            let n = arg(args, 0).to_php_float();
             let p = if args.len() > 1 {
-                arg_int(&args, 1).clamp(-12, 12)
+                arg_int(args, 1).clamp(-12, 12)
             } else {
                 0
             };
@@ -670,14 +671,14 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::Float((n * mult).round() / mult)
         }
         "intdiv" => {
-            let (a, b) = (arg_int(&args, 0), arg_int(&args, 1));
+            let (a, b) = (arg_int(args, 0), arg_int(args, 1));
             if b == 0 {
                 return Err(VmError::Fatal("intdiv(): division by zero".into()));
             }
             Value::Int(a / b)
         }
         "pow" => {
-            let (a, b) = (arg(&args, 0), arg(&args, 1));
+            let (a, b) = (arg(args, 0), arg(args, 1));
             match (&a, &b) {
                 (Value::Int(x), Value::Int(y)) if *y >= 0 && *y < 63 => {
                     match x.checked_pow(*y as u32) {
@@ -688,12 +689,12 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
                 _ => Value::Float(a.to_php_float().powf(b.to_php_float())),
             }
         }
-        "sqrt" => Value::Float(arg(&args, 0).to_php_float().sqrt()),
-        "intval" => Value::Int(arg(&args, 0).to_php_int()),
-        "floatval" => Value::Float(arg(&args, 0).to_php_float()),
-        "strval" => Value::str(arg_str(&args, 0)),
-        "boolval" => Value::Bool(arg(&args, 0).is_truthy()),
-        "gettype" => Value::str(match arg(&args, 0) {
+        "sqrt" => Value::Float(arg(args, 0).to_php_float().sqrt()),
+        "intval" => Value::Int(arg(args, 0).to_php_int()),
+        "floatval" => Value::Float(arg(args, 0).to_php_float()),
+        "strval" => Value::str(arg_str(args, 0)),
+        "boolval" => Value::Bool(arg(args, 0).is_truthy()),
+        "gettype" => Value::str(match arg(args, 0) {
             Value::Null => "NULL",
             Value::Bool(_) => "boolean",
             Value::Int(_) => "integer",
@@ -701,18 +702,18 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::Str(_) => "string",
             Value::Array(_) => "array",
         }),
-        "is_int" | "is_integer" => Value::Bool(matches!(arg(&args, 0), Value::Int(_))),
-        "is_string" => Value::Bool(matches!(arg(&args, 0), Value::Str(_))),
-        "is_array" => Value::Bool(matches!(arg(&args, 0), Value::Array(_))),
-        "is_null" => Value::Bool(matches!(arg(&args, 0), Value::Null)),
-        "is_numeric" => Value::Bool(arg(&args, 0).is_numeric()),
-        "is_bool" => Value::Bool(matches!(arg(&args, 0), Value::Bool(_))),
-        "is_float" => Value::Bool(matches!(arg(&args, 0), Value::Float(_))),
+        "is_int" | "is_integer" => Value::Bool(matches!(arg(args, 0), Value::Int(_))),
+        "is_string" => Value::Bool(matches!(arg(args, 0), Value::Str(_))),
+        "is_array" => Value::Bool(matches!(arg(args, 0), Value::Array(_))),
+        "is_null" => Value::Bool(matches!(arg(args, 0), Value::Null)),
+        "is_numeric" => Value::Bool(arg(args, 0).is_numeric()),
+        "is_bool" => Value::Bool(matches!(arg(args, 0), Value::Bool(_))),
+        "is_float" => Value::Bool(matches!(arg(args, 0), Value::Float(_))),
         // ------------------------------------------------ encoding
-        "json_encode" => Value::str(json_encode(&arg(&args, 0))),
+        "json_encode" => Value::str(json_encode(&arg(args, 0))),
         // ------------------------------------------------ output
         "print" => {
-            host.echo(&arg_str(&args, 0));
+            host.echo(&arg_str(args, 0));
             Value::Int(1)
         }
         "exit" | "die" => {
@@ -724,7 +725,7 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             return Err(VmError::Exit);
         }
         "header" => {
-            let h = arg_str(&args, 0);
+            let h = arg_str(args, 0);
             match h.split_once(':') {
                 Some((name, value)) => {
                     host.add_header(name.trim().to_string(), value.trim().to_string())
@@ -734,7 +735,7 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::Null
         }
         "http_response_code" => {
-            let code = arg_int(&args, 0);
+            let code = arg_int(args, 0);
             if !(100..=599).contains(&code) {
                 return Err(VmError::Fatal("http_response_code(): bad code".into()));
             }
@@ -742,7 +743,7 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             Value::Bool(true)
         }
         "setcookie" => {
-            let (name, value) = (arg_str(&args, 0), arg_str(&args, 1));
+            let (name, value) = (arg_str(args, 0), arg_str(args, 1));
             host.add_header("Set-Cookie".to_string(), format!("{name}={value}"));
             Value::Bool(true)
         }
@@ -751,18 +752,18 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
             host.session_start()?;
             Value::Bool(true)
         }
-        "apc_fetch" => host.kv_get(&arg_str(&args, 0))?,
+        "apc_fetch" => host.kv_get(&arg_str(args, 0))?,
         "apc_store" => {
-            let key = arg_str(&args, 0);
-            let value = arg(&args, 1);
+            let key = arg_str(args, 0);
+            let value = arg(args, 1);
             host.kv_set(&key, Some(&value))?;
             Value::Bool(true)
         }
         "apc_delete" => {
-            host.kv_set(&arg_str(&args, 0), None)?;
+            host.kv_set(&arg_str(args, 0), None)?;
             Value::Bool(true)
         }
-        "db_query" => host.db_query(&arg_str(&args, 0))?,
+        "db_query" => host.db_query(&arg_str(args, 0))?,
         "db_begin" => {
             host.db_begin()?;
             Value::Bool(true)
@@ -780,7 +781,7 @@ pub fn dispatch(id: u16, args: Vec<Value>, host: &mut dyn Host) -> Result<Value,
         "getpid" => Value::Int(host.nd_getpid()?),
         "mt_rand" | "rand" => {
             let raw = host.nd_rand_raw()?;
-            mt_rand_reduce(raw, &args)?
+            mt_rand_reduce(raw, args)?
         }
         "uniqid" => Value::str(host.nd_uniqid()?),
         "mt_getrandmax" => Value::Int(MT_MAX),
@@ -810,12 +811,13 @@ pub fn mt_rand_reduce(raw: i64, args: &[Value]) -> Result<Value, VmError> {
 }
 
 /// Calls a by-reference builtin: returns `(new_target, php_return)`.
-pub fn dispatch_byref(id: u16, mut args: Vec<Value>) -> Result<(Value, Value), VmError> {
+/// Args are a mutable slice (the register VM passes its register window
+/// directly); consumed values are replaced with nulls in place.
+pub fn dispatch_byref(id: u16, args: &mut [Value]) -> Result<(Value, Value), VmError> {
     let name = NAMES[id as usize];
-    let target = if args.is_empty() {
-        Value::Null
-    } else {
-        args.remove(0)
+    let (target, args) = match args.split_first_mut() {
+        Some((t, rest)) => (std::mem::replace(t, Value::Null), rest),
+        None => (Value::Null, &mut [] as &mut [Value]),
     };
     let arr = match target {
         Value::Array(a) => a,
@@ -831,8 +833,8 @@ pub fn dispatch_byref(id: u16, mut args: Vec<Value>) -> Result<(Value, Value), V
         "array_push" => {
             let mut arr = arr;
             let a = Arc::make_mut(&mut arr);
-            for v in args {
-                a.push(v);
+            for v in args.iter_mut() {
+                a.push(std::mem::replace(v, Value::Null));
             }
             let count = a.len() as i64;
             (Value::Array(arr), Value::Int(count))
@@ -854,8 +856,10 @@ pub fn dispatch_byref(id: u16, mut args: Vec<Value>) -> Result<(Value, Value), V
             (Value::array(renumbered), shifted)
         }
         "array_unshift" => {
-            let mut pairs: Vec<(ArrayKey, Value)> =
-                args.into_iter().map(|v| (ArrayKey::Int(0), v)).collect();
+            let mut pairs: Vec<(ArrayKey, Value)> = args
+                .iter_mut()
+                .map(|v| (ArrayKey::Int(0), std::mem::replace(v, Value::Null)))
+                .collect();
             pairs.extend(arr.to_pairs());
             let mut out = PhpArray::new();
             for (k, v) in pairs {
@@ -1141,7 +1145,7 @@ mod tests {
 
     fn call(name: &str, args: Vec<Value>) -> Value {
         let mut host = TestHost::default();
-        dispatch(lookup(name).unwrap(), args, &mut host).unwrap()
+        dispatch(lookup(name).unwrap(), &args, &mut host).unwrap()
     }
 
     fn s(v: &str) -> Value {
@@ -1245,7 +1249,7 @@ mod tests {
     #[test]
     fn byref_builtins() {
         let arr = Value::array(PhpArray::from_values(vec![Value::Int(3), Value::Int(1)]));
-        let (sorted, ok) = dispatch_byref(lookup("sort").unwrap(), vec![arr]).unwrap();
+        let (sorted, ok) = dispatch_byref(lookup("sort").unwrap(), &mut [arr]).unwrap();
         assert!(ok.identical(&Value::Bool(true)));
         match &sorted {
             Value::Array(a) => {
@@ -1255,12 +1259,13 @@ mod tests {
             other => panic!("expected array, got {other:?}"),
         }
         let (after_push, count) =
-            dispatch_byref(lookup("array_push").unwrap(), vec![sorted, Value::Int(9)]).unwrap();
+            dispatch_byref(lookup("array_push").unwrap(), &mut [sorted, Value::Int(9)]).unwrap();
         assert!(count.identical(&Value::Int(3)));
         let (after_pop, popped) =
-            dispatch_byref(lookup("array_pop").unwrap(), vec![after_push]).unwrap();
+            dispatch_byref(lookup("array_pop").unwrap(), &mut [after_push]).unwrap();
         assert!(popped.identical(&Value::Int(9)));
-        let (_, shifted) = dispatch_byref(lookup("array_shift").unwrap(), vec![after_pop]).unwrap();
+        let (_, shifted) =
+            dispatch_byref(lookup("array_shift").unwrap(), &mut [after_pop]).unwrap();
         assert!(shifted.identical(&Value::Int(1)));
     }
 
@@ -1271,7 +1276,7 @@ mod tests {
         a.set(ArrayKey::Str("a".into()), Value::Int(3));
         a.set(ArrayKey::Int(5), Value::Int(1));
         let (ksorted, _) =
-            dispatch_byref(lookup("ksort").unwrap(), vec![Value::array(a.clone())]).unwrap();
+            dispatch_byref(lookup("ksort").unwrap(), &mut [Value::array(a.clone())]).unwrap();
         match &ksorted {
             Value::Array(m) => {
                 let keys: Vec<_> = m.iter().map(|(k, _)| k.clone()).collect();
@@ -1286,7 +1291,8 @@ mod tests {
             }
             other => panic!("expected array, got {other:?}"),
         }
-        let (asorted, _) = dispatch_byref(lookup("asort").unwrap(), vec![Value::array(a)]).unwrap();
+        let (asorted, _) =
+            dispatch_byref(lookup("asort").unwrap(), &mut [Value::array(a)]).unwrap();
         match &asorted {
             Value::Array(m) => {
                 let vals: Vec<i64> = m.iter().map(|(_, v)| v.to_php_int()).collect();
@@ -1365,7 +1371,7 @@ mod tests {
     #[test]
     fn exit_is_not_an_error() {
         let mut host = TestHost::default();
-        let r = dispatch(lookup("die").unwrap(), vec![s("bye")], &mut host);
+        let r = dispatch(lookup("die").unwrap(), &[s("bye")], &mut host);
         assert_eq!(r.unwrap_err(), VmError::Exit);
         assert_eq!(host.out, "bye");
     }

@@ -1,11 +1,22 @@
 //! The scalar VM: executes compiled scripts one request at a time.
 //!
-//! This is the runtime the online server uses (with a recording backend)
-//! and the verifier's per-request fallback path. It maintains the
-//! **control-flow digest** (§4.3): at every conditional branch, switch
-//! dispatch, and iteration step, the digest absorbs the program counter
-//! and the direction taken, so requests with identical digests followed
-//! identical control-flow paths.
+//! The primary engine is a **register VM**: fixed-width 32-bit
+//! instructions with explicit source/destination register operands (see
+//! [`crate::bytecode::ROp`]), a flat pooled register file shared by all
+//! frames (a call's window starts where the caller's ends, so calls
+//! allocate nothing on the hot path), and literal/global/builtin
+//! references resolved to dense table indices at compile time. The
+//! previous stack-bytecode interpreter survives as [`stack`] — the
+//! differential oracle for property tests and the `--engine stack`
+//! baseline in benchmarks.
+//!
+//! Both engines maintain the **control-flow digest** (§4.3): at every
+//! conditional branch and iteration step, the digest absorbs the
+//! per-request *branch-event ordinal* and the direction taken, so
+//! requests with identical digests followed identical control-flow
+//! paths. Mixing the event ordinal (not the program counter) keeps
+//! digests identical across the two encodings: the compiler emits
+//! digest-mixed events in the same evaluation order in both.
 //!
 //! PHP semantics implemented here (arithmetic overflow to float, `/`
 //! returning int only for exact integer division, string offsets, array
@@ -14,11 +25,13 @@
 
 use crate::backend::{BackendError, RuntimeBackend};
 use crate::builtins::{self, Host};
-use crate::bytecode::{CompiledFunction, CompiledScript, Op};
+use crate::bytecode::{rinsn, CompiledScript, Op, ROp};
 use crate::value::{ArrayKey, PhpArray, Value};
 use orochi_common::codec::Wire;
 use std::fmt;
 use std::sync::Arc;
+
+pub mod stack;
 
 /// The session cookie name every application uses.
 pub const SESSION_COOKIE: &str = "sess";
@@ -93,7 +106,7 @@ pub struct RequestOutput {
 /// Execution counters (feed Figs. 10 and 11).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecStats {
-    /// Instructions executed.
+    /// Instructions executed (dispatch count of the engine that ran).
     pub instructions: u64,
 }
 
@@ -112,10 +125,13 @@ pub struct RunResult {
 /// Re-exported from [`orochi_common::hash`] (one canonical definition).
 pub use orochi_common::hash::fnv1a;
 
-/// Mixes one branch decision into a digest.
+/// Mixes one branch decision into a digest. `event` is the per-request
+/// branch-event ordinal (0, 1, 2, …), not a program counter: both
+/// bytecode encodings emit the same event sequence, so the digest is
+/// engine-independent.
 #[inline]
-pub fn digest_mix(digest: u64, pc: u32, taken: bool) -> u64 {
-    (digest ^ ((pc as u64) << 1 | taken as u64)).wrapping_mul(orochi_common::hash::FNV_PRIME)
+pub fn digest_mix(digest: u64, event: u64, taken: bool) -> u64 {
+    (digest ^ ((event << 1) | taken as u64)).wrapping_mul(orochi_common::hash::FNV_PRIME)
 }
 
 /// Which function a frame executes.
@@ -132,26 +148,39 @@ struct ArrayIter {
     pos: usize,
 }
 
+/// A pooled activation record. Frames are reused across calls (`depth`
+/// tracks the live prefix of `Vm::frames`), so the iterator vector's
+/// capacity survives pops.
 #[derive(Debug)]
-struct Frame {
+struct RFrame {
     func: FnRef,
     pc: usize,
-    locals: Vec<Value>,
+    /// First register of this frame's window in the flat file.
+    base: usize,
+    /// One past the window (`base + register_count`): the callee base.
+    top: usize,
+    /// Absolute register that receives this frame's return value.
+    ret_abs: usize,
     iters: Vec<ArrayIter>,
-    stack_base: usize,
 }
 
-/// The scalar virtual machine.
+/// The scalar register virtual machine.
 pub struct Vm<'a> {
     script: &'a CompiledScript,
     backend: &'a mut dyn RuntimeBackend,
     pub(crate) globals: Vec<Value>,
-    stack: Vec<Value>,
-    frames: Vec<Frame>,
+    /// The flat register file; frame windows are disjoint slices.
+    regs: Vec<Value>,
+    frames: Vec<RFrame>,
+    /// Live frames (`frames[..depth]`); the rest are pooled for reuse.
+    depth: usize,
+    /// Scratch buffer for builtin argument marshalling (reused).
+    args_buf: Vec<Value>,
     pub(crate) output: String,
     pub(crate) headers: Vec<(String, String)>,
     pub(crate) status: u16,
     digest: u64,
+    branch_events: u64,
     pub(crate) session_started: bool,
     session_cookie: Option<String>,
     pub(crate) last_insert_id: i64,
@@ -160,7 +189,7 @@ pub struct Vm<'a> {
     step_limit: u64,
 }
 
-/// Runs one request through a compiled script.
+/// Runs one request through a compiled script (register engine).
 ///
 /// On a fatal error the result is a deterministic 500 response — the
 /// online server and the verifier produce the identical page. An
@@ -231,37 +260,46 @@ pub fn run_request(
     }
 }
 
+/// Builds the initial globals table for a request (shared by both
+/// engines).
+fn init_globals(script: &CompiledScript, input: &RequestInput) -> Vec<Value> {
+    let mut globals = vec![Value::Null; script.global_names.len()];
+    globals[0] = pairs_to_array(&input.get);
+    globals[1] = pairs_to_array(&input.post);
+    globals[2] = pairs_to_array(&input.cookies);
+    globals[3] = Value::empty_array(); // $_SESSION until session_start.
+    let mut server = PhpArray::new();
+    server.set(
+        ArrayKey::Str("REQUEST_METHOD".into()),
+        Value::str(input.method.clone()),
+    );
+    server.set(
+        ArrayKey::Str("SCRIPT_NAME".into()),
+        Value::str(input.path.clone()),
+    );
+    globals[4] = Value::array(server);
+    globals
+}
+
 impl<'a> Vm<'a> {
     fn new(
         script: &'a CompiledScript,
         backend: &'a mut dyn RuntimeBackend,
         input: &RequestInput,
     ) -> Self {
-        let mut globals = vec![Value::Null; script.global_names.len()];
-        globals[0] = pairs_to_array(&input.get);
-        globals[1] = pairs_to_array(&input.post);
-        globals[2] = pairs_to_array(&input.cookies);
-        globals[3] = Value::empty_array(); // $_SESSION until session_start.
-        let mut server = PhpArray::new();
-        server.set(
-            ArrayKey::Str("REQUEST_METHOD".into()),
-            Value::str(input.method.clone()),
-        );
-        server.set(
-            ArrayKey::Str("SCRIPT_NAME".into()),
-            Value::str(input.path.clone()),
-        );
-        globals[4] = Value::array(server);
         Vm {
             script,
             backend,
-            globals,
-            stack: Vec::with_capacity(64),
+            globals: init_globals(script, input),
+            regs: Vec::new(),
             frames: Vec::new(),
+            depth: 0,
+            args_buf: Vec::new(),
             output: String::new(),
             headers: Vec::new(),
             status: 200,
             digest: fnv1a(script.path.as_bytes()),
+            branch_events: 0,
             session_started: false,
             session_cookie: input.session_cookie().map(str::to_string),
             last_insert_id: 0,
@@ -283,14 +321,6 @@ impl<'a> Vm<'a> {
         }
     }
 
-    #[allow(dead_code)]
-    fn func(&self, fref: FnRef) -> &'a CompiledFunction {
-        match fref {
-            FnRef::Main => &self.script.main,
-            FnRef::User(i) => &self.script.functions[i as usize],
-        }
-    }
-
     fn write_session_back(&mut self) -> Result<(), VmError> {
         if !self.session_started {
             return Ok(());
@@ -305,18 +335,33 @@ impl<'a> Vm<'a> {
     }
 
     fn run_main(&mut self) -> Result<(), VmError> {
-        self.frames.push(Frame {
-            func: FnRef::Main,
-            pc: 0,
-            locals: vec![Value::Null; self.script.main.num_locals as usize],
-            iters: Vec::new(),
-            stack_base: 0,
-        });
+        let top = self.script.main.register_count as usize;
+        self.regs.resize(top, Value::Null);
+        self.push_frame(FnRef::Main, 0, top, 0);
         self.interp()
     }
 
-    fn pop(&mut self) -> Value {
-        self.stack.pop().expect("compiler guarantees stack depth")
+    /// Activates a frame, reusing a pooled record when one is available.
+    fn push_frame(&mut self, func: FnRef, base: usize, top: usize, ret_abs: usize) {
+        if self.depth == self.frames.len() {
+            self.frames.push(RFrame {
+                func,
+                pc: 0,
+                base,
+                top,
+                ret_abs,
+                iters: Vec::new(),
+            });
+        } else {
+            let f = &mut self.frames[self.depth];
+            f.func = func;
+            f.pc = 0;
+            f.base = base;
+            f.top = top;
+            f.ret_abs = ret_abs;
+            f.iters.clear();
+        }
+        self.depth += 1;
     }
 
     fn interp(&mut self) -> Result<(), VmError> {
@@ -325,195 +370,210 @@ impl<'a> Vm<'a> {
                 return Err(VmError::Fatal("execution step limit exceeded".into()));
             }
             self.stats.instructions += 1;
-            let frame = self.frames.last_mut().expect("frame present while running");
-            let code = match frame.func {
-                FnRef::Main => &self.script.main.code,
-                FnRef::User(i) => &self.script.functions[i as usize].code,
+            let fi = self.depth - 1;
+            let (func, base) = {
+                let f = &self.frames[fi];
+                (f.func, f.base)
             };
-            let pc = frame.pc;
-            let op = code[pc];
-            frame.pc += 1;
-            match op {
-                Op::Const(i) => self.stack.push(self.script.consts[i as usize].clone()),
-                Op::LoadLocal(s) => {
-                    let frame = self.frames.last().expect("running frame");
-                    self.stack.push(frame.locals[s as usize].clone());
+            let code = match func {
+                FnRef::Main => &self.script.main.reg_code,
+                FnRef::User(i) => &self.script.functions[i as usize].reg_code,
+            };
+            let pc = self.frames[fi].pc;
+            let insn = code[pc];
+            self.frames[fi].pc = pc + 1;
+            let a = base + rinsn::a(insn);
+            match rinsn::op(insn) {
+                ROp::Move => {
+                    let b = base + rinsn::b(insn);
+                    self.regs[a] = self.regs[b].clone();
                 }
-                Op::StoreLocal(s) => {
-                    let v = self.pop();
-                    let frame = self.frames.last_mut().expect("running frame");
-                    frame.locals[s as usize] = v;
+                ROp::LoadConst => {
+                    self.regs[a] = self.script.consts[rinsn::bx(insn)].clone();
                 }
-                Op::LoadGlobal(s) => self.stack.push(self.globals[s as usize].clone()),
-                Op::StoreGlobal(s) => {
-                    let v = self.pop();
-                    self.globals[s as usize] = v;
+                ROp::LoadGlobal => {
+                    self.regs[a] = self.globals[rinsn::b(insn)].clone();
                 }
-                Op::Pop => {
-                    self.pop();
+                ROp::StoreGlobal => {
+                    // A-field is the global slot for stores.
+                    let b = base + rinsn::b(insn);
+                    self.globals[rinsn::a(insn)] = self.regs[b].clone();
                 }
-                Op::Dup => {
-                    let v = self.stack.last().expect("dup on non-empty stack").clone();
-                    self.stack.push(v);
+                ROp::Add | ROp::Sub | ROp::Mul | ROp::Div | ROp::Mod | ROp::Concat => {
+                    let b = base + rinsn::b(insn);
+                    let c = base + rinsn::c(insn);
+                    let sop = scalar_binop(rinsn::op(insn));
+                    self.regs[a] = ops::binary(sop, &self.regs[b], &self.regs[c])?;
                 }
-                Op::Swap => {
-                    let n = self.stack.len();
-                    self.stack.swap(n - 1, n - 2);
+                ROp::Eq => {
+                    let r = self.regs[base + rinsn::b(insn)]
+                        .loose_eq(&self.regs[base + rinsn::c(insn)]);
+                    self.regs[a] = Value::Bool(r);
                 }
-                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod | Op::Concat => {
-                    let b = self.pop();
-                    let a = self.pop();
-                    self.stack.push(ops::binary(op, &a, &b)?);
+                ROp::Ne => {
+                    let r = self.regs[base + rinsn::b(insn)]
+                        .loose_eq(&self.regs[base + rinsn::c(insn)]);
+                    self.regs[a] = Value::Bool(!r);
                 }
-                Op::Eq => {
-                    let b = self.pop();
-                    let a = self.pop();
-                    self.stack.push(Value::Bool(a.loose_eq(&b)));
+                ROp::Identical => {
+                    let r = self.regs[base + rinsn::b(insn)]
+                        .identical(&self.regs[base + rinsn::c(insn)]);
+                    self.regs[a] = Value::Bool(r);
                 }
-                Op::Ne => {
-                    let b = self.pop();
-                    let a = self.pop();
-                    self.stack.push(Value::Bool(!a.loose_eq(&b)));
+                ROp::NotIdentical => {
+                    let r = self.regs[base + rinsn::b(insn)]
+                        .identical(&self.regs[base + rinsn::c(insn)]);
+                    self.regs[a] = Value::Bool(!r);
                 }
-                Op::Identical => {
-                    let b = self.pop();
-                    let a = self.pop();
-                    self.stack.push(Value::Bool(a.identical(&b)));
+                ROp::Lt | ROp::Le | ROp::Gt | ROp::Ge => {
+                    let sop = scalar_binop(rinsn::op(insn));
+                    let r = ops::relational(
+                        sop,
+                        &self.regs[base + rinsn::b(insn)],
+                        &self.regs[base + rinsn::c(insn)],
+                    );
+                    self.regs[a] = Value::Bool(r);
                 }
-                Op::NotIdentical => {
-                    let b = self.pop();
-                    let a = self.pop();
-                    self.stack.push(Value::Bool(!a.identical(&b)));
+                ROp::Not => {
+                    let r = !self.regs[base + rinsn::b(insn)].is_truthy();
+                    self.regs[a] = Value::Bool(r);
                 }
-                Op::Lt | Op::Le | Op::Gt | Op::Ge => {
-                    let b = self.pop();
-                    let a = self.pop();
-                    self.stack.push(Value::Bool(ops::relational(op, &a, &b)));
+                ROp::Neg => {
+                    self.regs[a] = ops::negate(&self.regs[base + rinsn::b(insn)])?;
                 }
-                Op::Not => {
-                    let v = self.pop();
-                    self.stack.push(Value::Bool(!v.is_truthy()));
+                ROp::Jump => {
+                    self.frames[fi].pc = rinsn::bx(insn);
                 }
-                Op::Neg => {
-                    let v = self.pop();
-                    self.stack.push(ops::negate(&v)?);
-                }
-                Op::Jump(t) => {
-                    self.frames.last_mut().expect("running frame").pc = t as usize;
-                }
-                Op::JumpIfFalse(t) => {
-                    let v = self.pop();
-                    let taken = !v.is_truthy();
-                    self.digest = digest_mix(self.digest, pc as u32, taken);
+                ROp::JumpIfFalse => {
+                    let taken = !self.regs[a].is_truthy();
+                    self.digest = digest_mix(self.digest, self.branch_events, taken);
+                    self.branch_events += 1;
                     if taken {
-                        self.frames.last_mut().expect("running frame").pc = t as usize;
+                        self.frames[fi].pc = rinsn::bx(insn);
                     }
                 }
-                Op::JumpIfTrue(t) => {
-                    let v = self.pop();
-                    let taken = v.is_truthy();
-                    self.digest = digest_mix(self.digest, pc as u32, taken);
+                ROp::JumpIfTrue => {
+                    let taken = self.regs[a].is_truthy();
+                    self.digest = digest_mix(self.digest, self.branch_events, taken);
+                    self.branch_events += 1;
                     if taken {
-                        self.frames.last_mut().expect("running frame").pc = t as usize;
+                        self.frames[fi].pc = rinsn::bx(insn);
                     }
                 }
-                Op::NewArray => self.stack.push(Value::empty_array()),
-                Op::AppendStack => {
-                    let v = self.pop();
-                    let arr = self.pop();
-                    self.stack.push(ops::array_append(arr, v)?);
+                ROp::NewArray => {
+                    self.regs[a] = Value::empty_array();
                 }
-                Op::InsertStack => {
-                    let v = self.pop();
-                    let k = self.pop();
-                    let arr = self.pop();
-                    self.stack.push(ops::array_insert(arr, &k, v)?);
+                ROp::ArrayAppend => {
+                    let arr = std::mem::replace(&mut self.regs[a], Value::Null);
+                    let v = self.regs[base + rinsn::b(insn)].clone();
+                    self.regs[a] = ops::array_append(arr, v)?;
                 }
-                Op::IndexGet => {
-                    let k = self.pop();
-                    let base = self.pop();
-                    self.stack.push(ops::index_get(&base, &k));
+                ROp::ArrayInsert => {
+                    let arr = std::mem::replace(&mut self.regs[a], Value::Null);
+                    let v = self.regs[base + rinsn::c(insn)].clone();
+                    let r = ops::array_insert(arr, &self.regs[base + rinsn::b(insn)], v)?;
+                    self.regs[a] = r;
                 }
-                Op::SetPathLocal(slot, n) => {
-                    let keys = self.pop_keys(n as usize);
-                    let value = self.pop();
-                    let frame = self.frames.last_mut().expect("running frame");
-                    ops::set_path(&mut frame.locals[slot as usize], &keys, value.clone())?;
-                    self.stack.push(value);
+                ROp::IndexGet => {
+                    let r = ops::index_get(
+                        &self.regs[base + rinsn::b(insn)],
+                        &self.regs[base + rinsn::c(insn)],
+                    );
+                    self.regs[a] = r;
                 }
-                Op::SetPathGlobal(slot, n) => {
-                    let keys = self.pop_keys(n as usize);
-                    let value = self.pop();
-                    ops::set_path(&mut self.globals[slot as usize], &keys, value.clone())?;
-                    self.stack.push(value);
+                ROp::SetPathLocal => {
+                    let n = rinsn::c(insn);
+                    let value = self.regs[a].clone();
+                    let t = base + rinsn::b(insn);
+                    // Locals sit below temps, so the target register is
+                    // strictly below the value/key block.
+                    let (lo, hi) = self.regs.split_at_mut(a + 1);
+                    ops::set_path(&mut lo[t], &hi[..n], value)?;
                 }
-                Op::AppendPathLocal(slot, n) => {
-                    let keys = self.pop_keys(n as usize - 1);
-                    let value = self.pop();
-                    let frame = self.frames.last_mut().expect("running frame");
-                    ops::append_path(&mut frame.locals[slot as usize], &keys, value.clone())?;
-                    self.stack.push(value);
+                ROp::SetPathGlobal => {
+                    let n = rinsn::c(insn);
+                    let value = self.regs[a].clone();
+                    let slot = rinsn::b(insn);
+                    ops::set_path(&mut self.globals[slot], &self.regs[a + 1..a + 1 + n], value)?;
                 }
-                Op::AppendPathGlobal(slot, n) => {
-                    let keys = self.pop_keys(n as usize - 1);
-                    let value = self.pop();
-                    ops::append_path(&mut self.globals[slot as usize], &keys, value.clone())?;
-                    self.stack.push(value);
+                ROp::AppendPathLocal => {
+                    let n = rinsn::c(insn);
+                    let value = self.regs[a].clone();
+                    let t = base + rinsn::b(insn);
+                    let (lo, hi) = self.regs.split_at_mut(a + 1);
+                    ops::append_path(&mut lo[t], &hi[..n - 1], value)?;
                 }
-                Op::UnsetPathLocal(slot, n) => {
-                    let keys = self.pop_keys(n as usize);
-                    let frame = self.frames.last_mut().expect("running frame");
-                    ops::unset_path(&mut frame.locals[slot as usize], &keys);
+                ROp::AppendPathGlobal => {
+                    let n = rinsn::c(insn);
+                    let value = self.regs[a].clone();
+                    let slot = rinsn::b(insn);
+                    ops::append_path(&mut self.globals[slot], &self.regs[a + 1..a + n], value)?;
                 }
-                Op::UnsetPathGlobal(slot, n) => {
-                    let keys = self.pop_keys(n as usize);
-                    ops::unset_path(&mut self.globals[slot as usize], &keys);
+                ROp::UnsetPathLocal => {
+                    let n = rinsn::c(insn);
+                    let t = base + rinsn::b(insn);
+                    if n == 0 {
+                        ops::unset_path(&mut self.regs[t], &[]);
+                    } else {
+                        let (lo, hi) = self.regs.split_at_mut(a);
+                        ops::unset_path(&mut lo[t], &hi[..n]);
+                    }
                 }
-                Op::IssetPathLocal(slot, n) => {
-                    let keys = self.pop_keys(n as usize);
-                    let frame = self.frames.last().expect("running frame");
-                    self.stack.push(Value::Bool(ops::isset_path(
-                        &frame.locals[slot as usize],
-                        &keys,
-                    )));
+                ROp::UnsetPathGlobal => {
+                    let n = rinsn::c(insn);
+                    let slot = rinsn::b(insn);
+                    ops::unset_path(&mut self.globals[slot], &self.regs[a..a + n]);
                 }
-                Op::IssetPathGlobal(slot, n) => {
-                    let keys = self.pop_keys(n as usize);
-                    self.stack.push(Value::Bool(ops::isset_path(
-                        &self.globals[slot as usize],
-                        &keys,
-                    )));
+                ROp::IssetPathLocal => {
+                    let n = rinsn::c(insn);
+                    let t = base + rinsn::b(insn);
+                    let r = ops::isset_path(&self.regs[t], &self.regs[a..a + n]);
+                    self.regs[a] = Value::Bool(r);
                 }
-                Op::PreIncLocal(s)
-                | Op::PostIncLocal(s)
-                | Op::PreDecLocal(s)
-                | Op::PostDecLocal(s) => {
-                    let frame = self.frames.last_mut().expect("running frame");
-                    let result = ops::incdec(&mut frame.locals[s as usize], op)?;
-                    self.stack.push(result);
+                ROp::IssetPathGlobal => {
+                    let n = rinsn::c(insn);
+                    let slot = rinsn::b(insn);
+                    let r = ops::isset_path(&self.globals[slot], &self.regs[a..a + n]);
+                    self.regs[a] = Value::Bool(r);
                 }
-                Op::PreIncGlobal(s)
-                | Op::PostIncGlobal(s)
-                | Op::PreDecGlobal(s)
-                | Op::PostDecGlobal(s) => {
-                    let result = ops::incdec(&mut self.globals[s as usize], op)?;
-                    self.stack.push(result);
+                ROp::IncDecLocal => {
+                    let t = base + rinsn::b(insn);
+                    let sop = incdec_variant(rinsn::c(insn));
+                    let r = ops::incdec(&mut self.regs[t], sop)?;
+                    self.regs[a] = r;
                 }
-                Op::Call(fidx, argc) => {
+                ROp::IncDecGlobal => {
+                    let slot = rinsn::b(insn);
+                    let sop = incdec_variant(rinsn::c(insn));
+                    let r = ops::incdec(&mut self.globals[slot], sop)?;
+                    self.regs[a] = r;
+                }
+                ROp::Call => {
+                    let fidx = rinsn::a(insn) as u16;
                     let func = &self.script.functions[fidx as usize];
-                    let argc = argc as usize;
-                    let mut locals = vec![Value::Null; func.num_locals as usize];
-                    // Args are on the stack in order; fill param slots.
-                    let args_start = self.stack.len() - argc;
-                    for (i, v) in self.stack.drain(args_start..).enumerate() {
-                        if i < func.num_params as usize {
-                            locals[i] = v;
+                    let argc = rinsn::c(insn);
+                    let args_abs = base + rinsn::b(insn);
+                    let callee_base = self.frames[fi].top;
+                    let callee_top = callee_base + func.register_count as usize;
+                    if self.regs.len() < callee_top {
+                        self.regs.resize(callee_top, Value::Null);
+                    }
+                    let num_params = func.num_params as usize;
+                    // Move args into the callee window (they are dead
+                    // temps in the caller); extras are dropped like the
+                    // stack engine does.
+                    for i in 0..argc {
+                        let v = std::mem::replace(&mut self.regs[args_abs + i], Value::Null);
+                        if i < num_params {
+                            self.regs[callee_base + i] = v;
                         }
                     }
-                    #[allow(clippy::needless_range_loop)]
-                    for p in argc..func.num_params as usize {
+                    for p in argc..num_params {
                         match func.defaults[p] {
-                            Some(cidx) => locals[p] = self.script.consts[cidx as usize].clone(),
+                            Some(cidx) => {
+                                self.regs[callee_base + p] =
+                                    self.script.consts[cidx as usize].clone()
+                            }
                             None => {
                                 return Err(VmError::Fatal(format!(
                                     "too few arguments to function {}()",
@@ -522,92 +582,119 @@ impl<'a> Vm<'a> {
                             }
                         }
                     }
-                    if self.frames.len() >= 200 {
+                    if self.depth >= 200 {
                         return Err(VmError::Fatal("call stack depth exceeded".into()));
                     }
-                    self.frames.push(Frame {
-                        func: FnRef::User(fidx),
-                        pc: 0,
-                        locals,
-                        iters: Vec::new(),
-                        stack_base: self.stack.len(),
-                    });
+                    // Clear the rest of the (pooled) window so stale
+                    // values from earlier activations never leak in.
+                    for r in &mut self.regs[callee_base + num_params..callee_top] {
+                        *r = Value::Null;
+                    }
+                    self.push_frame(FnRef::User(fidx), callee_base, callee_top, args_abs);
                 }
-                Op::CallBuiltin(bidx, argc) => {
-                    let argc = argc as usize;
-                    let args_start = self.stack.len() - argc;
-                    let args: Vec<Value> = self.stack.drain(args_start..).collect();
+                ROp::CallBuiltin => {
+                    let bidx = rinsn::a(insn) as u16;
+                    let argc = rinsn::c(insn);
+                    let abs = base + rinsn::b(insn);
                     if builtins::is_byref(bidx) {
-                        let (new_target, ret) = builtins::dispatch_byref(bidx, args)?;
-                        self.stack.push(new_target);
-                        self.stack.push(ret);
+                        let (new_target, ret) =
+                            builtins::dispatch_byref(bidx, &mut self.regs[abs..abs + argc])?;
+                        self.regs[abs] = new_target;
+                        self.regs[abs + 1] = ret;
                     } else {
-                        let ret = builtins::dispatch(bidx, args, self)?;
-                        self.stack.push(ret);
+                        let mut buf = std::mem::take(&mut self.args_buf);
+                        buf.clear();
+                        for i in 0..argc {
+                            buf.push(std::mem::replace(&mut self.regs[abs + i], Value::Null));
+                        }
+                        let ret = builtins::dispatch(bidx, &buf, self);
+                        self.args_buf = buf;
+                        self.regs[abs] = ret?;
                     }
                 }
-                Op::Return => {
-                    let value = self.pop();
-                    let frame = self.frames.pop().expect("returning frame");
-                    if self.frames.is_empty() {
+                ROp::Return => {
+                    let value = std::mem::replace(&mut self.regs[a], Value::Null);
+                    let ret_abs = self.frames[fi].ret_abs;
+                    self.depth -= 1;
+                    if self.depth == 0 {
                         return Ok(());
                     }
-                    self.stack.truncate(frame.stack_base);
-                    self.stack.push(value);
+                    self.regs[ret_abs] = value;
                 }
-                Op::ReturnNull => {
-                    let frame = self.frames.pop().expect("returning frame");
-                    if self.frames.is_empty() {
+                ROp::ReturnNull => {
+                    let ret_abs = self.frames[fi].ret_abs;
+                    self.depth -= 1;
+                    if self.depth == 0 {
                         return Ok(());
                     }
-                    self.stack.truncate(frame.stack_base);
-                    self.stack.push(Value::Null);
+                    self.regs[ret_abs] = Value::Null;
                 }
-                Op::Echo => {
-                    let v = self.pop();
-                    self.output.push_str(&v.to_php_string());
+                ROp::Echo => {
+                    let s = self.regs[a].to_php_string();
+                    self.output.push_str(&s);
                 }
-                Op::IterInit => {
-                    let arr = self.pop();
-                    let pairs = match &arr {
-                        Value::Array(a) => a.to_pairs(),
+                ROp::IterInit => {
+                    let pairs = match &self.regs[a] {
+                        Value::Array(arr) => arr.to_pairs(),
                         // PHP warns and skips the loop for non-arrays.
                         _ => Vec::new(),
                     };
-                    self.frames
-                        .last_mut()
-                        .expect("running frame")
-                        .iters
-                        .push(ArrayIter { pairs, pos: 0 });
+                    self.frames[fi].iters.push(ArrayIter { pairs, pos: 0 });
                 }
-                Op::IterNext(t) | Op::IterNextKV(t) => {
-                    let frame = self.frames.last_mut().expect("running frame");
+                ROp::IterNext | ROp::IterNextKV => {
+                    let kv = rinsn::op(insn) == ROp::IterNextKV;
+                    let frame = &mut self.frames[fi];
                     let iter = frame.iters.last_mut().expect("IterInit precedes IterNext");
                     if iter.pos < iter.pairs.len() {
                         let (k, v) = iter.pairs[iter.pos].clone();
                         iter.pos += 1;
-                        self.digest = digest_mix(self.digest, pc as u32, true);
-                        if matches!(op, Op::IterNextKV(_)) {
-                            self.stack.push(k.to_value());
+                        self.digest = digest_mix(self.digest, self.branch_events, true);
+                        self.branch_events += 1;
+                        if kv {
+                            self.regs[a] = k.to_value();
+                            self.regs[a + 1] = v;
+                        } else {
+                            self.regs[a] = v;
                         }
-                        self.stack.push(v);
                     } else {
-                        self.digest = digest_mix(self.digest, pc as u32, false);
-                        frame.pc = t as usize;
+                        frame.pc = rinsn::bx(insn);
+                        self.digest = digest_mix(self.digest, self.branch_events, false);
+                        self.branch_events += 1;
                     }
                 }
-                Op::IterPop => {
-                    self.frames.last_mut().expect("running frame").iters.pop();
+                ROp::IterPop => {
+                    self.frames[fi].iters.pop();
                 }
             }
         }
     }
+}
 
-    fn pop_keys(&mut self, n: usize) -> Vec<Value> {
-        if n == 0 {
-            return Vec::new();
-        }
-        self.stack.split_off(self.stack.len() - n)
+/// Maps a register opcode to the scalar-op selector shared with the
+/// stack engine (`ops::binary` / `ops::relational` match on `Op`).
+fn scalar_binop(op: ROp) -> Op {
+    match op {
+        ROp::Add => Op::Add,
+        ROp::Sub => Op::Sub,
+        ROp::Mul => Op::Mul,
+        ROp::Div => Op::Div,
+        ROp::Mod => Op::Mod,
+        ROp::Concat => Op::Concat,
+        ROp::Lt => Op::Lt,
+        ROp::Le => Op::Le,
+        ROp::Gt => Op::Gt,
+        ROp::Ge => Op::Ge,
+        other => unreachable!("not a shared scalar op: {other:?}"),
+    }
+}
+
+/// Maps the IncDec variant operand to the scalar-op selector.
+fn incdec_variant(c: usize) -> Op {
+    match c {
+        0 => Op::PreIncLocal(0),
+        1 => Op::PostIncLocal(0),
+        2 => Op::PreDecLocal(0),
+        _ => Op::PostDecLocal(0),
     }
 }
 
@@ -733,7 +820,7 @@ pub fn pairs_to_array(pairs: &[(String, String)]) -> Value {
     Value::array(a)
 }
 
-/// Shared scalar operation semantics, used by both the scalar VM and the
+/// Shared scalar operation semantics, used by both engines and the
 /// multivalue VM (which applies them per lane).
 pub mod ops {
     use super::*;
@@ -1033,13 +1120,11 @@ mod tests {
     use crate::compiler::compile;
     use crate::parser::parse_script;
 
-    fn run(src: &str) -> String {
-        run_with(src, &[])
-    }
-
-    fn run_with(src: &str, get: &[(&str, &str)]) -> String {
+    /// Runs a source snippet through BOTH engines and asserts they agree
+    /// on output and digest — every VM test doubles as a differential
+    /// check on the register encoding.
+    fn run_both(src: &str, get: &[(&str, &str)]) -> RunResult {
         let script = compile("/t.php", &parse_script(src).unwrap()).unwrap();
-        let mut backend = NullBackend;
         let input = RequestInput {
             method: "GET".into(),
             path: "/t.php".into(),
@@ -1049,10 +1134,21 @@ mod tests {
                 .collect(),
             ..Default::default()
         };
-        run_request(&script, &mut backend, &input)
-            .unwrap()
-            .output
-            .body
+        let mut b1 = NullBackend;
+        let reg = run_request(&script, &mut b1, &input).unwrap();
+        let mut b2 = NullBackend;
+        let stk = stack::run_request(&script, &mut b2, &input).unwrap();
+        assert_eq!(reg.output, stk.output, "engines disagree on output");
+        assert_eq!(reg.digest, stk.digest, "engines disagree on digest");
+        reg
+    }
+
+    fn run(src: &str) -> String {
+        run_with(src, &[])
+    }
+
+    fn run_with(src: &str, get: &[(&str, &str)]) -> String {
+        run_both(src, get).output.body
     }
 
     #[test]
@@ -1202,20 +1298,34 @@ mod tests {
     }
 
     #[test]
+    fn byref_builtins_through_both_engines() {
+        assert_eq!(
+            run("$a = [3, 1, 2]; sort($a); echo $a[0], $a[1], $a[2];"),
+            "123"
+        );
+        assert_eq!(
+            run("$a = []; array_push($a, 5, 6); echo count($a), array_pop($a);"),
+            "26"
+        );
+        assert_eq!(
+            run("$m = []; $m['row']['cells'] = [2, 1]; sort($m['row']['cells']); echo $m['row']['cells'][0];"),
+            "1"
+        );
+    }
+
+    #[test]
     fn fatal_errors_produce_500() {
         let script = compile("/t.php", &parse_script("echo 1 / 0;").unwrap()).unwrap();
-        let mut b = NullBackend;
-        let result = run_request(
-            &script,
-            &mut b,
-            &RequestInput {
-                path: "/t.php".into(),
-                ..Default::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(result.output.status, 500);
-        assert!(result.output.body.contains("division by zero"));
+        let input = RequestInput {
+            path: "/t.php".into(),
+            ..Default::default()
+        };
+        for runner in [run_request, stack::run_request] {
+            let mut b = NullBackend;
+            let result = runner(&script, &mut b, &input).unwrap();
+            assert_eq!(result.output.status, 500);
+            assert!(result.output.body.contains("division by zero"));
+        }
     }
 
     #[test]
@@ -1226,18 +1336,13 @@ mod tests {
         )
         .unwrap();
         let run_digest = |x: &str| {
+            let input = RequestInput {
+                path: "/t.php".into(),
+                get: vec![("x".into(), x.into())],
+                ..Default::default()
+            };
             let mut b = NullBackend;
-            run_request(
-                &script,
-                &mut b,
-                &RequestInput {
-                    path: "/t.php".into(),
-                    get: vec![("x".into(), x.into())],
-                    ..Default::default()
-                },
-            )
-            .unwrap()
-            .digest
+            run_request(&script, &mut b, &input).unwrap().digest
         };
         assert_eq!(run_digest("1"), run_digest("1"));
         assert_ne!(run_digest("1"), run_digest("2"));
@@ -1283,6 +1388,7 @@ mod tests {
         assert_eq!(run("$i = 1; echo $i++; echo $i; echo ++$i;"), "123");
         assert_eq!(run("echo $undef++; echo $undef;"), "1"); // null++ -> "" then 1.
         assert_eq!(run("$a = ['n' => 1]; $a['n']++; echo $a['n'];"), "2");
+        assert_eq!(run("$a = []; echo $a['k']--; echo $a['k'];"), "-1");
     }
 
     #[test]
@@ -1290,5 +1396,31 @@ mod tests {
         let out = run("function f() { return f(); } echo f();");
         // Comes back as a deterministic fatal-error page body.
         assert!(out.is_empty() || !out.contains("55"));
+    }
+
+    #[test]
+    fn register_windows_pool_across_calls() {
+        // Deep call chains + loops stress window reuse; both engines
+        // must still agree (checked inside run_both).
+        let src = "function leaf($x) { $t = $x * 2; return $t; }
+            function mid($x) { $acc = 0; for ($i = 0; $i < 3; $i++) { $acc += leaf($x + $i); } return $acc; }
+            $sum = 0;
+            for ($j = 0; $j < 4; $j++) { $sum += mid($j); }
+            echo $sum;";
+        assert_eq!(run(src), "60");
+    }
+
+    #[test]
+    fn disassembler_renders_register_code() {
+        let script = compile(
+            "/t.php",
+            &parse_script("$x = 1; if ($x) { echo $x + 2; }").unwrap(),
+        )
+        .unwrap();
+        let text = crate::bytecode::disasm(&script.main.reg_code);
+        assert!(text.contains("JumpIfFalse"));
+        assert!(text.contains("Echo"));
+        assert!(!script.main.reg_code.is_empty());
+        assert!(script.main.register_count >= 1);
     }
 }
