@@ -1,70 +1,29 @@
 //! Tiny argument handling shared by the bench binaries.
 //!
-//! The workload generators read their shared skew knob from
-//! `OROCHI_WORKLOAD_SKEW` and the serving front-end reads its pool and
-//! queue knobs from `OROCHI_SERVE_THREADS`/`OROCHI_SERVE_QUEUE`; the
-//! binaries accept `--skew <theta[,len]>`, `--session-len <len>`,
-//! `--serve-threads <n|auto>`, and `--queue-depth <n>` flags and
-//! translate them into those variables, so CLI and environment
-//! configure the same code path.
+//! The binaries configure themselves through the consolidated
+//! [`orochi_harness::Config`]: flags merge over the `OROCHI_*`
+//! environment (CLI wins), and the merged configuration is exported
+//! back to the environment so the workload generators and serving
+//! front-end — which still read the variables — see the same values.
+//! [`apply_skew_args`] is the one-call version every binary uses.
 
-/// Applies `--skew` / `--session-len` / `--serve-threads` /
-/// `--queue-depth` from `args` by setting the corresponding environment
-/// knobs (CLI wins over a pre-set variable). Unknown arguments panic
+use orochi_harness::Config;
+
+/// Parses the shared bench flags (`--skew`, `--session-len`,
+/// `--serve-threads`, `--queue-depth`, `--audit-threads`, `--engine`,
+/// `--full`, `--bench-json`, `--store-dir`, `--segment-bytes`) on top
+/// of the current environment, exports the merged configuration back to
+/// the `OROCHI_*` variables, and returns it. Unknown arguments panic
 /// with a usage message naming `bin`.
 ///
 /// # Panics
 ///
 /// Panics on unknown flags, missing values, or malformed values.
-pub fn apply_skew_args(bin: &str, args: impl Iterator<Item = String>) {
-    let mut args = args.peekable();
-    let mut theta: Option<String> = None;
-    let mut session_len: Option<String> = None;
-    while let Some(arg) = args.next() {
-        let mut value_of = |flag: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{bin}: {flag} needs a value"))
-        };
-        match arg.as_str() {
-            "--skew" => theta = Some(value_of("--skew")),
-            "--session-len" => session_len = Some(value_of("--session-len")),
-            "--serve-threads" => {
-                let v = value_of("--serve-threads");
-                if !v.eq_ignore_ascii_case("auto") {
-                    v.parse::<usize>()
-                        .unwrap_or_else(|_| panic!("{bin}: --serve-threads needs a count or auto"));
-                }
-                std::env::set_var("OROCHI_SERVE_THREADS", v);
-            }
-            "--queue-depth" => {
-                let v = value_of("--queue-depth");
-                v.parse::<usize>()
-                    .unwrap_or_else(|_| panic!("{bin}: --queue-depth needs a number"));
-                std::env::set_var("OROCHI_SERVE_QUEUE", v);
-            }
-            other => panic!(
-                "{bin}: unknown argument {other:?} \
-                 (supported: --skew <theta[,session_len]>, --session-len <len>, \
-                 --serve-threads <n|auto>, --queue-depth <n>)"
-            ),
-        }
-    }
-    if theta.is_none() && session_len.is_none() {
-        return;
-    }
-    // `--skew` may already carry a ",len" part; an explicit
-    // `--session-len` overrides it.
-    let base = theta.unwrap_or_default();
-    let (theta_part, embedded_len) = match base.split_once(',') {
-        Some((t, l)) => (t.to_string(), Some(l.to_string())),
-        None => (base, None),
-    };
-    let len_part = session_len.or(embedded_len).unwrap_or_default();
-    let combined = format!("{theta_part},{len_part}");
-    let combined = combined.trim_end_matches(',').to_string();
-    // Validate eagerly so a typo fails at the flag, not mid-experiment.
-    orochi_workload::Skew::parse(&combined).unwrap_or_else(|e| panic!("{bin}: invalid skew: {e}"));
-    std::env::set_var("OROCHI_WORKLOAD_SKEW", combined);
+pub fn apply_skew_args(bin: &str, args: impl Iterator<Item = String>) -> Config {
+    let mut config = Config::from_env();
+    config.apply_cli(bin, args);
+    config.export_env();
+    config
 }
 
 #[cfg(test)]
@@ -80,25 +39,26 @@ mod tests {
 
     #[test]
     fn combines_flags_into_env() {
-        // Serialized through one test because the variable is global.
+        // Serialized through one test because the variables are global.
+        std::env::remove_var("OROCHI_WORKLOAD_SKEW");
         apply_skew_args("t", args(&["--skew", "0.8"]));
         assert_eq!(std::env::var("OROCHI_WORKLOAD_SKEW").unwrap(), "0.8");
-        apply_skew_args("t", args(&["--skew", "0.8", "--session-len", "4"]));
+        apply_skew_args("t", args(&["--session-len", "4"]));
+        // CLI merges over the environment: the exported theta survives.
         assert_eq!(std::env::var("OROCHI_WORKLOAD_SKEW").unwrap(), "0.8,4");
+        std::env::remove_var("OROCHI_WORKLOAD_SKEW");
         apply_skew_args("t", args(&["--session-len", "2"]));
         assert_eq!(std::env::var("OROCHI_WORKLOAD_SKEW").unwrap(), ",2");
         apply_skew_args("t", args(&["--skew", "1.1,9", "--session-len", "2"]));
         assert_eq!(std::env::var("OROCHI_WORKLOAD_SKEW").unwrap(), "1.1,2");
         std::env::remove_var("OROCHI_WORKLOAD_SKEW");
-    }
 
-    #[test]
-    fn serve_flags_set_front_end_env() {
         apply_skew_args("t", args(&["--serve-threads", "8", "--queue-depth", "64"]));
         assert_eq!(std::env::var("OROCHI_SERVE_THREADS").unwrap(), "8");
         assert_eq!(std::env::var("OROCHI_SERVE_QUEUE").unwrap(), "64");
-        apply_skew_args("t", args(&["--serve-threads", "auto"]));
+        let config = apply_skew_args("t", args(&["--serve-threads", "auto"]));
         assert_eq!(std::env::var("OROCHI_SERVE_THREADS").unwrap(), "auto");
+        assert_eq!(config.serve_queue, 64); // env round-trips through Config
         std::env::remove_var("OROCHI_SERVE_THREADS");
         std::env::remove_var("OROCHI_SERVE_QUEUE");
     }

@@ -46,7 +46,8 @@ use orochi_sqldb::{Database, ExecOutcome, RedoError, RedoStats, VersionedDb, MAX
 use orochi_state::object::{ObjectName, OpContents, OpType};
 use orochi_state::versioned_kv::VersionedKv;
 use orochi_trace::record::{BalanceError, BalancedTrace, RidInterner, Trace};
-use orochi_trace::{HttpRequest, HttpResponse};
+use orochi_trace::{HttpRequest, HttpResponse, TraceReadError, TraceSource, TraceStoreError};
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -59,6 +60,10 @@ use std::time::{Duration, Instant};
 pub enum Rejection {
     /// The trace is not balanced (§3).
     Unbalanced(BalanceError),
+    /// The persisted trace could not be read back (I/O failure or a
+    /// corrupt segment/blob). Only the cold-storage audit path can hit
+    /// this; an in-memory trace never does.
+    TraceStore(TraceStoreError),
     /// Report processing failed (Fig. 5), including cycle detection.
     Graph(GraphRejection),
     /// The nondeterminism report violates the §4.6 sanity conditions.
@@ -193,6 +198,7 @@ impl fmt::Display for Rejection {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Rejection::Unbalanced(e) => write!(f, "trace not balanced: {e}"),
+            Rejection::TraceStore(e) => write!(f, "trace store: {e}"),
             Rejection::Graph(e) => write!(f, "report processing: {e}"),
             Rejection::NondetInvalid(rid) => {
                 write!(f, "nondeterminism report invalid for {rid}")
@@ -616,11 +622,16 @@ impl<'a> AuditContext<'a> {
     /// `audit()` uses the same machinery internally; benchmarks and
     /// executor tests use this to drive a [`GroupExecutor`] directly.
     pub fn prepare(
-        trace: &Trace,
+        source: &dyn TraceSource,
         reports: &'a Reports,
         config: &'a AuditConfig,
     ) -> Result<AuditContext<'a>, Rejection> {
-        let balanced = trace.ensure_balanced().map_err(Rejection::Unbalanced)?;
+        let balanced = match source.as_balanced() {
+            Some(balanced) => Cow::Borrowed(balanced),
+            None => BalancedTrace::from_source(source)
+                .map(Cow::Owned)
+                .map_err(Rejection::from_read)?,
+        };
         let (graph, opmap) = process_op_reports(&balanced, reports)?;
         reports
             .nondet
@@ -1225,19 +1236,40 @@ fn assemble_outcome(
     AuditOutcome { stats }
 }
 
+impl Rejection {
+    /// Splits a trace-read failure into its two audit meanings: a
+    /// balance violation is a verdict (the executor misbehaved), a
+    /// storage failure is an audit-infrastructure error.
+    fn from_read(e: TraceReadError) -> Rejection {
+        match e {
+            TraceReadError::Balance(e) => Rejection::Unbalanced(e),
+            TraceReadError::Store(e) => Rejection::TraceStore(e),
+        }
+    }
+}
+
 /// Runs phases 1–3 (balance, ProcessOpReports + nondeterminism sanity,
 /// versioned store builds), timing each.
-fn prologue<'a>(
-    trace: &Trace,
+///
+/// The trace arrives as a [`TraceSource`] so batch-from-RAM and
+/// replay-from-cold-storage share this code path. A source that already
+/// holds a materialized [`BalancedTrace`] is borrowed as-is; anything
+/// else is replayed through [`BalancedTrace::from_source`].
+fn prologue<'t, 'a>(
+    source: &'t dyn TraceSource,
     reports: &'a Reports,
     config: &'a AuditConfig,
     threads: usize,
     phases: &mut PhaseTimer,
-) -> Result<(BalancedTrace, Arc<AuditShared<'a>>), Rejection> {
-    // Phase 1: balanced-trace validation (§3).
+) -> Result<(Cow<'t, BalancedTrace>, Arc<AuditShared<'a>>), Rejection> {
+    // Phase 1: balanced-trace validation (§3). Replaying from a store
+    // also covers decode + integrity checks here.
     let balanced = phases
-        .time("Balance", || trace.ensure_balanced())
-        .map_err(Rejection::Unbalanced)?;
+        .time("Balance", || match source.as_balanced() {
+            Some(balanced) => Ok(Cow::Borrowed(balanced)),
+            None => BalancedTrace::from_source(source).map(Cow::Owned),
+        })
+        .map_err(Rejection::from_read)?;
 
     // Phase 2: ProcessOpReports (Fig. 5) + nondeterminism sanity (§4.6).
     let (graph, opmap) = phases.time("ProcOpRep", || {
@@ -1269,8 +1301,21 @@ pub fn audit(
     executor: &mut dyn GroupExecutor,
     config: &AuditConfig,
 ) -> Result<AuditOutcome, Rejection> {
+    audit_source(trace, reports, executor, config)
+}
+
+/// [`audit`] over any [`TraceSource`] — the in-memory [`Trace`], a
+/// pre-balanced replay, or a [`orochi_trace::TraceStoreReader`] that
+/// streams sealed on-disk segments. Verdicts and diagnostics are
+/// byte-identical across sources holding the same events.
+pub fn audit_source(
+    source: &dyn TraceSource,
+    reports: &Reports,
+    executor: &mut dyn GroupExecutor,
+    config: &AuditConfig,
+) -> Result<AuditOutcome, Rejection> {
     let mut phases = PhaseTimer::new();
-    let (balanced, shared) = prologue(trace, reports, config, 1, &mut phases)?;
+    let (balanced, shared) = prologue(source, reports, config, 1, &mut phases)?;
     let (prepared, pre_error) = prepare_groups(&balanced, reports);
     reexec_sequential(&balanced, &shared, &prepared, pre_error, executor, phases)
 }
@@ -1341,13 +1386,28 @@ pub fn audit_parallel<E: GroupExecutor + Send>(
     executors: &mut [E],
     config: &AuditConfig,
 ) -> Result<AuditOutcome, Rejection> {
+    audit_parallel_source(trace, reports, executors, config)
+}
+
+/// [`audit_parallel`] over any [`TraceSource`]; see [`audit_source`]
+/// for the source contract.
+///
+/// # Panics
+///
+/// Panics if `executors` is empty.
+pub fn audit_parallel_source<E: GroupExecutor + Send>(
+    source: &dyn TraceSource,
+    reports: &Reports,
+    executors: &mut [E],
+    config: &AuditConfig,
+) -> Result<AuditOutcome, Rejection> {
     assert!(
         !executors.is_empty(),
         "audit_parallel requires at least one executor"
     );
     let threads = executors.len();
     let mut phases = PhaseTimer::new();
-    let (balanced, shared) = prologue(trace, reports, config, threads, &mut phases)?;
+    let (balanced, shared) = prologue(source, reports, config, threads, &mut phases)?;
     let (prepared, pre_error) = prepare_groups(&balanced, reports);
     if threads == 1 || prepared.len() < 2 {
         return reexec_sequential(

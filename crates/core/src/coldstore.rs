@@ -1,0 +1,286 @@
+//! Cold-storage sidecar for the report bundle (§3, §4.6 reports).
+//!
+//! When a trace is spilled into the segmented store
+//! ([`orochi_trace::store`]), the audit's other input — the untrusted
+//! [`Reports`] — rides along as a checksummed blob in the same
+//! directory. The blob is *not* the plain [`Wire`] encoding of
+//! [`Reports`]: it front-loads a **per-object sub-log extents table**
+//! (object name + encoded byte length for every operation log) so a
+//! reader can locate and decode any single `OL_i` without touching the
+//! others. The audit decodes everything; targeted tooling (tampering
+//! experiments, log inspection) uses [`report_extents`] + [`decode_log`]
+//! for selective access.
+//!
+//! Layout of the `reports` blob payload:
+//!
+//! ```text
+//! varint n_logs
+//! n_logs × { ObjectName (wire) , varint log_byte_len }
+//! n_logs concatenated OpLog encodings (byte lengths from the table)
+//! groupings + sorted op_counts + nondet (exactly as Reports::encode)
+//! ```
+
+use crate::reports::Reports;
+use orochi_common::codec::{Decoder, Encoder, Wire, WireError};
+use orochi_common::ids::{CtlFlowTag, RequestId};
+use orochi_state::object::ObjectName;
+use orochi_state::oplog::{OpLog, OpLogs};
+use orochi_trace::{TraceStoreError, TraceStoreReader, TraceStoreWriter};
+use std::collections::HashMap;
+
+/// Blob name under which the report bundle is stored.
+pub const REPORTS_BLOB: &str = "reports";
+
+/// Location of one object's operation log inside an encoded blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogExtent {
+    /// The shared object whose log this is.
+    pub name: ObjectName,
+    /// Byte offset of the encoded log within the blob payload.
+    pub offset: usize,
+    /// Encoded byte length of the log.
+    pub len: usize,
+}
+
+/// Encodes `reports` in the extent-table layout described in the module
+/// docs.
+pub fn encode_reports(reports: &Reports) -> Vec<u8> {
+    let log_blobs: Vec<Vec<u8>> = reports
+        .op_logs
+        .iter()
+        .map(|(_, _, log)| log.to_wire_bytes())
+        .collect();
+
+    let mut head = Encoder::new();
+    head.u64(log_blobs.len() as u64);
+    for ((_, name, _), blob) in reports.op_logs.iter().zip(&log_blobs) {
+        name.encode(&mut head);
+        head.u64(blob.len() as u64);
+    }
+    let mut out = head.into_bytes();
+    for blob in &log_blobs {
+        out.extend_from_slice(blob);
+    }
+
+    let mut tail = Encoder::new();
+    tail.u64(reports.groupings.len() as u64);
+    for (tag, rids) in &reports.groupings {
+        tag.encode(&mut tail);
+        rids.encode(&mut tail);
+    }
+    let mut counts: Vec<(&RequestId, &u32)> = reports.op_counts.iter().collect();
+    counts.sort();
+    tail.u64(counts.len() as u64);
+    for (rid, count) in counts {
+        rid.encode(&mut tail);
+        tail.u64(*count as u64);
+    }
+    reports.nondet.encode(&mut tail);
+    out.extend_from_slice(&tail.into_bytes());
+    out
+}
+
+/// Reads the extents table, returning one [`LogExtent`] per object log
+/// in report order without decoding any log body.
+pub fn report_extents(bytes: &[u8]) -> Result<Vec<LogExtent>, WireError> {
+    let mut dec = Decoder::new(bytes);
+    let n = dec.u64()? as usize;
+    if n > dec.remaining() {
+        return Err(WireError::Malformed("log count exceeds buffer"));
+    }
+    let mut extents = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = ObjectName::decode(&mut dec)?;
+        let len = dec.u64()? as usize;
+        extents.push(LogExtent {
+            name,
+            offset: 0,
+            len,
+        });
+    }
+    let mut offset = bytes.len() - dec.remaining();
+    for extent in &mut extents {
+        extent.offset = offset;
+        offset = offset
+            .checked_add(extent.len)
+            .filter(|&end| end <= bytes.len())
+            .ok_or(WireError::Malformed("log extent exceeds buffer"))?;
+    }
+    Ok(extents)
+}
+
+/// Decodes the single operation log named by `extent` — the selective
+/// read path; nothing outside the extent's byte range is touched.
+pub fn decode_log(bytes: &[u8], extent: &LogExtent) -> Result<OpLog, WireError> {
+    let end = extent
+        .offset
+        .checked_add(extent.len)
+        .filter(|&end| end <= bytes.len())
+        .ok_or(WireError::Malformed("log extent exceeds buffer"))?;
+    let mut dec = Decoder::new(&bytes[extent.offset..end]);
+    let log = OpLog::decode(&mut dec)?;
+    if !dec.is_done() {
+        return Err(WireError::Malformed("log extent not fully consumed"));
+    }
+    Ok(log)
+}
+
+/// Decodes a full report bundle from the extent-table layout.
+pub fn decode_reports(bytes: &[u8]) -> Result<Reports, WireError> {
+    let extents = report_extents(bytes)?;
+    let mut logs = Vec::with_capacity(extents.len());
+    for extent in &extents {
+        logs.push((extent.name.clone(), decode_log(bytes, extent)?));
+    }
+    // The tail begins after the last log; with no logs, right after the
+    // (empty) table — i.e. after its single count varint.
+    let tail_start = match extents.last() {
+        Some(extent) => extent.offset + extent.len,
+        None => {
+            let mut dec = Decoder::new(bytes);
+            dec.u64()?;
+            bytes.len() - dec.remaining()
+        }
+    };
+
+    let mut dec = Decoder::new(&bytes[tail_start..]);
+    let n = dec.u64()? as usize;
+    if n > dec.remaining() {
+        return Err(WireError::Malformed("grouping count exceeds buffer"));
+    }
+    let mut groupings = Vec::with_capacity(n);
+    for _ in 0..n {
+        groupings.push((
+            CtlFlowTag::decode(&mut dec)?,
+            Vec::<RequestId>::decode(&mut dec)?,
+        ));
+    }
+    let m = dec.u64()? as usize;
+    if m > dec.remaining() {
+        return Err(WireError::Malformed("count entries exceed buffer"));
+    }
+    let mut op_counts = HashMap::with_capacity(m);
+    for _ in 0..m {
+        let rid = RequestId::decode(&mut dec)?;
+        let count = dec.u64()?;
+        if count > u32::MAX as u64 {
+            return Err(WireError::Malformed("op count out of range"));
+        }
+        if op_counts.insert(rid, count as u32).is_some() {
+            return Err(WireError::Malformed("duplicate rid in op counts"));
+        }
+    }
+    let nondet = crate::nondet::NondetLog::decode(&mut dec)?;
+    if !dec.is_done() {
+        return Err(WireError::Malformed("trailing bytes after reports"));
+    }
+    Ok(Reports {
+        groupings,
+        op_logs: OpLogs::from_pairs(logs),
+        op_counts,
+        nondet,
+    })
+}
+
+/// Spills `reports` into `writer`'s directory as the [`REPORTS_BLOB`]
+/// checksummed blob.
+pub fn spill_reports(writer: &mut TraceStoreWriter, reports: &Reports) -> std::io::Result<()> {
+    writer.write_blob(REPORTS_BLOB, &encode_reports(reports))
+}
+
+/// Loads the report bundle spilled next to `reader`'s segments.
+pub fn load_reports(reader: &TraceStoreReader) -> Result<Reports, TraceStoreError> {
+    let bytes = reader.read_blob(REPORTS_BLOB)?;
+    decode_reports(&bytes).map_err(|e| {
+        TraceStoreError::corrupt(
+            reader.dir().join("reports.blob").display().to_string(),
+            format!("reports blob malformed: {e}"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nondet::{NondetLog, NondetValue};
+    use orochi_common::ids::OpNum;
+    use orochi_state::object::OpContents;
+    use orochi_state::oplog::OpLogEntry;
+
+    fn entry(rid: u64, opnum: u32, key: &str) -> OpLogEntry {
+        OpLogEntry {
+            rid: RequestId(rid),
+            opnum: OpNum(opnum),
+            contents: OpContents::KvGet { key: key.into() },
+        }
+    }
+
+    fn sample() -> Reports {
+        let mut apc = OpLog::new();
+        apc.push(entry(1, 1, "a"));
+        apc.push(entry(2, 1, "b"));
+        let mut reg = OpLog::new();
+        reg.push(entry(2, 2, "r"));
+        let mut nondet = NondetLog::new();
+        nondet.push(RequestId(1), NondetValue::Time(7));
+        Reports {
+            groupings: vec![(CtlFlowTag(3), vec![RequestId(1), RequestId(2)])],
+            op_logs: OpLogs::from_pairs(vec![
+                (ObjectName::kv("apc"), apc),
+                (ObjectName::kv("reg"), reg),
+            ]),
+            op_counts: [(RequestId(1), 1), (RequestId(2), 2)].into_iter().collect(),
+            nondet,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_reports() {
+        let reports = sample();
+        let bytes = encode_reports(&reports);
+        assert_eq!(decode_reports(&bytes).unwrap(), reports);
+    }
+
+    #[test]
+    fn extents_allow_selective_log_decode() {
+        let reports = sample();
+        let bytes = encode_reports(&reports);
+        let extents = report_extents(&bytes).unwrap();
+        assert_eq!(extents.len(), 2);
+        assert_eq!(extents[0].name, ObjectName::kv("apc"));
+        assert_eq!(extents[1].name, ObjectName::kv("reg"));
+        for (i, extent) in extents.iter().enumerate() {
+            let log = decode_log(&bytes, extent).unwrap();
+            assert_eq!(&log, reports.op_logs.log(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_reports_roundtrip() {
+        let reports = Reports::new();
+        let bytes = encode_reports(&reports);
+        assert_eq!(report_extents(&bytes).unwrap(), vec![]);
+        assert_eq!(decode_reports(&bytes).unwrap(), reports);
+    }
+
+    #[test]
+    fn truncated_blob_is_rejected() {
+        let bytes = encode_reports(&sample());
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_reports(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_extent_is_rejected() {
+        let mut enc = Encoder::new();
+        enc.u64(1);
+        ObjectName::kv("apc").encode(&mut enc);
+        enc.u64(u64::MAX); // extent length far beyond the buffer
+        let bytes = enc.into_bytes();
+        assert_eq!(
+            report_extents(&bytes).unwrap_err(),
+            WireError::Malformed("log extent exceeds buffer")
+        );
+    }
+}

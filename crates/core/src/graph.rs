@@ -406,7 +406,7 @@ pub fn process_op_reports_with(
 
     // ---- The one-time interning pass. --------------------------------
     // Dense requestIDs, the OpMap offset table, and the node-id bases.
-    let interner = Arc::new(trace.intern_rids());
+    let interner = trace.intern_rids();
     let x = interner.num_requests();
     let mut offsets: Vec<u32> = Vec::with_capacity(x + 1);
     let mut base: Vec<u32> = Vec::with_capacity(x + 1);

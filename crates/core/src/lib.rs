@@ -27,6 +27,7 @@
 //! implemented in [`ooo`] and used as a differential-testing oracle.
 
 pub mod audit;
+pub mod coldstore;
 pub mod exec;
 pub mod graph;
 pub mod nondet;
@@ -35,8 +36,10 @@ pub mod precedence;
 pub mod reports;
 
 pub use audit::{
-    audit, audit_parallel, AuditConfig, AuditContext, AuditOutcome, AuditStats, Rejection,
+    audit, audit_parallel, audit_parallel_source, audit_source, AuditConfig, AuditContext,
+    AuditOutcome, AuditStats, Rejection,
 };
+pub use coldstore::{load_reports, spill_reports};
 pub use exec::{DbTxnHandle, GroupExecutor, SimResult};
 pub use graph::{process_op_reports, AuditGraph, OpMap};
 pub use nondet::{NondetLog, NondetValue};

@@ -12,12 +12,14 @@
 //!
 //! # Implementation contract
 //!
-//! The frontier here is a **deterministic index-ordered set**: a sorted
-//! array of dense request indices (see
-//! [`orochi_trace::RidInterner`]), so every run emits the edge list in
-//! the same order — per arrival, parents ascend by arrival index. (The
-//! original implementation kept the frontier in a `HashSet`, whose
-//! iteration order, and therefore the edge order, varied run to run.)
+//! The frontier here is a **bitset over dense request indices** (see
+//! [`orochi_trace::RidInterner`]): one bit per request, set while the
+//! request is a frontier member. Iterating set bits in word order
+//! yields indices ascending, so every run emits the edge list in the
+//! same order — per arrival, parents ascend by arrival index. (Earlier
+//! implementations used a `HashSet`, whose iteration order varied run
+//! to run, then a sorted index array, whose `O(w)` memmoves made
+//! adversarially wide frontiers quadratic in the width `w`.)
 //!
 //! [`for_each_frontier_edge`] is the streaming core: it emits each edge
 //! as a `(from, to)` pair of dense indices through a callback and never
@@ -25,15 +27,18 @@
 //! builder ([`crate::graph`]) stream the edges straight into its
 //! two-pass CSR construction. Costs, in the terms of Lemma 11/12:
 //!
-//! * edge emission — `O(X + Z)`: each arrival emits exactly its parent
-//!   set, and parent lists are recorded in a flat arena (requests arrive
-//!   in dense-index order, so the arena is append-only);
-//! * frontier maintenance — one insert per response and at most one
-//!   evict per emitted edge, each an `O(w)` memmove in the sorted index
-//!   array, `w` = frontier width. Total `O((X + Z)·w)` worst case,
-//!   `O(X + Z)` whenever the concurrency width is bounded — and the
-//!   memmove constant is small enough that the `timeprec` bench shows
-//!   it beating the hash-set frontier at every measured width.
+//! * edge emission — `O(X + Z)` set-bit visits: each arrival emits
+//!   exactly its parent set (`trailing_zeros` per member), and parent
+//!   lists are recorded in a flat arena (requests arrive in dense-index
+//!   order, so the arena is append-only);
+//! * frontier maintenance — **O(1)** per membership change: responses
+//!   set their own bit and clear each recorded parent's bit directly,
+//!   with no memmove and no binary search;
+//! * per arrival, the scan walks the words between the lowest and
+//!   highest live bit (tracked bounds), skipping zero words at one
+//!   word-read each — 64 potential members per read, which is what
+//!   keeps adversarially wide concurrency (hundreds of in-flight
+//!   requests) linear where the sorted array degraded.
 //!
 //! [`create_time_precedence_graph`] wraps the stream back into the
 //! explicit [`TimePrecedenceGraph`] edge list for tests and tools;
@@ -99,18 +104,20 @@ impl TimePrecedenceGraph {
 ///
 /// Edge order is deterministic: edges are emitted grouped by arriving
 /// request, in trace order, with each arrival's parents ascending by
-/// index (the frontier is a sorted index array). The stream is
+/// index (set bits are visited in word-then-bit order). The stream is
 /// side-effect-free on the interner, so callers needing two passes over
 /// the same edges — like the CSR builder's count-then-fill construction
 /// in [`crate::graph`] — simply call it twice.
 ///
 /// Zero hashing: the interner resolved every requestID up front, and
-/// this function touches only flat arrays of `u32`.
+/// this function touches only flat `u64`/`u32` arrays.
 pub fn for_each_frontier_edge(interner: &RidInterner, mut emit: impl FnMut(u32, u32)) {
     let x = interner.num_requests();
-    // "Latest" requests — the frontier — as a sorted array of dense
-    // indices; "parent(s)" of any new request.
-    let mut frontier: Vec<u32> = Vec::new();
+    // "Latest" requests — the frontier — as a bitset over dense
+    // indices; "parent(s)" of any new request. `lo..hi` bounds the
+    // words that may hold live bits.
+    let mut frontier: Vec<u64> = vec![0; x.div_ceil(64)];
+    let (mut lo, mut hi) = (0usize, 0usize);
     // Parent lists live in one flat arena: arrivals happen in dense
     // index order, so request `k`'s parents occupy
     // `parents[parent_off[k]..parent_off[k + 1]]`.
@@ -121,26 +128,42 @@ pub fn for_each_frontier_edge(interner: &RidInterner, mut emit: impl FnMut(u32, 
         match event {
             DenseEvent::Request(idx) => {
                 debug_assert_eq!(parent_off.len() as u32 - 1, idx, "arrival order");
-                for &p in &frontier {
-                    emit(p, idx);
+                // Leading zero words are dead — cleared parents never
+                // resurrect below the lowest live bit — so tighten the
+                // bound while skipping them.
+                while lo < hi && frontier[lo] == 0 {
+                    lo += 1;
                 }
-                parents.extend_from_slice(&frontier);
+                for (w, word) in frontier.iter().enumerate().take(hi).skip(lo) {
+                    let mut bits = *word;
+                    while bits != 0 {
+                        let p = (w as u32) * 64 + bits.trailing_zeros();
+                        emit(p, idx);
+                        parents.push(p);
+                        bits &= bits - 1;
+                    }
+                }
                 parent_off.push(parents.len() as u32);
             }
             DenseEvent::Response(idx) => {
                 // idx enters the frontier, evicting its parents. A
                 // parent may already be gone — evicted by a sibling
-                // whose response departed first.
+                // whose response departed first; clearing a cleared
+                // bit is a no-op.
                 let (s, e) = (parent_off[idx as usize], parent_off[idx as usize + 1]);
                 for k in s..e {
-                    if let Ok(pos) = frontier.binary_search(&parents[k as usize]) {
-                        frontier.remove(pos);
-                    }
+                    let p = parents[k as usize] as usize;
+                    frontier[p / 64] &= !(1u64 << (p % 64));
                 }
-                let pos = frontier
-                    .binary_search(&idx)
-                    .expect_err("balanced: one response per request");
-                frontier.insert(pos, idx);
+                let w = idx as usize / 64;
+                debug_assert_eq!(
+                    frontier[w] & (1u64 << (idx as usize % 64)),
+                    0,
+                    "balanced: one response per request"
+                );
+                frontier[w] |= 1u64 << (idx as usize % 64);
+                lo = lo.min(w);
+                hi = hi.max(w + 1);
             }
         }
     }

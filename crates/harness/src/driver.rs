@@ -9,10 +9,16 @@
 use orochi_accphp::executor::{ExecutorStats, VmEngine};
 use orochi_accphp::AccPhpExecutor;
 use orochi_apps::AppDefinition;
-use orochi_core::audit::{audit, audit_parallel, AuditConfig, AuditOutcome, Rejection};
+use orochi_core::audit::{
+    audit, audit_parallel, audit_parallel_source, audit_source, AuditConfig, AuditOutcome,
+    Rejection,
+};
+use orochi_core::coldstore;
 use orochi_server::server::AuditBundle;
 use orochi_server::{Frontend, FrontendConfig, Server, ServerConfig, ShedPolicy};
+use orochi_trace::{TraceStoreReader, TraceStoreSummary, TraceStoreWriter};
 use orochi_workload::Workload;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// An application together with its workload and database seed.
@@ -419,6 +425,61 @@ pub fn run_audit_with(
     })
 }
 
+/// Spills a served bundle's trace and reports into a segmented trace
+/// store at `dir` (created if missing; refuses a dirty directory). The
+/// bundle itself is untouched — callers wanting the cold-storage memory
+/// profile drop `bundle.trace` after spilling.
+pub fn spill_bundle(
+    bundle: &AuditBundle,
+    dir: impl AsRef<Path>,
+    segment_bytes: usize,
+) -> std::io::Result<TraceStoreSummary> {
+    let mut writer = TraceStoreWriter::create(dir.as_ref(), segment_bytes)?;
+    writer.append_trace(&bundle.trace)?;
+    coldstore::spill_reports(&mut writer, &bundle.reports)?;
+    writer.finish()
+}
+
+/// Audits straight from a segmented trace store: the trace streams out
+/// of the sealed segments one at a time ([`audit_source`]) and the
+/// reports load from the sidecar blob. Verdicts and diagnostics are
+/// byte-identical to [`run_audit_with`] over the in-RAM bundle.
+pub fn run_audit_cold(
+    reader: &TraceStoreReader,
+    work: &AppWorkload,
+    opts: &AuditOptions,
+) -> Result<AuditRun, Rejection> {
+    let reports = coldstore::load_reports(reader).map_err(Rejection::TraceStore)?;
+    let scripts = work.app.compile().expect("application compiles");
+    let mut config = work.audit_config();
+    config.query_dedup = opts.dedup;
+    let threads = opts.threads.max(1);
+    let mut executors: Vec<AccPhpExecutor> = (0..threads)
+        .map(|_| {
+            let mut e = AccPhpExecutor::new(scripts.clone());
+            e.force_scalar = !opts.grouped;
+            e.engine = opts.engine;
+            e
+        })
+        .collect();
+    let t0 = Instant::now();
+    let outcome = if threads == 1 {
+        audit_source(reader, &reports, &mut executors[0], &config)?
+    } else {
+        audit_parallel_source(reader, &reports, &mut executors, &config)?
+    };
+    let wall = t0.elapsed();
+    let mut exec_stats = ExecutorStats::default();
+    for e in &executors {
+        exec_stats.merge(&e.stats);
+    }
+    Ok(AuditRun {
+        outcome,
+        exec_stats,
+        wall,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,6 +516,25 @@ mod tests {
             scalar.outcome.stats.requests_reexecuted
         );
         assert_eq!(scalar.exec_stats.grouped, 0);
+    }
+
+    #[test]
+    fn cold_audit_matches_in_ram() {
+        let work = tiny_wiki();
+        let served = serve(&work, &ServeOptions::default());
+        let dir = std::env::temp_dir().join(format!("orochi-driver-cold-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let summary = spill_bundle(&served.bundle, &dir, 64 * 1024).unwrap();
+        assert_eq!(summary.events as usize, served.bundle.trace.len());
+        let ram = run_audit(&served.bundle, &work, true, true).unwrap();
+        drop(served); // the in-RAM trace is gone; only the segments remain
+        let reader = TraceStoreReader::open(&dir).unwrap();
+        let cold = run_audit_cold(&reader, &work, &AuditOptions::default()).unwrap();
+        assert_eq!(
+            cold.outcome.stats.requests_reexecuted,
+            ram.outcome.stats.requests_reexecuted
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

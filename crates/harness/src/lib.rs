@@ -12,14 +12,16 @@
 //! Workload sizes default to a CI-friendly scale; set `OROCHI_FULL=1`
 //! for the paper's full request counts.
 
+pub mod config;
 pub mod driver;
 pub mod experiments;
 pub mod tamper;
 
+pub use config::{Config, Threads};
 pub use driver::{
     audit_threads_from_env, resolve_audit_threads, resolve_serve_threads, run_audit,
-    run_audit_with, serve, serve_drained, serve_open_loop, serve_open_loop_with,
-    serve_queue_from_env, serve_threads_from_env, AppWorkload, AuditOptions, AuditRun,
-    OpenLoopOptions, ServeOptions, ServeResult,
+    run_audit_cold, run_audit_with, serve, serve_drained, serve_open_loop, serve_open_loop_with,
+    serve_queue_from_env, serve_threads_from_env, spill_bundle, AppWorkload, AuditOptions,
+    AuditRun, OpenLoopOptions, ServeOptions, ServeResult,
 };
 pub use experiments::scale_from_env;

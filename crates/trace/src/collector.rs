@@ -149,6 +149,27 @@ impl Collector {
         }
     }
 
+    /// Consumes the collector, streaming the merged trace straight into
+    /// a segmented store writer — the serve→spill path. No intermediate
+    /// [`Trace`] is materialized beyond the buffers the collector
+    /// already holds; the writer seals size-bounded segments as the
+    /// merge proceeds. Returns the number of events spilled (the caller
+    /// finishes the writer, which seals the last partial segment).
+    pub fn into_store(self, writer: &mut crate::store::TraceStoreWriter) -> std::io::Result<usize> {
+        let buffers: Vec<StampedBuffer> = self
+            .stripes
+            .into_vec()
+            .into_iter()
+            .map(|stripe| stripe.into_inner())
+            .collect();
+        let events = merge_by_ticket(buffers);
+        let count = events.len();
+        for event in events {
+            writer.append(event)?;
+        }
+        Ok(count)
+    }
+
     /// Copies the events observed so far into a trace without consuming
     /// the collector. All stripe locks are held simultaneously so the
     /// snapshot is an atomic cut: no response can appear without its
@@ -280,6 +301,30 @@ mod tests {
         }
         assert_eq!(c.len(), 800);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn into_store_spills_in_observation_order() {
+        let dir =
+            std::env::temp_dir().join(format!("orochi-collector-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = Collector::new();
+        let r1 = c.record_request_in(7, HttpRequest::get("/1", &[]));
+        let r2 = c.record_request_in(0, HttpRequest::get("/2", &[]));
+        c.record_response_in(3, r1, HttpResponse::ok(r1, "1"));
+        c.record_response_in(1, r2, HttpResponse::ok(r2, "2"));
+        let mut writer = crate::store::TraceStoreWriter::create(&dir, 0).unwrap();
+        assert_eq!(c.into_store(&mut writer).unwrap(), 4);
+        writer.finish().unwrap();
+        let reader = crate::store::TraceStoreReader::open(&dir).unwrap();
+        let mut rids = Vec::new();
+        crate::TraceSource::stream_events(&reader, &mut |e| {
+            rids.push(e.rid().0);
+            true
+        })
+        .unwrap();
+        assert_eq!(rids, vec![r1.0, r2.0, r1.0, r2.0]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -9,8 +9,10 @@
 use crate::event::{HttpRequest, HttpResponse};
 use orochi_common::codec::{Decoder, Encoder, Wire, WireError};
 use orochi_common::ids::RequestId;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// One observed event: a request arriving at, or a response departing
 /// from, the executor.
@@ -149,41 +151,13 @@ impl Trace {
     /// assert_eq!(balanced.request_ids().count(), 1);
     /// ```
     pub fn ensure_balanced(&self) -> Result<BalancedTrace, BalanceError> {
-        let mut requests: HashMap<RequestId, usize> = HashMap::new();
-        let mut responses: HashMap<RequestId, usize> = HashMap::new();
-        for (pos, event) in self.events.iter().enumerate() {
-            match event {
-                Event::Request(rid, _) => {
-                    if requests.insert(*rid, pos).is_some() {
-                        return Err(BalanceError::DuplicateRequestId(*rid));
-                    }
-                }
-                Event::Response(rid, resp) => {
-                    if !requests.contains_key(rid) {
-                        return Err(BalanceError::ResponseWithoutRequest(*rid));
-                    }
-                    if responses.insert(*rid, pos).is_some() {
-                        return Err(BalanceError::DuplicateResponse(*rid));
-                    }
-                    if resp.rid_label != *rid {
-                        return Err(BalanceError::MislabeledResponse {
-                            expected: *rid,
-                            got: resp.rid_label,
-                        });
-                    }
-                }
+        let mut builder = BalancedBuilder::with_capacity(self.events.len());
+        for event in &self.events {
+            if !builder.push(event.clone()) {
+                break;
             }
         }
-        for rid in requests.keys() {
-            if !responses.contains_key(rid) {
-                return Err(BalanceError::RequestWithoutResponse(*rid));
-            }
-        }
-        Ok(BalancedTrace {
-            trace: self.clone(),
-            request_pos: requests,
-            response_pos: responses,
-        })
+        builder.finish()
     }
 
     /// Total encoded size of the trace in bytes.
@@ -204,12 +178,132 @@ impl Wire for Trace {
 }
 
 /// A trace that passed [`Trace::ensure_balanced`], with request/response
-/// positions indexed by requestID.
+/// positions indexed densely by arrival rank.
+///
+/// This is the audit's *materialized replay*: the owned event list plus
+/// the [`RidInterner`] built during the balance scan (one pass, one hash
+/// table) and flat `dense index -> event position` arrays. It can be
+/// built from any [`crate::TraceSource`] — the in-memory [`Trace`] or
+/// the on-disk segment store — via
+/// [`BalancedTrace::from_source`](crate::source), so batch-from-RAM and
+/// replay-from-cold-storage feed the audit through the same type.
+///
+/// The interner is behind an [`Arc`]: repeated audits of one
+/// `BalancedTrace` (and the graph builds inside a single audit) share
+/// the interned replay instead of re-walking the event stream.
 #[derive(Debug, Clone)]
 pub struct BalancedTrace {
     trace: Trace,
-    request_pos: HashMap<RequestId, usize>,
-    response_pos: HashMap<RequestId, usize>,
+    interner: Arc<RidInterner>,
+    /// Dense index -> position of the REQUEST event in `trace.events`.
+    request_pos: Vec<usize>,
+    /// Dense index -> position of the RESPONSE event in `trace.events`.
+    response_pos: Vec<usize>,
+}
+
+/// Incremental balance validation: events stream in one at a time (from
+/// a `Vec` or a segment decoder), and the builder maintains the
+/// interner, the dense position arrays, and the §3 balance checks in a
+/// single pass — no second copy of the event stream is ever made.
+pub(crate) struct BalancedBuilder {
+    events: Vec<Event>,
+    rids: Vec<RequestId>,
+    index: HashMap<RequestId, u32>,
+    dense_events: Vec<u32>,
+    request_pos: Vec<usize>,
+    response_pos: Vec<usize>,
+    error: Option<BalanceError>,
+}
+
+/// Sentinel in `response_pos` for "no response seen yet".
+const NO_RESPONSE: usize = usize::MAX;
+
+impl BalancedBuilder {
+    pub(crate) fn with_capacity(events: usize) -> Self {
+        BalancedBuilder {
+            events: Vec::with_capacity(events),
+            rids: Vec::new(),
+            index: HashMap::new(),
+            dense_events: Vec::with_capacity(events),
+            request_pos: Vec::new(),
+            response_pos: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Feeds the next event; returns `false` once the trace is known
+    /// unbalanced, so streaming callers can stop decoding early.
+    pub(crate) fn push(&mut self, event: Event) -> bool {
+        if self.error.is_some() {
+            return false;
+        }
+        let pos = self.events.len();
+        match &event {
+            Event::Request(rid, _) => {
+                let idx = self.rids.len() as u32;
+                match self.index.entry(*rid) {
+                    Entry::Occupied(_) => {
+                        self.error = Some(BalanceError::DuplicateRequestId(*rid));
+                        return false;
+                    }
+                    Entry::Vacant(slot) => {
+                        slot.insert(idx);
+                    }
+                }
+                self.rids.push(*rid);
+                self.dense_events.push(idx << 1);
+                self.request_pos.push(pos);
+                self.response_pos.push(NO_RESPONSE);
+            }
+            Event::Response(rid, resp) => {
+                let Some(&idx) = self.index.get(rid) else {
+                    self.error = Some(BalanceError::ResponseWithoutRequest(*rid));
+                    return false;
+                };
+                if self.response_pos[idx as usize] != NO_RESPONSE {
+                    self.error = Some(BalanceError::DuplicateResponse(*rid));
+                    return false;
+                }
+                if resp.rid_label != *rid {
+                    self.error = Some(BalanceError::MislabeledResponse {
+                        expected: *rid,
+                        got: resp.rid_label,
+                    });
+                    return false;
+                }
+                self.response_pos[idx as usize] = pos;
+                self.dense_events.push((idx << 1) | 1);
+            }
+        }
+        self.events.push(event);
+        true
+    }
+
+    pub(crate) fn finish(self) -> Result<BalancedTrace, BalanceError> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        // First request in arrival order without a response (the old
+        // implementation picked a hash-map-ordered rid here; arrival
+        // order makes the diagnostic deterministic).
+        for (k, &pos) in self.response_pos.iter().enumerate() {
+            if pos == NO_RESPONSE {
+                return Err(BalanceError::RequestWithoutResponse(self.rids[k]));
+            }
+        }
+        Ok(BalancedTrace {
+            trace: Trace {
+                events: self.events,
+            },
+            interner: Arc::new(RidInterner {
+                rids: self.rids,
+                index: self.index,
+                dense_events: self.dense_events,
+            }),
+            request_pos: self.request_pos,
+            response_pos: self.response_pos,
+        })
+    }
 }
 
 impl BalancedTrace {
@@ -223,6 +317,11 @@ impl BalancedTrace {
         self.request_pos.len()
     }
 
+    /// Dense index of `rid`, if present (one hash lookup).
+    fn dense(&self, rid: RequestId) -> Option<usize> {
+        self.interner.index_of(rid).map(|idx| idx as usize)
+    }
+
     /// Iterates all requestIDs in trace arrival order. The order is
     /// deterministic on purpose: the audit's output-comparison phase
     /// walks it, so the rid named by a `MissingOutput`/`OutputMismatch`
@@ -230,15 +329,12 @@ impl BalancedTrace {
     /// audit's determinism suite compares those diagnostics across
     /// runs).
     pub fn request_ids(&self) -> impl Iterator<Item = RequestId> + '_ {
-        self.trace.events.iter().filter_map(|e| match e {
-            Event::Request(rid, _) => Some(*rid),
-            Event::Response(..) => None,
-        })
+        self.interner.rids().iter().copied()
     }
 
     /// True if `rid` appears in the trace.
     pub fn contains(&self, rid: RequestId) -> bool {
-        self.request_pos.contains_key(&rid)
+        self.dense(rid).is_some()
     }
 
     /// The request payload for `rid`.
@@ -247,7 +343,8 @@ impl BalancedTrace {
     ///
     /// Panics if `rid` is not in the trace; check [`Self::contains`] first.
     pub fn request(&self, rid: RequestId) -> &HttpRequest {
-        match &self.trace.events[self.request_pos[&rid]] {
+        let idx = self.dense(rid).expect("rid not in trace");
+        match &self.trace.events[self.request_pos[idx]] {
             Event::Request(_, req) => req,
             Event::Response(..) => unreachable!("request_pos indexes request events"),
         }
@@ -259,7 +356,8 @@ impl BalancedTrace {
     ///
     /// Panics if `rid` is not in the trace.
     pub fn response(&self, rid: RequestId) -> &HttpResponse {
-        match &self.trace.events[self.response_pos[&rid]] {
+        let idx = self.dense(rid).expect("rid not in trace");
+        match &self.trace.events[self.response_pos[idx]] {
             Event::Response(_, resp) => resp,
             Event::Request(..) => unreachable!("response_pos indexes response events"),
         }
@@ -267,19 +365,19 @@ impl BalancedTrace {
 
     /// Event position of the REQUEST event for `rid`.
     pub fn request_position(&self, rid: RequestId) -> usize {
-        self.request_pos[&rid]
+        self.request_pos[self.dense(rid).expect("rid not in trace")]
     }
 
     /// Event position of the RESPONSE event for `rid`.
     pub fn response_position(&self, rid: RequestId) -> usize {
-        self.response_pos[&rid]
+        self.response_pos[self.dense(rid).expect("rid not in trace")]
     }
 
     /// The time-precedence relation from the trace: `r1 <Tr r2` iff the
     /// response of `r1` departed before the request of `r2` arrived (§3.5).
     pub fn precedes(&self, r1: RequestId, r2: RequestId) -> bool {
-        match (self.response_pos.get(&r1), self.request_pos.get(&r2)) {
-            (Some(resp), Some(req)) => resp < req,
+        match (self.dense(r1), self.dense(r2)) {
+            (Some(i1), Some(i2)) => self.response_pos[i1] < self.request_pos[i2],
             _ => false,
         }
     }
@@ -289,15 +387,17 @@ impl BalancedTrace {
         &self.trace
     }
 
-    /// Interns every requestID into a dense `u32` index (arrival order)
-    /// and records the event stream in terms of those indices.
+    /// The dense interning of this trace's requestIDs, built once during
+    /// the balance scan and shared by reference count.
     ///
-    /// This is the audit's *one-time interning pass*: everything
-    /// downstream of it — the Fig. 6 frontier, the CSR graph build, the
-    /// flat OpMap — works in index arithmetic over the dense ids and
-    /// never hashes a [`RequestId`] again. See [`RidInterner`].
-    pub fn intern_rids(&self) -> RidInterner {
-        RidInterner::new(self)
+    /// Everything downstream — the Fig. 6 frontier, the CSR graph build,
+    /// the flat OpMap — works in index arithmetic over the dense ids and
+    /// never hashes a [`RequestId`] again. See [`RidInterner`]. Repeated
+    /// calls (one audit builds the graph and the `OpMap` from the same
+    /// interner, and callers may audit one trace many times) return a
+    /// clone of the same [`Arc`] instead of re-walking the event stream.
+    pub fn intern_rids(&self) -> Arc<RidInterner> {
+        Arc::clone(&self.interner)
     }
 }
 
@@ -319,7 +419,7 @@ pub enum DenseEvent {
 /// re-expressed over the dense indices so consumers can replay the
 /// trace without touching the original events (or a hash) again.
 ///
-/// Built once per audit by [`BalancedTrace::intern_rids`] and shared —
+/// Built once per [`BalancedTrace`] (during the balance scan) and shared —
 /// via the audit's `OpMap`/`AuditShared` — by every phase that needs
 /// per-request state: the frontier algorithm streams
 /// [`RidInterner::dense_events`], the CSR audit graph numbers its nodes
@@ -338,33 +438,6 @@ pub struct RidInterner {
 }
 
 impl RidInterner {
-    fn new(trace: &BalancedTrace) -> Self {
-        let events = trace.events();
-        let mut rids = Vec::with_capacity(trace.num_requests());
-        let mut index: HashMap<RequestId, u32> = HashMap::with_capacity(trace.num_requests());
-        let mut dense_events = Vec::with_capacity(events.len());
-        for event in events {
-            match event {
-                Event::Request(rid, _) => {
-                    let idx = rids.len() as u32;
-                    rids.push(*rid);
-                    index.insert(*rid, idx);
-                    dense_events.push(idx << 1);
-                }
-                Event::Response(rid, _) => {
-                    // Balanced: every response follows its request.
-                    let idx = index[rid];
-                    dense_events.push((idx << 1) | 1);
-                }
-            }
-        }
-        RidInterner {
-            rids,
-            index,
-            dense_events,
-        }
-    }
-
     /// Number of interned requests (`X`).
     pub fn num_requests(&self) -> usize {
         self.rids.len()

@@ -1,0 +1,472 @@
+//! The on-disk trace store: a directory of sealed segments plus
+//! checksummed sidecar blobs.
+//!
+//! # Layout
+//!
+//! ```text
+//! <dir>/seg-00000.ots     sealed event segment (see crate::segment)
+//! <dir>/seg-00001.ots     ...
+//! <dir>/<name>.blob       sidecar blob: "OTB1" magic, varint checksum,
+//!                         length-prefixed bytes (op reports live here)
+//! ```
+//!
+//! # Seal protocol
+//!
+//! [`TraceStoreWriter`] buffers appended events and estimates their
+//! encoded size; once the estimate crosses the configured segment
+//! budget the pending run is encoded ([`crate::segment::encode_segment`]),
+//! written to the next `seg-NNNNN.ots` file, and the buffer is reset.
+//! A sealed segment is never reopened or rewritten. [`TraceStoreWriter::finish`]
+//! seals the final partial segment and returns the store summary.
+//!
+//! [`TraceStoreReader`] validates every segment header at open time
+//! (magic, version, and that the file length matches the header's
+//! payload length — a torn tail fails here) and streams events by
+//! decoding one segment at a time, so the resident ingest buffer is
+//! bounded by the largest segment, not the trace length. Payload
+//! checksums are verified as each segment is decoded.
+
+use crate::record::{Event, Trace};
+use crate::segment::{decode_segment, encode_segment, read_header};
+use crate::source::{TraceSource, TraceStoreError};
+use orochi_common::codec::{Decoder, Encoder};
+use orochi_common::hash::fnv1a;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default segment budget: 1 MiB of estimated encoded events.
+pub const DEFAULT_SEGMENT_BYTES: usize = 1 << 20;
+
+/// File-name prefix/suffix for sealed segments.
+const SEGMENT_PREFIX: &str = "seg-";
+const SEGMENT_SUFFIX: &str = ".ots";
+const BLOB_SUFFIX: &str = ".blob";
+const BLOB_MAGIC: [u8; 4] = *b"OTB1";
+
+fn segment_file_name(seq: usize) -> String {
+    format!("{SEGMENT_PREFIX}{seq:05}{SEGMENT_SUFFIX}")
+}
+
+/// Cheap upper-bound estimate of an event's encoded size, used only to
+/// decide when to seal (the real encoding is dictionary-compressed and
+/// almost always much smaller).
+fn estimate(event: &Event) -> usize {
+    fn pairs(p: &[(String, String)]) -> usize {
+        p.iter().map(|(k, v)| k.len() + v.len() + 4).sum::<usize>() + 2
+    }
+    match event {
+        Event::Request(_, req) => {
+            12 + req.method.len()
+                + req.path.len()
+                + pairs(&req.query)
+                + pairs(&req.post)
+                + pairs(&req.cookies)
+        }
+        Event::Response(_, resp) => 16 + resp.body.len() + pairs(&resp.headers),
+    }
+}
+
+/// Summary statistics a finished [`TraceStoreWriter`] reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStoreSummary {
+    /// Number of sealed segments.
+    pub segments: usize,
+    /// Total events across all segments.
+    pub events: u64,
+    /// Total bytes of segment files on disk (blobs excluded).
+    pub segment_bytes: u64,
+    /// Size of the largest sealed segment file.
+    pub max_segment_bytes: usize,
+    /// Total bytes of sidecar blobs on disk.
+    pub blob_bytes: u64,
+}
+
+/// Appends trace events into sealed, size-bounded segment files.
+#[derive(Debug)]
+pub struct TraceStoreWriter {
+    dir: PathBuf,
+    segment_budget: usize,
+    pending: Vec<Event>,
+    pending_estimate: usize,
+    seq: usize,
+    events: u64,
+    segment_bytes: u64,
+    max_segment_bytes: usize,
+    blob_bytes: u64,
+}
+
+impl TraceStoreWriter {
+    /// Creates a store at `dir` (created if missing, which must not
+    /// already contain segments) sealing segments at roughly
+    /// `segment_budget` bytes of events. A zero budget means one
+    /// segment per [`TraceStoreWriter::finish`].
+    pub fn create(dir: impl Into<PathBuf>, segment_budget: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        for entry in fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with(SEGMENT_PREFIX) && name.ends_with(SEGMENT_SUFFIX) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    format!(
+                        "trace store directory {} already holds segments",
+                        dir.display()
+                    ),
+                ));
+            }
+        }
+        Ok(TraceStoreWriter {
+            dir,
+            segment_budget,
+            pending: Vec::new(),
+            pending_estimate: 0,
+            seq: 0,
+            events: 0,
+            segment_bytes: 0,
+            max_segment_bytes: 0,
+            blob_bytes: 0,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one event, sealing a segment when the budget fills.
+    pub fn append(&mut self, event: Event) -> io::Result<()> {
+        self.pending_estimate += estimate(&event);
+        self.pending.push(event);
+        if self.segment_budget > 0 && self.pending_estimate >= self.segment_budget {
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    /// Appends every event of `trace` in order.
+    pub fn append_trace(&mut self, trace: &Trace) -> io::Result<()> {
+        for event in &trace.events {
+            self.append(event.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Seals the pending events into the next segment file. A no-op when
+    /// nothing is pending.
+    pub fn seal(&mut self) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let blob = encode_segment(&self.pending);
+        let path = self.dir.join(segment_file_name(self.seq));
+        fs::write(&path, &blob)?;
+        self.seq += 1;
+        self.events += self.pending.len() as u64;
+        self.segment_bytes += blob.len() as u64;
+        self.max_segment_bytes = self.max_segment_bytes.max(blob.len());
+        self.pending.clear();
+        self.pending_estimate = 0;
+        Ok(())
+    }
+
+    /// Writes a checksummed sidecar blob named `<name>.blob`.
+    pub fn write_blob(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let mut enc = Encoder::new();
+        for b in BLOB_MAGIC {
+            enc.byte(b);
+        }
+        enc.u64(fnv1a(bytes));
+        enc.bytes(bytes);
+        let out = enc.into_bytes();
+        self.blob_bytes += out.len() as u64;
+        fs::write(self.dir.join(format!("{name}{BLOB_SUFFIX}")), out)
+    }
+
+    /// Seals any pending events and returns the store summary.
+    pub fn finish(mut self) -> io::Result<TraceStoreSummary> {
+        self.seal()?;
+        Ok(TraceStoreSummary {
+            segments: self.seq,
+            events: self.events,
+            segment_bytes: self.segment_bytes,
+            max_segment_bytes: self.max_segment_bytes,
+            blob_bytes: self.blob_bytes,
+        })
+    }
+}
+
+/// Reads a sealed trace store; implements [`TraceSource`] by decoding
+/// one segment at a time.
+#[derive(Debug)]
+pub struct TraceStoreReader {
+    dir: PathBuf,
+    /// Per segment: path and its header event count.
+    segments: Vec<(PathBuf, u64)>,
+    events: u64,
+    segment_bytes: u64,
+    max_segment_bytes: usize,
+}
+
+impl TraceStoreReader {
+    /// Opens the store at `dir`, validating every segment's header and
+    /// that each file's length matches the header (torn tails fail
+    /// here; payload checksums are verified during streaming).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, TraceStoreError> {
+        let dir = dir.into();
+        let dir_label = dir.display().to_string();
+        let entries = fs::read_dir(&dir).map_err(|e| TraceStoreError::io(dir_label.clone(), &e))?;
+        let mut names: Vec<String> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| TraceStoreError::io(dir_label.clone(), &e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(SEGMENT_PREFIX) && name.ends_with(SEGMENT_SUFFIX) {
+                names.push(name);
+            }
+        }
+        names.sort();
+        for (i, name) in names.iter().enumerate() {
+            if name != &segment_file_name(i) {
+                return Err(TraceStoreError::corrupt(
+                    dir_label.clone(),
+                    format!(
+                        "missing or misnumbered segment (expected {})",
+                        segment_file_name(i)
+                    ),
+                ));
+            }
+        }
+        let mut segments = Vec::with_capacity(names.len());
+        let mut events = 0u64;
+        let mut segment_bytes = 0u64;
+        let mut max_segment_bytes = 0usize;
+        for name in &names {
+            let path = dir.join(name);
+            let label = path.display().to_string();
+            let bytes = fs::read(&path).map_err(|e| TraceStoreError::io(label.clone(), &e))?;
+            let header = read_header(&bytes, &label)?;
+            // The header is self-delimiting; everything after it must be
+            // exactly the declared payload.
+            let header_len = header_len(&bytes);
+            if bytes.len() as u64 != header_len as u64 + header.payload_len {
+                return Err(TraceStoreError::corrupt(label, "segment truncated"));
+            }
+            events += header.event_count;
+            segment_bytes += bytes.len() as u64;
+            max_segment_bytes = max_segment_bytes.max(bytes.len());
+            segments.push((path, header.event_count));
+        }
+        Ok(TraceStoreReader {
+            dir,
+            segments,
+            events,
+            segment_bytes,
+            max_segment_bytes,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of sealed segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total segment bytes on disk (blobs excluded).
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
+    }
+
+    /// Size of the largest segment file — the bound on the resident
+    /// ingest buffer while streaming.
+    pub fn max_segment_bytes(&self) -> usize {
+        self.max_segment_bytes
+    }
+
+    /// Reads and verifies the sidecar blob named `<name>.blob`.
+    pub fn read_blob(&self, name: &str) -> Result<Vec<u8>, TraceStoreError> {
+        let path = self.dir.join(format!("{name}{BLOB_SUFFIX}"));
+        let label = path.display().to_string();
+        let bytes = fs::read(&path).map_err(|e| TraceStoreError::io(label.clone(), &e))?;
+        let mut dec = Decoder::new(&bytes);
+        let mut magic = [0u8; 4];
+        for slot in &mut magic {
+            *slot = dec
+                .byte()
+                .map_err(|_| TraceStoreError::corrupt(label.clone(), "blob truncated"))?;
+        }
+        if magic != BLOB_MAGIC {
+            return Err(TraceStoreError::corrupt(label, "bad blob magic"));
+        }
+        let checksum = dec
+            .u64()
+            .map_err(|_| TraceStoreError::corrupt(label.clone(), "blob truncated"))?;
+        let body = dec
+            .bytes()
+            .map_err(|_| TraceStoreError::corrupt(label.clone(), "blob truncated"))?;
+        if !dec.is_done() {
+            return Err(TraceStoreError::corrupt(label, "trailing bytes after blob"));
+        }
+        if fnv1a(&body) != checksum {
+            return Err(TraceStoreError::corrupt(label, "blob checksum mismatch"));
+        }
+        Ok(body)
+    }
+}
+
+/// Length of the self-delimiting segment header in `bytes` (magic +
+/// version + three varints). Assumes `read_header` already succeeded.
+fn header_len(bytes: &[u8]) -> usize {
+    let mut dec = Decoder::new(bytes);
+    for _ in 0..5 {
+        let _ = dec.byte();
+    }
+    let _ = dec.u64();
+    let _ = dec.u64();
+    let _ = dec.u64();
+    bytes.len() - dec.remaining()
+}
+
+impl TraceSource for TraceStoreReader {
+    fn event_count(&self) -> usize {
+        self.events as usize
+    }
+
+    fn stream_events(&self, sink: &mut dyn FnMut(Event) -> bool) -> Result<(), TraceStoreError> {
+        for (path, expected) in &self.segments {
+            let label = path.display().to_string();
+            let bytes = fs::read(path).map_err(|e| TraceStoreError::io(label.clone(), &e))?;
+            let events = decode_segment(&bytes, &label)?;
+            if events.len() as u64 != *expected {
+                return Err(TraceStoreError::corrupt(
+                    label,
+                    "payload event count disagrees with header",
+                ));
+            }
+            for event in events {
+                if !sink(event) {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{HttpRequest, HttpResponse};
+    use orochi_common::ids::RequestId;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "orochi-store-test-{}-{tag}-{n}",
+            std::process::id()
+        ))
+    }
+
+    fn sample_trace(pairs: u64) -> Trace {
+        let mut events = Vec::new();
+        for i in 0..pairs {
+            let rid = RequestId(i + 1);
+            events.push(Event::Request(
+                rid,
+                HttpRequest::get("/wiki.php", &[("page", "Main")]),
+            ));
+            events.push(Event::Response(rid, HttpResponse::ok(rid, "body")));
+        }
+        Trace { events }
+    }
+
+    #[test]
+    fn roundtrip_through_store() {
+        let dir = temp_dir("roundtrip");
+        let trace = sample_trace(50);
+        let mut writer = TraceStoreWriter::create(&dir, 512).unwrap();
+        writer.append_trace(&trace).unwrap();
+        let summary = writer.finish().unwrap();
+        assert!(summary.segments > 1, "expected multiple segments");
+        assert_eq!(summary.events, 100);
+
+        let reader = TraceStoreReader::open(&dir).unwrap();
+        assert_eq!(reader.event_count(), 100);
+        assert_eq!(reader.segment_count(), summary.segments);
+        let mut replayed = Vec::new();
+        reader
+            .stream_events(&mut |e| {
+                replayed.push(e);
+                true
+            })
+            .unwrap();
+        assert_eq!(replayed, trace.events);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn blob_roundtrip_and_checksum() {
+        let dir = temp_dir("blob");
+        let mut writer = TraceStoreWriter::create(&dir, 0).unwrap();
+        writer.write_blob("reports", b"hello reports").unwrap();
+        writer.finish().unwrap();
+        let reader = TraceStoreReader::open(&dir).unwrap();
+        assert_eq!(reader.read_blob("reports").unwrap(), b"hello reports");
+
+        // Flip a body byte: checksum must catch it.
+        let path = dir.join("reports.blob");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        let err = reader.read_blob("reports").unwrap_err();
+        assert!(matches!(err, TraceStoreError::Corrupt { detail, .. }
+            if detail == "blob checksum mismatch"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_truncated_segment() {
+        let dir = temp_dir("trunc");
+        let mut writer = TraceStoreWriter::create(&dir, 0).unwrap();
+        writer.append_trace(&sample_trace(5)).unwrap();
+        writer.finish().unwrap();
+        let path = dir.join(segment_file_name(0));
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        let err = TraceStoreReader::open(&dir).unwrap_err();
+        assert!(matches!(err, TraceStoreError::Corrupt { detail, .. }
+            if detail == "segment truncated"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_missing_segment() {
+        let dir = temp_dir("gap");
+        let mut writer = TraceStoreWriter::create(&dir, 64).unwrap();
+        writer.append_trace(&sample_trace(40)).unwrap();
+        let summary = writer.finish().unwrap();
+        assert!(summary.segments >= 2);
+        fs::remove_file(dir.join(segment_file_name(0))).unwrap();
+        let err = TraceStoreReader::open(&dir).unwrap_err();
+        assert!(matches!(err, TraceStoreError::Corrupt { detail, .. }
+            if detail.starts_with("missing or misnumbered segment")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_dirty_directory() {
+        let dir = temp_dir("dirty");
+        let mut writer = TraceStoreWriter::create(&dir, 0).unwrap();
+        writer.append_trace(&sample_trace(1)).unwrap();
+        writer.finish().unwrap();
+        assert!(TraceStoreWriter::create(&dir, 0).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

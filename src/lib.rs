@@ -39,3 +39,5 @@ pub use orochi_sqldb as sqldb;
 pub use orochi_state as state;
 pub use orochi_trace as trace;
 pub use orochi_workload as workload;
+
+pub use orochi_harness::Config;
