@@ -33,12 +33,21 @@ impl Stopwatch {
         Self::default()
     }
 
-    /// Begins (or restarts) timing. Calling `start` twice keeps the first
-    /// start point.
+    /// Begins timing. A second `start` while already running is a
+    /// no-op: the original start point is kept, so the interval from
+    /// the *first* `start` to the next [`stop`](Self::stop) is what
+    /// gets charged. This makes nested `start`/`stop` pairs safe —
+    /// the outer pair wins — at the cost of never restarting an
+    /// in-flight interval.
     pub fn start(&mut self) {
         if self.started.is_none() {
             self.started = Some(Instant::now());
         }
+    }
+
+    /// Whether an interval is currently being timed.
+    pub fn is_running(&self) -> bool {
+        self.started.is_some()
     }
 
     /// Stops timing and adds the elapsed interval to the total.
@@ -78,12 +87,24 @@ impl PhaseTimer {
         Self::default()
     }
 
-    /// Runs `f`, charging its wall time to `phase`.
+    /// Runs `f`, charging its wall time to `phase`. Panic-safe: if `f`
+    /// unwinds, the time spent before the panic is still recorded
+    /// (the accounting happens in an RAII guard's drop).
     pub fn time<T>(&mut self, phase: &'static str, f: impl FnOnce() -> T) -> T {
-        let t0 = Instant::now();
-        let out = f();
-        self.add(phase, t0.elapsed());
-        out
+        let _guard = self.phase(phase);
+        f()
+    }
+
+    /// Opens an RAII guard charging `phase` from now until the guard
+    /// drops — including on unwind, so a panicking phase cannot
+    /// silently drop its accumulated time the way a forgotten manual
+    /// `stop()` would.
+    pub fn phase(&mut self, phase: &'static str) -> PhaseGuard<'_> {
+        PhaseGuard {
+            timer: self,
+            phase,
+            t0: Instant::now(),
+        }
     }
 
     /// Adds an externally measured duration to `phase`.
@@ -111,6 +132,21 @@ impl PhaseTimer {
         for (phase, d) in other.iter() {
             self.add(phase, d);
         }
+    }
+}
+
+/// Charges elapsed time to one phase of a [`PhaseTimer`] when
+/// dropped. Created by [`PhaseTimer::phase`].
+#[must_use = "a PhaseGuard records on drop; binding it to `_` drops it immediately"]
+pub struct PhaseGuard<'a> {
+    timer: &'a mut PhaseTimer,
+    phase: &'static str,
+    t0: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        self.timer.add(self.phase, self.t0.elapsed());
     }
 }
 
@@ -178,6 +214,26 @@ mod tests {
         assert_eq!(a.get("x"), Duration::from_millis(8));
         assert_eq!(a.get("y"), Duration::from_millis(2));
         assert_eq!(a.total(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn phase_guard_records_on_panic() {
+        let mut timer = PhaseTimer::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            timer.time("doomed", || panic!("phase body panicked"));
+        }));
+        assert!(result.is_err());
+        assert!(timer.get("doomed").as_nanos() > 0);
+    }
+
+    #[test]
+    fn phase_guard_manual_scope() {
+        let mut timer = PhaseTimer::new();
+        {
+            let _g = timer.phase("scoped");
+            let _work: u64 = (0..100).sum();
+        }
+        assert!(timer.get("scoped").as_nanos() > 0);
     }
 
     #[test]

@@ -343,6 +343,10 @@ pub struct AuditStats {
     /// Wall time of the streamed two-pass CSR graph build — the slice
     /// of the "ProcOpRep" phase the graph layer accounts for.
     pub graph_build: Duration,
+    /// Busy time spent answering database queries (the Fig. 9 "DB
+    /// query" row). Accumulated per context and absorbed like any
+    /// other counter, so the parallel merge needs no side channel.
+    pub db_query_wall: Duration,
     /// Wall time per phase ("ProcOpRep", "DB redo", "ReExec", "DB query",
     /// "Output"), in the style of Fig. 9.
     pub phases: PhaseTimer,
@@ -363,6 +367,7 @@ impl AuditStats {
         self.db_queries_issued += other.db_queries_issued;
         self.vm_dispatch_total += other.vm_dispatch_total;
         self.vm_dispatch_executed += other.vm_dispatch_executed;
+        self.db_query_wall += other.db_query_wall;
     }
 }
 
@@ -609,10 +614,9 @@ pub struct AuditContext<'a> {
     touched_tables: HashMap<String, Vec<String>>,
     /// Nondeterminism cursors per dense request index.
     nondet_cursor: Vec<usize>,
-    /// Accumulated statistics.
+    /// Accumulated statistics (including the "DB query" busy time, so
+    /// nothing timing-related is threaded beside the stats).
     stats: AuditStats,
-    /// Time spent answering database queries (the Fig. 9 "DB query" row).
-    db_query_time: Duration,
 }
 
 impl<'a> AuditContext<'a> {
@@ -652,7 +656,6 @@ impl<'a> AuditContext<'a> {
             touched_tables: HashMap::new(),
             nondet_cursor: vec![0; x],
             stats: AuditStats::default(),
-            db_query_time: Duration::ZERO,
         }
     }
 
@@ -937,7 +940,7 @@ impl<'a> AuditContext<'a> {
                     let ts = seq * MAXQ + q;
                     let t0 = Instant::now();
                     let result = self.dedup_query(handle.obj_index, sql, ts, rid, opnum)?;
-                    self.db_query_time += t0.elapsed();
+                    self.stats.db_query_wall += t0.elapsed();
                     Ok(DbQueryResult::Ok(result))
                 }
             }
@@ -1214,7 +1217,11 @@ fn compare_outputs(
     Ok(())
 }
 
-/// Folds the redo statistics and store sizes into the final outcome.
+/// Folds the redo statistics and store sizes into the final outcome,
+/// and mirrors the phase walls and dispatch counters into the
+/// telemetry registry — the single write point, so fig9 consumers can
+/// read either the per-run `PhaseTimer` or the process-wide metrics
+/// and see the same accounting.
 fn assemble_outcome(
     shared: &AuditShared<'_>,
     mut stats: AuditStats,
@@ -1233,7 +1240,49 @@ fn assemble_outcome(
         stats.db_versioned_bytes += vdb.estimated_bytes();
         stats.db_final_bytes += vdb.latest_snapshot().estimated_bytes();
     }
+    mirror_stats_into_registry(&stats);
     AuditOutcome { stats }
+}
+
+/// Known fig9 phase rows and their registry counter names. Phase rows
+/// outside this set (none today) would fall back to a slugged name.
+fn phase_counter_name(phase: &str) -> Option<&'static str> {
+    Some(match phase {
+        "Balance" => "audit_phase_balance_ns",
+        "ProcOpRep" => "audit_phase_procoprep_ns",
+        "DB redo" => "audit_phase_db_redo_ns",
+        "DB query" => "audit_phase_db_query_ns",
+        "ReExec" => "audit_phase_reexec_ns",
+        "Output" => "audit_phase_output_ns",
+        _ => return None,
+    })
+}
+
+fn mirror_stats_into_registry(stats: &AuditStats) {
+    use orochi_obs::registry;
+    for (phase, d) in stats.phases.iter() {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        match phase_counter_name(phase) {
+            Some(name) => registry::counter(name).add(ns),
+            None => {
+                let slug: String = phase
+                    .chars()
+                    .map(|c| {
+                        if c.is_ascii_alphanumeric() {
+                            c.to_ascii_lowercase()
+                        } else {
+                            '_'
+                        }
+                    })
+                    .collect();
+                registry::counter_owned(&format!("audit_phase_{slug}_ns")).add(ns);
+            }
+        }
+    }
+    registry::counter("audit_groups_executed_total").add(stats.groups_executed as u64);
+    registry::counter("audit_requests_reexecuted_total").add(stats.requests_reexecuted as u64);
+    registry::counter("audit_vm_dispatch_represented_total").add(stats.vm_dispatch_total);
+    registry::counter("audit_vm_dispatch_executed_total").add(stats.vm_dispatch_executed);
 }
 
 impl Rejection {
@@ -1332,9 +1381,13 @@ fn reexec_sequential(
 ) -> Result<AuditOutcome, Rejection> {
     let mut ctx = AuditContext::from_shared(Arc::clone(shared));
     let mut produced: HashMap<RequestId, HttpResponse> = HashMap::new();
+    let lane = orochi_obs::enabled().then(|| orochi_obs::journal::lane("audit-worker-0"));
+    let group_ns = orochi_obs::registry::histogram("audit_group_ns");
     let reexec_t0 = Instant::now();
     for group in prepared {
+        let span = lane.and_then(|l| orochi_obs::span_timed(l, "group", group_ns));
         let outputs = run_one_group(executor, &mut ctx, group)?;
+        drop(span);
         produced.extend(outputs);
     }
     if let Some(rejection) = pre_error {
@@ -1344,8 +1397,11 @@ fn reexec_sequential(
         return Err(rejection);
     }
     let reexec_total = reexec_t0.elapsed();
-    phases.add("DB query", ctx.db_query_time);
-    phases.add("ReExec", reexec_total.saturating_sub(ctx.db_query_time));
+    phases.add("DB query", ctx.stats.db_query_wall);
+    phases.add(
+        "ReExec",
+        reexec_total.saturating_sub(ctx.stats.db_query_wall),
+    );
 
     let output_check = Instant::now();
     compare_outputs(balanced, &produced)?;
@@ -1357,7 +1413,6 @@ fn reexec_sequential(
 /// What one re-execution worker hands back when it drains the queue.
 struct WorkerReport {
     stats: AuditStats,
-    db_query_time: Duration,
     busy: Duration,
     outputs: Vec<(RequestId, HttpResponse)>,
 }
@@ -1433,7 +1488,7 @@ pub fn audit_parallel_source<E: GroupExecutor + Send>(
     let first_err: Mutex<Option<(usize, Rejection)>> = Mutex::new(None);
     let reports_out: Mutex<Vec<WorkerReport>> = Mutex::new(Vec::with_capacity(threads));
     crossbeam::thread::scope(|s| {
-        for executor in executors.iter_mut() {
+        for (w, executor) in executors.iter_mut().enumerate() {
             let cursor = &cursor;
             let first_err = &first_err;
             let reports_out = &reports_out;
@@ -1441,6 +1496,9 @@ pub fn audit_parallel_source<E: GroupExecutor + Send>(
             let prepared = &prepared;
             let schedule = &schedule;
             s.spawn(move |_| {
+                let lane = orochi_obs::enabled()
+                    .then(|| orochi_obs::journal::lane(&format!("audit-worker-{w}")));
+                let group_ns = orochi_obs::registry::histogram("audit_group_ns");
                 let worker_t0 = Instant::now();
                 let mut ctx = AuditContext::from_shared(Arc::clone(shared));
                 let mut outputs: Vec<(RequestId, HttpResponse)> = Vec::new();
@@ -1459,7 +1517,10 @@ pub fn audit_parallel_source<E: GroupExecutor + Send>(
                     if doomed {
                         continue;
                     }
-                    match run_one_group(&mut *executor, &mut ctx, group) {
+                    let span = lane.and_then(|l| orochi_obs::span_timed(l, "group", group_ns));
+                    let result = run_one_group(&mut *executor, &mut ctx, group);
+                    drop(span);
+                    match result {
                         Ok(outs) => outputs.extend(outs),
                         Err(rejection) => {
                             let mut slot = first_err.lock().expect("error slot poisoned");
@@ -1474,7 +1535,6 @@ pub fn audit_parallel_source<E: GroupExecutor + Send>(
                     .expect("report slot poisoned")
                     .push(WorkerReport {
                         stats: ctx.stats,
-                        db_query_time: ctx.db_query_time,
                         busy: worker_t0.elapsed(),
                         outputs,
                     });
@@ -1495,20 +1555,19 @@ pub fn audit_parallel_source<E: GroupExecutor + Send>(
     // arbitrary order.
     let mut stats = AuditStats::default();
     let mut produced: HashMap<RequestId, HttpResponse> = HashMap::new();
-    let mut db_query_total = Duration::ZERO;
     let mut busy_total = Duration::ZERO;
     for report in reports_out.into_inner().expect("report slot poisoned") {
         stats.absorb(&report.stats);
-        db_query_total += report.db_query_time;
         busy_total += report.busy;
         // Rids are disjoint across prepared groups and duplicate outputs
         // within a group were already rejected, so inserts cannot clash.
         produced.extend(report.outputs);
     }
     // Phase rows keep Fig. 9's CPU-decomposition meaning: summed worker
-    // busy time, not wall time.
-    phases.add("DB query", db_query_total);
-    phases.add("ReExec", busy_total.saturating_sub(db_query_total));
+    // busy time, not wall time. `absorb` already summed the per-worker
+    // DB-query walls into `stats.db_query_wall`.
+    phases.add("DB query", stats.db_query_wall);
+    phases.add("ReExec", busy_total.saturating_sub(stats.db_query_wall));
 
     let output_check = Instant::now();
     compare_outputs(&balanced, &produced)?;

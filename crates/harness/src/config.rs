@@ -23,6 +23,8 @@
 //! | `bench_json` | `OROCHI_BENCH_JSON` | `--bench-json` | off |
 //! | `store_dir` | `OROCHI_STORE_DIR` | `--store-dir` | in-RAM audit |
 //! | `segment_bytes` | `OROCHI_SEGMENT_BYTES` | `--segment-bytes` | 1 MiB |
+//! | `obs` | `OROCHI_OBS` | `--obs` | off |
+//! | `obs_out` | `OROCHI_OBS_OUT` | `--obs-out` | no export |
 
 use crate::driver::{
     resolve_audit_threads, resolve_serve_threads, vm_engine_from_env, AuditOptions, ServeOptions,
@@ -95,6 +97,12 @@ pub struct Config {
     pub store_dir: Option<PathBuf>,
     /// Segment size budget for trace spilling.
     pub segment_bytes: usize,
+    /// Enable the clock-bearing telemetry layer (spans, event journal,
+    /// admission-wait timestamps). Implied by `obs_out`.
+    pub obs: bool,
+    /// Export prefix for telemetry artifacts: `<prefix>.metrics.json`,
+    /// `<prefix>.prom`, `<prefix>.trace.json`; `None` = no export.
+    pub obs_out: Option<PathBuf>,
     /// Server randomness seed.
     pub seed: u64,
 }
@@ -111,6 +119,8 @@ impl Default for Config {
             bench_json: None,
             store_dir: None,
             segment_bytes: DEFAULT_SEGMENT_BYTES,
+            obs: false,
+            obs_out: None,
             seed: 42,
         }
     }
@@ -160,6 +170,9 @@ impl Config {
                 }),
                 None => defaults.segment_bytes,
             },
+            obs: matches!(std::env::var("OROCHI_OBS"),
+                          Ok(v) if v == "1" || v.eq_ignore_ascii_case("true")),
+            obs_out: env_nonempty("OROCHI_OBS_OUT").map(PathBuf::from),
             seed: defaults.seed,
         }
     }
@@ -231,12 +244,17 @@ impl Config {
                         .parse::<usize>()
                         .unwrap_or_else(|_| panic!("{bin}: --segment-bytes needs a byte count"));
                 }
+                "--obs" => self.obs = true,
+                "--obs-out" => {
+                    self.obs_out = Some(PathBuf::from(value_of("--obs-out")));
+                }
                 other => panic!(
                     "{bin}: unknown argument {other:?} \
                      (supported: --skew <theta[,session_len]>, --session-len <len>, \
                      --serve-threads <n|auto>, --queue-depth <n>, \
                      --audit-threads <n|auto>, --engine <register|stack>, --full, \
-                     --bench-json <path>, --store-dir <path>, --segment-bytes <n>)"
+                     --bench-json <path>, --store-dir <path>, --segment-bytes <n>, \
+                     --obs, --obs-out <prefix>)"
                 ),
             }
         }
@@ -270,6 +288,21 @@ impl Config {
             None => std::env::remove_var("OROCHI_STORE_DIR"),
         }
         std::env::set_var("OROCHI_SEGMENT_BYTES", self.segment_bytes.to_string());
+        let obs_on = self.obs_enabled();
+        std::env::set_var("OROCHI_OBS", if obs_on { "1" } else { "0" });
+        match &self.obs_out {
+            Some(prefix) => std::env::set_var("OROCHI_OBS_OUT", prefix),
+            None => std::env::remove_var("OROCHI_OBS_OUT"),
+        }
+        // The telemetry layer caches its enabled flag; push the decision
+        // through so code that already resolved it observes this config.
+        orochi_obs::set_enabled(obs_on);
+    }
+
+    /// Whether the clock-bearing telemetry layer should be on: asked
+    /// for explicitly (`--obs`), or implied by an export destination.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs || self.obs_out.is_some()
     }
 
     /// The skew knob in its `OROCHI_WORKLOAD_SKEW` syntax, or `None`
@@ -404,6 +437,19 @@ mod tests {
         only_len.apply_cli("t", args(&["--session-len", "2"]));
         assert_eq!(only_len.skew_env_value().as_deref(), Some(",2"));
         assert_eq!(Config::default().skew_env_value(), None);
+    }
+
+    #[test]
+    fn obs_knobs_parse_and_imply() {
+        let mut c = Config::default();
+        assert!(!c.obs_enabled());
+        c.apply_cli("t", args(&["--obs"]));
+        assert!(c.obs && c.obs_enabled());
+        let mut c = Config::default();
+        c.apply_cli("t", args(&["--obs-out", "/tmp/obs_run"]));
+        assert!(!c.obs, "--obs-out alone leaves the flag false");
+        assert!(c.obs_enabled(), "but implies the layer is on");
+        assert_eq!(c.obs_out, Some(PathBuf::from("/tmp/obs_run")));
     }
 
     #[test]

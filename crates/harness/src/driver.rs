@@ -14,6 +14,7 @@ use orochi_core::audit::{
     Rejection,
 };
 use orochi_core::coldstore;
+use orochi_obs::HistogramSnapshot;
 use orochi_server::server::AuditBundle;
 use orochi_server::{Frontend, FrontendConfig, Server, ServerConfig, ShedPolicy};
 use orochi_trace::{TraceStoreReader, TraceStoreSummary, TraceStoreWriter};
@@ -128,6 +129,9 @@ pub struct ServeResult {
     /// Requests refused at admission (only under a shedding open-loop
     /// front-end; always 0 for closed-loop backpressure serving).
     pub shed: u64,
+    /// Scheduled-submission latency distribution in microseconds (log2
+    /// buckets, merged across workers; empty for closed-loop serving).
+    pub latency: HistogramSnapshot,
 }
 
 fn build_server(work: &AppWorkload, recording: bool, seed: u64) -> Server {
@@ -187,6 +191,7 @@ pub fn serve(work: &AppWorkload, opts: &ServeOptions) -> ServeResult {
         busy,
         requests,
         shed: 0,
+        latency: HistogramSnapshot::new(),
     }
 }
 
@@ -287,6 +292,7 @@ pub fn serve_open_loop_with(
             busy,
             requests,
             shed: report.shed,
+            latency: report.latency,
         },
     )
 }
@@ -366,6 +372,21 @@ pub fn audit_threads_from_env() -> usize {
     }
 }
 
+/// Records audit-side telemetry once a verdict has landed: the
+/// seal→verdict audit lag (the metric the streaming-epoch audit will
+/// stream per epoch) and the per-engine VM dispatch split.
+fn record_audit_obs(outcome: &AuditOutcome, engine: VmEngine) {
+    orochi_obs::lag::record_verdict();
+    let engine = match engine {
+        VmEngine::Register => "register",
+        VmEngine::Stack => "stack",
+    };
+    orochi_obs::registry::counter_owned(&format!("vm_dispatch_executed_{engine}_total"))
+        .add(outcome.stats.vm_dispatch_executed);
+    orochi_obs::registry::counter_owned(&format!("vm_dispatch_represented_{engine}_total"))
+        .add(outcome.stats.vm_dispatch_total);
+}
+
 /// Audits a bundle. `grouped` selects SIMD-on-demand vs the scalar
 /// baseline; `dedup` toggles read-query deduplication (§4.5). Runs the
 /// sequential audit; use [`run_audit_with`] for the pooled variant.
@@ -414,6 +435,7 @@ pub fn run_audit_with(
         audit_parallel(&bundle.trace, &bundle.reports, &mut executors, &config)?
     };
     let wall = t0.elapsed();
+    record_audit_obs(&outcome, opts.engine);
     let mut exec_stats = ExecutorStats::default();
     for e in &executors {
         exec_stats.merge(&e.stats);
@@ -469,6 +491,7 @@ pub fn run_audit_cold(
         audit_parallel_source(reader, &reports, &mut executors, &config)?
     };
     let wall = t0.elapsed();
+    record_audit_obs(&outcome, opts.engine);
     let mut exec_stats = ExecutorStats::default();
     for e in &executors {
         exec_stats.merge(&e.stats);

@@ -322,13 +322,24 @@ pub fn saturation(
             let mut unloaded_p99 = None;
             for mult in [0.25, 0.5, 0.75, 1.0, 1.5, 2.0] {
                 let rate = (peak_sustained * mult).max(1.0);
-                let (latencies, served) = serve_open_loop_with(&work, rate, &shed_opts);
-                let p99 = percentile(&latencies, 99.0).unwrap_or(0.0);
+                let (_latencies, served) = serve_open_loop_with(&work, rate, &shed_opts);
+                // Percentiles come from the log2 latency histogram the
+                // front-end merged per run (the telemetry layer's
+                // representation) instead of re-sorting the raw vector;
+                // knee detection compares estimates against estimates,
+                // so the bucket granularity cancels out of the ratio.
+                let p99 = served
+                    .latency
+                    .quantile_est(99.0)
+                    .map_or(0.0, |us| us / 1000.0);
                 let handled = n as u64 - served.shed;
                 let point = SaturationPoint {
                     offered_rate: rate,
                     throughput: handled as f64 / served.wall.as_secs_f64().max(1e-9),
-                    p50_ms: percentile(&latencies, 50.0).unwrap_or(0.0),
+                    p50_ms: served
+                        .latency
+                        .quantile_est(50.0)
+                        .map_or(0.0, |us| us / 1000.0),
                     p99_ms: p99,
                     shed: served.shed,
                     requests: handled,
@@ -344,14 +355,23 @@ pub fn saturation(
                     break;
                 }
             }
+            let knee_rate = knee_rate
+                .or_else(|| points.last().map(|p| p.offered_rate))
+                .unwrap_or(0.0);
+            // Surface the knee in the registry so downstream consumers
+            // (exports, the obs snapshot) see it beside the shed
+            // counters the front-end already published.
+            orochi_obs::registry::gauge_owned(&format!(
+                "saturation_knee_rate_{}_w{workers}",
+                work.app.name
+            ))
+            .set(knee_rate.round() as i64);
             rows.push(SaturationRow {
                 app: work.app.name,
                 workers,
                 queue_depth: depth,
                 peak_sustained,
-                knee_rate: knee_rate
-                    .or_else(|| points.last().map(|p| p.offered_rate))
-                    .unwrap_or(0.0),
+                knee_rate,
                 points,
             });
         }

@@ -8,6 +8,9 @@
 //!   results + latency/throughput), Fig. 9 (audit CPU decomposition),
 //!   Fig. 11 (control-flow group characteristics), and the §5.2
 //!   sources-of-acceleration ablation.
+//! * [`obs`] — telemetry artifact export (`--obs-out`): registry
+//!   snapshot as JSON and Prometheus text, event journal as
+//!   chrome://tracing JSON.
 //!
 //! Workload sizes default to a CI-friendly scale; set `OROCHI_FULL=1`
 //! for the paper's full request counts.
@@ -15,6 +18,7 @@
 pub mod config;
 pub mod driver;
 pub mod experiments;
+pub mod obs;
 pub mod tamper;
 
 pub use config::{Config, Threads};
@@ -25,3 +29,4 @@ pub use driver::{
     AuditRun, OpenLoopOptions, ServeOptions, ServeResult,
 };
 pub use experiments::scale_from_env;
+pub use obs::export_obs;

@@ -1,0 +1,71 @@
+//! Telemetry export: writes the registry snapshot and the event
+//! journal to the artifact prefix configured by `--obs-out` /
+//! `OROCHI_OBS_OUT`.
+
+use crate::config::Config;
+use std::io;
+use std::path::PathBuf;
+
+/// Exports telemetry artifacts for `config.obs_out` prefix `P`:
+///
+/// * `P.metrics.json` — JSON snapshot of every registered metric;
+/// * `P.prom` — the same registry in Prometheus text format;
+/// * `P.trace.json` — the event journal as chrome://tracing JSON
+///   (open it in `chrome://tracing` or Perfetto).
+///
+/// Returns the paths written, or an empty list when no export prefix
+/// is configured. Call at the end of a run, after the last audit.
+pub fn export_obs(config: &Config) -> io::Result<Vec<PathBuf>> {
+    let Some(prefix) = &config.obs_out else {
+        return Ok(Vec::new());
+    };
+    if let Some(parent) = prefix.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let with_ext = |ext: &str| -> PathBuf {
+        let mut name = prefix.file_name().unwrap_or_default().to_os_string();
+        name.push(ext);
+        prefix.with_file_name(name)
+    };
+    let metrics = with_ext(".metrics.json");
+    std::fs::write(&metrics, orochi_obs::export::json_snapshot())?;
+    let prom = with_ext(".prom");
+    std::fs::write(&prom, orochi_obs::export::prometheus_text())?;
+    let trace = with_ext(".trace.json");
+    std::fs::write(&trace, orochi_obs::journal::chrome_trace_json())?;
+    Ok(vec![metrics, prom, trace])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_prefix_no_files() {
+        let config = Config::default();
+        assert!(export_obs(&config).unwrap().is_empty());
+    }
+
+    #[test]
+    fn export_writes_three_artifacts() {
+        let dir = std::env::temp_dir().join(format!("orochi-obs-export-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = Config {
+            obs_out: Some(dir.join("run")),
+            ..Config::default()
+        };
+        orochi_obs::registry::counter("test_export_obs_total").inc();
+        let paths = export_obs(&config).unwrap();
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            assert!(p.exists(), "{} missing", p.display());
+        }
+        let metrics = std::fs::read_to_string(dir.join("run.metrics.json")).unwrap();
+        assert!(metrics.contains("test_export_obs_total"));
+        let trace = std::fs::read_to_string(dir.join("run.trace.json")).unwrap();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,137 @@
+//! Exporters: a JSON snapshot of the registry (merged into
+//! `BENCH_ci.json` rows by the bench bins) and a Prometheus-style
+//! text dump.
+
+use crate::registry::{snapshot_all, HistogramSnapshot, MetricValue};
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+fn histogram_json(s: &HistogramSnapshot) -> String {
+    // Buckets are emitted sparsely as [index, count] pairs — 65 mostly
+    // zero entries per histogram would dwarf the rest of the snapshot.
+    let mut buckets = String::from("[");
+    let mut first = true;
+    for (idx, &n) in s.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if !first {
+            buckets.push(',');
+        }
+        first = false;
+        buckets.push_str(&format!("[{idx},{n}]"));
+    }
+    buckets.push(']');
+    let p50 = s.quantile_est(50.0).map(fmt_f64).unwrap_or("null".into());
+    let p99 = s.quantile_est(99.0).map(fmt_f64).unwrap_or("null".into());
+    format!(
+        "{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"buckets\":{}}}",
+        s.count,
+        s.sum,
+        fmt_f64(s.mean()),
+        p50,
+        p99,
+        buckets
+    )
+}
+
+/// Renders every registered metric as one JSON object, keys sorted by
+/// metric name. Counters and gauges are numbers; histograms are
+/// objects with `count`/`sum`/`mean`/`p50`/`p99` and sparse
+/// `[bucket, count]` pairs.
+pub fn json_snapshot() -> String {
+    let snap = snapshot_all();
+    let mut out = String::from("{");
+    let mut first = true;
+    for (name, value) in &snap {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{name}\":"));
+        match value {
+            MetricValue::Counter(v) => out.push_str(&v.to_string()),
+            MetricValue::Gauge(v) => out.push_str(&v.to_string()),
+            MetricValue::Histogram(s) => out.push_str(&histogram_json(s)),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format. Histograms expose `_count`, `_sum`, and cumulative
+/// `_bucket{le="..."}` series at each nonzero log2 boundary.
+pub fn prometheus_text() -> String {
+    let snap = snapshot_all();
+    let mut out = String::new();
+    for (name, value) in &snap {
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            }
+            MetricValue::Histogram(s) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let mut cum = 0u64;
+                for (idx, &n) in s.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cum += n;
+                    let le = if idx >= 64 {
+                        u64::MAX
+                    } else if idx == 0 {
+                        0
+                    } else {
+                        (1u64 << idx) - 1
+                    };
+                    out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+                }
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", s.count));
+                out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", s.sum, s.count));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn json_snapshot_is_object() {
+        registry::counter("test_export_counter").add(7);
+        registry::histogram("test_export_hist_ns").record(1000);
+        let json = json_snapshot();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"test_export_counter\":"));
+        assert!(json.contains("\"test_export_hist_ns\":{\"count\":"));
+    }
+
+    #[test]
+    fn prometheus_text_has_type_lines() {
+        registry::counter("test_export_prom_total").inc();
+        registry::histogram("test_export_prom_ns").record(42);
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE test_export_prom_total counter"));
+        assert!(text.contains("# TYPE test_export_prom_ns histogram"));
+        assert!(text.contains("test_export_prom_ns_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("test_export_prom_ns_count"));
+    }
+}

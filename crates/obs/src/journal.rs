@@ -1,0 +1,210 @@
+//! The bounded ring-buffer event journal, exportable as
+//! chrome://tracing JSON.
+//!
+//! Each pipeline actor — a serve worker, an audit worker, the
+//! trace-store writer — owns one *lane*. Spans push complete events
+//! (`ph: "X"`) into their lane; each lane is bounded, overwriting its
+//! oldest events, so an enabled long run cannot grow without bound.
+//! [`chrome_trace_json`] renders the whole journal in the Trace Event
+//! Format that `chrome://tracing` / Perfetto open directly.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Maximum events retained per lane before the oldest are overwritten.
+pub const LANE_CAPACITY: usize = 16_384;
+
+/// Identifies one journal lane; doubles as the `tid` in the exported
+/// chrome trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+struct JEvent {
+    name: &'static str,
+    /// Microseconds since the journal epoch.
+    start_us: u64,
+    dur_us: u64,
+}
+
+struct Lane {
+    name: String,
+    events: Mutex<VecDeque<JEvent>>,
+}
+
+fn lanes() -> &'static Mutex<Vec<Arc<Lane>>> {
+    static LANES: OnceLock<Mutex<Vec<Arc<Lane>>>> = OnceLock::new();
+    LANES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The journal's time origin: first use wins, shared by every lane so
+/// events from different threads line up on one timeline.
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+pub(crate) fn since_epoch(t: Instant) -> Duration {
+    t.checked_duration_since(epoch()).unwrap_or(Duration::ZERO)
+}
+
+/// Finds or creates the lane named `name` and returns its id. Lane
+/// ids are stable for the life of the process, so actors resolve
+/// their lane once and push by id afterwards.
+pub fn lane(name: &str) -> LaneId {
+    let mut all = lock(lanes());
+    if let Some(idx) = all.iter().position(|l| l.name == name) {
+        return LaneId(idx);
+    }
+    all.push(Arc::new(Lane {
+        name: name.to_string(),
+        events: Mutex::new(VecDeque::new()),
+    }));
+    LaneId(all.len() - 1)
+}
+
+/// Pushes one complete event into `lane`. `start` is an instant from
+/// the same clock as the journal epoch (first use wins, shared by all
+/// lanes); events older than the lane capacity are discarded
+/// oldest-first.
+pub fn push(lane: LaneId, name: &'static str, start: Instant, dur: Duration) {
+    let lane = {
+        let all = lock(lanes());
+        match all.get(lane.0) {
+            Some(l) => Arc::clone(l),
+            None => return,
+        }
+    };
+    let mut events = lock(&lane.events);
+    if events.len() >= LANE_CAPACITY {
+        events.pop_front();
+    }
+    events.push_back(JEvent {
+        name,
+        start_us: since_epoch(start).as_micros() as u64,
+        dur_us: dur.as_micros() as u64,
+    });
+}
+
+/// Number of buffered events per lane, in lane order.
+pub fn lane_event_counts() -> Vec<(String, usize)> {
+    let all = lock(lanes());
+    all.iter()
+        .map(|l| (l.name.clone(), lock(&l.events).len()))
+        .collect()
+}
+
+/// Drops every buffered event (lanes themselves persist, keeping ids
+/// stable).
+pub fn clear() {
+    let all = lock(lanes());
+    for l in all.iter() {
+        lock(&l.events).clear();
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders the journal as a chrome://tracing JSON document: one
+/// `thread_name` metadata record per lane plus one complete (`"X"`)
+/// event per buffered span, all under `pid` 1 with `tid` = lane id.
+pub fn chrome_trace_json() -> String {
+    let all: Vec<Arc<Lane>> = lock(lanes()).iter().map(Arc::clone).collect();
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (tid, lane) in all.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\""
+        ));
+        escape_json(&lane.name, &mut out);
+        out.push_str("\"}}");
+        let events = lock(&lane.events);
+        for ev in events.iter() {
+            out.push_str(&format!(
+                ",{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{tid}}}",
+                ev.name, ev.start_us, ev.dur_us
+            ));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_ids_are_stable() {
+        let a = lane("test-lane-stable");
+        let b = lane("test-lane-stable");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn push_and_export() {
+        let id = lane("test-lane-export");
+        let t0 = epoch();
+        push(id, "work", t0, Duration::from_micros(25));
+        let json = chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"test-lane-export\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":25"));
+        let counts = lane_event_counts();
+        let (_, n) = counts
+            .iter()
+            .find(|(name, _)| name == "test-lane-export")
+            .unwrap();
+        assert!(*n >= 1);
+    }
+
+    #[test]
+    fn lane_is_bounded() {
+        let id = lane("test-lane-bounded");
+        let t0 = epoch();
+        for _ in 0..(LANE_CAPACITY + 10) {
+            push(id, "tick", t0, Duration::ZERO);
+        }
+        let counts = lane_event_counts();
+        let (_, n) = counts
+            .iter()
+            .find(|(name, _)| name == "test-lane-bounded")
+            .unwrap();
+        assert_eq!(*n, LANE_CAPACITY);
+    }
+
+    #[test]
+    fn escapes_lane_names() {
+        let id = lane("test-\"quoted\"-lane");
+        let t0 = epoch();
+        push(id, "e", t0, Duration::ZERO);
+        let json = chrome_trace_json();
+        assert!(json.contains("test-\\\"quoted\\\"-lane"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Audit lag: the wall time from the moment trace data is sealed to
+//! the moment the auditor reaches a verdict over it.
+//!
+//! The ROADMAP's streaming-epoch audit wants this as a first-class,
+//! continuously observable metric. The mechanism is deliberately
+//! lock-free and streaming-friendly: sealers (the frontend draining
+//! its collector, the trace-store writer finishing a spill) call
+//! [`mark_sealed`], which stores a microsecond timestamp in one
+//! atomic; the auditor calls [`record_verdict`] when a verdict lands,
+//! which records now−seal into the `audit_lag_ns` histogram. A
+//! streaming audit marks a seal per epoch and records a verdict per
+//! epoch, and the histogram becomes the lag distribution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::journal;
+use crate::registry::LazyHistogram;
+
+/// Microseconds since the journal epoch of the most recent seal, plus
+/// one so that zero means "never sealed".
+static LAST_SEAL_US: AtomicU64 = AtomicU64::new(0);
+
+static AUDIT_LAG_NS: LazyHistogram = LazyHistogram::new("audit_lag_ns");
+
+/// Marks that a batch of trace data was just sealed (collector
+/// drained, or a trace-store segment run finished). Gated on
+/// [`crate::enabled`] so disabled runs never read the clock.
+#[inline]
+pub fn mark_sealed() {
+    if !crate::enabled() {
+        return;
+    }
+    let now_us = journal::since_epoch(std::time::Instant::now()).as_micros() as u64;
+    LAST_SEAL_US.store(now_us + 1, Ordering::Relaxed);
+}
+
+/// Records seal→verdict lag into the `audit_lag_ns` histogram and
+/// returns it, or `None` when telemetry is disabled or nothing was
+/// sealed.
+pub fn record_verdict() -> Option<Duration> {
+    if !crate::enabled() {
+        return None;
+    }
+    let sealed = LAST_SEAL_US.load(Ordering::Relaxed);
+    if sealed == 0 {
+        return None;
+    }
+    let now_us = journal::since_epoch(std::time::Instant::now()).as_micros() as u64;
+    let lag = Duration::from_micros(now_us.saturating_sub(sealed - 1));
+    AUDIT_LAG_NS.record_duration(lag);
+    Some(lag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_round_trip() {
+        crate::set_enabled(true);
+        mark_sealed();
+        let before = AUDIT_LAG_NS.snapshot().count;
+        let lag = record_verdict();
+        assert!(lag.is_some());
+        assert!(AUDIT_LAG_NS.snapshot().count > before);
+        crate::set_enabled(false);
+        assert!(record_verdict().is_none());
+    }
+}

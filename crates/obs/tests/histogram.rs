@@ -1,0 +1,88 @@
+//! Property tests for the log2 histogram: bucket percentile bounds
+//! must bracket the exact nearest-rank percentile computed by
+//! `orochi_common::metrics::percentile`, and snapshot merging must be
+//! associative so stripes can fold in any grouping.
+
+use orochi_obs::HistogramSnapshot;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// On any fuzzed latency distribution and percentile, the bucket
+    /// bounds returned by `quantile_bounds` bracket the exact
+    /// nearest-rank percentile of the same samples.
+    #[test]
+    fn bucket_bounds_bracket_exact_percentile(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        p_scaled in 1u32..1001,
+    ) {
+        let p = p_scaled as f64 / 10.0; // 0.1..=100.0
+        let mut hist = HistogramSnapshot::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let as_f64: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+        let exact = orochi_common::metrics::percentile(&as_f64, p).unwrap();
+        let (lo, hi) = hist.quantile_bounds(p).unwrap();
+        prop_assert!(
+            lo as f64 <= exact && exact <= hi as f64,
+            "p{} exact {} outside bucket [{}, {}]",
+            p, exact, lo, hi
+        );
+    }
+
+    /// Merging is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) for any
+    /// three stripe snapshots — so cross-stripe folds can happen in
+    /// any tree shape.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..50),
+        b in proptest::collection::vec(0u64..1_000_000, 0..50),
+        c in proptest::collection::vec(0u64..1_000_000, 0..50),
+    ) {
+        let snap = |vals: &[u64]| {
+            let mut s = HistogramSnapshot::new();
+            for &v in vals {
+                s.record(v);
+            }
+            s
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging two stripes then reading quantiles gives the same
+    /// result as recording all samples into one histogram.
+    #[test]
+    fn merge_equals_single_recording(
+        a in proptest::collection::vec(0u64..1_000_000, 1..50),
+        b in proptest::collection::vec(0u64..1_000_000, 1..50),
+    ) {
+        let mut merged = HistogramSnapshot::new();
+        for &v in &a {
+            merged.record(v);
+        }
+        let mut sb = HistogramSnapshot::new();
+        for &v in &b {
+            sb.record(v);
+        }
+        merged.merge(&sb);
+
+        let mut single = HistogramSnapshot::new();
+        for &v in a.iter().chain(b.iter()) {
+            single.record(v);
+        }
+        prop_assert_eq!(merged, single);
+    }
+}

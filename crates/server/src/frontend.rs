@@ -25,11 +25,25 @@
 
 use crate::server::Server;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use orochi_obs::{HistogramSnapshot, LazyCounter, LazyGauge, LazyHistogram};
 use orochi_trace::HttpRequest;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Requests admitted into the queue (counters are always on; see the
+/// overhead contract in `orochi_obs`).
+static ADMITTED: LazyCounter = LazyCounter::new("frontend_admitted_total");
+/// Requests refused at admission under [`ShedPolicy::Shed`].
+static SHED: LazyCounter = LazyCounter::new("frontend_shed_total");
+/// Requests the pool finished serving.
+static SERVED: LazyCounter = LazyCounter::new("frontend_served_total");
+/// Instantaneous admission-queue depth (admitted − picked up).
+static QUEUE_DEPTH: LazyGauge = LazyGauge::new("frontend_queue_depth");
+/// Enqueue→pickup wait (clock-bearing: only recorded when telemetry
+/// is enabled).
+static ADMISSION_WAIT_NS: LazyHistogram = LazyHistogram::new("frontend_admission_wait_ns");
 
 /// What to do when the admission queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,11 +80,15 @@ struct Job {
     /// Scheduled arrival time; latency is measured from here (queueing
     /// included). `None` for closed-loop submissions.
     scheduled: Option<Instant>,
+    /// Admission timestamp, set only when telemetry is enabled; feeds
+    /// the `frontend_admission_wait_ns` histogram at pickup.
+    enqueued: Option<Instant>,
 }
 
 /// Per-worker buffers, merged at drain.
 struct WorkerLog {
     latencies: Vec<f64>,
+    latency_us: HistogramSnapshot,
     handled: u64,
 }
 
@@ -86,6 +104,11 @@ pub struct FrontendReport {
     /// Requests refused at admission (full queue under
     /// [`ShedPolicy::Shed`]).
     pub shed: u64,
+    /// Scheduled-submission latency distribution in microseconds — a
+    /// per-run log2 histogram merged across workers, so consumers
+    /// (e.g. the saturation experiment) can read percentiles without
+    /// re-sorting the raw latency vector.
+    pub latency: HistogramSnapshot,
 }
 
 /// The bounded worker pool wrapping a [`Server`].
@@ -114,13 +137,31 @@ impl Frontend {
                 std::thread::spawn(move || {
                     let mut log = WorkerLog {
                         latencies: Vec::new(),
+                        latency_us: HistogramSnapshot::new(),
                         handled: 0,
                     };
+                    // Lane and per-worker service histogram are resolved
+                    // once per worker; the lane is only materialized when
+                    // telemetry is on so disabled runs export no lanes.
+                    let lane = orochi_obs::enabled()
+                        .then(|| orochi_obs::journal::lane(&format!("serve-worker-{w}")));
+                    let service_ns = orochi_obs::registry::histogram_owned(&format!(
+                        "frontend_worker{w}_service_ns"
+                    ));
                     while let Ok(job) = rx.recv() {
+                        QUEUE_DEPTH.sub(1);
+                        if let Some(enqueued) = job.enqueued {
+                            ADMISSION_WAIT_NS.record_duration(enqueued.elapsed());
+                        }
+                        let span =
+                            lane.and_then(|l| orochi_obs::span_timed(l, "serve", service_ns));
                         server.handle_from(w, job.req);
+                        drop(span);
+                        SERVED.inc();
                         if let Some(scheduled) = job.scheduled {
-                            log.latencies
-                                .push(scheduled.elapsed().as_secs_f64() * 1000.0);
+                            let elapsed = scheduled.elapsed();
+                            log.latencies.push(elapsed.as_secs_f64() * 1000.0);
+                            log.latency_us.record(elapsed.as_micros() as u64);
                         }
                         log.handled += 1;
                     }
@@ -146,6 +187,7 @@ impl Frontend {
         self.enqueue(Job {
             req,
             scheduled: None,
+            enqueued: None,
         })
     }
 
@@ -155,15 +197,20 @@ impl Frontend {
         self.enqueue(Job {
             req,
             scheduled: Some(scheduled),
+            enqueued: None,
         })
     }
 
-    fn enqueue(&self, job: Job) -> bool {
-        if self.bounded && self.shed_policy == ShedPolicy::Shed {
+    fn enqueue(&self, mut job: Job) -> bool {
+        if orochi_obs::enabled() {
+            job.enqueued = Some(Instant::now());
+        }
+        let admitted = if self.bounded && self.shed_policy == ShedPolicy::Shed {
             match self.tx.try_send(job) {
                 Ok(()) => true,
                 Err(TrySendError::Full(_)) => {
                     self.shed.fetch_add(1, Ordering::Relaxed);
+                    SHED.inc();
                     false
                 }
                 Err(TrySendError::Disconnected(_)) => {
@@ -174,7 +221,12 @@ impl Frontend {
             panic!("front-end workers exited while accepting submissions")
         } else {
             true
+        };
+        if admitted {
+            ADMITTED.inc();
+            QUEUE_DEPTH.add(1);
         }
+        admitted
     }
 
     /// The wrapped server (for busy-time or request counters mid-run).
@@ -200,20 +252,26 @@ impl Frontend {
         } = self;
         drop(tx);
         let mut latencies = Vec::new();
+        let mut latency = HistogramSnapshot::new();
         let mut handled = 0u64;
         for handle in workers {
             let mut log = handle.join().expect("front-end worker panicked");
             latencies.append(&mut log.latencies);
+            latency.merge(&log.latency_us);
             handled += log.handled;
         }
         let server = Arc::try_unwrap(server)
             .ok()
             .expect("all front-end workers joined");
+        // Everything admitted has now been served and recorded: the
+        // serve-side trace is sealed from the auditor's perspective.
+        orochi_obs::lag::mark_sealed();
         FrontendReport {
             server,
             latencies,
             handled,
             shed: shed.into_inner(),
+            latency,
         }
     }
 }
@@ -314,5 +372,36 @@ mod tests {
         let report = fe.drain();
         assert_eq!(report.latencies.len(), 10);
         assert!(report.latencies.iter().all(|&l| l >= 0.0));
+        // The per-run histogram sees exactly the scheduled submissions
+        // and its percentile bounds bracket the exact percentile.
+        assert_eq!(report.latency.count, 10);
+        let exact_ms = orochi_common::metrics::percentile(&report.latencies, 99.0).unwrap();
+        let (lo_us, hi_us) = report.latency.quantile_bounds(99.0).unwrap();
+        let exact_us = exact_ms * 1000.0;
+        assert!(
+            lo_us as f64 <= exact_us.ceil() && exact_us.floor() <= hi_us as f64 + 1.0,
+            "p99 {exact_us}us outside bucket [{lo_us}, {hi_us}]"
+        );
+    }
+
+    #[test]
+    fn shed_counter_reaches_registry() {
+        let before = orochi_obs::registry::counter("frontend_shed_total").get();
+        let fe = Frontend::start(
+            counting_server(),
+            FrontendConfig {
+                workers: 1,
+                queue_depth: 1,
+                shed: ShedPolicy::Shed,
+            },
+        );
+        for i in 0..200 {
+            fe.submit_at(req(i), Instant::now());
+        }
+        let report = fe.drain();
+        let after = orochi_obs::registry::counter("frontend_shed_total").get();
+        // Other tests share the process-global registry, so assert a
+        // delta lower bound rather than an exact value.
+        assert!(after - before >= report.shed);
     }
 }

@@ -21,9 +21,14 @@
 
 use orochi_common::hash::fnv1a;
 use orochi_common::ids::SeqNum;
+use orochi_obs::LazyCounter;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shard-lock acquisitions on the KV hot path (get/set), a contention
+/// proxy the telemetry layer exports.
+static KV_SHARD_LOCKS: LazyCounter = LazyCounter::new("kv_shard_lock_total");
 
 /// Default shard count: a power of two comfortably above typical
 /// serving-pool sizes. More shards only cost a few empty `HashMap`s.
@@ -82,6 +87,7 @@ impl KvStore {
     /// Atomically reads `key`, returning the value (if any) and the
     /// operation's sequence number.
     pub fn get(&self, key: &str) -> (Option<Vec<u8>>, SeqNum) {
+        KV_SHARD_LOCKS.inc();
         let map = self.shard(key).lock();
         // Inside the shard lock: per-key seq order = linearization order.
         let seq = SeqNum(self.next_seq.fetch_add(1, Ordering::Relaxed) + 1);
@@ -91,6 +97,7 @@ impl KvStore {
     /// Atomically sets `key` to `value` (`None` deletes), returning the
     /// operation's sequence number.
     pub fn set(&self, key: &str, value: Option<Vec<u8>>) -> SeqNum {
+        KV_SHARD_LOCKS.inc();
         let mut map = self.shard(key).lock();
         let seq = SeqNum(self.next_seq.fetch_add(1, Ordering::Relaxed) + 1);
         match value {

@@ -11,9 +11,14 @@
 //! order; the record library needs this to assemble truthful logs.
 
 use orochi_common::ids::SeqNum;
+use orochi_obs::LazyCounter;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Directory-shard lock acquisitions in the register bank, a
+/// contention proxy the telemetry layer exports.
+static REGISTER_SHARD_LOCKS: LazyCounter = LazyCounter::new("register_shard_lock_total");
 
 #[derive(Debug, Default)]
 struct RegisterInner {
@@ -121,6 +126,7 @@ impl RegisterBank {
 
     /// Returns the register named `name`, creating it if absent.
     pub fn get_or_create(&self, name: &str) -> Arc<AtomicRegister> {
+        REGISTER_SHARD_LOCKS.inc();
         let mut map = self.shard(name).lock();
         Arc::clone(
             map.entry(name.to_string())

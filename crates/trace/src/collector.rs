@@ -28,9 +28,14 @@
 use crate::event::{HttpRequest, HttpResponse};
 use crate::record::{Event, Trace};
 use orochi_common::ids::RequestId;
+use orochi_obs::LazyCounter;
 use parking_lot::Mutex;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Stripe-lock acquisitions on the collector's record path, a
+/// contention proxy the telemetry layer exports.
+static COLLECTOR_STRIPE_LOCKS: LazyCounter = LazyCounter::new("collector_stripe_lock_total");
 
 /// Number of event buffers. A power of two comfortably above typical
 /// worker-pool sizes: workers with distinct stripe hints never contend,
@@ -92,6 +97,7 @@ impl Collector {
     }
 
     fn push(&self, stripe: usize, event: Event) {
+        COLLECTOR_STRIPE_LOCKS.inc();
         let mut buffer = self.stripes[stripe % COLLECTOR_STRIPES].lock();
         // Drawn inside the stripe lock, so each buffer is ticket-sorted.
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);

@@ -31,9 +31,21 @@ use crate::segment::{decode_segment, encode_segment, read_header};
 use crate::source::{TraceSource, TraceStoreError};
 use orochi_common::codec::{Decoder, Encoder};
 use orochi_common::hash::fnv1a;
+use orochi_obs::{LazyCounter, LazyHistogram};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// Segments sealed across all writers.
+static SEAL_TOTAL: LazyCounter = LazyCounter::new("tracestore_seal_total");
+/// Events sealed into segments.
+static EVENTS_TOTAL: LazyCounter = LazyCounter::new("tracestore_events_total");
+/// Encoded segment bytes written to disk (bytes/event = this over
+/// `tracestore_events_total`).
+static BYTES_TOTAL: LazyCounter = LazyCounter::new("tracestore_bytes_total");
+/// Wall time spent encoding (dictionary-compressing) a segment;
+/// clock-bearing, so only recorded when telemetry is enabled.
+static COMPRESS_NS: LazyHistogram = LazyHistogram::new("tracestore_compress_ns");
 
 /// Default segment budget: 1 MiB of estimated encoded events.
 pub const DEFAULT_SEGMENT_BYTES: usize = 1 << 20;
@@ -94,6 +106,9 @@ pub struct TraceStoreWriter {
     segment_bytes: u64,
     max_segment_bytes: usize,
     blob_bytes: u64,
+    /// Journal lane for seal spans; resolved at create only when
+    /// telemetry is enabled so disabled runs export no lane.
+    lane: Option<orochi_obs::LaneId>,
 }
 
 impl TraceStoreWriter {
@@ -127,6 +142,7 @@ impl TraceStoreWriter {
             segment_bytes: 0,
             max_segment_bytes: 0,
             blob_bytes: 0,
+            lane: orochi_obs::enabled().then(|| orochi_obs::journal::lane("trace-store")),
         })
     }
 
@@ -159,9 +175,16 @@ impl TraceStoreWriter {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let span = self
+            .lane
+            .and_then(|l| orochi_obs::span_timed(l, "seal", COMPRESS_NS.get()));
         let blob = encode_segment(&self.pending);
         let path = self.dir.join(segment_file_name(self.seq));
         fs::write(&path, &blob)?;
+        drop(span);
+        SEAL_TOTAL.inc();
+        EVENTS_TOTAL.add(self.pending.len() as u64);
+        BYTES_TOTAL.add(blob.len() as u64);
         self.seq += 1;
         self.events += self.pending.len() as u64;
         self.segment_bytes += blob.len() as u64;
@@ -187,6 +210,9 @@ impl TraceStoreWriter {
     /// Seals any pending events and returns the store summary.
     pub fn finish(mut self) -> io::Result<TraceStoreSummary> {
         self.seal()?;
+        // The trace is durably sealed: from here the clock runs on the
+        // auditor (audit lag = seal→verdict).
+        orochi_obs::lag::mark_sealed();
         Ok(TraceStoreSummary {
             segments: self.seq,
             events: self.events,

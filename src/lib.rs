@@ -24,6 +24,9 @@
 //! * [`workload`] — workload generators with the paper's parameters.
 //! * [`harness`] — end-to-end experiment drivers that regenerate every
 //!   table and figure of the paper's evaluation.
+//! * [`obs`] — the telemetry layer: lock-free metrics registry, RAII
+//!   pipeline spans with a chrome://tracing journal, and the
+//!   JSON/Prometheus exporters behind `OROCHI_OBS`.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
@@ -33,6 +36,7 @@ pub use orochi_apps as apps;
 pub use orochi_common as common;
 pub use orochi_core as core;
 pub use orochi_harness as harness;
+pub use orochi_obs as obs;
 pub use orochi_php as php;
 pub use orochi_server as server;
 pub use orochi_sqldb as sqldb;
