@@ -356,7 +356,7 @@ impl AuditStats {
     /// Folds one worker's per-context counters into an aggregate. Phase
     /// timings, redo statistics, and byte counts are not per-worker; the
     /// audit driver fills them in once at the end.
-    fn absorb(&mut self, other: &AuditStats) {
+    pub(crate) fn absorb(&mut self, other: &AuditStats) {
         self.groups_executed += other.groups_executed;
         self.requests_reexecuted += other.requests_reexecuted;
         self.register_ops += other.register_ops;
@@ -444,7 +444,7 @@ impl<'a> AuditShared<'a> {
     /// redo failures are reported in log order regardless of which
     /// worker hits them, so diagnostics match the sequential build
     /// exactly.
-    fn build(
+    pub(crate) fn build(
         reports: &'a Reports,
         opmap: OpMap,
         config: &'a AuditConfig,
@@ -521,7 +521,7 @@ impl<'a> AuditShared<'a> {
 
     /// Copies the graph-layer statistics out of the Fig. 5 product so
     /// the final outcome can surface them.
-    fn record_graph(&mut self, graph: &crate::graph::AuditGraph) {
+    pub(crate) fn record_graph(&mut self, graph: &crate::graph::AuditGraph) {
         self.graph_nodes = graph.num_nodes();
         self.graph_edges = graph.num_edges();
         self.graph_build = graph.build_wall();
@@ -530,6 +530,40 @@ impl<'a> AuditShared<'a> {
     /// The versioned database for log `i`, if the prologue built one.
     fn versioned_db(&self, i: usize) -> Option<&VersionedDb> {
         self.versioned_dbs.get(i).and_then(|slot| slot.as_ref())
+    }
+
+    // ---- Streaming-audit hooks ---------------------------------------
+    // The streaming driver (crate::streaming) owns one AuditShared for
+    // the whole run and re-points its interner between epochs: during
+    // ingest the balance validator must hold the canonical interner
+    // exclusively, so the shared state parks a placeholder.
+
+    /// Re-points both the shared interner and the OpMap's at `interner`.
+    pub(crate) fn set_interner(&mut self, interner: Arc<RidInterner>) {
+        self.opmap.set_interner(Arc::clone(&interner));
+        self.interner = interner;
+    }
+
+    /// The OpMap, mutably — the streaming driver appends request rows
+    /// and fills slots as requests arrive.
+    pub(crate) fn opmap_mut(&mut self) -> &mut OpMap {
+        &mut self.opmap
+    }
+
+    /// Swaps in a freshly built OpMap (the streaming finish replaces
+    /// its incrementally grown copy with the one the final full
+    /// `ProcessOpReports` pass produced — identical by construction
+    /// once that pass accepts, but the swap makes the confirmation
+    /// re-run's inputs exactly the batch prologue's).
+    pub(crate) fn replace_opmap(&mut self, opmap: OpMap) {
+        self.interner = Arc::clone(opmap.interner());
+        self.opmap = opmap;
+    }
+
+    /// Rough resident size of the OpMap tables in bytes, for the
+    /// streaming audit's carry accounting.
+    pub(crate) fn opmap_bytes(&self) -> usize {
+        self.opmap.estimated_bytes()
     }
 }
 
@@ -646,16 +680,40 @@ impl<'a> AuditContext<'a> {
         Ok(AuditContext::from_shared(Arc::new(shared)))
     }
 
-    fn from_shared(shared: Arc<AuditShared<'a>>) -> Self {
+    pub(crate) fn from_shared(shared: Arc<AuditShared<'a>>) -> Self {
+        AuditContext::from_shared_with_carry(shared, AuditCarry::default())
+    }
+
+    /// [`AuditContext::from_shared`] resuming from a prior epoch's
+    /// carry. The per-request cursor vectors are rebuilt fresh — each
+    /// request re-executes exactly once, in the epoch its response
+    /// arrives, so its cursors are written and checked within that one
+    /// context's lifetime — while the performance caches and counters
+    /// persist across epochs.
+    pub(crate) fn from_shared_with_carry(shared: Arc<AuditShared<'a>>, carry: AuditCarry) -> Self {
         let x = shared.interner.num_requests();
         AuditContext {
             shared,
             opnum_next: vec![1; x],
             in_txn: vec![false; x],
-            dedup_cache: HashMap::new(),
-            touched_tables: HashMap::new(),
+            dedup_cache: carry.dedup_cache,
+            touched_tables: carry.touched_tables,
             nondet_cursor: vec![0; x],
-            stats: AuditStats::default(),
+            stats: carry.stats,
+        }
+    }
+
+    /// Tears the context down to what the streaming audit carries
+    /// across an epoch boundary: the dedup cache, the parsed-tables
+    /// memo, and the accumulated counters. Everything else — the
+    /// per-request cursor vectors and the `Arc` on the shared prologue —
+    /// is dropped, which is what lets the driver reclaim exclusive
+    /// ownership of the shared state between epochs.
+    pub(crate) fn into_carry(self) -> AuditCarry {
+        AuditCarry {
+            dedup_cache: self.dedup_cache,
+            touched_tables: self.touched_tables,
+            stats: self.stats,
         }
     }
 
@@ -1120,12 +1178,41 @@ impl<'a> AuditContext<'a> {
     }
 }
 
+/// The context state one streaming worker slot carries across epoch
+/// boundaries: performance caches and counters only. See
+/// [`AuditContext::into_carry`].
+#[derive(Default)]
+pub(crate) struct AuditCarry {
+    dedup_cache: HashMap<DedupKey, ExecOutcome>,
+    touched_tables: HashMap<String, Vec<String>>,
+    pub(crate) stats: AuditStats,
+}
+
+impl AuditCarry {
+    /// Rough resident size of the carried caches in bytes.
+    pub(crate) fn estimated_bytes(&self) -> usize {
+        let dedup: usize = self
+            .dedup_cache
+            .keys()
+            .map(|(_, sql, tables)| {
+                48 + sql.len() + tables.iter().map(|(t, _)| t.len() + 16).sum::<usize>()
+            })
+            .sum();
+        let tables: usize = self
+            .touched_tables
+            .iter()
+            .map(|(k, v)| k.len() + v.iter().map(String::len).sum::<usize>() + 48)
+            .sum();
+        dedup + tables
+    }
+}
+
 /// One control-flow group, filtered and resolved by the deterministic
 /// pre-pass: duplicate requests removed, every request known to the
 /// trace.
-struct PreparedGroup {
-    tag: CtlFlowTag,
-    requests: Vec<(RequestId, HttpRequest)>,
+pub(crate) struct PreparedGroup {
+    pub(crate) tag: CtlFlowTag,
+    pub(crate) requests: Vec<(RequestId, HttpRequest)>,
 }
 
 /// Deterministic grouping pre-pass: walks `reports.groupings` in order,
@@ -1169,7 +1256,7 @@ fn prepare_groups(
 /// (executor protocol, Fig. 12 line 51 op counts, leftover
 /// nondeterminism). Returns the produced outputs; error order within the
 /// group matches the sequential driver exactly.
-fn run_one_group(
+pub(crate) fn run_one_group(
     executor: &mut dyn GroupExecutor,
     ctx: &mut AuditContext<'_>,
     group: &PreparedGroup,
@@ -1222,7 +1309,7 @@ fn compare_outputs(
 /// telemetry registry — the single write point, so fig9 consumers can
 /// read either the per-run `PhaseTimer` or the process-wide metrics
 /// and see the same accounting.
-fn assemble_outcome(
+pub(crate) fn assemble_outcome(
     shared: &AuditShared<'_>,
     mut stats: AuditStats,
     phases: PhaseTimer,

@@ -192,6 +192,70 @@ impl OpMap {
     pub fn is_empty(&self) -> bool {
         self.filled == 0
     }
+
+    // ---- Incremental construction (streaming audit) ------------------
+    //
+    // The streaming driver grows the OpMap one request at a time as
+    // requests arrive in epochs, filling slots from per-rid log-entry
+    // lists. Misfills are impossible to diagnose locally (a bad opnum
+    // may be the reports' fault, judged only by the final full
+    // `process_op_reports_interned` pass), so the incremental API is
+    // deliberately lenient: out-of-range fills are dropped, duplicate
+    // fills keep the first claim — exactly the information the batch
+    // OpMap would hold for the same `(rid, opnum)`.
+
+    /// An empty OpMap over a placeholder interner, the streaming
+    /// audit's starting point. Use [`OpMap::set_interner`] to point it
+    /// at the canonical interner before lookups.
+    pub(crate) fn streaming_empty() -> OpMap {
+        OpMap {
+            interner: RidInterner::empty(),
+            offsets: vec![0],
+            slots: Vec::new(),
+            filled: 0,
+        }
+    }
+
+    /// Swaps the interner reference (streaming epochs alternate between
+    /// a placeholder and the canonical, growing interner so the balance
+    /// validator keeps exclusive ownership during ingest).
+    pub(crate) fn set_interner(&mut self, interner: Arc<RidInterner>) {
+        self.interner = interner;
+    }
+
+    /// Appends the slot range for the next dense request (in arrival
+    /// order), with `m` promised operations, all unfilled.
+    pub(crate) fn append_request(&mut self, m: u32) {
+        let end = *self.offsets.last().expect("offsets never empty") + m;
+        self.offsets.push(end);
+        self.slots.resize(end as usize, (UNSET, SeqNum(0)));
+    }
+
+    /// Fills the slot for `(idx, opnum)` with `(obj, seq)` if the slot
+    /// exists and is unclaimed; returns whether it was filled.
+    pub(crate) fn fill_slot(&mut self, idx: u32, opnum: OpNum, obj: u32, seq: SeqNum) -> bool {
+        if opnum.0 == 0 || opnum.is_infinity() {
+            return false;
+        }
+        let start = self.offsets[idx as usize];
+        let m = self.offsets[idx as usize + 1] - start;
+        if opnum.0 > m {
+            return false;
+        }
+        let slot = &mut self.slots[(start + opnum.0 - 1) as usize];
+        if slot.0 != UNSET {
+            return false;
+        }
+        *slot = (obj, seq);
+        self.filled += 1;
+        true
+    }
+
+    /// Rough resident size in bytes (offset + slot arrays; the interner
+    /// is accounted separately by its owner).
+    pub(crate) fn estimated_bytes(&self) -> usize {
+        self.offsets.len() * 4 + self.slots.len() * std::mem::size_of::<(u32, SeqNum)>()
+    }
 }
 
 /// The audit graph `G` over dense node ids, in compressed-sparse-row
@@ -389,6 +453,24 @@ pub fn process_op_reports_with(
     reports: &Reports,
     threads: usize,
 ) -> Result<(AuditGraph, OpMap), GraphRejection> {
+    process_op_reports_interned(&trace.intern_rids(), reports, threads)
+}
+
+/// [`process_op_reports_with`] over a pre-built interner instead of a
+/// materialized [`BalancedTrace`].
+///
+/// The trace's only contribution to `ProcessOpReports` is its dense
+/// requestID interning (arrival order + the dense event stream the
+/// frontier pass replays), so any validator that produced an interner —
+/// in particular the streaming audit's incremental balance scan, which
+/// never materializes the trace — can run the *same* graph code path
+/// the batch audit runs. Verdicts and diagnostics are identical by
+/// construction.
+pub fn process_op_reports_interned(
+    interner: &Arc<RidInterner>,
+    reports: &Reports,
+    threads: usize,
+) -> Result<(AuditGraph, OpMap), GraphRejection> {
     // Reject aliased logs up front: one log per object name. This
     // happens before (and its hash set is part of) the interning pass;
     // walking in log order keeps the reported name — the first
@@ -406,7 +488,7 @@ pub fn process_op_reports_with(
 
     // ---- The one-time interning pass. --------------------------------
     // Dense requestIDs, the OpMap offset table, and the node-id bases.
-    let interner = trace.intern_rids();
+    let interner = Arc::clone(interner);
     let x = interner.num_requests();
     let mut offsets: Vec<u32> = Vec::with_capacity(x + 1);
     let mut base: Vec<u32> = Vec::with_capacity(x + 1);

@@ -34,6 +34,7 @@ pub mod nondet;
 pub mod ooo;
 pub mod precedence;
 pub mod reports;
+pub mod streaming;
 
 pub use audit::{
     audit, audit_parallel, audit_parallel_source, audit_source, AuditConfig, AuditContext,
@@ -45,3 +46,4 @@ pub use graph::{process_op_reports, AuditGraph, OpMap};
 pub use nondet::{NondetLog, NondetValue};
 pub use precedence::{create_time_precedence_graph, dense_time_precedence, TimePrecedenceGraph};
 pub use reports::Reports;
+pub use streaming::{audit_streaming_source, StreamingAudit};

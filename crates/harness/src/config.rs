@@ -23,6 +23,7 @@
 //! | `bench_json` | `OROCHI_BENCH_JSON` | `--bench-json` | off |
 //! | `store_dir` | `OROCHI_STORE_DIR` | `--store-dir` | in-RAM audit |
 //! | `segment_bytes` | `OROCHI_SEGMENT_BYTES` | `--segment-bytes` | 1 MiB |
+//! | `epoch_events` | `OROCHI_EPOCH_EVENTS` | `--epoch-events` | 0 (batch) |
 //! | `obs` | `OROCHI_OBS` | `--obs` | off |
 //! | `obs_out` | `OROCHI_OBS_OUT` | `--obs-out` | no export |
 
@@ -97,6 +98,9 @@ pub struct Config {
     pub store_dir: Option<PathBuf>,
     /// Segment size budget for trace spilling.
     pub segment_bytes: usize,
+    /// Epoch budget for the streaming audit, in trace events; `0`
+    /// means batch (the whole trace as one epoch).
+    pub epoch_events: usize,
     /// Enable the clock-bearing telemetry layer (spans, event journal,
     /// admission-wait timestamps). Implied by `obs_out`.
     pub obs: bool,
@@ -119,6 +123,7 @@ impl Default for Config {
             bench_json: None,
             store_dir: None,
             segment_bytes: DEFAULT_SEGMENT_BYTES,
+            epoch_events: 0,
             obs: false,
             obs_out: None,
             seed: 42,
@@ -169,6 +174,12 @@ impl Config {
                     panic!("OROCHI_SEGMENT_BYTES must be a byte count, got {v:?}")
                 }),
                 None => defaults.segment_bytes,
+            },
+            epoch_events: match env_nonempty("OROCHI_EPOCH_EVENTS") {
+                Some(v) => v.parse::<usize>().unwrap_or_else(|_| {
+                    panic!("OROCHI_EPOCH_EVENTS must be an event count, got {v:?}")
+                }),
+                None => defaults.epoch_events,
             },
             obs: matches!(std::env::var("OROCHI_OBS"),
                           Ok(v) if v == "1" || v.eq_ignore_ascii_case("true")),
@@ -244,6 +255,12 @@ impl Config {
                         .parse::<usize>()
                         .unwrap_or_else(|_| panic!("{bin}: --segment-bytes needs a byte count"));
                 }
+                "--epoch-events" => {
+                    let v = value_of("--epoch-events");
+                    self.epoch_events = v
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| panic!("{bin}: --epoch-events needs an event count"));
+                }
                 "--obs" => self.obs = true,
                 "--obs-out" => {
                     self.obs_out = Some(PathBuf::from(value_of("--obs-out")));
@@ -254,7 +271,7 @@ impl Config {
                      --serve-threads <n|auto>, --queue-depth <n>, \
                      --audit-threads <n|auto>, --engine <register|stack>, --full, \
                      --bench-json <path>, --store-dir <path>, --segment-bytes <n>, \
-                     --obs, --obs-out <prefix>)"
+                     --epoch-events <n>, --obs, --obs-out <prefix>)"
                 ),
             }
         }
@@ -288,6 +305,7 @@ impl Config {
             None => std::env::remove_var("OROCHI_STORE_DIR"),
         }
         std::env::set_var("OROCHI_SEGMENT_BYTES", self.segment_bytes.to_string());
+        std::env::set_var("OROCHI_EPOCH_EVENTS", self.epoch_events.to_string());
         let obs_on = self.obs_enabled();
         std::env::set_var("OROCHI_OBS", if obs_on { "1" } else { "0" });
         match &self.obs_out {
@@ -382,6 +400,7 @@ mod tests {
         assert_eq!(c.audit_threads, Threads::Auto);
         assert_eq!(c.vm_engine, VmEngine::Register);
         assert_eq!(c.segment_bytes, DEFAULT_SEGMENT_BYTES);
+        assert_eq!(c.epoch_events, 0, "batch by default");
         assert!(!c.full);
         assert!(c.bench_json.is_none() && c.store_dir.is_none());
     }
@@ -411,6 +430,8 @@ mod tests {
                 "/tmp/store",
                 "--segment-bytes",
                 "65536",
+                "--epoch-events",
+                "512",
             ]),
         );
         assert_eq!(c.skew.theta, Some(0.8));
@@ -423,6 +444,7 @@ mod tests {
         assert_eq!(c.bench_json.as_deref(), Some("/tmp/out.json"));
         assert_eq!(c.store_dir, Some(PathBuf::from("/tmp/store")));
         assert_eq!(c.segment_bytes, 65536);
+        assert_eq!(c.epoch_events, 512);
         assert_eq!(c.scale(), 1.0);
     }
 

@@ -14,10 +14,11 @@ use orochi_core::audit::{
     Rejection,
 };
 use orochi_core::coldstore;
+use orochi_core::streaming::{audit_streaming_source, StreamingAudit};
 use orochi_obs::HistogramSnapshot;
 use orochi_server::server::AuditBundle;
 use orochi_server::{Frontend, FrontendConfig, Server, ServerConfig, ShedPolicy};
-use orochi_trace::{TraceStoreReader, TraceStoreSummary, TraceStoreWriter};
+use orochi_trace::{TraceStoreError, TraceStoreReader, TraceStoreSummary, TraceStoreWriter};
 use orochi_workload::Workload;
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -503,6 +504,128 @@ pub fn run_audit_cold(
     })
 }
 
+/// Builds the audit worker pool shared by every audit entry point.
+fn build_executors(work: &AppWorkload, opts: &AuditOptions) -> Vec<AccPhpExecutor> {
+    let scripts = work.app.compile().expect("application compiles");
+    (0..opts.threads.max(1))
+        .map(|_| {
+            let mut e = AccPhpExecutor::new(scripts.clone());
+            e.force_scalar = !opts.grouped;
+            e.engine = opts.engine;
+            e
+        })
+        .collect()
+}
+
+/// Audits a segmented trace store through the streaming epoch driver
+/// ([`audit_streaming_source`]): the trace is pulled in epochs of
+/// `epoch_events` events (`0` = one epoch, i.e. batch) and re-executed
+/// incrementally with bounded carry. Verdicts and diagnostics are
+/// byte-identical to [`run_audit_cold`] at any epoch budget.
+pub fn run_audit_streaming(
+    reader: &TraceStoreReader,
+    work: &AppWorkload,
+    opts: &AuditOptions,
+    epoch_events: usize,
+) -> Result<AuditRun, Rejection> {
+    let reports = coldstore::load_reports(reader).map_err(Rejection::TraceStore)?;
+    let mut config = work.audit_config();
+    config.query_dedup = opts.dedup;
+    let mut executors = build_executors(work, opts);
+    let t0 = Instant::now();
+    let outcome = audit_streaming_source(reader, &reports, &mut executors, &config, epoch_events)?;
+    let wall = t0.elapsed();
+    record_audit_obs(&outcome, opts.engine);
+    let mut exec_stats = ExecutorStats::default();
+    for e in &executors {
+        exec_stats.merge(&e.stats);
+    }
+    Ok(AuditRun {
+        outcome,
+        exec_stats,
+        wall,
+    })
+}
+
+/// Result of [`serve_and_audit`].
+pub struct ServeAudit {
+    /// The streaming audit's measurements.
+    pub run: AuditRun,
+    /// Wall time of the serving phase.
+    pub serve_wall: Duration,
+    /// Epochs the audit consumed.
+    pub epochs: u64,
+    /// The trace store the epochs were sealed into.
+    pub store: TraceStoreSummary,
+}
+
+/// Audit-while-serving: serves the workload, then interleaves trace
+/// persistence and auditing at epoch granularity — each epoch of events
+/// is appended to the segmented store, sealed (stamping the lag clock),
+/// and immediately fed to the [`StreamingAudit`], so the verifier's
+/// working set never holds the whole trace. The reports only exist once
+/// the server drains, so the overlap is between store ingest and audit,
+/// not with serving itself.
+pub fn serve_and_audit(
+    work: &AppWorkload,
+    serve_opts: &ServeOptions,
+    audit_opts: &AuditOptions,
+    dir: impl AsRef<Path>,
+    segment_bytes: usize,
+    epoch_events: usize,
+) -> Result<ServeAudit, Rejection> {
+    let dir = dir.as_ref();
+    let io_err = |e: std::io::Error| {
+        Rejection::TraceStore(TraceStoreError::io(dir.display().to_string(), &e))
+    };
+    let (server, serve_wall) = serve_drained(work, serve_opts);
+    let bundle = server.into_bundle();
+    let mut config = work.audit_config();
+    config.query_dedup = audit_opts.dedup;
+    let mut executors = build_executors(work, audit_opts);
+    let mut writer = TraceStoreWriter::create(dir, segment_bytes).map_err(io_err)?;
+    let t0 = Instant::now();
+    let mut audit = StreamingAudit::new(&bundle.reports, &config, executors.len());
+    let budget = if epoch_events == 0 {
+        bundle.trace.events.len().max(1)
+    } else {
+        epoch_events
+    };
+    let mut feeding = true;
+    for epoch in bundle.trace.events.chunks(budget) {
+        for event in epoch {
+            writer.append(event.clone()).map_err(io_err)?;
+        }
+        // Seal the epoch: durable on disk and stamped on the lag clock
+        // before the verifier touches it.
+        writer.seal().map_err(io_err)?;
+        if feeding {
+            feeding = audit.feed_epoch(epoch, &mut executors);
+        }
+    }
+    coldstore::spill_reports(&mut writer, &bundle.reports).map_err(io_err)?;
+    let store = writer.finish().map_err(io_err)?;
+    let reader = TraceStoreReader::open(dir).map_err(Rejection::TraceStore)?;
+    let epochs = audit.epochs();
+    let outcome = audit.finish(&reader, &mut executors)?;
+    let wall = t0.elapsed();
+    record_audit_obs(&outcome, audit_opts.engine);
+    let mut exec_stats = ExecutorStats::default();
+    for e in &executors {
+        exec_stats.merge(&e.stats);
+    }
+    Ok(ServeAudit {
+        run: AuditRun {
+            outcome,
+            exec_stats,
+            wall,
+        },
+        serve_wall,
+        epochs,
+        store,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,6 +679,44 @@ mod tests {
         assert_eq!(
             cold.outcome.stats.requests_reexecuted,
             ram.outcome.stats.requests_reexecuted
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_and_audit_matches_batch() {
+        let work = tiny_wiki();
+        let served = serve(&work, &ServeOptions::default());
+        let batch = run_audit(&served.bundle, &work, true, true).unwrap();
+        drop(served);
+        let dir = std::env::temp_dir().join(format!("orochi-serve-audit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sa = serve_and_audit(
+            &work,
+            &ServeOptions::default(),
+            &AuditOptions::default(),
+            &dir,
+            64 * 1024,
+            32,
+        )
+        .unwrap_or_else(|r| panic!("streaming audit rejected: {r}"));
+        assert!(sa.epochs > 1, "a 32-event budget must yield many epochs");
+        assert_eq!(sa.store.events as usize, work.workload.len() * 2);
+        assert_eq!(
+            sa.run.outcome.stats.requests_reexecuted,
+            batch.outcome.stats.requests_reexecuted
+        );
+        assert_eq!(
+            sa.run.outcome.stats.groups_executed,
+            batch.outcome.stats.groups_executed
+        );
+        // The sealed store must also replay cold through the streaming
+        // driver with a different epoch budget, to the same verdict.
+        let reader = TraceStoreReader::open(&dir).unwrap();
+        let cold = run_audit_streaming(&reader, &work, &AuditOptions::default(), 7).unwrap();
+        assert_eq!(
+            cold.outcome.stats.requests_reexecuted,
+            batch.outcome.stats.requests_reexecuted
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

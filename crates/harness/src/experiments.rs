@@ -2,14 +2,15 @@
 //! DESIGN.md maps each to its bench target).
 
 use crate::driver::{
-    run_audit, run_audit_with, serve, serve_drained, serve_open_loop, serve_open_loop_with,
-    AppWorkload, AuditOptions, OpenLoopOptions, ServeOptions,
+    run_audit, run_audit_cold, run_audit_streaming, run_audit_with, serve, serve_drained,
+    serve_open_loop, serve_open_loop_with, spill_bundle, AppWorkload, AuditOptions,
+    OpenLoopOptions, ServeOptions,
 };
 use crate::tamper;
 use orochi_accphp::VmEngine;
 use orochi_common::metrics::percentile;
 use orochi_server::server::AuditBundle;
-use orochi_trace::Event;
+use orochi_trace::{Event, TraceStoreReader};
 use orochi_workload::{forum, hotcrp, shop, skew, wiki};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -984,6 +985,152 @@ pub fn print_shop(r: &ShopReport) {
     }
 }
 
+/// One arm of the streaming-equivalence experiment.
+#[derive(Debug)]
+pub struct StreamingRow {
+    /// Variant label (`honest` or a shop tamper name).
+    pub variant: &'static str,
+    /// Whether every arm accepted.
+    pub accepted: bool,
+    /// The shared diagnostic (`accept` or the identical rejection).
+    pub diagnostic: String,
+    /// Batch (cold, pooled) audit wall time.
+    pub batch_wall: Duration,
+    /// Streaming (pooled) audit wall time.
+    pub streaming_wall: Duration,
+}
+
+/// Experiment E11: streaming-epoch audit equivalence. Serves the shop
+/// workload honestly and under every tampering variant, spills each
+/// bundle to a segmented store, and audits it three ways — batch cold
+/// (pooled), streaming sequential, streaming pooled at `epoch_events`
+/// per epoch. Verdicts and diagnostics must be byte-identical across
+/// all three arms, and the accepting arms must agree on every
+/// determinism-relevant counter.
+///
+/// # Panics
+///
+/// Panics if any arm disagrees with the others, a tamper variant finds
+/// no site, or a tampered run is accepted.
+pub fn streaming_equivalence(
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    epoch_events: usize,
+) -> Vec<StreamingRow> {
+    let work = shop_workload(scale, seed);
+    let seq_opts = AuditOptions {
+        threads: 1,
+        ..Default::default()
+    };
+    let par_opts = AuditOptions {
+        threads: threads.max(1),
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    for variant in [
+        "honest",
+        "forged_cart_total",
+        "stale_inventory_read",
+        "replayed_kv_write",
+    ] {
+        let mut served = serve(&work, &ServeOptions::default());
+        if variant != "honest" {
+            assert!(
+                apply_shop_tamper(&mut served.bundle, variant),
+                "shop workload offers no site for {variant} — grow the workload"
+            );
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "orochi-streamdiff-{variant}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        spill_bundle(&served.bundle, &dir, 64 * 1024).expect("spill for streaming equivalence");
+        drop(served);
+        let reader = TraceStoreReader::open(&dir).expect("reopen spilled store");
+        let t0 = Instant::now();
+        let batch = run_audit_cold(&reader, &work, &par_opts);
+        let batch_wall = t0.elapsed();
+        let stream_seq = run_audit_streaming(&reader, &work, &seq_opts, epoch_events);
+        let t0 = Instant::now();
+        let stream_par = run_audit_streaming(&reader, &work, &par_opts, epoch_events);
+        let streaming_wall = t0.elapsed();
+        let row = match (batch, stream_seq, stream_par) {
+            (Ok(b), Ok(s1), Ok(sp)) => {
+                assert_eq!(
+                    variant, "honest",
+                    "tampered {variant} run accepted by every arm"
+                );
+                for (arm, s) in [("sequential", &s1), ("pooled", &sp)] {
+                    assert_eq!(
+                        (
+                            b.outcome.stats.requests_reexecuted,
+                            b.outcome.stats.groups_executed,
+                            b.outcome.stats.register_ops,
+                            b.outcome.stats.kv_ops,
+                            b.outcome.stats.db_txns,
+                            b.outcome.stats.db_queries,
+                        ),
+                        (
+                            s.outcome.stats.requests_reexecuted,
+                            s.outcome.stats.groups_executed,
+                            s.outcome.stats.register_ops,
+                            s.outcome.stats.kv_ops,
+                            s.outcome.stats.db_txns,
+                            s.outcome.stats.db_queries,
+                        ),
+                        "streaming {arm} audit drifted from the batch counters"
+                    );
+                }
+                StreamingRow {
+                    variant,
+                    accepted: true,
+                    diagnostic: "accept".to_string(),
+                    batch_wall,
+                    streaming_wall,
+                }
+            }
+            (Err(b), Err(s1), Err(sp)) => {
+                let (b, s1, sp) = (b.to_string(), s1.to_string(), sp.to_string());
+                assert_eq!(b, s1, "{variant}: streaming sequential diagnostic diverged");
+                assert_eq!(b, sp, "{variant}: streaming pooled diagnostic diverged");
+                StreamingRow {
+                    variant,
+                    accepted: false,
+                    diagnostic: b,
+                    batch_wall,
+                    streaming_wall,
+                }
+            }
+            (b, s1, sp) => panic!(
+                "{variant}: arms disagree on the verdict: batch {:?}, streaming-seq {:?}, \
+                 streaming-par {:?}",
+                b.map(|_| "accept").map_err(|e| e.to_string()),
+                s1.map(|_| "accept").map_err(|e| e.to_string()),
+                sp.map(|_| "accept").map_err(|e| e.to_string()),
+            ),
+        };
+        rows.push(row);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    rows
+}
+
+/// Renders the streaming-equivalence rows.
+pub fn print_streaming(rows: &[StreamingRow]) {
+    for r in rows {
+        println!(
+            "{:<22} accepted={} batch {:.3}s streaming {:.3}s: {}",
+            r.variant,
+            r.accepted,
+            r.batch_wall.as_secs_f64(),
+            r.streaming_wall.as_secs_f64(),
+            r.diagnostic
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1068,6 +1215,17 @@ mod tests {
         assert_eq!(crate::driver::resolve_audit_threads(0), hw);
         assert_eq!(crate::driver::resolve_audit_threads(1), 1);
         assert_eq!(crate::driver::resolve_audit_threads(usize::MAX), hw);
+    }
+
+    #[test]
+    fn streaming_equivalence_rows() {
+        let rows = streaming_equivalence(0.01, 7, 2, 16);
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].accepted, "honest run must accept");
+        for r in &rows[1..] {
+            assert!(!r.accepted, "{} must reject", r.variant);
+            assert!(!r.diagnostic.is_empty());
+        }
     }
 
     #[test]

@@ -15,13 +15,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use crate::journal;
-use crate::registry::LazyHistogram;
+use crate::registry::{LazyCounter, LazyGauge, LazyHistogram};
 
 /// Microseconds since the journal epoch of the most recent seal, plus
 /// one so that zero means "never sealed".
 static LAST_SEAL_US: AtomicU64 = AtomicU64::new(0);
 
 static AUDIT_LAG_NS: LazyHistogram = LazyHistogram::new("audit_lag_ns");
+
+/// Epochs the streaming audit has completed (batch audits count one).
+static AUDIT_EPOCHS: LazyCounter = LazyCounter::new("audit_epochs_total");
+
+/// Bytes of state the streaming audit carried across the most recent
+/// epoch boundary (interner + open payloads + OpMap + output bitmap).
+static AUDIT_CARRY_BYTES: LazyGauge = LazyGauge::new("audit_carry_bytes");
 
 /// Marks that a batch of trace data was just sealed (collector
 /// drained, or a trace-store segment run finished). Gated on
@@ -52,6 +59,19 @@ pub fn record_verdict() -> Option<Duration> {
     Some(lag)
 }
 
+/// Marks that the streaming audit finished one epoch: bumps the
+/// `audit_epochs_total` counter, publishes the carried-state size in
+/// the `audit_carry_bytes` gauge (both always on, per the overhead
+/// contract), and — when telemetry is enabled — records the
+/// seal→epoch-verdict lag via [`record_verdict`], returning it.
+pub fn mark_epoch(carry_bytes: u64) -> Option<Duration> {
+    AUDIT_EPOCHS.add(1);
+    AUDIT_CARRY_BYTES
+        .get()
+        .set(i64::try_from(carry_bytes).unwrap_or(i64::MAX));
+    record_verdict()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +86,14 @@ mod tests {
         assert!(AUDIT_LAG_NS.snapshot().count > before);
         crate::set_enabled(false);
         assert!(record_verdict().is_none());
+    }
+
+    #[test]
+    fn epoch_marks_count_even_when_disabled() {
+        crate::set_enabled(false);
+        let before = AUDIT_EPOCHS.value();
+        assert!(mark_epoch(4096).is_none());
+        assert_eq!(AUDIT_EPOCHS.value(), before + 1);
+        assert_eq!(AUDIT_CARRY_BYTES.value(), 4096);
     }
 }

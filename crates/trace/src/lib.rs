@@ -36,6 +36,8 @@ pub mod store;
 
 pub use collector::{Collector, COLLECTOR_STRIPES};
 pub use event::{HttpRequest, HttpResponse};
-pub use record::{BalanceError, BalancedTrace, DenseEvent, Event, RidInterner, Trace};
+pub use record::{
+    BalanceError, BalancedTrace, DenseEvent, Event, RidInterner, StreamingBalance, Trace,
+};
 pub use source::{TraceReadError, TraceSource, TraceStoreError};
 pub use store::{TraceStoreReader, TraceStoreSummary, TraceStoreWriter, DEFAULT_SEGMENT_BYTES};

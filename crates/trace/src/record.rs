@@ -438,6 +438,24 @@ pub struct RidInterner {
 }
 
 impl RidInterner {
+    /// An empty interner behind a fresh [`Arc`]. The streaming audit
+    /// uses it as a placeholder: while [`StreamingBalance`] grows the
+    /// canonical interner in place, the audit-side structures hold this
+    /// stand-in instead of a second strong reference.
+    pub fn empty() -> Arc<RidInterner> {
+        Arc::new(RidInterner {
+            rids: Vec::new(),
+            index: HashMap::new(),
+            dense_events: Vec::new(),
+        })
+    }
+
+    /// Rough resident size in bytes (flat arrays plus hash-table
+    /// entries), for the streaming audit's carry accounting.
+    pub fn estimated_bytes(&self) -> usize {
+        self.rids.len() * (8 + 8 + 4 + 16) + self.dense_events.len() * 4
+    }
+
     /// Number of interned requests (`X`).
     pub fn num_requests(&self) -> usize {
         self.rids.len()
@@ -477,6 +495,130 @@ impl RidInterner {
                 DenseEvent::Response(packed >> 1)
             }
         })
+    }
+}
+
+/// Incremental §3 balance validation over an *unbounded* event stream —
+/// the streaming-epoch audit's replacement for materializing a
+/// [`BalancedTrace`].
+///
+/// Unlike the balanced-trace builder, no event payload is retained: the
+/// validator grows only the [`RidInterner`] (dense ids, forward/reverse
+/// tables, the dense event stream) and one `responded` bit per request.
+/// The checks and their order are exactly the builder's, so the first
+/// [`BalanceError`] reported on any stream equals the one
+/// [`Trace::ensure_balanced`] reports on the materialized trace, and
+/// [`StreamingBalance::first_unresponded`] at end-of-stream names the
+/// same arrival-ordered rid as the builder's finish.
+///
+/// The interner lives behind an [`Arc`] so audit-side structures can
+/// share it between ingest bursts, but [`StreamingBalance::push`]
+/// mutates it through [`Arc::get_mut`] — the caller must drop (or swap
+/// to [`RidInterner::empty`]) every other strong reference before the
+/// next push, and `push` panics otherwise.
+#[derive(Debug)]
+pub struct StreamingBalance {
+    interner: Arc<RidInterner>,
+    responded: Vec<bool>,
+    events_seen: usize,
+}
+
+impl Default for StreamingBalance {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingBalance {
+    /// Creates a validator with an empty interner.
+    pub fn new() -> Self {
+        StreamingBalance {
+            interner: RidInterner::empty(),
+            responded: Vec::new(),
+            events_seen: 0,
+        }
+    }
+
+    /// Feeds the next event, returning its dense form or the first
+    /// balance violation. After an `Err` the trace is rejected; the
+    /// stream must not be pushed further.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interner [`Arc`] is not exclusively held (see the
+    /// type docs).
+    pub fn push(&mut self, event: &Event) -> Result<DenseEvent, BalanceError> {
+        let interner = Arc::get_mut(&mut self.interner)
+            .expect("streaming interner must be exclusively held during ingest");
+        self.events_seen += 1;
+        match event {
+            Event::Request(rid, _) => {
+                let idx = interner.rids.len() as u32;
+                match interner.index.entry(*rid) {
+                    Entry::Occupied(_) => return Err(BalanceError::DuplicateRequestId(*rid)),
+                    Entry::Vacant(slot) => {
+                        slot.insert(idx);
+                    }
+                }
+                interner.rids.push(*rid);
+                interner.dense_events.push(idx << 1);
+                self.responded.push(false);
+                Ok(DenseEvent::Request(idx))
+            }
+            Event::Response(rid, resp) => {
+                let Some(&idx) = interner.index.get(rid) else {
+                    return Err(BalanceError::ResponseWithoutRequest(*rid));
+                };
+                if self.responded[idx as usize] {
+                    return Err(BalanceError::DuplicateResponse(*rid));
+                }
+                if resp.rid_label != *rid {
+                    return Err(BalanceError::MislabeledResponse {
+                        expected: *rid,
+                        got: resp.rid_label,
+                    });
+                }
+                self.responded[idx as usize] = true;
+                interner.dense_events.push((idx << 1) | 1);
+                Ok(DenseEvent::Response(idx))
+            }
+        }
+    }
+
+    /// Events pushed so far.
+    pub fn events_seen(&self) -> usize {
+        self.events_seen
+    }
+
+    /// Requests interned so far.
+    pub fn num_requests(&self) -> usize {
+        self.interner.num_requests()
+    }
+
+    /// The canonical interner. Clones handed out must be dropped or
+    /// swapped away before the next [`StreamingBalance::push`].
+    pub fn interner(&self) -> &Arc<RidInterner> {
+        &self.interner
+    }
+
+    /// Whether the request at dense index `idx` has its response.
+    pub fn responded(&self, idx: u32) -> bool {
+        self.responded[idx as usize]
+    }
+
+    /// At end-of-stream: the first request in arrival order without a
+    /// response — the exact [`BalanceError::RequestWithoutResponse`]
+    /// diagnostic the batch balance check reports.
+    pub fn first_unresponded(&self) -> Option<RequestId> {
+        self.responded
+            .iter()
+            .position(|&r| !r)
+            .map(|k| self.interner.rids[k])
+    }
+
+    /// Rough resident size of the validator state in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        self.interner.estimated_bytes() + self.responded.len()
     }
 }
 
@@ -631,5 +773,78 @@ mod tests {
         assert_eq!(b.response(RequestId(5)).body, "ok");
         assert_eq!(b.request_position(RequestId(5)), 0);
         assert_eq!(b.response_position(RequestId(5)), 1);
+    }
+
+    /// Feeds a trace through [`StreamingBalance`] the way the streaming
+    /// audit does and reports the batch-shaped verdict.
+    fn streaming_verdict(t: &Trace) -> Result<Vec<DenseEvent>, BalanceError> {
+        let mut sb = StreamingBalance::new();
+        let mut dense = Vec::new();
+        for event in &t.events {
+            dense.push(sb.push(event)?);
+        }
+        if let Some(rid) = sb.first_unresponded() {
+            return Err(BalanceError::RequestWithoutResponse(rid));
+        }
+        Ok(dense)
+    }
+
+    #[test]
+    fn streaming_balance_matches_batch_on_all_error_shapes() {
+        let cases: Vec<Trace> = vec![
+            Trace {
+                events: vec![req(1), resp(1), req(2), resp(2)],
+            },
+            Trace {
+                events: vec![req(1), req(2), resp(2), resp(1)],
+            },
+            Trace {
+                events: vec![req(1), req(1)],
+            },
+            Trace {
+                events: vec![resp(1), req(1)],
+            },
+            Trace {
+                events: vec![req(1), resp(1), resp(1)],
+            },
+            Trace {
+                events: vec![req(1), req(2), resp(1)],
+            },
+            Trace {
+                events: vec![
+                    req(1),
+                    Event::Response(RequestId(1), HttpResponse::ok(RequestId(9), "ok")),
+                ],
+            },
+            Trace::new(),
+        ];
+        for t in &cases {
+            match (t.ensure_balanced(), streaming_verdict(t)) {
+                (Ok(b), Ok(dense)) => {
+                    assert_eq!(b.intern_rids().dense_events().collect::<Vec<_>>(), dense);
+                }
+                (Err(batch), Err(streamed)) => assert_eq!(batch, streamed),
+                (batch, streamed) => panic!("verdicts diverge: {batch:?} vs {streamed:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_balance_interner_grows_in_place() {
+        let mut sb = StreamingBalance::new();
+        sb.push(&req(5)).unwrap();
+        sb.push(&req(2)).unwrap();
+        sb.push(&resp(2)).unwrap();
+        assert_eq!(sb.num_requests(), 2);
+        assert_eq!(sb.events_seen(), 3);
+        assert!(sb.responded(1));
+        assert!(!sb.responded(0));
+        assert_eq!(sb.first_unresponded(), Some(RequestId(5)));
+        let interner = Arc::clone(sb.interner());
+        assert_eq!(interner.index_of(RequestId(5)), Some(0));
+        drop(interner); // Restore exclusivity before the next push.
+        sb.push(&resp(5)).unwrap();
+        assert_eq!(sb.first_unresponded(), None);
+        assert!(sb.estimated_bytes() > 0);
     }
 }

@@ -127,6 +127,28 @@ pub trait TraceSource {
     /// balance violation makes further decoding pointless).
     fn stream_events(&self, sink: &mut dyn FnMut(Event) -> bool) -> Result<(), TraceStoreError>;
 
+    /// Streams events in trace order starting at event position
+    /// `start` (0-based). The epoch-bounded variant the streaming
+    /// audit pulls: each epoch resumes where the previous one stopped,
+    /// and the sink stops the stream once the epoch budget fills.
+    ///
+    /// The default implementation replays from the top and discards
+    /// the prefix; sources with random access (an in-memory event
+    /// list, a segment store with per-segment event counts) override
+    /// it to skip the prefix without decoding it.
+    fn stream_events_from(
+        &self,
+        start: usize,
+        sink: &mut dyn FnMut(Event) -> bool,
+    ) -> Result<(), TraceStoreError> {
+        let mut pos = 0usize;
+        self.stream_events(&mut |event| {
+            let keep = if pos < start { true } else { sink(event) };
+            pos += 1;
+            keep
+        })
+    }
+
     /// If this source already holds a materialized balanced replay,
     /// exposes it so consumers can borrow instead of rebuilding.
     fn as_balanced(&self) -> Option<&BalancedTrace> {
@@ -140,7 +162,15 @@ impl TraceSource for Trace {
     }
 
     fn stream_events(&self, sink: &mut dyn FnMut(Event) -> bool) -> Result<(), TraceStoreError> {
-        for event in &self.events {
+        self.stream_events_from(0, sink)
+    }
+
+    fn stream_events_from(
+        &self,
+        start: usize,
+        sink: &mut dyn FnMut(Event) -> bool,
+    ) -> Result<(), TraceStoreError> {
+        for event in &self.events[start.min(self.events.len())..] {
             if !sink(event.clone()) {
                 break;
             }
@@ -156,6 +186,14 @@ impl TraceSource for BalancedTrace {
 
     fn stream_events(&self, sink: &mut dyn FnMut(Event) -> bool) -> Result<(), TraceStoreError> {
         self.as_trace().stream_events(sink)
+    }
+
+    fn stream_events_from(
+        &self,
+        start: usize,
+        sink: &mut dyn FnMut(Event) -> bool,
+    ) -> Result<(), TraceStoreError> {
+        self.as_trace().stream_events_from(start, sink)
     }
 
     fn as_balanced(&self) -> Option<&BalancedTrace> {
@@ -251,6 +289,36 @@ mod tests {
             BalancedTrace::from_source(&trace).unwrap_err(),
             TraceReadError::Balance(BalanceError::ResponseWithoutRequest(rid))
         );
+    }
+
+    #[test]
+    fn stream_events_from_skips_prefix() {
+        let mut events = Vec::new();
+        events.extend(pair(1));
+        events.extend(pair(2));
+        events.extend(pair(3));
+        let trace = Trace {
+            events: events.clone(),
+        };
+        for start in 0..=events.len() + 1 {
+            let mut seen = Vec::new();
+            trace
+                .stream_events_from(start, &mut |e| {
+                    seen.push(e);
+                    true
+                })
+                .unwrap();
+            assert_eq!(seen, events[start.min(events.len())..]);
+        }
+        // The sink's stop signal still works mid-stream.
+        let mut taken = Vec::new();
+        trace
+            .stream_events_from(2, &mut |e| {
+                taken.push(e);
+                taken.len() < 2
+            })
+            .unwrap();
+        assert_eq!(taken, events[2..4]);
     }
 
     #[test]

@@ -185,6 +185,10 @@ impl TraceStoreWriter {
         SEAL_TOTAL.inc();
         EVENTS_TOTAL.add(self.pending.len() as u64);
         BYTES_TOTAL.add(blob.len() as u64);
+        // Every sealed segment is an epoch boundary the streaming
+        // audit can pick up, so the audit-lag clock restarts here —
+        // not only at finish().
+        orochi_obs::lag::mark_sealed();
         self.seq += 1;
         self.events += self.pending.len() as u64;
         self.segment_bytes += blob.len() as u64;
@@ -381,6 +385,40 @@ impl TraceSource for TraceStoreReader {
         }
         Ok(())
     }
+
+    fn stream_events_from(
+        &self,
+        start: usize,
+        sink: &mut dyn FnMut(Event) -> bool,
+    ) -> Result<(), TraceStoreError> {
+        let start = start as u64;
+        let mut pos = 0u64;
+        for (path, expected) in &self.segments {
+            // Whole segments before the start position are skipped
+            // without reading them — the header event counts recorded
+            // at open time are enough to locate the resume point.
+            if pos + expected <= start {
+                pos += expected;
+                continue;
+            }
+            let label = path.display().to_string();
+            let bytes = fs::read(path).map_err(|e| TraceStoreError::io(label.clone(), &e))?;
+            let events = decode_segment(&bytes, &label)?;
+            if events.len() as u64 != *expected {
+                return Err(TraceStoreError::corrupt(
+                    label,
+                    "payload event count disagrees with header",
+                ));
+            }
+            for event in events {
+                if pos >= start && !sink(event) {
+                    return Ok(());
+                }
+                pos += 1;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -433,6 +471,37 @@ mod tests {
             })
             .unwrap();
         assert_eq!(replayed, trace.events);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stream_events_from_matches_slice_across_segments() {
+        let dir = temp_dir("from");
+        let trace = sample_trace(40);
+        let mut writer = TraceStoreWriter::create(&dir, 256).unwrap();
+        writer.append_trace(&trace).unwrap();
+        let summary = writer.finish().unwrap();
+        assert!(summary.segments > 2, "need several segments to skip");
+        let reader = TraceStoreReader::open(&dir).unwrap();
+        for start in [0usize, 1, 7, 39, 79, 80, 200] {
+            let mut seen = Vec::new();
+            reader
+                .stream_events_from(start, &mut |e| {
+                    seen.push(e);
+                    true
+                })
+                .unwrap();
+            assert_eq!(seen, trace.events[start.min(trace.events.len())..]);
+        }
+        // Early stop inside a resumed segment.
+        let mut taken = 0;
+        reader
+            .stream_events_from(10, &mut |_| {
+                taken += 1;
+                taken < 3
+            })
+            .unwrap();
+        assert_eq!(taken, 3);
         fs::remove_dir_all(&dir).unwrap();
     }
 
