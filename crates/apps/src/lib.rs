@@ -28,6 +28,7 @@
 pub mod forum;
 pub mod helpers;
 pub mod hotcrp;
+pub mod mixed;
 pub mod shop;
 pub mod wiki;
 

@@ -1,0 +1,76 @@
+//! The mixed multi-tenant application: all four apps behind one
+//! front-end.
+//!
+//! The adversarial campaign (and any multi-tenant experiment) wants a
+//! single server instance running wiki, forum, hotcrp, and shop at
+//! once. Each tenant's scripts are re-rooted under `/<tenant>/…` (the
+//! apps share colliding paths like `/login.php`), their schemas are
+//! concatenated (table names are disjoint by construction, which a
+//! unit test pins), and their KV keyspaces are disjoint prefixes
+//! (`page:`, `inv:`, `frag:`). Session state separates per tenant
+//! because the mixed *workload* generator prefixes every session cookie
+//! value with the tenant name, and cookie values become register object
+//! names (`reg:sess:<value>`) without ever being compared to request
+//! fields by any script.
+
+use crate::AppDefinition;
+
+/// The tenants, in route order. Kept in one place so the mixed
+/// workload generator and the app agree on the prefixes.
+pub const TENANTS: [&str; 4] = ["wiki", "forum", "hotcrp", "shop"];
+
+/// Builds the combined application: every tenant's scripts re-rooted
+/// under `/<tenant>`, every schema applied to the one shared `db:main`.
+pub fn app() -> AppDefinition {
+    let mut scripts = Vec::new();
+    let mut schema = Vec::new();
+    for tenant in crate::all_apps() {
+        for (path, src) in tenant.scripts {
+            scripts.push((format!("/{}{}", tenant.name, path), src));
+        }
+        schema.extend(tenant.schema);
+    }
+    AppDefinition {
+        name: "mixed",
+        scripts,
+        schema,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn tenant_names_match_all_apps() {
+        let names: Vec<&str> = crate::all_apps().iter().map(|a| a.name).collect();
+        assert_eq!(names, TENANTS);
+    }
+
+    #[test]
+    fn mixed_compiles_with_rerooted_paths() {
+        let mixed = app();
+        let scripts = mixed.compile().unwrap_or_else(|e| panic!("mixed: {e}"));
+        assert!(scripts.contains_key("/wiki/wiki.php"));
+        assert!(scripts.contains_key("/forum/topic.php"));
+        assert!(scripts.contains_key("/hotcrp/paper.php"));
+        assert!(scripts.contains_key("/shop/checkout.php"));
+        // The colliding login endpoints stay distinct per tenant.
+        for t in TENANTS {
+            assert!(scripts.contains_key(&format!("/{t}/login.php")), "{t}");
+        }
+    }
+
+    #[test]
+    fn schemas_concatenate_without_collisions() {
+        let db = app().initial_db();
+        let tables = db.table_names();
+        let unique: HashSet<&String> = tables.iter().collect();
+        assert_eq!(unique.len(), tables.len(), "table names must be disjoint");
+        // One table per tenant as a spot check.
+        for t in ["pages", "topics", "papers", "products"] {
+            assert!(tables.iter().any(|n| n == t), "missing {t}");
+        }
+    }
+}

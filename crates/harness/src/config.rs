@@ -26,6 +26,9 @@
 //! | `epoch_events` | `OROCHI_EPOCH_EVENTS` | `--epoch-events` | 0 (batch) |
 //! | `obs` | `OROCHI_OBS` | `--obs` | off |
 //! | `obs_out` | `OROCHI_OBS_OUT` | `--obs-out` | no export |
+//! | `campaigns` | `OROCHI_CAMPAIGNS` | `--campaigns` | bin-sized |
+//! | `campaign_k` | `OROCHI_CAMPAIGN_K` | `--campaign-k` | 0 (cycle 1–3) |
+//! | `campaign_seed` | `OROCHI_CAMPAIGN_SEED` | `--campaign-seed` | 0xC0FFEE |
 
 use crate::driver::{
     resolve_audit_threads, resolve_serve_threads, vm_engine_from_env, AuditOptions, ServeOptions,
@@ -107,6 +110,13 @@ pub struct Config {
     /// Export prefix for telemetry artifacts: `<prefix>.metrics.json`,
     /// `<prefix>.prom`, `<prefix>.trace.json`; `None` = no export.
     pub obs_out: Option<PathBuf>,
+    /// Number of mutated campaign runs for the adversarial campaign
+    /// bench; `0` means the binary picks its own smoke/full sizing.
+    pub campaigns: usize,
+    /// Mutation sites per campaign; `0` cycles k through 1–3.
+    pub campaign_k: usize,
+    /// Base seed for the campaign's mutation plans.
+    pub campaign_seed: u64,
     /// Server randomness seed.
     pub seed: u64,
 }
@@ -126,8 +136,18 @@ impl Default for Config {
             epoch_events: 0,
             obs: false,
             obs_out: None,
+            campaigns: 0,
+            campaign_k: 0,
+            campaign_seed: 0xC0FFEE,
             seed: 42,
         }
+    }
+}
+
+fn parse_u64_maybe_hex(v: &str) -> Option<u64> {
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse::<u64>().ok(),
     }
 }
 
@@ -184,6 +204,24 @@ impl Config {
             obs: matches!(std::env::var("OROCHI_OBS"),
                           Ok(v) if v == "1" || v.eq_ignore_ascii_case("true")),
             obs_out: env_nonempty("OROCHI_OBS_OUT").map(PathBuf::from),
+            campaigns: match env_nonempty("OROCHI_CAMPAIGNS") {
+                Some(v) => v.parse::<usize>().unwrap_or_else(|_| {
+                    panic!("OROCHI_CAMPAIGNS must be a campaign count, got {v:?}")
+                }),
+                None => defaults.campaigns,
+            },
+            campaign_k: match env_nonempty("OROCHI_CAMPAIGN_K") {
+                Some(v) => v.parse::<usize>().unwrap_or_else(|_| {
+                    panic!("OROCHI_CAMPAIGN_K must be a site count, got {v:?}")
+                }),
+                None => defaults.campaign_k,
+            },
+            campaign_seed: match env_nonempty("OROCHI_CAMPAIGN_SEED") {
+                Some(v) => parse_u64_maybe_hex(&v).unwrap_or_else(|| {
+                    panic!("OROCHI_CAMPAIGN_SEED must be a seed (decimal or 0x hex), got {v:?}")
+                }),
+                None => defaults.campaign_seed,
+            },
             seed: defaults.seed,
         }
     }
@@ -265,13 +303,32 @@ impl Config {
                 "--obs-out" => {
                     self.obs_out = Some(PathBuf::from(value_of("--obs-out")));
                 }
+                "--campaigns" => {
+                    let v = value_of("--campaigns");
+                    self.campaigns = v
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| panic!("{bin}: --campaigns needs a count"));
+                }
+                "--campaign-k" => {
+                    let v = value_of("--campaign-k");
+                    self.campaign_k = v
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| panic!("{bin}: --campaign-k needs a site count"));
+                }
+                "--campaign-seed" => {
+                    let v = value_of("--campaign-seed");
+                    self.campaign_seed = parse_u64_maybe_hex(&v).unwrap_or_else(|| {
+                        panic!("{bin}: --campaign-seed needs a seed (decimal or 0x hex)")
+                    });
+                }
                 other => panic!(
                     "{bin}: unknown argument {other:?} \
                      (supported: --skew <theta[,session_len]>, --session-len <len>, \
                      --serve-threads <n|auto>, --queue-depth <n>, \
                      --audit-threads <n|auto>, --engine <register|stack>, --full, \
                      --bench-json <path>, --store-dir <path>, --segment-bytes <n>, \
-                     --epoch-events <n>, --obs, --obs-out <prefix>)"
+                     --epoch-events <n>, --obs, --obs-out <prefix>, \
+                     --campaigns <n>, --campaign-k <k>, --campaign-seed <seed>)"
                 ),
             }
         }
@@ -312,6 +369,9 @@ impl Config {
             Some(prefix) => std::env::set_var("OROCHI_OBS_OUT", prefix),
             None => std::env::remove_var("OROCHI_OBS_OUT"),
         }
+        std::env::set_var("OROCHI_CAMPAIGNS", self.campaigns.to_string());
+        std::env::set_var("OROCHI_CAMPAIGN_K", self.campaign_k.to_string());
+        std::env::set_var("OROCHI_CAMPAIGN_SEED", self.campaign_seed.to_string());
         // The telemetry layer caches its enabled flag; push the decision
         // through so code that already resolved it observes this config.
         orochi_obs::set_enabled(obs_on);
@@ -478,6 +538,32 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn unknown_flags_panic() {
         Config::default().apply_cli("t", args(&["--frobnicate"]));
+    }
+
+    #[test]
+    fn campaign_knobs_parse() {
+        let c = Config::default();
+        assert_eq!(c.campaigns, 0, "bin picks its own sizing by default");
+        assert_eq!(c.campaign_k, 0, "k cycles 1-3 by default");
+        assert_eq!(c.campaign_seed, 0xC0FFEE);
+        let mut c = Config::default();
+        c.apply_cli(
+            "t",
+            args(&[
+                "--campaigns",
+                "500",
+                "--campaign-k",
+                "2",
+                "--campaign-seed",
+                "0xDEAD",
+            ]),
+        );
+        assert_eq!(c.campaigns, 500);
+        assert_eq!(c.campaign_k, 2);
+        assert_eq!(c.campaign_seed, 0xDEAD);
+        let mut c = Config::default();
+        c.apply_cli("t", args(&["--campaign-seed", "97"]));
+        assert_eq!(c.campaign_seed, 97, "decimal seeds parse too");
     }
 
     #[test]

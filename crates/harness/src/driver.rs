@@ -686,9 +686,6 @@ mod tests {
     #[test]
     fn serve_and_audit_matches_batch() {
         let work = tiny_wiki();
-        let served = serve(&work, &ServeOptions::default());
-        let batch = run_audit(&served.bundle, &work, true, true).unwrap();
-        drop(served);
         let dir = std::env::temp_dir().join(format!("orochi-serve-audit-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let sa = serve_and_audit(
@@ -702,6 +699,12 @@ mod tests {
         .unwrap_or_else(|r| panic!("streaming audit rejected: {r}"));
         assert!(sa.epochs > 1, "a 32-event budget must yield many epochs");
         assert_eq!(sa.store.events as usize, work.workload.len() * 2);
+        // The batch oracle must audit the *same* sealed store the
+        // streaming audit consumed: group structure depends on the
+        // serve interleaving (check-then-act branches shift control-
+        // flow digests), so a second serve is not a valid oracle.
+        let reader = TraceStoreReader::open(&dir).unwrap();
+        let batch = run_audit_cold(&reader, &work, &AuditOptions::default()).unwrap();
         assert_eq!(
             sa.run.outcome.stats.requests_reexecuted,
             batch.outcome.stats.requests_reexecuted
@@ -712,11 +715,14 @@ mod tests {
         );
         // The sealed store must also replay cold through the streaming
         // driver with a different epoch budget, to the same verdict.
-        let reader = TraceStoreReader::open(&dir).unwrap();
         let cold = run_audit_streaming(&reader, &work, &AuditOptions::default(), 7).unwrap();
         assert_eq!(
             cold.outcome.stats.requests_reexecuted,
             batch.outcome.stats.requests_reexecuted
+        );
+        assert_eq!(
+            cold.outcome.stats.groups_executed,
+            batch.outcome.stats.groups_executed
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -3,16 +3,19 @@
 
 use crate::driver::{
     run_audit, run_audit_cold, run_audit_streaming, run_audit_with, serve, serve_drained,
-    serve_open_loop, serve_open_loop_with, spill_bundle, AppWorkload, AuditOptions,
-    OpenLoopOptions, ServeOptions,
+    serve_open_loop, serve_open_loop_with, spill_bundle, vm_engine_from_env, AppWorkload,
+    AuditOptions, OpenLoopOptions, ServeOptions,
 };
+use crate::mutation::{MutationPlan, MutationSite};
 use crate::tamper;
-use orochi_accphp::VmEngine;
+use orochi_accphp::{AccPhpExecutor, VmEngine};
 use orochi_common::metrics::percentile;
+use orochi_core::audit::{audit, audit_parallel};
+use orochi_core::streaming::audit_streaming_source;
 use orochi_server::server::AuditBundle;
 use orochi_trace::{Event, TraceStoreReader};
-use orochi_workload::{forum, hotcrp, shop, skew, wiki};
-use std::collections::HashSet;
+use orochi_workload::{forum, hotcrp, mixed, shop, skew, wiki};
+use std::collections::{BTreeMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// Workload scale: the paper's full counts with `OROCHI_FULL=1`,
@@ -806,7 +809,7 @@ fn apply_shop_tamper(bundle: &mut AuditBundle, variant: &str) -> bool {
     match variant {
         "forged_cart_total" => tamper::forge_cart_total(&mut bundle.trace),
         "stale_inventory_read" => tamper::reorder_kv_read(&mut bundle.reports, "inv:"),
-        "replayed_kv_write" => tamper::replay_kv_write(&mut bundle.reports),
+        "replayed_kv_write" => tamper::replay_kv_write(&mut bundle.reports, "inv:"),
         other => panic!("unknown shop tamper {other:?}"),
     }
 }
@@ -1131,6 +1134,264 @@ pub fn print_streaming(rows: &[StreamingRow]) {
     }
 }
 
+/// Builds the mixed four-app workload at `scale`: all tenants behind
+/// one front-end (`orochi_apps::mixed`), requests interleaved by
+/// `orochi_workload::mixed`. The shared skew knob applies to every
+/// tenant.
+pub fn mixed_workload(scale: f64, seed: u64) -> AppWorkload {
+    let params = mixed::Params::scaled(scale).with_skew(&skew::from_env());
+    AppWorkload {
+        app: orochi_apps::mixed::app(),
+        workload: mixed::generate(&params, seed),
+        seed_sql: mixed::seed_sql(&params),
+    }
+}
+
+/// A mutant the campaign could not catch — or caught with diverging
+/// diagnostics. Everything needed to replay it is here verbatim.
+#[derive(Debug, Clone)]
+pub struct CampaignSurvivor {
+    /// The plan seed that produced the mutant.
+    pub seed: u64,
+    /// The sites the plan mutated.
+    pub sites: Vec<MutationSite>,
+    /// Verdict of the sequential batch audit (`accept` or the
+    /// rejection diagnostic).
+    pub batch_seq: String,
+    /// Verdict of the pooled batch audit.
+    pub batch_par: String,
+    /// Verdict of the pooled streaming audit.
+    pub streaming: String,
+}
+
+/// The adversarial campaign's results.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Requests in the honest audited window.
+    pub requests: u64,
+    /// Mutated runs attempted.
+    pub campaigns: usize,
+    /// Individual mutation sites applied across all runs.
+    pub sites: usize,
+    /// Mutated runs rejected with byte-identical diagnostics on every
+    /// arm.
+    pub caught: usize,
+    /// Per-operator application counts (deterministic order).
+    pub operators: BTreeMap<&'static str, usize>,
+    /// Mutants that escaped or produced diverging diagnostics.
+    pub survivors: Vec<CampaignSurvivor>,
+    /// The honest control accepted on every arm (batch cold 1/N and
+    /// streaming, through the trace store).
+    pub honest_ok: bool,
+    /// Worker threads for the pooled arms.
+    pub threads: usize,
+    /// Wall time of the mutate-and-audit loop. The loop is CPU-bound
+    /// in one process, so this is the report's CPU-second proxy for
+    /// the mutations-caught-per-CPU-second figure.
+    pub fuzz_wall: Duration,
+}
+
+impl CampaignReport {
+    /// Caught mutants / attempted mutants.
+    pub fn catch_rate(&self) -> f64 {
+        if self.campaigns == 0 {
+            return 1.0;
+        }
+        self.caught as f64 / self.campaigns as f64
+    }
+
+    /// Mutations caught per CPU-second of fuzzing (wall proxy).
+    pub fn caught_per_cpu_s(&self) -> f64 {
+        self.caught as f64 / self.fuzz_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The verdict of one audit arm as a comparable string.
+fn campaign_verdict<T>(run: &Result<T, orochi_core::Rejection>) -> String {
+    match run {
+        Ok(_) => "accept".to_string(),
+        Err(r) => format!("reject:{r}"),
+    }
+}
+
+/// Experiment E12: the adversarial campaign. Serves the mixed four-app
+/// workload once, spills it to a segmented trace store, and verifies
+/// the honest control accepts through every path (batch cold at 1 and
+/// `threads` workers, streaming at `threads`). Then, for `campaigns`
+/// seeded runs, clones the honest trace+reports, applies a
+/// [`MutationPlan`] of `k` operators on distinct objects (`k == 0`
+/// cycles 1..=3), and audits the mutant three ways — batch sequential,
+/// batch pooled, streaming pooled at `epoch_events` per epoch. A
+/// mutant counts as *caught* only if all three arms reject with
+/// byte-identical diagnostics; anything else lands in `survivors`
+/// verbatim (seed, operator, site) so an escape is a reproducible
+/// one-liner. The experiment records, it does not panic: the CI guard
+/// on the `campaign` bench row enforces `catch_rate == 1.0`.
+///
+/// # Panics
+///
+/// Panics only on harness misuse: a plan that finds no site to mutate
+/// (the workload is too small) or an honest serve that cannot spill.
+pub fn campaign(
+    scale: f64,
+    seed: u64,
+    campaigns: usize,
+    k: usize,
+    threads: usize,
+    epoch_events: usize,
+) -> CampaignReport {
+    let work = mixed_workload(scale, seed);
+    let threads = threads.max(1);
+    let served = serve(&work, &ServeOptions::default());
+    let requests = served.requests;
+    let honest_trace = served.bundle.trace.clone();
+    let honest_reports = served.bundle.reports.clone();
+
+    // Honest control through the trace store: spill once, audit batch
+    // cold at both thread counts and streaming; all must accept and
+    // agree on the re-execution counters.
+    let dir = std::env::temp_dir().join(format!("orochi-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    spill_bundle(&served.bundle, &dir, 64 * 1024).expect("spill campaign control");
+    drop(served);
+    let reader = TraceStoreReader::open(&dir).expect("reopen campaign store");
+    let seq_opts = AuditOptions {
+        threads: 1,
+        ..Default::default()
+    };
+    let par_opts = AuditOptions {
+        threads,
+        ..Default::default()
+    };
+    let control = [
+        run_audit_cold(&reader, &work, &seq_opts),
+        run_audit_cold(&reader, &work, &par_opts),
+        run_audit_streaming(&reader, &work, &par_opts, epoch_events),
+    ];
+    let honest_ok = control.iter().all(|r| r.is_ok())
+        && control
+            .iter()
+            .flatten()
+            .map(|r| r.outcome.stats.requests_reexecuted)
+            .collect::<HashSet<_>>()
+            .len()
+            == 1;
+    drop(reader);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The mutation loop shares one compiled script table; executors
+    // are rebuilt per arm (they carry per-audit caches and stats).
+    let scripts = work.app.compile().expect("application compiles");
+    let engine = vm_engine_from_env();
+    let executors = |n: usize| -> Vec<AccPhpExecutor> {
+        (0..n)
+            .map(|_| {
+                let mut e = AccPhpExecutor::new(scripts.clone());
+                e.engine = engine;
+                e
+            })
+            .collect()
+    };
+    let mut config = work.audit_config();
+    config.query_dedup = true;
+
+    let mut caught = 0usize;
+    let mut sites_applied = 0usize;
+    let mut operators: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut survivors = Vec::new();
+    let t0 = Instant::now();
+    for c in 0..campaigns {
+        let plan_seed = seed
+            .wrapping_add(c as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let plan_k = if k == 0 { 1 + c % 3 } else { k };
+        let mut trace = honest_trace.clone();
+        let mut reports = honest_reports.clone();
+        let plan = MutationPlan {
+            seed: plan_seed,
+            k: plan_k,
+        };
+        let sites = plan.apply(&mut trace, &mut reports);
+        assert!(
+            !sites.is_empty(),
+            "campaign {c}: no mutable site at scale {scale} — grow the workload"
+        );
+        sites_applied += sites.len();
+        for s in &sites {
+            *operators.entry(s.operator).or_insert(0) += 1;
+        }
+        let batch_seq = campaign_verdict(&audit(&trace, &reports, &mut executors(1)[0], &config));
+        let batch_par = campaign_verdict(&audit_parallel(
+            &trace,
+            &reports,
+            &mut executors(threads),
+            &config,
+        ));
+        let streaming = campaign_verdict(&audit_streaming_source(
+            &trace,
+            &reports,
+            &mut executors(threads),
+            &config,
+            epoch_events,
+        ));
+        let rejected = batch_seq.starts_with("reject:");
+        if rejected && batch_seq == batch_par && batch_seq == streaming {
+            caught += 1;
+        } else {
+            survivors.push(CampaignSurvivor {
+                seed: plan_seed,
+                sites,
+                batch_seq,
+                batch_par,
+                streaming,
+            });
+        }
+    }
+    let fuzz_wall = t0.elapsed();
+
+    CampaignReport {
+        requests,
+        campaigns,
+        sites: sites_applied,
+        caught,
+        operators,
+        survivors,
+        honest_ok,
+        threads,
+        fuzz_wall,
+    }
+}
+
+/// Renders the campaign report, any survivor verbatim.
+pub fn print_campaign(r: &CampaignReport) {
+    println!(
+        "campaigns={} sites={} caught={} catch_rate={:.3} honest_ok={} threads={} \
+         caught/cpu-s={:.1}",
+        r.campaigns,
+        r.sites,
+        r.caught,
+        r.catch_rate(),
+        r.honest_ok,
+        r.threads,
+        r.caught_per_cpu_s()
+    );
+    let ops: Vec<String> = r
+        .operators
+        .iter()
+        .map(|(name, n)| format!("{name}:{n}"))
+        .collect();
+    println!("operators [{}]: {}", r.operators.len(), ops.join(" "));
+    for s in &r.survivors {
+        println!(
+            "SURVIVOR seed={:#x} batch_seq={} batch_par={} streaming={}",
+            s.seed, s.batch_seq, s.batch_par, s.streaming
+        );
+        for site in &s.sites {
+            println!("  {site}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1226,6 +1487,31 @@ mod tests {
             assert!(!r.accepted, "{} must reject", r.variant);
             assert!(!r.diagnostic.is_empty());
         }
+    }
+
+    #[test]
+    fn campaign_catches_every_mutant_at_test_scale() {
+        let r = campaign(0.01, 7, 6, 0, 2, 64);
+        assert!(r.honest_ok, "honest mixed control must accept on every arm");
+        assert_eq!(r.campaigns, 6);
+        assert_eq!(r.caught, 6, "survivors: {:?}", r.survivors);
+        assert!(r.sites >= 6, "k cycles 1..=3, so sites >= campaigns");
+        assert!(r.survivors.is_empty());
+        assert!(!r.operators.is_empty());
+        assert!((r.catch_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn mixed_workload_serves_all_tenants() {
+        let work = mixed_workload(0.01, 3);
+        assert_eq!(work.app.name, "mixed");
+        for t in ["/wiki/", "/forum/", "/hotcrp/", "/shop/"] {
+            assert!(
+                work.workload.requests.iter().any(|r| r.path.starts_with(t)),
+                "missing tenant {t}"
+            );
+        }
+        assert!(!work.seed_sql.is_empty(), "forum+shop seed SQL expected");
     }
 
     #[test]

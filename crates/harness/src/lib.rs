@@ -18,6 +18,7 @@
 pub mod config;
 pub mod driver;
 pub mod experiments;
+pub mod mutation;
 pub mod obs;
 pub mod tamper;
 

@@ -1,40 +1,42 @@
-//! Report/trace tampering helpers for the soundness batteries and the
-//! adversarial experiments.
+//! Deterministic single-site tampers for the soundness batteries.
 //!
-//! Each helper mutates an honest bundle the way a cheating executor
-//! would and returns whether it found a site to tamper with (callers
-//! assert `true`, so a workload that stops producing the targeted
-//! structure fails loudly instead of silently testing nothing). The
-//! KV helpers target the versioned-KV audit path (§4.5, §A.7): reads
-//! are fed from `kv.get(k, s)`, so reordering or dropping log entries
-//! changes what re-execution observes — an honest trace then cannot be
-//! reproduced and the audit must reject.
+//! These are the hand-written ancestors of the generative operator
+//! library in [`crate::mutation`], kept as thin front-ends over the
+//! same site primitives: each helper addresses one *specific* site (a
+//! key prefix plus a last-match rule) instead of drawing one from a
+//! seed, so `tests/soundness.rs` and the per-app tamper batteries can
+//! pin exact sites and exact diagnostics. Each helper returns whether
+//! it found a site (callers assert `true`, so a workload that stops
+//! producing the targeted structure fails loudly instead of silently
+//! testing nothing). The KV helpers target the versioned-KV audit path
+//! (§4.5, §A.7): reads are fed from `kv.get(k, s)`, so reordering or
+//! dropping log entries changes what re-execution observes — an honest
+//! trace then cannot be reproduced and the audit must reject.
 
+use crate::mutation::{
+    apply_drop, apply_duplicate, apply_move_read, kv_set_positions, stale_read_pairs,
+};
 use orochi_core::reports::Reports;
-use orochi_state::object::{ObjectName, OpContents};
+use orochi_state::object::ObjectName;
 use orochi_state::oplog::OpLog;
 use orochi_trace::{Event, Trace};
 
-/// The index of the APC key-value log, if any.
-fn kv_log_index(reports: &Reports) -> Option<usize> {
-    reports.op_logs.index_of(&ObjectName("kv:apc".into()))
+/// The APC key-value log, if any.
+fn kv_log(reports: &mut Reports) -> Option<&mut OpLog> {
+    let i = reports.op_logs.index_of(&ObjectName::kv("apc"))?;
+    reports.op_logs.log_mut(i)
 }
 
 /// Drops the last `KvSet` whose key starts with `key_prefix` from the
 /// KV log (a write the server performed but "forgot" to report).
 pub fn drop_kv_write(reports: &mut Reports, key_prefix: &str) -> bool {
-    let Some(i) = kv_log_index(reports) else {
+    let Some(log) = kv_log(reports) else {
         return false;
     };
-    let log = reports.op_logs.log_mut(i).expect("index from lookup");
-    let mut entries = log.entries().to_vec();
-    let Some(pos) = entries.iter().rposition(
-        |e| matches!(&e.contents, OpContents::KvSet { key, .. } if key.starts_with(key_prefix)),
-    ) else {
+    let Some(&pos) = kv_set_positions(log, key_prefix).last() else {
         return false;
     };
-    entries.remove(pos);
-    *log = OpLog::from_entries(entries);
+    apply_drop(log, pos);
     true
 }
 
@@ -42,69 +44,31 @@ pub fn drop_kv_write(reports: &mut Reports, key_prefix: &str) -> bool {
 /// values and a read observing the newer one, then moves the read to
 /// just after the older write. Re-execution feeds the read the older
 /// version, so the response the server actually delivered can no
-/// longer be reproduced.
+/// longer be reproduced. Refuses (returns `false`) when every
+/// reorderable pair holds equal values — moving such a read changes
+/// nothing observable.
 pub fn reorder_kv_read(reports: &mut Reports, key_prefix: &str) -> bool {
-    let Some(i) = kv_log_index(reports) else {
+    let Some(log) = kv_log(reports) else {
         return false;
     };
-    let log = reports.op_logs.log_mut(i).expect("index from lookup");
-    let entries = log.entries().to_vec();
-    // For each read, scan backwards: the visible write, then an earlier
-    // write to the same key holding a different value.
-    let mut found: Option<(usize, usize)> = None; // (read idx, older write idx)
-    'scan: for (g, e) in entries.iter().enumerate() {
-        let OpContents::KvGet { key } = &e.contents else {
-            continue;
-        };
-        if !key.starts_with(key_prefix) {
-            continue;
-        }
-        let mut visible: Option<&Option<Vec<u8>>> = None;
-        for (w, we) in entries.iter().enumerate().take(g).rev() {
-            let OpContents::KvSet { key: wk, value } = &we.contents else {
-                continue;
-            };
-            if wk != key {
-                continue;
-            }
-            match visible {
-                None => visible = Some(value),
-                Some(v) => {
-                    if v != value {
-                        found = Some((g, w));
-                        break 'scan;
-                    }
-                }
-            }
-        }
-    }
-    let Some((g, w)) = found else {
+    let Some(&(read, write)) = stale_read_pairs(log, key_prefix).first() else {
         return false;
     };
-    let mut entries = entries;
-    let read = entries.remove(g);
-    entries.insert(w + 1, read);
-    *log = OpLog::from_entries(entries);
+    apply_move_read(log, read, write);
     true
 }
 
-/// Replays a KV write: duplicates the last `KvSet` in the KV log, as if
-/// the server's recorder reported the same operation twice.
-pub fn replay_kv_write(reports: &mut Reports) -> bool {
-    let Some(i) = kv_log_index(reports) else {
+/// Replays a KV write: duplicates the last `KvSet` whose key starts
+/// with `key_prefix`, as if the server's recorder reported the same
+/// operation twice.
+pub fn replay_kv_write(reports: &mut Reports, key_prefix: &str) -> bool {
+    let Some(log) = kv_log(reports) else {
         return false;
     };
-    let log = reports.op_logs.log_mut(i).expect("index from lookup");
-    let mut entries = log.entries().to_vec();
-    let Some(pos) = entries
-        .iter()
-        .rposition(|e| matches!(&e.contents, OpContents::KvSet { .. }))
-    else {
+    let Some(&pos) = kv_set_positions(log, key_prefix).last() else {
         return false;
     };
-    let dup = entries[pos].clone();
-    entries.insert(pos + 1, dup);
-    *log = OpLog::from_entries(entries);
+    apply_duplicate(log, pos);
     true
 }
 
@@ -143,6 +107,7 @@ pub fn forge_cart_total(trace: &mut Trace) -> bool {
 mod tests {
     use super::*;
     use orochi_common::ids::{OpNum, RequestId, SeqNum};
+    use orochi_state::object::OpContents;
     use orochi_state::oplog::{OpLogEntry, OpLogs};
     use orochi_trace::{HttpRequest, HttpResponse};
 
@@ -218,9 +183,26 @@ mod tests {
         ]);
         assert!(drop_kv_write(&mut reports, "inv:"));
         assert_eq!(reports.op_logs.log(0).unwrap().len(), 1);
-        assert!(replay_kv_write(&mut reports));
+        assert!(replay_kv_write(&mut reports, "frag:"));
         assert_eq!(reports.op_logs.log(0).unwrap().len(), 2);
         assert!(!drop_kv_write(&mut reports, "nope:"));
+        assert!(!replay_kv_write(&mut reports, "nope:"));
+    }
+
+    #[test]
+    fn replay_addresses_its_site_by_prefix() {
+        // Two writes with distinct prefixes: the selector must pick the
+        // requested one, not the last write overall.
+        let mut reports = reports_with_kv(vec![
+            kv_entry(1, 1, set("inv:1", 1)),
+            kv_entry(2, 1, set("frag:9", 2)),
+        ]);
+        assert!(replay_kv_write(&mut reports, "inv:"));
+        let log = reports.op_logs.log(0).unwrap();
+        assert_eq!(log.len(), 3);
+        // The duplicate landed right after the inv: write.
+        assert!(matches!(&log.get(SeqNum(2)).unwrap().contents,
+                OpContents::KvSet { key, .. } if key == "inv:1"));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 pub mod forum;
 pub mod hotcrp;
+pub mod mixed;
 pub mod poisson;
 pub mod shop;
 pub mod skew;

@@ -73,7 +73,7 @@ fn main() {
             tamper::reorder_kv_read(&mut b.reports, "inv:")
         }),
         ("replayed KV write", |b| {
-            tamper::replay_kv_write(&mut b.reports)
+            tamper::replay_kv_write(&mut b.reports, "inv:")
         }),
     ];
     for (label, apply) in tampers {

@@ -86,7 +86,7 @@ fn single_worker_frontend_tampers_rejected_with_unchanged_diagnostics() {
             tamper::reorder_kv_read(&mut b.reports, "inv:")
         }),
         ("replayed_kv_write", |b| {
-            tamper::replay_kv_write(&mut b.reports)
+            tamper::replay_kv_write(&mut b.reports, "inv:")
         }),
     ];
     for (label, apply) in variants {

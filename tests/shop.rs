@@ -225,7 +225,7 @@ fn replayed_kv_write_rejected_identically() {
     let work = shop_work(0.02, 19);
     let mut served = serve(&work, &ServeOptions::default());
     assert!(
-        orochi::harness::tamper::replay_kv_write(&mut served.bundle.reports),
+        orochi::harness::tamper::replay_kv_write(&mut served.bundle.reports, "inv:"),
         "workload produces a KV write to replay"
     );
     assert_audits_agree("replayed-write", &served.bundle, &work)

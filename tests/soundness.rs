@@ -4,18 +4,41 @@
 //! Each test serves an honest run of the HotCRP app (chosen because it
 //! exercises multi-statement transactions, sessions, and nondeterminism)
 //! and then tampers with exactly one part of the trace or reports.
+//! Wherever the generative operator library covers a tamper class, the
+//! test applies the [`orochi::harness::mutation`] operator (so the
+//! battery exercises the same code paths the adversarial campaign
+//! fuzzes); tampers with no operator equivalent — value edits in
+//! place, wrong initial-state claims — stay hand-written.
 
 use orochi::accphp::AccPhpExecutor;
 use orochi::core::audit::{audit, AuditConfig};
 use orochi::core::nondet::NondetValue;
 use orochi::core::reports::Reports;
+use orochi::harness::mutation::{MutationOp, MutationSite};
 use orochi::php::CompiledScript;
 use orochi::server::server::AuditBundle;
 use orochi::server::{Server, ServerConfig};
 use orochi::state::{ObjectName, OpContents, OpLog};
 use orochi::trace::{Event, HttpRequest, Trace};
 use orochi_common::ids::RequestId;
+use orochi_common::rng::SplitMix64;
 use std::collections::HashMap;
+
+/// Applies one operator at a seeded site; panics if the fixture lost
+/// the structure the operator targets, so a workload change that
+/// silently empties a tamper class fails loudly.
+fn apply_op(
+    label: &str,
+    op: MutationOp,
+    trace: &mut Trace,
+    reports: &mut Reports,
+    seed: u64,
+) -> MutationSite {
+    let mut rng = SplitMix64::new(seed);
+    let mut touched = std::collections::HashSet::new();
+    op.apply(trace, reports, &mut rng, &mut touched)
+        .unwrap_or_else(|| panic!("{label}: fixture offers no site for {}", op.name()))
+}
 
 fn honest() -> (AuditBundle, HashMap<String, CompiledScript>, AuditConfig) {
     let app = orochi::apps::hotcrp::app();
@@ -75,37 +98,41 @@ fn honest_run_is_accepted() {
 #[test]
 fn rejects_flipped_status_code() {
     let (mut bundle, scripts, config) = honest();
-    for e in bundle.trace.events.iter_mut() {
-        if let Event::Response(_, resp) = e {
-            resp.status = 503;
-            break;
-        }
-    }
+    apply_op(
+        "status",
+        MutationOp::ForgeResponseStatus,
+        &mut bundle.trace,
+        &mut bundle.reports,
+        1,
+    );
     assert_rejected("status", &bundle.trace, &bundle.reports, &scripts, &config);
 }
 
 #[test]
 fn rejects_added_response_header() {
     let (mut bundle, scripts, config) = honest();
-    for e in bundle.trace.events.iter_mut() {
-        if let Event::Response(_, resp) = e {
-            resp.headers.push(("X-Injected".into(), "1".into()));
-            break;
-        }
-    }
+    apply_op(
+        "header",
+        MutationOp::InjectResponseHeader,
+        &mut bundle.trace,
+        &mut bundle.reports,
+        2,
+    );
     assert_rejected("header", &bundle.trace, &bundle.reports, &scripts, &config);
 }
 
 #[test]
 fn rejects_unbalanced_trace_missing_response() {
     let (mut bundle, scripts, config) = honest();
-    let pos = bundle
-        .trace
-        .events
-        .iter()
-        .position(|e| matches!(e, Event::Response(..)))
-        .unwrap();
-    bundle.trace.events.remove(pos);
+    let before = bundle.trace.events.len();
+    apply_op(
+        "missing-response",
+        MutationOp::DropResponse,
+        &mut bundle.trace,
+        &mut bundle.reports,
+        3,
+    );
+    assert_eq!(bundle.trace.events.len(), before - 1);
     assert_rejected(
         "missing-response",
         &bundle.trace,
@@ -118,12 +145,13 @@ fn rejects_unbalanced_trace_missing_response() {
 #[test]
 fn rejects_mislabeled_response() {
     let (mut bundle, scripts, config) = honest();
-    for e in bundle.trace.events.iter_mut() {
-        if let Event::Response(_, resp) = e {
-            resp.rid_label = RequestId(999);
-            break;
-        }
-    }
+    apply_op(
+        "mislabel",
+        MutationOp::SwapRidLabels,
+        &mut bundle.trace,
+        &mut bundle.reports,
+        4,
+    );
     assert_rejected(
         "mislabel",
         &bundle.trace,
@@ -144,18 +172,14 @@ fn db_log_index(reports: &Reports) -> usize {
 #[test]
 fn rejects_rewritten_sql_in_log() {
     let (mut bundle, scripts, config) = honest();
-    let i = db_log_index(&bundle.reports);
-    let log = bundle.reports.op_logs.log_mut(i).unwrap();
-    let mut entries = log.entries().to_vec();
-    for e in entries.iter_mut() {
-        if let OpContents::DbOp { queries, .. } = &mut e.contents {
-            if let Some(q) = queries.iter_mut().find(|q| q.starts_with("INSERT")) {
-                *q = q.replace("INSERT", "INSERT ");
-                break;
-            }
-        }
-    }
-    *log = OpLog::from_entries(entries);
+    let site = apply_op(
+        "sql-rewrite",
+        MutationOp::RewriteDbQuery,
+        &mut bundle.trace,
+        &mut bundle.reports,
+        5,
+    );
+    assert_eq!(site.object, "db:main");
     assert_rejected(
         "sql-rewrite",
         &bundle.trace,
@@ -166,7 +190,29 @@ fn rejects_rewritten_sql_in_log() {
 }
 
 #[test]
+fn rejects_forged_write_result() {
+    let (mut bundle, scripts, config) = honest();
+    apply_op(
+        "write-result",
+        MutationOp::ForgeDbWriteResult,
+        &mut bundle.trace,
+        &mut bundle.reports,
+        6,
+    );
+    assert_rejected(
+        "write-result",
+        &bundle.trace,
+        &bundle.reports,
+        &scripts,
+        &config,
+    );
+}
+
+#[test]
 fn rejects_forged_insert_id() {
+    // No operator forges last_insert_id specifically (the operator
+    // library bumps affected-row counts); keep the hand-written tamper
+    // so the insert-id redo check stays covered.
     let (mut bundle, scripts, config) = honest();
     let i = db_log_index(&bundle.reports);
     let log = bundle.reports.op_logs.log_mut(i).unwrap();
@@ -194,16 +240,13 @@ fn rejects_forged_insert_id() {
 #[test]
 fn rejects_commit_flag_flip() {
     let (mut bundle, scripts, config) = honest();
-    let i = db_log_index(&bundle.reports);
-    let log = bundle.reports.op_logs.log_mut(i).unwrap();
-    let mut entries = log.entries().to_vec();
-    for e in entries.iter_mut() {
-        if let OpContents::DbOp { succeeded, .. } = &mut e.contents {
-            *succeeded = !*succeeded;
-            break;
-        }
-    }
-    *log = OpLog::from_entries(entries);
+    apply_op(
+        "commit-flip",
+        MutationOp::FlipDbCommit,
+        &mut bundle.trace,
+        &mut bundle.reports,
+        7,
+    );
     assert_rejected(
         "commit-flip",
         &bundle.trace,
@@ -216,24 +259,17 @@ fn rejects_commit_flag_flip() {
 #[test]
 fn rejects_op_moved_to_wrong_object() {
     let (mut bundle, scripts, config) = honest();
-    // Move the first db entry into a register log.
-    let i = db_log_index(&bundle.reports);
-    let entry = {
-        let log = bundle.reports.op_logs.log_mut(i).unwrap();
-        let mut entries = log.entries().to_vec();
-        let moved = entries.remove(0);
-        *log = OpLog::from_entries(entries);
-        moved
-    };
-    let reg_index = bundle
-        .reports
-        .op_logs
-        .index_of(&ObjectName("reg:sess:alice".into()))
-        .expect("session log present");
-    let log = bundle.reports.op_logs.log_mut(reg_index).unwrap();
-    let mut entries = log.entries().to_vec();
-    entries.insert(0, entry);
-    *log = OpLog::from_entries(entries);
+    let site = apply_op(
+        "wrong-object",
+        MutationOp::MoveOpAcrossLogs,
+        &mut bundle.trace,
+        &mut bundle.reports,
+        8,
+    );
+    assert!(
+        site.detail.contains(" from ") && site.detail.contains(" to "),
+        "site names both logs: {site}"
+    );
     assert_rejected(
         "wrong-object",
         &bundle.trace,
@@ -304,28 +340,13 @@ fn rejects_tampered_time_value() {
 #[test]
 fn rejects_truncated_nondet() {
     let (mut bundle, scripts, config) = honest();
-    let rids: Vec<RequestId> = bundle
-        .trace
-        .ensure_balanced()
-        .unwrap()
-        .request_ids()
-        .collect();
-    let mut rebuilt = orochi::core::nondet::NondetLog::new();
-    let mut dropped = false;
-    for rid in rids {
-        let values = bundle.reports.nondet.for_request(rid);
-        let keep = if !dropped && !values.is_empty() {
-            dropped = true;
-            &values[..values.len() - 1]
-        } else {
-            values
-        };
-        for v in keep {
-            rebuilt.push(rid, v.clone());
-        }
-    }
-    assert!(dropped, "workload records nondeterminism");
-    bundle.reports.nondet = rebuilt;
+    apply_op(
+        "nondet-truncate",
+        MutationOp::TruncateNondet,
+        &mut bundle.trace,
+        &mut bundle.reports,
+        9,
+    );
     assert_rejected(
         "nondet-truncate",
         &bundle.trace,
@@ -337,9 +358,11 @@ fn rejects_truncated_nondet() {
 
 #[test]
 fn rejects_non_monotonic_time_report() {
+    // `MutationOp::RegressNondetTime` needs a request recording two
+    // time values; no HotCRP request does, so this tamper stays
+    // hand-written: reverse every time value so the §4.6 validity
+    // check alone must fire.
     let (mut bundle, scripts, config) = honest();
-    // Find a request with two time values and reverse them; the §4.6
-    // validity check alone must fire.
     let rids: Vec<RequestId> = bundle
         .trace
         .ensure_balanced()
@@ -370,13 +393,13 @@ fn rejects_non_monotonic_time_report() {
 #[test]
 fn rejects_renumbered_opnums() {
     let (mut bundle, scripts, config) = honest();
-    let i = db_log_index(&bundle.reports);
-    let log = bundle.reports.op_logs.log_mut(i).unwrap();
-    let mut entries = log.entries().to_vec();
-    if let Some(e) = entries.first_mut() {
-        e.opnum = orochi_common::ids::OpNum(e.opnum.0 + 1);
-    }
-    *log = OpLog::from_entries(entries);
+    apply_op(
+        "opnum-shift",
+        MutationOp::ShiftOpnum,
+        &mut bundle.trace,
+        &mut bundle.reports,
+        11,
+    );
     assert_rejected(
         "opnum-shift",
         &bundle.trace,

@@ -63,7 +63,9 @@ fn fixture() -> &'static (AppWorkload, Vec<PathBuf>) {
                     "stale_inventory_read" => {
                         tamper::reorder_kv_read(&mut served.bundle.reports, "inv:")
                     }
-                    "replayed_kv_write" => tamper::replay_kv_write(&mut served.bundle.reports),
+                    "replayed_kv_write" => {
+                        tamper::replay_kv_write(&mut served.bundle.reports, "inv:")
+                    }
                     _ => unreachable!(),
                 };
                 assert!(tampered, "{variant}: no tamper site in the workload");
